@@ -1,0 +1,36 @@
+"""Benchmark-suite configuration.
+
+Rendered tables are written to ``benchmarks/results/`` by each benchmark
+and echoed into the (uncaptured) terminal summary so that piping pytest's
+output to a file preserves every regenerated paper artefact.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+# Make `import support` work regardless of invocation directory.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+_seen_before = set()
+
+
+def pytest_sessionstart(session):
+    if RESULTS_DIR.exists():
+        _seen_before.update(p.name for p in RESULTS_DIR.glob("*.txt"))
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Dump the artefact tables produced during this session."""
+    if not RESULTS_DIR.exists():
+        return
+    produced = sorted(RESULTS_DIR.glob("*.txt"))
+    if not produced:
+        return
+    terminalreporter.write_sep("=", "regenerated paper artefacts")
+    for path in produced:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(path.read_text().rstrip())

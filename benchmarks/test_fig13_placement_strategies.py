@@ -1,0 +1,77 @@
+"""Figure 13: placement strategies under the same replication (A and B).
+
+OS / FF / RR place the RLAS-chosen replication; throughputs are normalized
+to RLAS.  Shape: RLAS leads on both servers; the same offered load
+under-utilizes Server B far less than Server A relative to capacity
+(Server B's XNC keeps remote bandwidth flat).
+"""
+
+from repro.baselines import place_with_strategy
+from repro.core import PerformanceModel
+from repro.metrics import format_table
+from repro.simulation import FlowSimulator
+
+from support import APPS, QUICK, bundle, brisk_measured, ingress, machine, rlas_plan, write_result
+
+STRATEGIES = ("OS", "FF", "RR")
+
+
+def run_experiment():
+    data = {}
+    apps = APPS if not QUICK else ("wc", "lr")
+    for server in ("A", "B"):
+        for app in apps:
+            topology, profiles = bundle(app)
+            mach = machine(server)
+            model = PerformanceModel(profiles, mach)
+            # Same I on both servers: tuned to just overfeed Server A.
+            rate = ingress(app, "A")
+            optimized = rlas_plan(app, server, rate=rate)
+            graph = optimized.expanded_plan.graph
+            simulator = FlowSimulator(profiles, mach)
+            r_rlas = simulator.simulate(optimized.expanded_plan, rate).throughput
+            entry = {"RLAS": r_rlas}
+            for strategy in STRATEGIES:
+                plan = place_with_strategy(strategy, graph, model, rate, seed=7)
+                entry[strategy] = simulator.simulate(plan, rate).throughput
+            data[(server, app)] = entry
+    return data
+
+
+def test_fig13_placement_strategies(benchmark):
+    data = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        [
+            server,
+            app.upper(),
+            round(entry["RLAS"] / 1e3),
+            round(entry["OS"] / entry["RLAS"], 2),
+            round(entry["FF"] / entry["RLAS"], 2),
+            round(entry["RR"] / entry["RLAS"], 2),
+        ]
+        for (server, app), entry in data.items()
+    ]
+    write_result(
+        "fig13_placement_strategies",
+        format_table(
+            ["server", "app", "RLAS (K/s)", "OS / RLAS", "FF / RLAS", "RR / RLAS"],
+            rows,
+            title="Figure 13 — placement strategies under RLAS's replication",
+        ),
+    )
+    os_beaten = rr_beaten = 0
+    for (server, app), entry in data.items():
+        # No strategy meaningfully beats RLAS anywhere.
+        for strategy in STRATEGIES:
+            assert entry[strategy] <= entry["RLAS"] * 1.10, (server, app, strategy)
+        if entry["OS"] < entry["RLAS"] * 0.9:
+            os_beaten += 1
+        if entry["RR"] < entry["RLAS"] * 0.9:
+            rr_beaten += 1
+    # The NUMA-oblivious balancers (OS, RR) lose clearly in a majority of
+    # configurations — the paper's headline Figure 13 claim.  FF, being a
+    # greedy collocation heuristic, tracks RLAS closely under RLAS's own
+    # replication (EXPERIMENTS.md discusses why its paper-reported failure
+    # mode needs tighter packing to appear).
+    assert os_beaten >= len(data) // 2 + 1
+    assert rr_beaten >= len(data) // 2 + 1

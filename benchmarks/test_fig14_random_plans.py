@@ -1,0 +1,53 @@
+"""Figure 14: CDF of 1000 random execution plans vs RLAS.
+
+Monte-Carlo verification of the heuristics: random replication grown to
+the scaling limit with random placement.  Paper: none of the random plans
+beats RLAS, and most random plans perform badly.
+"""
+
+from repro.baselines import sample_random_plans, throughput_cdf
+from repro.metrics import format_series
+
+from support import APPS, QUICK, brisk_measured, bundle, ingress, machine, write_result
+
+N_PLANS = 60 if QUICK else 250  # paper: 1000; shapes stabilize far earlier
+
+
+def run_experiment():
+    data = {}
+    for app in APPS:
+        topology, profiles = bundle(app)
+        samples = sample_random_plans(
+            topology,
+            profiles,
+            machine("A"),
+            ingress(app),
+            n_plans=N_PLANS,
+            seed=17,
+        )
+        data[app] = (samples, brisk_measured(app))
+    return data
+
+
+def test_fig14_random_plans(benchmark):
+    data = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    lines = [f"Figure 14 — CDF of {N_PLANS} random plans vs RLAS (K events/s)"]
+    for app, (samples, r_rlas) in data.items():
+        cdf = throughput_cdf(samples)
+        knots = [cdf[int(len(cdf) * q) - 1] for q in (0.25, 0.5, 0.75, 1.0)]
+        lines.append(
+            format_series(
+                f"{app.upper()} (random)",
+                [(f"p{int(q * 100)}", value / 1e3) for (value, _), q in zip(knots, (0.25, 0.5, 0.75, 1.0))],
+            )
+        )
+        lines.append(f"{app.upper()} (RLAS): {r_rlas / 1e3:,.1f}")
+    write_result("fig14_random_plans", "\n".join(lines))
+
+    for app, (samples, r_rlas) in data.items():
+        best_random = max(s.throughput for s in samples)
+        median_random = sorted(s.throughput for s in samples)[len(samples) // 2]
+        # No random plan beats RLAS.
+        assert best_random <= r_rlas * 1.02, app
+        # And the typical random plan is far worse.
+        assert median_random < r_rlas * 0.8, app

@@ -1,0 +1,54 @@
+"""Figure 15: communication pattern matrices of WC on Servers A and B.
+
+Shape: on glue-less Server A the fetch traffic concentrates out of the
+producer-heavy socket(s); on XNC-assisted Server B (flat remote
+bandwidth) traffic spreads much more uniformly.
+"""
+
+from repro.core import PerformanceModel
+from repro.metrics import communication_matrix
+
+from support import bundle, ingress, machine, rlas_plan, write_result
+
+
+def run_experiment():
+    matrices = {}
+    for server in ("A", "B"):
+        topology, profiles = bundle("wc")
+        mach = machine(server)
+        model = PerformanceModel(profiles, mach)
+        plan = rlas_plan("wc", server)
+        matrices[server] = communication_matrix(
+            plan.expanded_plan, model, ingress("wc", server)
+        )
+    return matrices
+
+
+def test_fig15_comm_matrix(benchmark):
+    matrices = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    text = "\n\n".join(matrices[server].format_table() for server in ("A", "B"))
+    text += (
+        f"\n\nconcentration: Server A={matrices['A'].concentration():.2f}, "
+        f"Server B={matrices['B'].concentration():.2f}"
+    )
+    write_result("fig15_comm_matrix", text)
+
+    a, b = matrices["A"], matrices["B"]
+    # Both optimized plans communicate across sockets at 8-socket scale.
+    assert a.total_fetch_cost() > 0
+    assert b.total_fetch_cost() > 0
+    # The interconnects' characters show through: every transferred byte
+    # costs more fetch time on glue-less Server A than on XNC-assisted
+    # Server B (Table 2's latency gap) — the premise behind the paper's
+    # differing patterns.
+    cost_per_byte_a = a.total_fetch_cost() / a.bytes_per_s.sum()
+    cost_per_byte_b = b.total_fetch_cost() / b.bytes_per_s.sum()
+    assert cost_per_byte_a > cost_per_byte_b
+    # Several sockets participate as traffic sources on both machines
+    # (the matrices are not degenerate).
+    assert (a.fetch_ns_per_s.sum(axis=1) > 0).sum() >= 3
+    assert (b.fetch_ns_per_s.sum(axis=1) > 0).sum() >= 3
+    # NOTE: the paper's WC plan funnels traffic out of a single
+    # producer-heavy socket on Server A; our optimizer spreads producers
+    # instead, so that qualitative pattern does not emerge here.
+    # EXPERIMENTS.md records the deviation.

@@ -1,0 +1,64 @@
+"""Figure 16: factor analysis of BriskStream's optimizations.
+
+Cumulative left-to-right: ``simple`` (Storm-like runtime, fix(L) plan),
+``-Instr.footprint`` (Section 5.1), ``+JumboTuple`` (Section 5.2), and
+``+RLAS`` (the NUMA-aware planner).  Each factor must contribute.
+"""
+
+from repro.metrics import format_table
+
+from support import (
+    APPS,
+    PLANNING_SYSTEMS,
+    QUICK,
+    brisk_measured,
+    measure,
+    rlas_plan,
+    write_result,
+)
+
+STEPS = ("simple", "-Instr.footprint", "+JumboTuple", "+RLAS")
+
+
+def run_experiment():
+    data = {}
+    apps = APPS if not QUICK else ("wc", "lr")
+    for app in apps:
+        values = {}
+        for step in STEPS[:3]:
+            # First three factors: runtime changes, planned with fix(L).
+            plan = rlas_plan(app, tf_mode="worst", system_name=step)
+            values[step] = measure(
+                plan.expanded_plan, app, system=PLANNING_SYSTEMS[step]
+            )
+        # Fourth factor: the NUMA-aware planner on the full runtime.
+        values["+RLAS"] = brisk_measured(app)
+        data[app] = values
+    return data
+
+
+def test_fig16_factor_analysis(benchmark):
+    data = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        [app.upper()] + [round(values[step] / 1e3) for step in STEPS]
+        for app, values in data.items()
+    ]
+    write_result(
+        "fig16_factor_analysis",
+        format_table(
+            ["app"] + list(STEPS),
+            rows,
+            title="Figure 16 — factor analysis (K events/s, cumulative factors)",
+        ),
+    )
+    for app, values in data.items():
+        # Shrinking the instruction footprint is a large win.
+        assert values["-Instr.footprint"] > values["simple"] * 1.3, app
+        # Jumbo tuples add on top of it.
+        assert values["+JumboTuple"] > values["-Instr.footprint"] * 1.02, app
+        # NUMA-aware planning finishes the job.
+        assert values["+RLAS"] >= values["+JumboTuple"] * 0.98, app
+        # End-to-end the cumulative gain is large (paper: order of magnitude
+        # for WC/LR).
+    gains = [v["+RLAS"] / v["simple"] for v in data.values()]
+    assert max(gains) > 4

@@ -1,0 +1,57 @@
+"""Figure 3: CDF of profiled execution cycles of WC's operators.
+
+The paper's takeaway: operators show stable behaviour, so percentile
+statistics (the 50th) can instantiate the model.
+"""
+
+from repro.metrics import format_table
+from repro.simulation import OperatorProfiler
+
+from support import bundle, write_result
+
+
+def run_experiment():
+    topology, profiles = bundle("wc")
+    profiler = OperatorProfiler(profiles, seed=3)
+    samples = profiler.profile_all(samples=8000)
+    rows = []
+    for name in topology.topological_order():
+        s = samples[name]
+        rows.append(
+            [
+                name,
+                round(s.percentile(10)),
+                round(s.percentile(50)),
+                round(s.percentile(90)),
+                round(s.cv, 3),
+            ]
+        )
+    return samples, rows
+
+
+def test_fig3_profile_cdf(benchmark):
+    samples, rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    write_result(
+        "fig3_profile_cdf",
+        format_table(
+            ["operator", "p10_cycles", "p50_cycles", "p90_cycles", "cv"],
+            rows,
+            title="Figure 3 — profiled Te CDF summaries (WC operators)",
+        ),
+    )
+    topology, profiles = bundle("wc")
+    for name, s in samples.items():
+        # Stable behaviour: the p50 tracks the calibrated Te closely...
+        assert abs(s.percentile(50) - profiles[name].te_cycles) < 0.1 * max(
+            profiles[name].te_cycles, 1
+        )
+        # ...and the spread stays moderate (no heavy-tailed operators).
+        assert s.cv < 0.5
+        # CDFs are proper distributions.
+        cdf = s.cdf()
+        assert cdf[-1][1] == 1.0
+        assert [x for x, _ in cdf] == sorted(x for x, _ in cdf)
+    # The splitter is the most expensive WC operator (Figure 3's rightmost
+    # curve), the sink the cheapest.
+    assert samples["splitter"].percentile(50) > samples["counter"].percentile(50)
+    assert samples["sink"].percentile(50) < samples["parser"].percentile(50)

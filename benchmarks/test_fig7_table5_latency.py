@@ -1,0 +1,80 @@
+"""Figure 7 + Table 5: end-to-end processing latency across DSPSs.
+
+Figure 7 plots WC's latency CDF per system; Table 5 reports the p99 for
+all four applications.  Shape: BriskStream sits orders of magnitude below
+Flink, which sits below Storm (whose deep buffers at saturation drain for
+seconds).
+"""
+
+from repro.metrics import format_table, format_series
+
+from support import APPS, PAPER_P99_MS, QUICK, des_latency, write_result
+
+SYSTEM_NAMES = ("BriskStream", "Flink", "Storm")
+
+
+def run_experiment():
+    cdf = {
+        name: des_latency("wc", name, load_fraction=1.05, seed=2).latency.cdf(
+            points=10
+        )
+        for name in SYSTEM_NAMES
+    }
+    p99 = {}
+    apps = APPS if not QUICK else ("wc", "lr")
+    for app in apps:
+        p99[app] = {
+            name: des_latency(app, name, load_fraction=1.05, seed=3).latency.p99_ms()
+            for name in SYSTEM_NAMES
+        }
+    return cdf, p99
+
+
+def test_fig7_table5_latency(benchmark):
+    cdf, p99 = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    lines = ["Figure 7 — end-to-end latency CDF of WC (ms at cumulative fraction)"]
+    for name in SYSTEM_NAMES:
+        lines.append(
+            format_series(
+                name, [(f"{frac:.1f}", ms) for ms, frac in cdf[name]], unit="ms"
+            )
+        )
+    write_result("fig7_latency_cdf", "\n".join(lines))
+
+    rows = [
+        [
+            app.upper(),
+            round(values["BriskStream"], 2),
+            PAPER_P99_MS[app]["BriskStream"],
+            round(values["Flink"], 1),
+            PAPER_P99_MS[app]["Flink"],
+            round(values["Storm"], 1),
+            PAPER_P99_MS[app]["Storm"],
+        ]
+        for app, values in p99.items()
+    ]
+    write_result(
+        "table5_latency_p99",
+        format_table(
+            ["app", "Brisk (ms)", "paper", "Flink (ms)", "paper", "Storm (ms)", "paper"],
+            rows,
+            title="Table 5 — 99th-percentile end-to-end latency",
+        ),
+    )
+
+    # CDF ordering at the median (WC): Brisk < Flink < Storm.
+    median = {name: cdf[name][4][0] for name in SYSTEM_NAMES}
+    assert median["BriskStream"] < median["Flink"] < median["Storm"]
+    clear_wins = 0
+    for app, values in p99.items():
+        # BriskStream's p99 sits below both comparators on every app.
+        assert values["BriskStream"] < values["Flink"], app
+        assert values["BriskStream"] < values["Storm"], app
+        if values["Storm"] / values["BriskStream"] > 3:
+            clear_wins += 1
+    # ...and by a multiple on at least half of them.  NOTE: the paper's
+    # orders-of-magnitude separations come from hours of buffer
+    # accumulation in Storm's deep queues; a tractable simulation horizon
+    # compresses the magnitudes while preserving the ordering
+    # (EXPERIMENTS.md discusses this).
+    assert clear_wins * 2 >= len(p99)

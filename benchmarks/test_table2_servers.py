@@ -1,0 +1,59 @@
+"""Table 2: characteristics of the two test servers.
+
+Regenerated off the machine models (the substrate substituting the
+physical servers), cross-checked with an MLC-style measurement run.
+"""
+
+import pytest
+
+from repro.hardware import run_mlc
+from repro.metrics import format_table
+
+from support import machine, write_result
+
+ROWS = (
+    ("processor", lambda d: d["processor"]),
+    ("power governors", lambda d: d["power_governor"]),
+    ("memory per socket (GB)", lambda d: d["memory_per_socket_gb"]),
+    ("local latency (ns)", lambda d: d["local_latency_ns"]),
+    ("1 hop latency (ns)", lambda d: d["one_hop_latency_ns"]),
+    ("max hops latency (ns)", lambda d: d["max_hops_latency_ns"]),
+    ("local B/W (GB/s)", lambda d: d["local_bandwidth_gb_s"]),
+    ("1 hop B/W (GB/s)", lambda d: d["one_hop_bandwidth_gb_s"]),
+    ("max hops B/W (GB/s)", lambda d: d["max_hops_bandwidth_gb_s"]),
+    ("total local B/W (GB/s)", lambda d: d["total_local_bandwidth_gb_s"]),
+)
+
+
+def run_experiment():
+    a = machine("A").describe()
+    b = machine("B").describe()
+    rows = [[label, extract(a), extract(b)] for label, extract in ROWS]
+    return a, b, rows
+
+
+def test_table2_servers(benchmark):
+    a, b, rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    write_result(
+        "table2_servers",
+        format_table(
+            ["statistic", "Server A (KunLun)", "Server B (DL980)"],
+            rows,
+            title="Table 2 — characteristics of the two servers",
+        ),
+    )
+    # Takeaway 1: remote latency is up to ~10x local cache access.
+    assert a["max_hops_latency_ns"] / a["local_latency_ns"] > 8
+    # Takeaway 2: Server B's remote bandwidth is flat across distance,
+    # Server A's drops sharply.
+    assert b["max_hops_bandwidth_gb_s"] == pytest.approx(
+        b["one_hop_bandwidth_gb_s"], rel=0.05
+    )
+    assert a["max_hops_bandwidth_gb_s"] < 0.5 * a["one_hop_bandwidth_gb_s"]
+    # Takeaway 3: a significant in-tray -> cross-tray latency jump on both.
+    assert a["max_hops_latency_ns"] > 1.5 * a["one_hop_latency_ns"]
+    assert b["max_hops_latency_ns"] > 1.5 * b["one_hop_latency_ns"]
+    # The MLC measurement pipeline reproduces the spec.
+    report = run_mlc(machine("A"))
+    assert report.max_latency() == pytest.approx(548.0)
+    assert report.total_local_bandwidth() == pytest.approx(434.4e9)

@@ -1,0 +1,73 @@
+"""Table 3: average processing time per tuple under varying NUMA distance.
+
+Measured vs estimated ``T`` for WC's Splitter and Counter as the operator
+moves away from its producer on Server A.  Shape requirements: the
+estimate is conservative (>= measured), costs grow with distance, and the
+cross-tray step is the big one.
+"""
+
+from repro.metrics import format_table
+from repro.simulation import RoundTripMeter
+
+from support import bundle, machine, write_result
+
+#: The socket pairs Table 3 reports (producer on S0).
+DISTANCES = (0, 1, 3, 4, 7)
+#: Paper's measured anchors (ns/tuple) for reference in the output.
+PAPER = {
+    "splitter": {0: 1612.8, 1: 1666.5, 3: 1708.2, 4: 2050.6, 7: 2371.3},
+    "counter": {0: 612.3, 1: 611.4, 3: 623.1, 4: 889.9, 7: 870.2},
+}
+
+
+def run_experiment():
+    topology, profiles = bundle("wc")
+    meter = RoundTripMeter(topology, profiles, machine("A"))
+    data = {}
+    rows = []
+    for component in ("splitter", "counter"):
+        data[component] = {}
+        for to_socket in DISTANCES:
+            measured, estimated = meter.t_under_distance(component, 0, to_socket)
+            data[component][to_socket] = (measured, estimated)
+            rows.append(
+                [
+                    f"{component} S0-S{to_socket}",
+                    round(measured, 1),
+                    round(estimated, 1),
+                    PAPER[component][to_socket],
+                ]
+            )
+    return data, rows
+
+
+def test_table3_numa_cost(benchmark):
+    data, rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    write_result(
+        "table3_numa_cost",
+        format_table(
+            ["from-to", "measured (ns)", "estimated (ns)", "paper measured (ns)"],
+            rows,
+            title="Table 3 — per-tuple T under varying NUMA distance (WC, Server A)",
+        ),
+    )
+    for component in ("splitter", "counter"):
+        series = data[component]
+        # Local anchors match Table 3 exactly (calibration).
+        assert abs(series[0][0] - PAPER[component][0]) < 20
+        measured = [series[d][0] for d in DISTANCES]
+        estimated = [series[d][1] for d in DISTANCES]
+        # Estimate is conservative everywhere.
+        for m, e in zip(measured, estimated):
+            assert e >= m - 1e-9
+        # Monotone in distance.
+        assert measured == sorted(measured)
+        assert estimated == sorted(estimated)
+        # Cross-tray (S4) costs significantly more than in-tray (S1).
+        assert series[4][0] > series[1][0] * 1.1
+    # The prefetcher hides more for the large-tuple Splitter than the
+    # model expects — the paper's headline observation.
+    splitter_gap = data["splitter"][7][1] - data["splitter"][7][0]
+    assert splitter_gap > 0
+    # Counter's in-tray penalty is small in absolute terms (<= ~60ns).
+    assert data["counter"][1][0] - data["counter"][0][0] < 60

@@ -1,0 +1,62 @@
+"""Table 4: model accuracy — measured vs estimated throughput.
+
+For each application's optimal 8-socket plan, compare the analytical
+model's estimate against the simulator's measurement.  The paper reports
+relative errors of 0.02-0.14.
+"""
+
+from repro.metrics import format_table, relative_error
+
+from support import APPS, PAPER_THROUGHPUT_K, brisk_measured, rlas_plan, write_result
+
+PAPER_ERROR = {"wc": 0.08, "fd": 0.14, "sd": 0.02, "lr": 0.06}
+
+
+def run_experiment():
+    data = {}
+    for app in APPS:
+        plan = rlas_plan(app)
+        measured = brisk_measured(app)
+        estimated = plan.realized_throughput
+        data[app] = (measured, estimated, relative_error(measured, estimated))
+    return data
+
+
+def test_table4_model_accuracy(benchmark):
+    data = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        [
+            app.upper(),
+            round(measured / 1e3, 1),
+            round(estimated / 1e3, 1),
+            round(error, 3),
+            PAPER_ERROR[app],
+            round(PAPER_THROUGHPUT_K[app], 1),
+        ]
+        for app, (measured, estimated, error) in data.items()
+    ]
+    write_result(
+        "table4_model_accuracy",
+        format_table(
+            [
+                "app",
+                "measured (K/s)",
+                "estimated (K/s)",
+                "rel. error",
+                "paper error",
+                "paper measured (K/s)",
+            ],
+            rows,
+            title="Table 4 — model accuracy under the optimal plan (Server A)",
+        ),
+    )
+    for app, (measured, estimated, error) in data.items():
+        # The model approximates the measurement well (paper: <= 0.14).
+        assert error < 0.25, app
+        # Same order of magnitude as the paper's absolute numbers.
+        ratio = measured / (PAPER_THROUGHPUT_K[app] * 1e3)
+        assert 0.2 < ratio < 5.0, app
+    # Relative throughput ordering across applications is preserved.
+    measured = {app: data[app][0] for app in APPS}
+    assert measured["wc"] > measured["sd"] > measured["fd"]
+    assert measured["wc"] > 5 * measured["lr"]

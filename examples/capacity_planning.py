@@ -1,0 +1,88 @@
+"""Capacity planning: which server, and how many sockets, for a target load?
+
+Scenario: an operations team must sustain 2M fraud checks per second and
+wants the smallest deployment that does it — comparing the paper's two
+eight-socket servers at increasing socket counts, and showing what the
+naive placements (OS scheduler / round-robin) would cost instead.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import PerformanceModel, RLASOptimizer, server_a, server_b
+from repro.apps import load_application
+from repro.baselines import place_with_strategy
+from repro.metrics import format_table
+from repro.simulation import FlowSimulator
+
+TARGET_RATE = 2_000_000  # fraud checks per second
+
+
+def sustained_throughput(topology, profiles, machine, strategy="RLAS"):
+    """Measured throughput of `strategy`'s plan at the target ingress."""
+    model = PerformanceModel(profiles, machine)
+    optimized = RLASOptimizer(
+        topology, profiles, machine, ingress_rate=TARGET_RATE
+    ).optimize()
+    simulator = FlowSimulator(profiles, machine)
+    if strategy == "RLAS":
+        plan = optimized.expanded_plan
+    else:
+        plan = place_with_strategy(
+            strategy, optimized.expanded_plan.graph, model, TARGET_RATE
+        )
+    return simulator.simulate(plan, TARGET_RATE).throughput
+
+
+def main() -> None:
+    topology, profiles = load_application("fd")
+    print(f"target: {TARGET_RATE:,} fraud checks/s\n")
+
+    rows = []
+    verdicts = {}
+    for server_name, factory in (("A", server_a), ("B", server_b)):
+        for sockets in (1, 2, 4, 8):
+            machine = factory(sockets)
+            achieved = sustained_throughput(topology, profiles, machine)
+            ok = achieved >= TARGET_RATE * 0.99
+            rows.append(
+                [
+                    f"Server {server_name}",
+                    sockets,
+                    machine.n_cores,
+                    round(achieved / 1e3),
+                    "yes" if ok else "no",
+                ]
+            )
+            if ok and server_name not in verdicts:
+                verdicts[server_name] = sockets
+    print(
+        format_table(
+            ["server", "sockets", "cores", "throughput (K/s)", "meets target"],
+            rows,
+            title="RLAS-optimized capacity per deployment",
+        )
+    )
+    for server_name, sockets in verdicts.items():
+        print(f"-> Server {server_name}: {sockets} socket(s) suffice")
+
+    # What would naive placement cost on the chosen Server A deployment?
+    sockets = verdicts.get("A", 8)
+    machine = server_a(sockets)
+    rows = []
+    for strategy in ("RLAS", "OS", "FF", "RR"):
+        achieved = sustained_throughput(topology, profiles, machine, strategy)
+        rows.append(
+            [strategy, round(achieved / 1e3), "yes" if achieved >= TARGET_RATE * 0.99 else "no"]
+        )
+    print()
+    print(
+        format_table(
+            ["placement", "throughput (K/s)", "meets target"],
+            rows,
+            title=f"Placement strategies on Server A, {sockets} socket(s)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

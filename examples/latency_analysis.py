@@ -1,0 +1,73 @@
+"""Latency analysis: how an execution plan shapes end-to-end delay.
+
+Scenario: a spike-detection deployment has a latency SLO (p99 <= 50 ms).
+The discrete-event simulator shows how load level, buffer sizing and
+NUMA placement move the latency distribution — the Table 5 mechanics, on
+one application.
+
+Run:  python examples/latency_analysis.py
+"""
+
+from repro import PerformanceModel, RLASOptimizer, server_a
+from repro.apps import load_application
+from repro.core.scaling import saturation_ingress
+from repro.metrics import format_table
+from repro.simulation import DiscreteEventSimulator, FlowSimulator
+
+SLO_P99_MS = 50.0
+
+
+def main() -> None:
+    machine = server_a()
+    topology, profiles = load_application("sd")
+    model = PerformanceModel(profiles, machine)
+    imax = saturation_ingress(topology, model)
+    plan = RLASOptimizer(topology, profiles, machine, ingress_rate=imax).optimize()
+    sustained = FlowSimulator(profiles, machine).simulate(
+        plan.expanded_plan, imax
+    ).throughput
+    print(f"sustained capacity: {sustained:,.0f} events/s\n")
+
+    # 1) Load level: latency vs utilization.
+    rows = []
+    for load in (0.5, 0.8, 0.95, 1.05):
+        des = DiscreteEventSimulator(profiles, machine, seed=1)
+        result = des.run(plan.expanded_plan, sustained * load, max_events=4000)
+        rows.append(
+            [
+                f"{load:.0%}",
+                round(result.latency.percentile(50) / 1e6, 2),
+                round(result.latency.p99_ms(), 2),
+                "ok" if result.latency.p99_ms() <= SLO_P99_MS else "VIOLATED",
+            ]
+        )
+    print(
+        format_table(
+            ["offered load", "p50 (ms)", "p99 (ms)", f"SLO {SLO_P99_MS:.0f}ms"],
+            rows,
+            title="Latency vs offered load (RLAS plan)",
+        )
+    )
+
+    # 2) Buffer sizing: the throughput/latency trade-off of Table 5.  At
+    # 2x overload the bottleneck queues actually fill, so their capacity
+    # becomes the latency (bigger buffers = longer drains).
+    rows = []
+    for capacity in (256, 2048, 16384):
+        des = DiscreteEventSimulator(
+            profiles, machine, queue_capacity=capacity, seed=2
+        )
+        result = des.run(plan.expanded_plan, sustained * 2.0, max_events=10_000)
+        rows.append([capacity, round(result.latency.p99_ms(), 2)])
+    print()
+    print(
+        format_table(
+            ["queue capacity (tuples)", "saturated p99 (ms)"],
+            rows,
+            title="Buffer sizing at 200% offered load",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Quickstart: optimize Word Count on the paper's Server A.
+
+Builds the WC topology, instantiates the performance model from measured
+profiles, runs the RLAS optimizer (replication + placement) and verifies
+the plan with the measurement simulator.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PerformanceModel, RLASOptimizer, server_a
+from repro.apps import load_application
+from repro.core.scaling import saturation_ingress
+from repro.simulation import FlowSimulator
+
+
+def main() -> None:
+    machine = server_a()
+    print(f"machine: {machine.name} ({machine.n_cores} cores)")
+
+    # The four benchmark apps ship with calibrated profiles; custom apps
+    # would measure selectivities with the functional engine instead
+    # (see examples/custom_pipeline.py).
+    topology, profiles = load_application("wc")
+    print(topology.describe())
+
+    model = PerformanceModel(profiles, machine)
+    rate = saturation_ingress(topology, model)
+    print(f"\nmax attainable ingress (Imax): {rate:,.0f} events/s")
+
+    optimizer = RLASOptimizer(topology, profiles, machine, ingress_rate=rate)
+    plan = optimizer.optimize()
+    print("\n" + plan.describe())
+
+    measured = FlowSimulator(profiles, machine).simulate(plan.expanded_plan, rate)
+    error = abs(measured.throughput - plan.realized_throughput) / measured.throughput
+    print(
+        f"\nmeasured throughput: {measured.throughput:,.0f} events/s "
+        f"(model relative error {error:.1%})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""BriskStream reproduction: NUMA-aware stream-processing plan optimization.
+
+This library reproduces *BriskStream: Scaling Data Stream Processing on
+Shared-Memory Multicore Architectures* (Zhang et al., SIGMOD 2019):
+
+* :mod:`repro.core` — **RLAS**, the paper's contribution: a rate-based
+  NUMA-aware performance model, branch-and-bound operator placement and
+  iterative bottleneck scaling;
+* :mod:`repro.dsps` — the streaming substrate (topologies, operators,
+  groupings, jumbo tuples, a functional execution engine);
+* :mod:`repro.hardware` — parametric NUMA machine models, including the
+  paper's two eight-socket servers;
+* :mod:`repro.simulation` — "measured" numbers: a steady-state contention
+  solver and a discrete-event latency simulator;
+* :mod:`repro.apps` — the four benchmark applications (WC, FD, SD, LR);
+* :mod:`repro.baselines` — Storm/Flink/StreamBox comparators, OS/FF/RR
+  placements and Monte-Carlo random plans;
+* :mod:`repro.metrics` — reporting helpers for the paper's tables/figures.
+
+Quickstart::
+
+    from repro import RLASOptimizer, server_a
+    from repro.apps import load_application
+    from repro.core.scaling import saturation_ingress
+    from repro.core import PerformanceModel
+
+    machine = server_a()
+    topology, profiles = load_application("wc")
+    rate = saturation_ingress(topology, PerformanceModel(profiles, machine))
+    plan = RLASOptimizer(topology, profiles, machine, rate).optimize()
+    print(plan.describe())
+"""
+
+from repro.core import (
+    BRISKSTREAM,
+    ExecutionPlan,
+    OperatorProfile,
+    OptimizedPlan,
+    PerformanceModel,
+    PlacementOptimizer,
+    ProfileSet,
+    RLASOptimizer,
+    ScalingOptimizer,
+    SystemProfile,
+    TfMode,
+)
+from repro.dsps import (
+    ExecutionGraph,
+    LocalEngine,
+    Operator,
+    Sink,
+    Spout,
+    Topology,
+    TopologyBuilder,
+)
+from repro.errors import (
+    HardwareError,
+    InfeasiblePlanError,
+    PlanError,
+    ProfilingError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+from repro.hardware import MachineSpec, laptop, server_a, server_b
+from repro.simulation import DiscreteEventSimulator, FlowSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BRISKSTREAM",
+    "ExecutionPlan",
+    "OperatorProfile",
+    "OptimizedPlan",
+    "PerformanceModel",
+    "PlacementOptimizer",
+    "ProfileSet",
+    "RLASOptimizer",
+    "ScalingOptimizer",
+    "SystemProfile",
+    "TfMode",
+    "ExecutionGraph",
+    "LocalEngine",
+    "Operator",
+    "Sink",
+    "Spout",
+    "Topology",
+    "TopologyBuilder",
+    "HardwareError",
+    "InfeasiblePlanError",
+    "PlanError",
+    "ProfilingError",
+    "ReproError",
+    "SimulationError",
+    "TopologyError",
+    "MachineSpec",
+    "laptop",
+    "server_a",
+    "server_b",
+    "DiscreteEventSimulator",
+    "FlowSimulator",
+    "__version__",
+]

@@ -1,0 +1,104 @@
+"""The paper's four benchmark applications (Section 6.1, Appendix B).
+
+Word Count (WC), Fraud Detection (FD), Spike Detection (SD) and Linear
+Road (LR) — each as a real executable topology plus calibrated model
+profiles.
+"""
+
+from repro.apps.fraud_detection import (
+    FraudSink,
+    MarkovPredictor,
+    TransactionParser,
+    TransactionSpout,
+    build_fraud_detection,
+)
+from repro.apps.linear_road import (
+    AccidentDetector,
+    AccidentNotifier,
+    AccountBalance,
+    AverageSpeed,
+    CountVehicles,
+    DailyExpenditure,
+    Dispatcher,
+    LastAverageSpeed,
+    LinearRoadParser,
+    LinearRoadSink,
+    LinearRoadSpout,
+    TollNotifier,
+    build_linear_road,
+)
+from repro.apps.profiles import (
+    APP_NAMES,
+    LOCAL_T_TARGETS_NS,
+    build_application,
+    load_application,
+    profile_application,
+    reference_machine,
+)
+from repro.apps.spike_detection import (
+    MovingAverage,
+    SensorParser,
+    SensorSpout,
+    SpikeDetector,
+    SpikeSink,
+    build_spike_detection,
+)
+from repro.apps.wordcount import (
+    Counter,
+    Parser,
+    SentenceSpout,
+    Splitter,
+    WordCountSink,
+    build_wordcount,
+)
+from repro.apps.workloads import (
+    linear_road_records,
+    sensor_readings,
+    sentences,
+    take,
+    transactions,
+)
+
+__all__ = [
+    "FraudSink",
+    "MarkovPredictor",
+    "TransactionParser",
+    "TransactionSpout",
+    "build_fraud_detection",
+    "AccidentDetector",
+    "AccidentNotifier",
+    "AccountBalance",
+    "AverageSpeed",
+    "CountVehicles",
+    "DailyExpenditure",
+    "Dispatcher",
+    "LastAverageSpeed",
+    "LinearRoadParser",
+    "LinearRoadSink",
+    "LinearRoadSpout",
+    "TollNotifier",
+    "build_linear_road",
+    "APP_NAMES",
+    "LOCAL_T_TARGETS_NS",
+    "build_application",
+    "load_application",
+    "profile_application",
+    "reference_machine",
+    "MovingAverage",
+    "SensorParser",
+    "SensorSpout",
+    "SpikeDetector",
+    "SpikeSink",
+    "build_spike_detection",
+    "Counter",
+    "Parser",
+    "SentenceSpout",
+    "Splitter",
+    "WordCountSink",
+    "build_wordcount",
+    "linear_road_records",
+    "sensor_readings",
+    "sentences",
+    "take",
+    "transactions",
+]

@@ -1,0 +1,110 @@
+"""Fraud Detection (FD): ``Spout -> Parser -> Predict -> Sink`` (Figure 18a).
+
+The predictor scores each incoming transaction trace against a per-account
+Markov transition model: unusual state transitions raise the score.  Per
+the paper's application settings (Appendix B), every operator has
+selectivity 1 — a signal is passed to the sink for every input regardless
+of whether fraud was detected.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.dsps.operators import Emission, Operator, OperatorContext, Sink, Spout
+from repro.dsps.topology import Topology, TopologyBuilder
+from repro.dsps.tuples import DEFAULT_STREAM, StreamTuple
+
+from repro.apps.workloads import transactions
+
+#: Transition weights of the "normal" Markov model: common transitions are
+#: cheap, rare ones raise the fraud score.
+_TRANSITION_SCORE = {
+    ("low", "low"): 0.0,
+    ("low", "mid"): 0.1,
+    ("mid", "low"): 0.1,
+    ("mid", "mid"): 0.0,
+    ("mid", "high"): 0.2,
+    ("high", "mid"): 0.2,
+    ("high", "high"): 0.4,
+}
+_UNSEEN_TRANSITION_SCORE = 1.0
+_FRAUD_THRESHOLD = 2.0
+
+
+class TransactionSpout(Spout):
+    """Generates ``(entity_id, record_data)`` transaction records."""
+
+    def __init__(self, seed: int = 11, fraud_fraction: float = 0.02) -> None:
+        self.seed = seed
+        self.fraud_fraction = fraud_fraction
+        self._source: Iterator[tuple[str, str]] | None = None
+
+    def prepare(self, context: OperatorContext) -> None:
+        self._source = transactions(
+            seed=self.seed + context.replica_index,
+            fraud_fraction=self.fraud_fraction,
+        )
+
+    def next_batch(self, max_tuples: int) -> Iterator[tuple[str, str]]:
+        if self._source is None:
+            self._source = transactions(self.seed, fraud_fraction=self.fraud_fraction)
+        for _ in range(max_tuples):
+            yield next(self._source)
+
+
+class TransactionParser(Operator):
+    """Validates records; drops tuples with empty entity or trace."""
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        entity, trace = item.values
+        if entity and trace:
+            yield DEFAULT_STREAM, (entity, trace)
+
+
+class MarkovPredictor(Operator):
+    """Scores a transaction trace against the Markov transition model.
+
+    Emits ``(entity, score, is_fraud)`` for *every* input (selectivity 1).
+    """
+
+    def __init__(self, threshold: float = _FRAUD_THRESHOLD) -> None:
+        self.threshold = threshold
+        self.scored = 0
+        self.flagged = 0
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        entity, trace = item.values
+        states = trace.split(",")
+        score = 0.0
+        for previous, current in zip(states, states[1:]):
+            score += _TRANSITION_SCORE.get(
+                (previous, current), _UNSEEN_TRANSITION_SCORE
+            )
+        is_fraud = score >= self.threshold
+        self.scored += 1
+        if is_fraud:
+            self.flagged += 1
+        yield DEFAULT_STREAM, (entity, score, is_fraud)
+
+
+class FraudSink(Sink):
+    """Counts results and tracks how many were flagged fraudulent."""
+
+    def __init__(self, keep_samples: int = 0) -> None:
+        super().__init__(keep_samples)
+        self.fraud_count = 0
+
+    def on_tuple(self, item: StreamTuple) -> None:
+        if item.values[2]:
+            self.fraud_count += 1
+
+
+def build_fraud_detection(seed: int = 11, fraud_fraction: float = 0.02) -> Topology:
+    """Build the FD topology (fields grouping keeps an entity on one replica)."""
+    builder = TopologyBuilder("fd")
+    builder.set_spout("spout", TransactionSpout(seed=seed, fraud_fraction=fraud_fraction))
+    builder.add_operator("parser", TransactionParser()).shuffle_from("spout")
+    builder.add_operator("predictor", MarkovPredictor()).fields_from("parser", 0)
+    builder.add_sink("sink", FraudSink()).shuffle_from("predictor")
+    return builder.build()

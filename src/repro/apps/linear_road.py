@@ -1,0 +1,381 @@
+"""Linear Road (LR): the paper's most complex benchmark topology
+(Figure 18c, selectivities in Table 8).
+
+The topology implements a simplified-but-real Linear Road variable-tolling
+pipeline over a multi-stream DAG::
+
+                              +-> avg_speed -> las_avg_speed -----+
+                              |-> accident_detect --(broadcast)---+-> toll_notify -> sink
+    spout -> parser -> dispatcher -> count_vehicles --------------+
+                              |-> accident_detect -> accident_notify -> sink
+                              |-> daily_expenditure -> sink
+                              +-> account_balance -> sink
+
+Streams follow Table 8: the dispatcher classifies input records into
+``position_report`` (~99%), ``balance_stream`` and ``daily_exp_request``
+(~0.5% each); ``avg_speed``/``count_vehicles``/``las_avg_speed`` have
+selectivity 1; accident streams have selectivity ~0 (rare events); the
+toll notifier emits one notification per position report and one updated
+toll record per segment-statistics input.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator
+
+from repro.dsps.operators import Emission, Operator, OperatorContext, Sink, Spout
+from repro.dsps.topology import Topology, TopologyBuilder
+from repro.dsps.tuples import DEFAULT_STREAM, StreamTuple
+
+from repro.apps.workloads import (
+    ACCOUNT_BALANCE_REQUEST,
+    DAILY_EXPENDITURE_REQUEST,
+    POSITION_REPORT,
+    linear_road_records,
+)
+
+#: Stream names (kept close to Table 8's spelling).
+POSITION_STREAM = "position_report"
+BALANCE_STREAM = "balance_stream"
+DAILY_STREAM = "daily_exp_request"
+AVG_STREAM = "avg_stream"
+LAS_STREAM = "las_stream"
+DETECT_STREAM = "detect_stream"
+COUNTS_STREAM = "counts_stream"
+NOTIFY_STREAM = "notify_stream"
+TOLL_STREAM = "toll_notify_stream"
+
+#: Consecutive zero-speed reports at one position that signal an accident.
+ACCIDENT_STOPPED_REPORTS = 4
+#: Base toll charged when a segment is congested.
+BASE_TOLL = 2
+#: Vehicles per segment above which tolls apply.
+CONGESTION_THRESHOLD = 50
+#: Speed below which a segment counts as congested.
+CONGESTION_SPEED = 40.0
+
+
+class LinearRoadSpout(Spout):
+    """Replays the Linear Road record stream."""
+
+    def __init__(self, seed: int = 17, n_vehicles: int = 2000) -> None:
+        self.seed = seed
+        self.n_vehicles = n_vehicles
+        self._source: Iterator[tuple] | None = None
+
+    def prepare(self, context: OperatorContext) -> None:
+        self._source = linear_road_records(
+            seed=self.seed + context.replica_index, n_vehicles=self.n_vehicles
+        )
+
+    def next_batch(self, max_tuples: int) -> Iterator[tuple]:
+        if self._source is None:
+            self._source = linear_road_records(self.seed, n_vehicles=self.n_vehicles)
+        for _ in range(max_tuples):
+            yield next(self._source)
+
+
+class LinearRoadParser(Operator):
+    """Validates raw records (drops malformed tuples; selectivity 1)."""
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        if len(item.values) == 11 and item.values[0] in (
+            POSITION_REPORT,
+            ACCOUNT_BALANCE_REQUEST,
+            DAILY_EXPENDITURE_REQUEST,
+        ):
+            yield DEFAULT_STREAM, item.values
+
+
+class Dispatcher(Operator):
+    """Classifies records onto typed streams (Table 8's selectivities).
+
+    * ``position_report``: ``(time, vid, speed, xway, lane, dir, seg, pos)``
+    * ``balance_stream``: ``(time, vid, query_id)``
+    * ``daily_exp_request``: ``(time, vid, query_id, day)``
+    """
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        (
+            record_type,
+            time,
+            vid,
+            speed,
+            xway,
+            lane,
+            direction,
+            segment,
+            position,
+            query_id,
+            day,
+        ) = item.values
+        if record_type == POSITION_REPORT:
+            yield POSITION_STREAM, (
+                time,
+                vid,
+                speed,
+                xway,
+                lane,
+                direction,
+                segment,
+                position,
+            )
+        elif record_type == ACCOUNT_BALANCE_REQUEST:
+            yield BALANCE_STREAM, (time, vid, query_id)
+        elif record_type == DAILY_EXPENDITURE_REQUEST:
+            yield DAILY_STREAM, (time, vid, query_id, day)
+
+
+#: Field indices inside a position-report tuple.
+_POS_TIME, _POS_VID, _POS_SPEED, _POS_XWAY, _POS_LANE, _POS_DIR, _POS_SEG, _POS_POS = (
+    range(8)
+)
+
+
+def _segment_key(values: tuple) -> tuple[int, int, int]:
+    return values[_POS_XWAY], values[_POS_DIR], values[_POS_SEG]
+
+
+class AverageSpeed(Operator):
+    """Running average speed per (xway, dir, segment); selectivity 1.
+
+    Emits ``(xway, dir, seg, avg_speed)`` on ``avg_stream``.
+    """
+
+    def __init__(self, window: int = 256) -> None:
+        self.window = window
+        self._speeds: dict[tuple[int, int, int], deque[int]] = {}
+        self._sums: dict[tuple[int, int, int], float] = {}
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        key = _segment_key(item.values)
+        speed = item.values[_POS_SPEED]
+        history = self._speeds.get(key)
+        if history is None:
+            history = deque()
+            self._speeds[key] = history
+            self._sums[key] = 0.0
+        history.append(speed)
+        self._sums[key] += speed
+        if len(history) > self.window:
+            self._sums[key] -= history.popleft()
+        average = self._sums[key] / len(history)
+        yield AVG_STREAM, (*key, average)
+
+
+class LastAverageSpeed(Operator):
+    """Latest average velocity (LAV) per segment; selectivity 1.
+
+    Emits ``(xway, dir, seg, lav)`` on ``las_stream``.
+    """
+
+    def __init__(self) -> None:
+        self._lav: dict[tuple[int, int, int], float] = {}
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        xway, direction, segment, average = item.values
+        key = (xway, direction, segment)
+        self._lav[key] = average
+        yield LAS_STREAM, (xway, direction, segment, average)
+
+
+class AccidentDetector(Operator):
+    """Detects stopped vehicles (4 consecutive reports at one position).
+
+    Emits ``(xway, dir, seg, time)`` on ``detect_stream`` only when an
+    accident is *first* detected, so selectivity is ~0 (Table 8).
+    """
+
+    def __init__(self, stopped_reports: int = ACCIDENT_STOPPED_REPORTS) -> None:
+        self.stopped_reports = stopped_reports
+        self._stopped_counts: dict[int, tuple[int, int]] = {}
+        self._active_accidents: set[tuple[int, int, int]] = set()
+        self.detected = 0
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        vid = item.values[_POS_VID]
+        speed = item.values[_POS_SPEED]
+        position = item.values[_POS_POS]
+        key = _segment_key(item.values)
+        if speed > 0:
+            self._stopped_counts.pop(vid, None)
+            self._active_accidents.discard(key)
+            return
+        last_position, count = self._stopped_counts.get(vid, (position, 0))
+        count = count + 1 if last_position == position else 1
+        self._stopped_counts[vid] = (position, count)
+        if count >= self.stopped_reports and key not in self._active_accidents:
+            self._active_accidents.add(key)
+            self.detected += 1
+            yield DETECT_STREAM, (*key, item.values[_POS_TIME])
+
+
+class CountVehicles(Operator):
+    """Distinct vehicles per (xway, dir, segment, minute); selectivity 1.
+
+    Emits ``(xway, dir, seg, count)`` on ``counts_stream``.
+    """
+
+    def __init__(self, minute_length: int = 60) -> None:
+        self.minute_length = minute_length
+        self._minute: dict[tuple[int, int, int], int] = {}
+        self._vehicles: dict[tuple[int, int, int], set[int]] = {}
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        key = _segment_key(item.values)
+        minute = item.values[_POS_TIME] // self.minute_length
+        if self._minute.get(key) != minute:
+            self._minute[key] = minute
+            self._vehicles[key] = set()
+        self._vehicles[key].add(item.values[_POS_VID])
+        yield COUNTS_STREAM, (*key, len(self._vehicles[key]))
+
+
+class AccidentNotifier(Operator):
+    """Notifies vehicles entering a segment with an active accident.
+
+    Consumes ``detect_stream`` (broadcast: updates accident table, emits
+    nothing) and position reports (emits ``notify_stream`` only for
+    affected vehicles — selectivity ~0).
+    """
+
+    def __init__(self) -> None:
+        self._accidents: set[tuple[int, int, int]] = set()
+        self.notified = 0
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        if item.stream == DETECT_STREAM:
+            xway, direction, segment, _time = item.values
+            self._accidents.add((xway, direction, segment))
+            return
+        key = _segment_key(item.values)
+        if key in self._accidents:
+            self.notified += 1
+            yield NOTIFY_STREAM, (
+                item.values[_POS_VID],
+                *key,
+                item.values[_POS_TIME],
+            )
+
+
+class TollNotifier(Operator):
+    """Computes tolls from segment statistics (Table 8: selectivity 1 on
+    position, counts and LAV streams; ~0 on the accident stream).
+
+    State: latest LAV and vehicle count per segment, active accidents.
+    * position report -> ``(vid, toll, time)`` toll notification;
+    * counts/las input -> updated ``(xway, dir, seg, toll)`` record;
+    * detect input -> updates the accident table, emits nothing.
+    """
+
+    def __init__(self) -> None:
+        self._lav: dict[tuple[int, int, int], float] = {}
+        self._counts: dict[tuple[int, int, int], int] = {}
+        self._accidents: set[tuple[int, int, int]] = set()
+        self.tolls_charged = 0
+
+    def _toll_for(self, key: tuple[int, int, int]) -> int:
+        if key in self._accidents:
+            return 0  # tolls suspended in accident segments
+        lav = self._lav.get(key, 100.0)
+        count = self._counts.get(key, 0)
+        if lav >= CONGESTION_SPEED or count <= CONGESTION_THRESHOLD:
+            return 0
+        return BASE_TOLL * (count - CONGESTION_THRESHOLD) ** 2
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        if item.stream == DETECT_STREAM:
+            xway, direction, segment, _time = item.values
+            self._accidents.add((xway, direction, segment))
+            return
+        if item.stream == LAS_STREAM:
+            xway, direction, segment, lav = item.values
+            key = (xway, direction, segment)
+            self._lav[key] = lav
+            yield TOLL_STREAM, (*key, self._toll_for(key))
+            return
+        if item.stream == COUNTS_STREAM:
+            xway, direction, segment, count = item.values
+            key = (xway, direction, segment)
+            self._counts[key] = count
+            yield TOLL_STREAM, (*key, self._toll_for(key))
+            return
+        # Position report: charge the vehicle the current segment toll.
+        key = _segment_key(item.values)
+        toll = self._toll_for(key)
+        if toll > 0:
+            self.tolls_charged += 1
+        yield TOLL_STREAM, (item.values[_POS_VID], toll, item.values[_POS_TIME])
+
+
+class DailyExpenditure(Operator):
+    """Answers historical daily-expenditure queries from a synthetic table."""
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        time, vid, query_id, day = item.values
+        # Deterministic synthetic history: charge derived from (vid, day).
+        charge = (vid * 31 + day * 7) % 90
+        yield DEFAULT_STREAM, (query_id, time, charge)
+
+
+class AccountBalance(Operator):
+    """Answers account-balance queries from per-vehicle running balances."""
+
+    def __init__(self) -> None:
+        self._balances: dict[int, int] = {}
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        time, vid, query_id = item.values
+        balance = self._balances.get(vid, 0)
+        yield DEFAULT_STREAM, (query_id, time, balance)
+
+
+class LinearRoadSink(Sink):
+    """Counts all notifications/responses reaching the end of the DAG."""
+
+
+def build_linear_road(seed: int = 17, n_vehicles: int = 2000) -> Topology:
+    """Build the full LR topology with Table 8's stream structure."""
+    builder = TopologyBuilder("lr")
+    builder.set_spout("spout", LinearRoadSpout(seed=seed, n_vehicles=n_vehicles))
+    builder.add_operator("parser", LinearRoadParser()).shuffle_from("spout")
+    builder.add_operator("dispatcher", Dispatcher()).shuffle_from("parser")
+    builder.add_operator("avg_speed", AverageSpeed()).fields_from(
+        "dispatcher", _POS_XWAY, _POS_DIR, _POS_SEG, stream=POSITION_STREAM
+    )
+    builder.add_operator("las_avg_speed", LastAverageSpeed()).fields_from(
+        "avg_speed", 0, 1, 2, stream=AVG_STREAM
+    )
+    builder.add_operator("accident_detect", AccidentDetector()).fields_from(
+        "dispatcher", _POS_VID, stream=POSITION_STREAM
+    )
+    builder.add_operator("count_vehicles", CountVehicles()).fields_from(
+        "dispatcher", _POS_XWAY, _POS_DIR, _POS_SEG, stream=POSITION_STREAM
+    )
+    (
+        builder.add_operator("accident_notify", AccidentNotifier())
+        .fields_from("dispatcher", _POS_VID, stream=POSITION_STREAM)
+        .broadcast_from("accident_detect", stream=DETECT_STREAM)
+    )
+    (
+        builder.add_operator("toll_notify", TollNotifier())
+        .fields_from("dispatcher", _POS_XWAY, _POS_DIR, _POS_SEG, stream=POSITION_STREAM)
+        .fields_from("count_vehicles", 0, 1, 2, stream=COUNTS_STREAM)
+        .fields_from("las_avg_speed", 0, 1, 2, stream=LAS_STREAM)
+        .broadcast_from("accident_detect", stream=DETECT_STREAM)
+    )
+    builder.add_operator("daily_expenditure", DailyExpenditure()).fields_from(
+        "dispatcher", 1, stream=DAILY_STREAM
+    )
+    builder.add_operator("account_balance", AccountBalance()).fields_from(
+        "dispatcher", 1, stream=BALANCE_STREAM
+    )
+    (
+        builder.add_sink("sink", LinearRoadSink())
+        .shuffle_from("toll_notify", stream=TOLL_STREAM)
+        .shuffle_from("accident_notify", stream=NOTIFY_STREAM)
+        .shuffle_from("daily_expenditure")
+        .shuffle_from("account_balance")
+    )
+    return builder.build()

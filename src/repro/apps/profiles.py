@@ -1,0 +1,205 @@
+"""Calibrated operator profiles for the four benchmark applications.
+
+The paper instantiates its model by profiling each operator in isolation
+(Section 3.1): ``Te`` via hardware counters (overseer), ``N`` via heap
+measurement (classmexer), selectivities by pre-executing upstream
+operators.  We reproduce the pipeline with two sources:
+
+* **selectivities and tuple sizes are measured** by running the functional
+  engine on the real application code (exactly what the paper does);
+* **execution costs are calibrated**: per-operator local round-trip times
+  (``Te + Others``) are pinned to the paper's published anchors — Table 3
+  (WC Splitter 1612.8 ns, Counter 612.3 ns local) and Figure 8's breakdown
+  — and scaled to cycles at Server A's 1.2 GHz so they transfer across
+  machines.  A GIL-bound wall clock cannot stand in for per-core cycle
+  counters, so this substitution is what DESIGN.md documents.
+
+The resulting per-event costs put the four applications in the paper's
+throughput order (WC >> SD > LR > FD on Server A).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.model import BRISKSTREAM
+from repro.core.profiles import ProfileSet, SystemProfile
+from repro.dsps.engine import LocalEngine
+from repro.dsps.topology import Topology
+from repro.errors import ProfilingError
+from repro.hardware.machine import MachineSpec
+from repro.hardware.servers import server_a
+
+from repro.apps.fraud_detection import build_fraud_detection
+from repro.apps.linear_road import build_linear_road
+from repro.apps.spike_detection import build_spike_detection
+from repro.apps.wordcount import build_wordcount
+
+#: Target *local* per-tuple round-trip time (Te + Others, ns) for every
+#: operator, at Server A's clock.  WC anchors come straight from Table 3 /
+#: Figure 8; FD/SD/LR are set so the saturated throughputs land in the
+#: paper's order of magnitude (Table 4).
+LOCAL_T_TARGETS_NS: dict[str, dict[str, float]] = {
+    "wc": {
+        "spout": 400.0,
+        "parser": 200.0,  # tiny compute; RMA dominates when remote (Fig. 8)
+        "splitter": 1612.8,  # Table 3, S0-S0
+        "counter": 612.3,  # Table 3, S0-S0
+        "sink": 160.0,
+    },
+    "fd": {
+        "spout": 450.0,
+        "parser": 350.0,
+        "predictor": 15000.0,  # Markov-model scoring dominates FD
+        "sink": 160.0,
+    },
+    "sd": {
+        "spout": 420.0,
+        "parser": 260.0,
+        "moving_average": 6200.0,
+        "spike_detector": 3600.0,
+        "sink": 160.0,
+    },
+    "lr": {
+        "spout": 500.0,
+        "parser": 320.0,
+        "dispatcher": 640.0,
+        "avg_speed": 8200.0,
+        "las_avg_speed": 2100.0,
+        "accident_detect": 3100.0,
+        "count_vehicles": 8400.0,
+        "accident_notify": 2100.0,
+        "toll_notify": 9200.0,
+        "daily_expenditure": 1500.0,
+        "account_balance": 1500.0,
+        "sink": 160.0,
+    },
+}
+
+#: Average memory-bandwidth consumption per tuple, ``M`` (bytes).  Chosen
+#: proportional to working-set touches; bandwidth is rarely the binding
+#: constraint in the paper's workloads (CPU is), and the same holds here.
+MEMORY_BYTES: dict[str, dict[str, float]] = {
+    "wc": {"spout": 260, "parser": 200, "splitter": 460, "counter": 220, "sink": 60},
+    "fd": {"spout": 300, "parser": 240, "predictor": 700, "sink": 60},
+    "sd": {
+        "spout": 280,
+        "parser": 220,
+        "moving_average": 600,
+        "spike_detector": 300,
+        "sink": 60,
+    },
+    "lr": {
+        "spout": 340,
+        "parser": 280,
+        "dispatcher": 300,
+        "avg_speed": 700,
+        "las_avg_speed": 260,
+        "accident_detect": 420,
+        "count_vehicles": 760,
+        "accident_notify": 300,
+        "toll_notify": 820,
+        "daily_expenditure": 260,
+        "account_balance": 260,
+        "sink": 60,
+    },
+}
+
+#: Coefficient of variation of Te per operator class (drives Figure 3's
+#: CDF shapes; stateful operators jitter more than pass-through ones).
+TE_CV: dict[str, float] = {
+    "spout": 0.08,
+    "parser": 0.10,
+    "splitter": 0.18,
+    "counter": 0.22,
+    "predictor": 0.15,
+    "moving_average": 0.16,
+    "spike_detector": 0.12,
+    "sink": 0.10,
+}
+
+#: Events the functional engine ingests when measuring selectivities.
+PROFILING_EVENTS = 4000
+
+#: Reference machine the ns targets are calibrated on (Server A, 1.2 GHz).
+_REFERENCE_FREQ_GHZ = 1.2
+
+_BUILDERS = {
+    "wc": build_wordcount,
+    "fd": build_fraud_detection,
+    "sd": build_spike_detection,
+    "lr": build_linear_road,
+}
+
+APP_NAMES = tuple(sorted(_BUILDERS))
+
+
+def build_application(app: str) -> Topology:
+    """Build one of the four benchmark topologies by short name."""
+    try:
+        return _BUILDERS[app]()
+    except KeyError as exc:
+        raise ProfilingError(
+            f"unknown application {app!r}; expected one of {APP_NAMES}"
+        ) from exc
+
+
+def profile_application(
+    topology: Topology,
+    system: SystemProfile = BRISKSTREAM,
+    events: int = PROFILING_EVENTS,
+) -> ProfileSet:
+    """Measure selectivities/sizes and attach calibrated execution costs.
+
+    The functional engine runs the real operator code on ``events`` input
+    events (upstream operators pre-executed, as in the paper's profiling
+    methodology); Te is then backed out of the per-app local round-trip
+    targets by subtracting the system profile's overhead at the *measured*
+    selectivity.
+    """
+    app = topology.name
+    if app not in LOCAL_T_TARGETS_NS:
+        raise ProfilingError(
+            f"no calibration targets for topology {app!r}; expected {APP_NAMES}"
+        )
+    run = LocalEngine(topology, replication={n: 1 for n in topology.components}).run(
+        events
+    )
+    targets = LOCAL_T_TARGETS_NS[app]
+    te_cycles: dict[str, float] = {}
+    te_cv: dict[str, float] = {}
+    for name in topology.components:
+        if name not in targets:
+            raise ProfilingError(f"no local-T target for {app}.{name}")
+        streams = {edge.stream for edge in topology.outgoing(name)}
+        total_sel = sum(run.selectivity(name, s) for s in streams)
+        overhead = system.overhead_ns(0.0, 0.0, total_sel)
+        te_ns = max(targets[name] - overhead, 10.0)
+        te_cycles[name] = te_ns * _REFERENCE_FREQ_GHZ
+        te_cv[name] = TE_CV.get(name, 0.12)
+    return ProfileSet.from_run(
+        topology,
+        run,
+        te_cycles=te_cycles,
+        memory_bytes=MEMORY_BYTES[app],
+        te_cv=te_cv,
+    )
+
+
+@lru_cache(maxsize=None)
+def _cached_app(app: str) -> tuple[Topology, ProfileSet]:
+    topology = build_application(app)
+    return topology, profile_application(topology)
+
+
+def load_application(app: str) -> tuple[Topology, ProfileSet]:
+    """Topology + BriskStream-calibrated profiles for one benchmark app.
+
+    Cached: repeated calls (benchmark sweeps) reuse the measured profiles.
+    """
+    return _cached_app(app)
+
+
+def reference_machine() -> MachineSpec:
+    """The machine the calibration anchors come from (Server A)."""
+    return server_a()

@@ -1,0 +1,118 @@
+"""Spike Detection (SD): ``Spout -> Parser -> MovingAverage ->
+SpikeDetection -> Sink`` (Figure 18b).
+
+Sensor readings are averaged per device over a sliding window; the spike
+detector compares each reading against the device's moving average.  Per
+the paper's application settings, a signal is passed to the sink for every
+input regardless of whether a spike triggered (selectivity 1 everywhere).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator
+
+from repro.dsps.operators import Emission, Operator, OperatorContext, Sink, Spout
+from repro.dsps.topology import Topology, TopologyBuilder
+from repro.dsps.tuples import DEFAULT_STREAM, StreamTuple
+
+from repro.apps.workloads import sensor_readings
+
+#: Sliding window length of the per-device moving average.
+MOVING_AVERAGE_WINDOW = 1000
+#: A reading this much above the moving average counts as a spike.
+SPIKE_THRESHOLD = 1.5
+
+
+class SensorSpout(Spout):
+    """Generates ``(device_id, value, timestamp)`` readings."""
+
+    def __init__(self, seed: int = 13, spike_fraction: float = 0.01) -> None:
+        self.seed = seed
+        self.spike_fraction = spike_fraction
+        self._source: Iterator[tuple[str, float, int]] | None = None
+
+    def prepare(self, context: OperatorContext) -> None:
+        self._source = sensor_readings(
+            seed=self.seed + context.replica_index,
+            spike_fraction=self.spike_fraction,
+        )
+
+    def next_batch(self, max_tuples: int) -> Iterator[tuple[str, float, int]]:
+        if self._source is None:
+            self._source = sensor_readings(self.seed, spike_fraction=self.spike_fraction)
+        for _ in range(max_tuples):
+            yield next(self._source)
+
+
+class SensorParser(Operator):
+    """Validates readings; drops malformed tuples."""
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        device, value, timestamp = item.values
+        if device and value is not None:
+            yield DEFAULT_STREAM, (device, float(value), timestamp)
+
+
+class MovingAverage(Operator):
+    """Per-device sliding-window average; emits ``(device, avg, value)``."""
+
+    def __init__(self, window: int = MOVING_AVERAGE_WINDOW) -> None:
+        self.window = window
+        self._values: dict[str, deque[float]] = {}
+        self._sums: dict[str, float] = {}
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        device, value, _timestamp = item.values
+        history = self._values.get(device)
+        if history is None:
+            history = deque()
+            self._values[device] = history
+            self._sums[device] = 0.0
+        history.append(value)
+        self._sums[device] += value
+        if len(history) > self.window:
+            self._sums[device] -= history.popleft()
+        average = self._sums[device] / len(history)
+        yield DEFAULT_STREAM, (device, average, value)
+
+
+class SpikeDetector(Operator):
+    """Flags readings above ``threshold * moving_average``.
+
+    Emits ``(device, value, avg, is_spike)`` for every input.
+    """
+
+    def __init__(self, threshold: float = SPIKE_THRESHOLD) -> None:
+        self.threshold = threshold
+        self.spikes = 0
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        device, average, value = item.values
+        is_spike = value > self.threshold * average
+        if is_spike:
+            self.spikes += 1
+        yield DEFAULT_STREAM, (device, value, average, is_spike)
+
+
+class SpikeSink(Sink):
+    """Counts results and remembers how many spikes were reported."""
+
+    def __init__(self, keep_samples: int = 0) -> None:
+        super().__init__(keep_samples)
+        self.spike_count = 0
+
+    def on_tuple(self, item: StreamTuple) -> None:
+        if item.values[3]:
+            self.spike_count += 1
+
+
+def build_spike_detection(seed: int = 13, spike_fraction: float = 0.01) -> Topology:
+    """Build the SD topology (fields grouping keeps a device on one replica)."""
+    builder = TopologyBuilder("sd")
+    builder.set_spout("spout", SensorSpout(seed=seed, spike_fraction=spike_fraction))
+    builder.add_operator("parser", SensorParser()).shuffle_from("spout")
+    builder.add_operator("moving_average", MovingAverage()).fields_from("parser", 0)
+    builder.add_operator("spike_detector", SpikeDetector()).shuffle_from("moving_average")
+    builder.add_sink("sink", SpikeSink()).shuffle_from("spike_detector")
+    return builder.build()

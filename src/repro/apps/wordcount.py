@@ -1,0 +1,106 @@
+"""Word Count (WC): the paper's running example application (Figure 2).
+
+``Spout -> Parser -> Splitter -> Counter -> Sink``
+
+* **Spout** continuously generates sentences of ten random words.
+* **Parser** drops invalid tuples (empty sentences); selectivity 1 on the
+  paper's workload.
+* **Splitter** splits each sentence into words (selectivity 10).
+* **Counter** maintains a per-replica hashmap word -> occurrences and emits
+  ``(word, count)`` for every input word (selectivity 1).  Fields grouping
+  guarantees the same word is always counted by the same replica.
+* **Sink** increments a counter per received tuple (throughput monitor).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.dsps.operators import Emission, Operator, OperatorContext, Sink, Spout
+from repro.dsps.topology import Topology, TopologyBuilder
+from repro.dsps.tuples import DEFAULT_STREAM, StreamTuple
+
+from repro.apps.workloads import sentences
+
+
+class SentenceSpout(Spout):
+    """Generates random ten-word sentences."""
+
+    def __init__(
+        self, seed: int = 7, words_per_sentence: int = 10, empty_fraction: float = 0.0
+    ) -> None:
+        self.seed = seed
+        self.words_per_sentence = words_per_sentence
+        self.empty_fraction = empty_fraction
+        self._source: Iterator[tuple[str]] | None = None
+
+    def prepare(self, context: OperatorContext) -> None:
+        # Offset the seed by replica index so replicas do not emit
+        # identical streams.
+        self._source = sentences(
+            seed=self.seed + context.replica_index,
+            words_per_sentence=self.words_per_sentence,
+            empty_fraction=self.empty_fraction,
+        )
+
+    def next_batch(self, max_tuples: int) -> Iterator[tuple[str]]:
+        if self._source is None:
+            self._source = sentences(self.seed, self.words_per_sentence)
+        for _ in range(max_tuples):
+            yield next(self._source)
+
+
+class Parser(Operator):
+    """Drops invalid (empty) sentences; passes the rest through."""
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        sentence = item.values[0]
+        if sentence:
+            yield DEFAULT_STREAM, (sentence,)
+
+
+class Splitter(Operator):
+    """Splits each sentence into words, one output tuple per word."""
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        for word in item.values[0].split():
+            yield DEFAULT_STREAM, (word,)
+
+
+class Counter(Operator):
+    """Counts word occurrences; emits ``(word, running_count)`` per input."""
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        word = item.values[0]
+        count = self.counts.get(word, 0) + 1
+        self.counts[word] = count
+        yield DEFAULT_STREAM, (word, count)
+
+
+class WordCountSink(Sink):
+    """Counts received ``(word, count)`` tuples (standard sink behaviour)."""
+
+
+def build_wordcount(
+    seed: int = 7,
+    words_per_sentence: int = 10,
+    empty_fraction: float = 0.0,
+) -> Topology:
+    """Build the WC topology with the paper's grouping structure."""
+    builder = TopologyBuilder("wc")
+    builder.set_spout(
+        "spout",
+        SentenceSpout(
+            seed=seed,
+            words_per_sentence=words_per_sentence,
+            empty_fraction=empty_fraction,
+        ),
+    )
+    builder.add_operator("parser", Parser()).shuffle_from("spout")
+    builder.add_operator("splitter", Splitter()).shuffle_from("parser")
+    builder.add_operator("counter", Counter()).fields_from("splitter", 0)
+    builder.add_sink("sink", WordCountSink()).shuffle_from("counter")
+    return builder.build()

@@ -1,0 +1,191 @@
+"""Seeded synthetic workload generators for the four benchmark apps.
+
+The paper's testing workloads are themselves synthetic (random ten-word
+sentences for WC, generated transaction/sensor streams for FD/SD, and the
+Linear Road benchmark's position reports for LR).  These generators
+reproduce their statistical shape deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Word pool used by the sentence generator (average length ~5 characters,
+#: matching the paper's "ten random words" sentences).
+_WORDS = (
+    "the quick brown fox jumps over lazy dog stream tuple socket core "
+    "cache numa remote local memory brisk storm flink heron spout sink "
+    "split count parse shuffle fields window state query plan cost rate "
+    "speed toll road lane exit ramp car accident segment minute daily"
+).split()
+
+
+def sentences(
+    seed: int = 7, words_per_sentence: int = 10, empty_fraction: float = 0.0
+) -> Iterator[tuple[str]]:
+    """Infinite stream of random sentences (Word Count input).
+
+    ``empty_fraction`` injects invalid (empty) tuples so the parser has
+    something to drop when a test wants selectivity < 1.
+    """
+    rng = random.Random(seed)
+    while True:
+        if empty_fraction > 0.0 and rng.random() < empty_fraction:
+            yield ("",)
+        else:
+            yield (" ".join(rng.choice(_WORDS) for _ in range(words_per_sentence)),)
+
+
+def transactions(
+    seed: int = 11, n_accounts: int = 1000, fraud_fraction: float = 0.02
+) -> Iterator[tuple[str, str]]:
+    """Infinite stream of credit-card-style records (Fraud Detection input).
+
+    Each record is ``(entity_id, record_data)`` where ``record_data`` is a
+    comma-separated transaction trace.  A small fraction follows an unusual
+    transition pattern the Markov predictor should score as fraudulent.
+    """
+    rng = random.Random(seed)
+    states = ["low", "mid", "high"]
+    while True:
+        account = f"acc_{rng.randrange(n_accounts):05d}"
+        if rng.random() < fraud_fraction:
+            trace = ",".join(rng.choice(("high", "high", "max")) for _ in range(5))
+        else:
+            trace = ",".join(rng.choice(states) for _ in range(5))
+        yield account, trace
+
+
+def sensor_readings(
+    seed: int = 13, n_devices: int = 64, spike_fraction: float = 0.01
+) -> Iterator[tuple[str, float, int]]:
+    """Infinite stream of ``(device_id, value, timestamp)`` sensor readings
+    (Spike Detection input).  Values hover around a per-device mean with a
+    rare multiplicative spike.
+    """
+    rng = random.Random(seed)
+    means = [20.0 + rng.random() * 10.0 for _ in range(n_devices)]
+    timestamp = 0
+    while True:
+        device = rng.randrange(n_devices)
+        value = rng.gauss(means[device], 1.0)
+        if rng.random() < spike_fraction:
+            value *= 3.0
+        timestamp += 1
+        yield f"dev_{device:03d}", value, timestamp
+
+
+#: Linear Road input record types (subset used by the paper's LR workload).
+POSITION_REPORT = 0
+ACCOUNT_BALANCE_REQUEST = 2
+DAILY_EXPENDITURE_REQUEST = 3
+
+
+@dataclass(frozen=True)
+class LinearRoadRecord:
+    """One Linear Road input record, flattened to primitive fields."""
+
+    record_type: int
+    time: int
+    vid: int
+    speed: int
+    xway: int
+    lane: int
+    direction: int
+    segment: int
+    position: int
+    query_id: int = 0
+    day: int = 0
+
+    def as_values(self) -> tuple:
+        return (
+            self.record_type,
+            self.time,
+            self.vid,
+            self.speed,
+            self.xway,
+            self.lane,
+            self.direction,
+            self.segment,
+            self.position,
+            self.query_id,
+            self.day,
+        )
+
+
+def linear_road_records(
+    seed: int = 17,
+    n_vehicles: int = 2000,
+    n_segments: int = 100,
+    query_fraction: float = 0.01,
+    stopped_fraction: float = 0.003,
+) -> Iterator[tuple]:
+    """Infinite stream of Linear Road records (LR input).
+
+    ~99% position reports, with small fractions of account-balance and
+    daily-expenditure requests, matching the dispatcher selectivities of
+    Table 8.  A sliver of vehicles reports speed 0 repeatedly at the same
+    position so accident detection has something to find.
+    """
+    rng = random.Random(seed)
+    time = 0
+    positions = {vid: rng.randrange(n_segments * 5280) for vid in range(n_vehicles)}
+    stopped = set(
+        rng.sample(range(n_vehicles), max(1, int(n_vehicles * stopped_fraction)))
+    )
+    while True:
+        time += 1
+        roll = rng.random()
+        vid = rng.randrange(n_vehicles)
+        if roll < query_fraction / 2:
+            yield LinearRoadRecord(
+                record_type=ACCOUNT_BALANCE_REQUEST,
+                time=time,
+                vid=vid,
+                speed=0,
+                xway=0,
+                lane=0,
+                direction=0,
+                segment=0,
+                position=0,
+                query_id=rng.randrange(1 << 16),
+            ).as_values()
+        elif roll < query_fraction:
+            yield LinearRoadRecord(
+                record_type=DAILY_EXPENDITURE_REQUEST,
+                time=time,
+                vid=vid,
+                speed=0,
+                xway=0,
+                lane=0,
+                direction=0,
+                segment=0,
+                position=0,
+                query_id=rng.randrange(1 << 16),
+                day=rng.randrange(1, 70),
+            ).as_values()
+        else:
+            if vid in stopped:
+                speed = 0
+            else:
+                speed = rng.randrange(40, 100)
+                positions[vid] = (positions[vid] + speed) % (n_segments * 5280)
+            position = positions[vid]
+            yield LinearRoadRecord(
+                record_type=POSITION_REPORT,
+                time=time,
+                vid=vid,
+                speed=speed,
+                xway=rng.randrange(2),
+                lane=rng.randrange(4),
+                direction=rng.randrange(2),
+                segment=position // 5280,
+                position=position,
+            ).as_values()
+
+
+def take(iterator: Iterator, n: int) -> list:
+    """First ``n`` items of an iterator (test/profiling helper)."""
+    return [item for _, item in zip(range(n), iterator)]

@@ -1,0 +1,63 @@
+"""Comparators: placement strategies, DSPS cost profiles, random plans.
+
+Everything the evaluation compares RLAS/BriskStream against:
+
+* :mod:`repro.baselines.placement` — OS / FF / RR placements (Table 6);
+* :mod:`repro.baselines.systems` — Storm / Flink cost structures and the
+  factor-analysis variants (Figures 6-8, 16);
+* :mod:`repro.baselines.streambox` — the morsel-driven comparator
+  (Figure 11);
+* :mod:`repro.baselines.random_plans` — Monte-Carlo plans (Figure 14).
+"""
+
+from repro.baselines.placement import (
+    STRATEGIES,
+    first_fit,
+    os_scheduler,
+    place_with_strategy,
+    round_robin,
+)
+from repro.baselines.random_plans import (
+    RandomPlanSample,
+    random_placement,
+    random_replication,
+    sample_random_plans,
+    throughput_cdf,
+)
+from repro.baselines.streambox import (
+    REMOTE_MISSES_PER_K_EVENTS,
+    StreamBoxModel,
+    StreamBoxPoint,
+)
+from repro.baselines.systems import (
+    FACTOR_STEPS,
+    FLINK,
+    MINUS_INSTR_FOOTPRINT,
+    PLUS_JUMBO_TUPLE,
+    SIMPLE,
+    STORM,
+    SYSTEMS,
+)
+
+__all__ = [
+    "STRATEGIES",
+    "first_fit",
+    "os_scheduler",
+    "place_with_strategy",
+    "round_robin",
+    "RandomPlanSample",
+    "random_placement",
+    "random_replication",
+    "sample_random_plans",
+    "throughput_cdf",
+    "REMOTE_MISSES_PER_K_EVENTS",
+    "StreamBoxModel",
+    "StreamBoxPoint",
+    "FACTOR_STEPS",
+    "FLINK",
+    "MINUS_INSTR_FOOTPRINT",
+    "PLUS_JUMBO_TUPLE",
+    "SIMPLE",
+    "STORM",
+    "SYSTEMS",
+]

@@ -1,0 +1,134 @@
+"""Competing placement strategies (Table 6 / Figure 13).
+
+Under the *same* replication configuration as the RLAS-optimized plan,
+these strategies place tasks differently:
+
+``OS``
+    the placement is left to the operating system: a CFS-like balancer
+    that spreads runnable threads over the least-loaded sockets with no
+    notion of NUMA distance (both test servers run Linux);
+``FF``
+    operators are topologically sorted and placed first-fit starting from
+    the spout — a greedy traffic-minimizing heuristic (cf. T-Storm [52]);
+``RR``
+    operators are placed round-robin across sockets — resource balancing
+    without communication awareness (cf. R-Storm [44]).
+
+FF and RR enforce resource constraints as much as possible; when no
+constrained placement exists they relax constraints gradually (the paper's
+"not-able-to-progress" fallback), which is how they end up oversubscribing
+a few sockets.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.constraints import resource_report
+from repro.core.model import PerformanceModel
+from repro.core.plan import ExecutionPlan, empty_plan
+from repro.dsps.graph import ExecutionGraph, Task
+from repro.errors import PlanError
+from repro.hardware.machine import MachineSpec
+
+
+def _ordered_tasks(graph: ExecutionGraph) -> list[Task]:
+    """Tasks in topological order (FF's sort; start placing from spout)."""
+    return graph.topological_task_order()
+
+
+def first_fit(
+    graph: ExecutionGraph,
+    model: PerformanceModel,
+    ingress_rate: float,
+) -> ExecutionPlan:
+    """FF: topologically sorted first-fit placement.
+
+    Each task goes to the lowest-numbered socket where the partial plan
+    stays feasible.  If no socket fits, the constraint is relaxed for that
+    task: it goes to the socket with the most remaining CPU (this is the
+    relaxation step the paper describes, and the source of FF's
+    oversubscription problems).
+    """
+    machine = model.machine
+    plan = empty_plan(graph)
+    for task in _ordered_tasks(graph):
+        placed = False
+        for socket in machine.sockets:
+            candidate = plan.assign({task.task_id: socket})
+            result = model.evaluate(candidate, ingress_rate, bounding=True)
+            report = resource_report(candidate, result, machine, model.profiles)
+            if report.is_feasible:
+                plan = candidate
+                placed = True
+                break
+        if not placed:
+            socket = _most_cpu_headroom(plan, model, ingress_rate)
+            plan = plan.assign({task.task_id: socket})
+    return plan
+
+
+def round_robin(graph: ExecutionGraph, machine: MachineSpec) -> ExecutionPlan:
+    """RR: tasks round-robin over sockets in topological order."""
+    placement: dict[int, int] = {}
+    for index, task in enumerate(_ordered_tasks(graph)):
+        placement[task.task_id] = index % machine.n_sockets
+    return ExecutionPlan(graph=graph, placement=placement)
+
+
+def os_scheduler(
+    graph: ExecutionGraph, machine: MachineSpec, seed: int = 0
+) -> ExecutionPlan:
+    """OS: CFS-like load balancing, NUMA-oblivious.
+
+    Threads wake in arbitrary order and are pulled to the least-loaded
+    socket at that moment (ties broken arbitrarily) — a reasonable model
+    of Linux's scheduler behaviour for CPU-bound pinnable threads without
+    explicit affinity.
+    """
+    rng = random.Random(seed)
+    tasks = list(graph.tasks)
+    rng.shuffle(tasks)
+    load = [0] * machine.n_sockets
+    placement: dict[int, int] = {}
+    for task in tasks:
+        least = min(load)
+        candidates = [s for s in machine.sockets if load[s] == least]
+        socket = rng.choice(candidates)
+        placement[task.task_id] = socket
+        load[socket] += task.weight
+    return ExecutionPlan(graph=graph, placement=placement)
+
+
+def _most_cpu_headroom(
+    plan: ExecutionPlan, model: PerformanceModel, ingress_rate: float
+) -> int:
+    """Socket with the most remaining CPU under the current partial plan."""
+    machine = model.machine
+    result = model.evaluate(plan, ingress_rate, bounding=True)
+    report = resource_report(plan, result, machine, model.profiles)
+    headroom = {
+        s: machine.cpu_capacity - report.usage(s).cpu_ns_per_s
+        for s in machine.sockets
+    }
+    return max(headroom, key=lambda s: (headroom[s], -s))
+
+
+STRATEGIES = ("OS", "FF", "RR")
+
+
+def place_with_strategy(
+    name: str,
+    graph: ExecutionGraph,
+    model: PerformanceModel,
+    ingress_rate: float,
+    seed: int = 0,
+) -> ExecutionPlan:
+    """Dispatch one of Table 6's strategies by name."""
+    if name == "FF":
+        return first_fit(graph, model, ingress_rate)
+    if name == "RR":
+        return round_robin(graph, model.machine)
+    if name == "OS":
+        return os_scheduler(graph, model.machine, seed=seed)
+    raise PlanError(f"unknown placement strategy {name!r}; expected {STRATEGIES}")

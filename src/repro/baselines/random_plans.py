@@ -1,0 +1,98 @@
+"""Monte-Carlo random execution plans (Figure 14).
+
+The heuristics cannot be verified against an exhaustive search (the space
+is astronomically large), so the paper samples 1000 random execution plans
+per application and shows that none beats RLAS.  A random plan:
+
+* randomly increases the replication level of random operators until the
+  total replica count hits the scaling limit;
+* places all tasks uniformly at random over the sockets.
+
+Random plans may oversubscribe sockets; the flow simulator charges the
+resulting contention, so their measured throughput is meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.plan import ExecutionPlan
+from repro.core.profiles import ProfileSet, SystemProfile
+from repro.core.model import BRISKSTREAM
+from repro.dsps.graph import ExecutionGraph
+from repro.dsps.topology import Topology
+from repro.hardware.machine import MachineSpec
+from repro.simulation.flow import FlowSimulator
+from repro.simulation.prefetch import DEFAULT_PREFETCH, PrefetchModel
+
+
+@dataclass(frozen=True)
+class RandomPlanSample:
+    """One random plan and its measured throughput."""
+
+    replication: dict[str, int]
+    throughput: float
+
+
+def random_replication(
+    topology: Topology, limit: int, rng: random.Random
+) -> dict[str, int]:
+    """Randomly grow replication levels until the total hits ``limit``."""
+    replication = {name: 1 for name in topology.components}
+    names = list(topology.components)
+    while sum(replication.values()) < limit:
+        name = rng.choice(names)
+        step = rng.randint(1, 4)
+        step = min(step, limit - sum(replication.values()))
+        replication[name] += step
+    return replication
+
+
+def random_placement(
+    graph: ExecutionGraph, machine: MachineSpec, rng: random.Random
+) -> ExecutionPlan:
+    """Place every task uniformly at random."""
+    placement = {
+        task.task_id: rng.randrange(machine.n_sockets) for task in graph.tasks
+    }
+    return ExecutionPlan(graph=graph, placement=placement)
+
+
+def sample_random_plans(
+    topology: Topology,
+    profiles: ProfileSet,
+    machine: MachineSpec,
+    ingress_rate: float,
+    n_plans: int = 1000,
+    system: SystemProfile = BRISKSTREAM,
+    prefetch: PrefetchModel = DEFAULT_PREFETCH,
+    replica_limit: int | None = None,
+    seed: int = 0,
+) -> list[RandomPlanSample]:
+    """Measure ``n_plans`` random plans with the flow simulator.
+
+    ``replica_limit`` defaults to the machine's core count (the paper's
+    scaling limit).
+    """
+    rng = random.Random(seed)
+    limit = replica_limit if replica_limit is not None else machine.n_cores
+    simulator = FlowSimulator(profiles, machine, system=system, prefetch=prefetch)
+    samples: list[RandomPlanSample] = []
+    for _ in range(n_plans):
+        replication = random_replication(topology, limit, rng)
+        graph = ExecutionGraph(topology, replication)
+        plan = random_placement(graph, machine, rng)
+        result = simulator.simulate(plan, ingress_rate)
+        samples.append(
+            RandomPlanSample(replication=replication, throughput=result.throughput)
+        )
+    return samples
+
+
+def throughput_cdf(samples: list[RandomPlanSample]) -> list[tuple[float, float]]:
+    """(throughput, cumulative fraction) knots of the sampled plans."""
+    ordered = sorted(s.throughput for s in samples)
+    return [
+        (value, (index + 1) / len(ordered)) for index, value in enumerate(ordered)
+    ]

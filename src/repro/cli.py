@@ -1,0 +1,160 @@
+"""Command-line interface: optimize, simulate and inspect from a shell.
+
+Examples::
+
+    python -m repro machines
+    python -m repro optimize --app wc --server A --sockets 8
+    python -m repro simulate --app lr --server B --latency
+    python -m repro profile --app sd
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import APP_NAMES, load_application
+from repro.core import PerformanceModel, RLASOptimizer, TfMode
+from repro.core.scaling import saturation_ingress
+from repro.hardware import server_a, server_b
+from repro.metrics import format_table
+from repro.simulation import DiscreteEventSimulator, FlowSimulator
+
+_SERVERS = {"A": server_a, "B": server_b}
+
+
+def _machine(args: argparse.Namespace):
+    return _SERVERS[args.server](args.sockets)
+
+
+def _optimize(args: argparse.Namespace):
+    topology, profiles = load_application(args.app)
+    machine = _machine(args)
+    model = PerformanceModel(profiles, machine)
+    rate = args.rate or saturation_ingress(topology, model)
+    plan = RLASOptimizer(
+        topology,
+        profiles,
+        machine,
+        rate,
+        tf_mode=TfMode(args.tf_mode),
+        compress_ratio=args.compress_ratio,
+    ).optimize()
+    print(plan.describe())
+    return plan, rate, profiles, machine
+
+
+def cmd_machines(args: argparse.Namespace) -> int:
+    rows = []
+    for name, factory in _SERVERS.items():
+        d = factory().describe()
+        rows.append(
+            [
+                name,
+                d["processor"],
+                d["one_hop_latency_ns"],
+                d["max_hops_latency_ns"],
+                d["total_local_bandwidth_gb_s"],
+            ]
+        )
+    print(
+        format_table(
+            ["server", "processor", "1-hop ns", "max-hop ns", "total B/W GB/s"],
+            rows,
+            title="Available machine models (Table 2)",
+        )
+    )
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    _optimize(args)
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    plan, rate, profiles, machine = _optimize(args)
+    flow = FlowSimulator(profiles, machine).simulate(plan.expanded_plan, rate)
+    print(f"\nmeasured throughput: {flow.throughput:,.0f} events/s")
+    if args.latency:
+        des = DiscreteEventSimulator(profiles, machine, seed=1)
+        events_out = flow.throughput / max(rate, 1.0)
+        result = des.run(
+            plan.expanded_plan, flow.throughput / max(events_out, 1e-9), max_events=4000
+        )
+        print(
+            f"latency: p50={result.latency.percentile(50) / 1e6:.2f} ms  "
+            f"p99={result.latency.p99_ms():.2f} ms"
+        )
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    topology, profiles = load_application(args.app)
+    rows = []
+    for name in topology.topological_order():
+        p = profiles[name]
+        rows.append(
+            [
+                name,
+                round(p.te_cycles),
+                round(p.total_selectivity, 3),
+                round(p.stream_bytes() or max(p.output_bytes.values(), default=0)),
+                round(p.memory_bytes),
+            ]
+        )
+    print(
+        format_table(
+            ["operator", "Te (cycles)", "selectivity", "out bytes", "M (bytes)"],
+            rows,
+            title=f"Calibrated profiles — {args.app.upper()}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="BriskStream reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="list machine models").set_defaults(
+        handler=cmd_machines
+    )
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--app", choices=APP_NAMES, default="wc")
+        p.add_argument("--server", choices=("A", "B"), default="A")
+        p.add_argument("--sockets", type=int, default=8)
+        p.add_argument("--rate", type=float, default=None, help="ingress (events/s)")
+        p.add_argument(
+            "--tf-mode",
+            choices=[m.value for m in TfMode],
+            default="relative",
+            help="relative (RLAS) / worst (fix L) / zero (fix U)",
+        )
+        p.add_argument("--compress-ratio", type=int, default=5)
+
+    opt = sub.add_parser("optimize", help="run RLAS and print the plan")
+    common(opt)
+    opt.set_defaults(handler=cmd_optimize)
+
+    sim = sub.add_parser("simulate", help="optimize then measure the plan")
+    common(sim)
+    sim.add_argument("--latency", action="store_true", help="also run the DES")
+    sim.set_defaults(handler=cmd_simulate)
+
+    prof = sub.add_parser("profile", help="print an app's calibrated profiles")
+    prof.add_argument("--app", choices=APP_NAMES, default="wc")
+    prof.set_defaults(handler=cmd_profile)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

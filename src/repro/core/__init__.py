@@ -1,0 +1,102 @@
+"""RLAS — the paper's contribution: NUMA-aware execution plan optimization.
+
+Submodules map to Sections 3-4 of the paper:
+
+* :mod:`repro.core.profiles` — the model's operator/system cost inputs;
+* :mod:`repro.core.model` — rate-based performance model (Formulas 1-2);
+* :mod:`repro.core.constraints` — resource constraints (Equations 3-5);
+* :mod:`repro.core.plan` — execution plans (replication + placement);
+* :mod:`repro.core.bnb` — branch-and-bound placement (Algorithm 2);
+* :mod:`repro.core.scaling` — iterative bottleneck scaling (Algorithm 1);
+* :mod:`repro.core.compression` — replica grouping (heuristic 3);
+* :mod:`repro.core.rlas` — the end-to-end optimizer facade.
+"""
+
+from repro.core.adaptation import (
+    AdaptationAction,
+    AdaptiveController,
+    DriftReport,
+    detect_drift,
+)
+from repro.core.bnb import PlacementOptimizer, PlacementResult, SearchStats
+from repro.core.fusion import (
+    FusedOperator,
+    FusionCandidate,
+    auto_fuse,
+    fuse,
+    fusion_candidates,
+)
+from repro.core.refinement import RefinementStats, refine_plan
+from repro.core.compression import compress_graph, compression_summary, expand_plan
+from repro.core.constraints import (
+    ConstraintKind,
+    ResourceReport,
+    SocketUsage,
+    Violation,
+    is_feasible,
+    resource_report,
+)
+from repro.core.model import (
+    BRISKSTREAM,
+    EdgeFlow,
+    ModelResult,
+    PerformanceModel,
+    TaskRates,
+    TfMode,
+)
+from repro.core.plan import ExecutionPlan, collocated_plan, empty_plan
+from repro.core.profiles import OperatorProfile, ProfileSet, SystemProfile
+from repro.core.rlas import (
+    DEFAULT_COMPRESS_RATIO,
+    OptimizedPlan,
+    RLASOptimizer,
+    rlas_fix_lower,
+    rlas_fix_upper,
+)
+from repro.core.scaling import ScalingIteration, ScalingOptimizer, ScalingResult
+
+__all__ = [
+    "AdaptationAction",
+    "AdaptiveController",
+    "DriftReport",
+    "detect_drift",
+    "FusedOperator",
+    "FusionCandidate",
+    "auto_fuse",
+    "fuse",
+    "fusion_candidates",
+    "RefinementStats",
+    "refine_plan",
+    "PlacementOptimizer",
+    "PlacementResult",
+    "SearchStats",
+    "compress_graph",
+    "compression_summary",
+    "expand_plan",
+    "ConstraintKind",
+    "ResourceReport",
+    "SocketUsage",
+    "Violation",
+    "is_feasible",
+    "resource_report",
+    "BRISKSTREAM",
+    "EdgeFlow",
+    "ModelResult",
+    "PerformanceModel",
+    "TaskRates",
+    "TfMode",
+    "ExecutionPlan",
+    "collocated_plan",
+    "empty_plan",
+    "OperatorProfile",
+    "ProfileSet",
+    "SystemProfile",
+    "DEFAULT_COMPRESS_RATIO",
+    "OptimizedPlan",
+    "RLASOptimizer",
+    "rlas_fix_lower",
+    "rlas_fix_upper",
+    "ScalingIteration",
+    "ScalingOptimizer",
+    "ScalingResult",
+]

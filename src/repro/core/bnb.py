@@ -1,0 +1,378 @@
+"""Branch-and-bound placement optimization (Section 4, Algorithm 2).
+
+The solver enumerates a tree of (partial) placements.  A node's *bounding
+value* is the throughput of the relaxed problem in which every not-yet
+placed task is collocated with all of its producers (``Tf = 0``) and
+contributes no resource demand — a true upper bound on every completion of
+the node, so pruning preserves optimality.
+
+The paper's three branching heuristics appear as follows:
+
+1. **Collocation heuristic** — tasks are placed strictly producer-first
+   (topological task order), so each edge's collocation decision is
+   resolved exactly when its consumer is placed; placements of a task
+   relative to not-yet-placed neighbours, which cannot change any output
+   rate, are never enumerated.
+2. **Best-fit & redundancy elimination** — producer-first ordering makes
+   every task's output rate fully determined at placement time, so the
+   best-fit rule (max output rate, ties broken towards collocation and
+   then the least remaining CPU) ranks candidates at every step; only the
+   top ``branch_width`` are explored.  Identical sub-problems are dropped
+   via a visited set over placement signatures *canonicalized up to
+   permutations of interchangeable replicas*, and interchangeable sockets
+   (same occupants, same NUMA relation to every used socket) are branched
+   only once.
+3. **Graph compression** is handled upstream by building the execution
+   graph with ``group_size > 1`` (see :mod:`repro.core.compression`).
+
+Every candidate child is evaluated exactly once: the (bounding) model run
+that establishes feasibility also yields the child's bound, and complete
+feasible children update the incumbent immediately instead of being pushed
+back on the stack.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.constraints import ResourceReport, resource_report
+from repro.core.model import ModelResult, PerformanceModel
+from repro.core.plan import ExecutionPlan, empty_plan
+from repro.dsps.graph import ExecutionGraph
+from repro.errors import PlanError
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation of one branch-and-bound run."""
+
+    nodes_expanded: int = 0
+    nodes_pruned: int = 0
+    nodes_deduplicated: int = 0
+    children_generated: int = 0
+    evaluations: int = 0
+    solutions_found: int = 0
+    best_fit_commits: int = 0
+    runtime_s: float = 0.0
+    optimal: bool = True
+
+
+@dataclass
+class PlacementResult:
+    """Outcome of a placement search."""
+
+    plan: ExecutionPlan | None
+    throughput: float
+    model_result: ModelResult | None
+    stats: SearchStats
+    feasible: bool = True
+
+    @property
+    def bottlenecks(self) -> list[int]:
+        """Over-supplied tasks of the winning plan (scaling targets)."""
+        if self.model_result is None:
+            return []
+        return self.model_result.bottlenecks
+
+
+@dataclass
+class _Node:
+    """A live node on the DFS stack."""
+
+    bound: float
+    rank: int
+    plan: ExecutionPlan
+
+
+@dataclass
+class _Child:
+    """A freshly branched placement with its one-time evaluation."""
+
+    plan: ExecutionPlan
+    result: ModelResult
+    report: ResourceReport
+
+    @property
+    def bound(self) -> float:
+        return self.result.throughput
+
+
+class PlacementOptimizer:
+    """B&B solver for the operator placement problem."""
+
+    def __init__(
+        self,
+        model: PerformanceModel,
+        ingress_rate: float,
+        max_nodes: int | None = None,
+        branch_width: int = 2,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        model:
+            Performance model bound to profiles, machine and system.
+        ingress_rate:
+            External ingress rate ``I`` used for every evaluation.
+        max_nodes:
+            Expansion budget; when exhausted the best solution found so
+            far is returned with ``stats.optimal = False``.  The bounding
+            function is a loose relaxation (it zeroes every unplaced
+            task's ``Tf``), so exhausting wide searches buys little —
+            by default the budget adapts to the graph size
+            (``16 * n_tasks``, at least 256 nodes).
+        branch_width:
+            Candidate sockets explored per task placement (1 = pure
+            greedy best-fit; larger values trade runtime for optimality).
+        """
+        if ingress_rate <= 0:
+            raise PlanError("ingress rate must be positive")
+        if branch_width < 1:
+            raise PlanError("branch width must be >= 1")
+        self.model = model
+        self.machine = model.machine
+        self.profiles = model.profiles
+        self.ingress_rate = ingress_rate
+        self.max_nodes = max_nodes
+        self.branch_width = branch_width
+        self._topo_tasks: list = []
+        self._task_classes: dict[int, tuple] = {}
+        self._stats = SearchStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        graph: ExecutionGraph,
+        initial_plan: ExecutionPlan | None = None,
+    ) -> PlacementResult:
+        """Find the throughput-maximizing feasible placement of ``graph``.
+
+        ``initial_plan`` optionally seeds the incumbent (e.g. a first-fit
+        plan) so pruning can start early (Appendix D discussion).
+        """
+        stats = self._stats = SearchStats()
+        start = time.perf_counter()
+        node_budget = (
+            self.max_nodes
+            if self.max_nodes is not None
+            else min(max(256, 16 * graph.n_tasks), 1500)
+        )
+        # Infeasible configurations (e.g. replica counts that cannot tile
+        # the sockets) should fail fast: if the deep-first descent has not
+        # produced a single complete plan within this budget, alternatives
+        # will not rescue it either.
+        no_solution_budget = max(256, 6 * graph.n_tasks)
+
+        self._topo_tasks = graph.topological_task_order()
+        self._task_classes = self._equivalence_classes(graph)
+        best_plan: ExecutionPlan | None = None
+        best_value = 0.0
+        best_result: ModelResult | None = None
+
+        if initial_plan is not None and initial_plan.is_complete:
+            child = self._evaluate(initial_plan)
+            if child.report.is_feasible:
+                best_plan = initial_plan
+                best_value = child.bound
+                best_result = child.result
+                stats.solutions_found += 1
+
+        root = empty_plan(graph)
+        stack: list[_Node] = [_Node(bound=float("inf"), rank=0, plan=root)]
+        visited: set[frozenset[tuple[int, int]]] = set()
+
+        while stack:
+            if stats.nodes_expanded >= node_budget or (
+                best_plan is None and stats.nodes_expanded >= no_solution_budget
+            ):
+                stats.optimal = False
+                break
+            node = stack.pop()
+            if best_plan is not None and node.bound <= best_value:
+                stats.nodes_pruned += 1
+                continue
+            stats.nodes_expanded += 1
+            live: list[_Node] = []
+            for rank, child in enumerate(self._branch(node.plan)):
+                signature = self._canonical_signature(child.plan)
+                if signature in visited:
+                    stats.nodes_deduplicated += 1
+                    continue
+                visited.add(signature)
+                if best_plan is not None and child.bound <= best_value:
+                    stats.nodes_pruned += 1
+                    continue
+                if child.plan.is_complete:
+                    # Bounding and full evaluation coincide on complete
+                    # plans, so this child is already a valued solution.
+                    if child.report.is_feasible and child.bound > best_value:
+                        best_plan = child.plan
+                        best_value = child.bound
+                        best_result = child.result
+                        stats.solutions_found += 1
+                    continue
+                live.append(_Node(bound=child.bound, rank=rank, plan=child.plan))
+                stats.children_generated += 1
+            # LIFO stack: push so the most promising pops first — highest
+            # bound last; on tied bounds, the best-fit-ranked child last.
+            live.sort(key=lambda n: (n.bound, -n.rank))
+            stack.extend(live)
+
+        stats.runtime_s = time.perf_counter() - start
+        if best_plan is None:
+            return PlacementResult(
+                plan=None,
+                throughput=0.0,
+                model_result=None,
+                stats=stats,
+                feasible=False,
+            )
+        return PlacementResult(
+            plan=best_plan,
+            throughput=best_value,
+            model_result=best_result,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _evaluate(self, plan: ExecutionPlan) -> _Child:
+        """One bounding-model evaluation + resource report for ``plan``."""
+        self._stats.evaluations += 1
+        result = self.model.evaluate(plan, self.ingress_rate, bounding=True)
+        report = resource_report(plan, result, self.machine, self.profiles)
+        return _Child(plan=plan, result=result, report=report)
+
+    # ------------------------------------------------------------------
+    # Branching
+    # ------------------------------------------------------------------
+    def _branch(self, plan: ExecutionPlan) -> list[_Child]:
+        """Expand a live node: place the next task in topological order.
+
+        Placing tasks producer-first means every task's output rate is
+        fully determined at placement time (its producers are all placed),
+        so the best-fit commit (heuristic 2) applies at every step and the
+        collocation decision of each edge (heuristic 1) is resolved the
+        moment its consumer is placed — placements of a task relative to
+        not-yet-placed neighbours, which cannot change any rate, are never
+        enumerated.  ``branch_width`` keeps the search a *tree* rather
+        than a greedy line: the top-k candidate sockets are explored, and
+        the bounding function prunes the rest.
+        """
+        task_id = self._next_task(plan)
+        if task_id is None:
+            return []
+        return self._place_task(plan, task_id)
+
+    def _next_task(self, plan: ExecutionPlan) -> int | None:
+        """First unplaced task in topological order."""
+        for task in self._topo_tasks:
+            if task.task_id not in plan.placement:
+                return task.task_id
+        return None
+
+    def _place_task(self, plan: ExecutionPlan, task_id: int) -> list[_Child]:
+        """Branch one task over its best candidate sockets.
+
+        Candidates are ranked best-fit style: maximize the task's output
+        rate, break ties towards the socket with the least remaining CPU
+        (pack tight, keep whole sockets free for downstream operators).
+        Only the effective branch width's best candidates become children.
+        Sockets whose core budget the task cannot fit are skipped without
+        a model evaluation (the dominant case late in a packed search).
+        """
+        graph = plan.graph
+        weight = graph.task(task_id).weight
+        load: dict[int, int] = {}
+        for placed_id, socket in plan.placement.items():
+            load[socket] = load.get(socket, 0) + graph.task(placed_id).weight
+        feasible: list[tuple[float, float, float, _Child]] = []
+        for socket in self._candidate_sockets(plan):
+            if load.get(socket, 0) + weight > self.machine.cores_per_socket:
+                continue
+            child = self._evaluate(plan.assign({task_id: socket}))
+            if not child.report.is_feasible:
+                continue
+            own = child.result.rates[task_id]
+            # Remaining CPU of the socket *before* this task landed on it:
+            # a remote placement inflates the task's own demand via Tf,
+            # which must not make the socket look more packed.
+            remaining_cpu = (
+                self.machine.cpu_capacity
+                - child.report.usage(socket).cpu_ns_per_s
+                + own.processed_rate * own.t_ns
+            )
+            feasible.append((own.output_rate, own.tf_ns, remaining_cpu, child))
+        if not feasible:
+            return []
+        # Best fit: max output rate; among equals prefer collocation (low
+        # Tf), then the socket with the least remaining CPU (pack tight).
+        feasible.sort(key=lambda entry: (-entry[0], entry[1], entry[2]))
+        self._stats.best_fit_commits += 1
+        return [child for _, _, _, child in feasible[: self.branch_width]]
+
+    def _candidate_sockets(
+        self, plan: ExecutionPlan, extra_used: tuple[int, ...] = ()
+    ) -> list[int]:
+        """Sockets to branch over, deduplicated by interchangeability.
+
+        Two sockets are interchangeable when they host the same occupants
+        and sit at the same NUMA distance from every socket already in use
+        — branching both would explore isomorphic subtrees (the paper's
+        "S1 is identical to S0 at this point" observation).
+        """
+        used = sorted(plan.used_sockets() | set(extra_used))
+        occupants: dict[int, tuple[int, ...]] = {}
+        for task_id, socket in plan.placement.items():
+            occupants[socket] = tuple(sorted(occupants.get(socket, ()) + (task_id,)))
+        signatures: dict[tuple, int] = {}
+        for socket in self.machine.sockets:
+            load = occupants.get(socket, ())
+            relation = tuple(
+                round(self.machine.latency_ns(socket, u), 3) for u in used
+            )
+            signature = (load, relation)
+            if signature not in signatures:
+                signatures[signature] = socket
+        return sorted(signatures.values())
+
+    # ------------------------------------------------------------------
+    # Redundancy elimination helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _equivalence_classes(graph: ExecutionGraph) -> dict[int, tuple]:
+        """Group interchangeable tasks (heuristic 2's redundancy cut).
+
+        Two replicas of the same component with identical weights and
+        identical edge share structure behave identically under the model,
+        so placements differing only by a permutation of such replicas are
+        the same sub-problem.
+        """
+        classes: dict[int, tuple] = {}
+        for task in graph.tasks:
+            incoming = tuple(
+                sorted(
+                    (graph.task(e.producer).component, e.stream, round(e.share, 12))
+                    for e in graph.incoming(task.task_id)
+                )
+            )
+            outgoing = tuple(
+                sorted(
+                    (graph.task(e.consumer).component, e.stream, round(e.share, 12))
+                    for e in graph.outgoing(task.task_id)
+                )
+            )
+            classes[task.task_id] = (task.component, task.weight, incoming, outgoing)
+        return classes
+
+    def _canonical_signature(self, plan: ExecutionPlan) -> frozenset:
+        """Placement identity up to permutations of interchangeable tasks."""
+        counts: dict[tuple, int] = {}
+        for task_id, socket in plan.placement.items():
+            key = (self._task_classes[task_id], socket)
+            counts[key] = counts.get(key, 0) + 1
+        return frozenset(counts.items())

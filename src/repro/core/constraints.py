@@ -1,0 +1,179 @@
+"""Resource constraints of the placement problem (Equations 3-5).
+
+For every socket ``Si`` a valid plan must satisfy:
+
+* **CPU** (Eq. 3): aggregated CPU demand ``sum(ro * T) <= C``;
+* **DRAM bandwidth** (Eq. 4): aggregated memory traffic ``sum(ro * M) <= B``;
+* **interconnect** (Eq. 5): for every socket pair, cross-socket transfer
+  ``sum(ro(s) * N) <= Q(i, j)``;
+* **cores** (implied by BriskStream's thread-affinity + ``isolcpus``
+  execution mode): at most ``cores_per_socket`` replicas per socket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.core.model import ModelResult
+from repro.core.plan import ExecutionPlan
+from repro.core.profiles import ProfileSet
+from repro.hardware.machine import MachineSpec
+
+
+class ConstraintKind(Enum):
+    """Which resource a violation exhausts."""
+
+    CPU = "cpu"
+    MEMORY_BANDWIDTH = "memory_bandwidth"
+    INTERCONNECT = "interconnect"
+    CORES = "cores"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One exceeded resource constraint."""
+
+    kind: ConstraintKind
+    location: tuple[int, ...]
+    demand: float
+    capacity: float
+
+    @property
+    def ratio(self) -> float:
+        """Demand over capacity (always > 1 for a real violation)."""
+        if self.capacity <= 0:
+            return float("inf")
+        return self.demand / self.capacity
+
+    def describe(self) -> str:
+        where = "->".join(str(s) for s in self.location)
+        return (
+            f"{self.kind.value} at socket {where}: "
+            f"demand {self.demand:.3g} > capacity {self.capacity:.3g}"
+        )
+
+
+@dataclass
+class SocketUsage:
+    """Aggregated demand on one socket under a plan."""
+
+    socket: int
+    cpu_ns_per_s: float = 0.0
+    memory_bytes_per_s: float = 0.0
+    replicas: int = 0
+    tasks: list[int] = field(default_factory=list)
+
+    def cpu_utilization(self, machine: MachineSpec) -> float:
+        return self.cpu_ns_per_s / machine.cpu_capacity
+
+    def bandwidth_utilization(self, machine: MachineSpec) -> float:
+        return self.memory_bytes_per_s / machine.local_bandwidth
+
+
+@dataclass
+class ResourceReport:
+    """Full usage + violation summary for a (possibly partial) plan."""
+
+    usages: dict[int, SocketUsage]
+    interconnect_bytes: np.ndarray
+    violations: list[Violation]
+
+    @property
+    def is_feasible(self) -> bool:
+        return not self.violations
+
+    def usage(self, socket: int) -> SocketUsage:
+        return self.usages.setdefault(socket, SocketUsage(socket=socket))
+
+
+def resource_report(
+    plan: ExecutionPlan,
+    result: ModelResult,
+    machine: MachineSpec,
+    profiles: ProfileSet,
+) -> ResourceReport:
+    """Compute per-socket usage and list every violated constraint.
+
+    Unplaced tasks (bounding evaluations) contribute no demand — B&B's
+    relaxed sub-problem intentionally ignores them.
+    """
+    usages = {s: SocketUsage(socket=s) for s in machine.sockets}
+    n = machine.n_sockets
+    interconnect = result.interconnect_bytes
+    if interconnect.shape != (n, n):
+        raise ValueError(
+            f"model result computed for {interconnect.shape[0]} sockets, "
+            f"but machine has {n}"
+        )
+
+    for task_id, socket in plan.placement.items():
+        task = plan.graph.task(task_id)
+        rates = result.rates.get(task_id)
+        if rates is None:
+            continue
+        profile = profiles[task.component]
+        usage = usages[socket]
+        usage.cpu_ns_per_s += rates.processed_rate * rates.t_ns
+        usage.memory_bytes_per_s += rates.processed_rate * profile.memory_bytes
+        usage.replicas += task.weight
+        usage.tasks.append(task_id)
+
+    violations: list[Violation] = []
+    for socket, usage in usages.items():
+        if usage.cpu_ns_per_s > machine.cpu_capacity:
+            violations.append(
+                Violation(
+                    kind=ConstraintKind.CPU,
+                    location=(socket,),
+                    demand=usage.cpu_ns_per_s,
+                    capacity=machine.cpu_capacity,
+                )
+            )
+        if usage.memory_bytes_per_s > machine.local_bandwidth:
+            violations.append(
+                Violation(
+                    kind=ConstraintKind.MEMORY_BANDWIDTH,
+                    location=(socket,),
+                    demand=usage.memory_bytes_per_s,
+                    capacity=machine.local_bandwidth,
+                )
+            )
+        if usage.replicas > machine.cores_per_socket:
+            violations.append(
+                Violation(
+                    kind=ConstraintKind.CORES,
+                    location=(socket,),
+                    demand=float(usage.replicas),
+                    capacity=float(machine.cores_per_socket),
+                )
+            )
+    for i in range(n):
+        for j in range(n):
+            if i == j or interconnect[i, j] <= 0:
+                continue
+            capacity = machine.bandwidth(i, j)
+            if interconnect[i, j] > capacity:
+                violations.append(
+                    Violation(
+                        kind=ConstraintKind.INTERCONNECT,
+                        location=(i, j),
+                        demand=float(interconnect[i, j]),
+                        capacity=capacity,
+                    )
+                )
+    return ResourceReport(
+        usages=usages, interconnect_bytes=interconnect, violations=violations
+    )
+
+
+def is_feasible(
+    plan: ExecutionPlan,
+    result: ModelResult,
+    machine: MachineSpec,
+    profiles: ProfileSet,
+) -> bool:
+    """True when the (partial) plan violates no resource constraint."""
+    return resource_report(plan, result, machine, profiles).is_feasible

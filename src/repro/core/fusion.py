@@ -1,0 +1,235 @@
+"""Operator fusion (Appendix D's extension example).
+
+Fusion merges a producer/consumer pair into one operator: the consumer's
+logic runs inline in the producer's thread, eliminating the communication
+queue, tuple headers and any possible RMA on that edge — at the price of
+pipeline parallelism (the pair now scales as a unit).  The paper calls
+this out as the canonical optimization its performance model can be
+extended to capture; this module does exactly that:
+
+* :func:`fuse` — rewrite a topology + profiles with one edge fused
+  (functionally executable: the fused operator chains the original
+  operator implementations);
+* :func:`fusion_candidates` — edges where the saved communication cost is
+  a large fraction of the pair's compute (the profitable trades);
+* :func:`auto_fuse` — greedily fuse all profitable chains.
+
+Fusion requires an *exclusive* 1:1 edge: the consumer's only input is the
+producer, and the producer's only consumer is that operator; otherwise
+routing semantics (groupings, stream fan-out) would change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.profiles import OperatorProfile, ProfileSet, SystemProfile
+from repro.core.model import BRISKSTREAM
+from repro.dsps.operators import Emission, Operator, OperatorContext
+from repro.dsps.streams import StreamEdge
+from repro.dsps.topology import ComponentKind, ComponentSpec, Topology
+from repro.dsps.tuples import StreamTuple
+from repro.errors import PlanError
+
+
+class FusedOperator(Operator):
+    """Runs a consumer's logic inline after the producer's, per tuple."""
+
+    def __init__(self, first: Operator, second: Operator) -> None:
+        self.first = first
+        self.second = second
+
+    def prepare(self, context: OperatorContext) -> None:
+        self.first.prepare(context)
+        self.second.prepare(context)
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        for stream, values in self.first.process(item):
+            intermediate = item.derive(values, stream=stream)
+            yield from self.second.process(intermediate)
+
+    def flush(self) -> Iterable[Emission]:
+        for stream, values in self.first.flush():
+            intermediate = StreamTuple(values=tuple(values), stream=stream)
+            yield from self.second.process(intermediate)
+        yield from self.second.flush()
+
+
+@dataclass(frozen=True)
+class FusionCandidate:
+    """A fusible edge and its modelled benefit."""
+
+    producer: str
+    consumer: str
+    saved_ns_per_tuple: float
+    pair_compute_ns: float
+
+    @property
+    def benefit_ratio(self) -> float:
+        """Saved communication cost relative to the pair's compute."""
+        if self.pair_compute_ns <= 0:
+            return float("inf")
+        return self.saved_ns_per_tuple / self.pair_compute_ns
+
+
+def _exclusive_edge(topology: Topology, producer: str, consumer: str) -> StreamEdge:
+    incoming = topology.incoming(consumer)
+    outgoing = topology.outgoing(producer)
+    if len(incoming) != 1 or incoming[0].producer != producer:
+        raise PlanError(
+            f"cannot fuse: {consumer!r} must consume only from {producer!r}"
+        )
+    if len(outgoing) != 1 or outgoing[0].consumer != consumer:
+        raise PlanError(
+            f"cannot fuse: {producer!r} must feed only {consumer!r}"
+        )
+    if topology.component(producer).kind is ComponentKind.SPOUT:
+        raise PlanError("cannot fuse a spout with its consumer")
+    if topology.component(consumer).kind is ComponentKind.SINK:
+        raise PlanError(
+            "cannot fuse into a sink: sinks are the throughput-monitoring "
+            "endpoints and must stay addressable"
+        )
+    return incoming[0]
+
+
+def fuse(
+    topology: Topology,
+    profiles: ProfileSet,
+    producer: str,
+    consumer: str,
+    name: str | None = None,
+) -> tuple[Topology, ProfileSet]:
+    """Fuse ``consumer`` into ``producer``; returns (topology, profiles).
+
+    The fused operator's cost model follows the pipeline algebra:
+    ``Te = Te_p + sel_p * Te_c`` per input tuple, output streams are the
+    consumer's scaled by the producer's selectivity, and ``M`` adds up the
+    same way.
+    """
+    _exclusive_edge(topology, producer, consumer)
+    fused_name = name or f"{producer}+{consumer}"
+    if fused_name in topology.components:
+        raise PlanError(f"component {fused_name!r} already exists")
+
+    p_spec = topology.component(producer)
+    c_spec = topology.component(consumer)
+    fused_template = FusedOperator(p_spec.template.clone(), c_spec.template.clone())
+    fused_spec = ComponentSpec(
+        name=fused_name,
+        kind=c_spec.kind,
+        template=fused_template,
+        parallelism_hint=max(p_spec.parallelism_hint, c_spec.parallelism_hint),
+    )
+
+    components = {
+        n: s for n, s in topology.components.items() if n not in (producer, consumer)
+    }
+    components[fused_name] = fused_spec
+    edges = []
+    for edge in topology.edges:
+        if edge.producer == producer and edge.consumer == consumer:
+            continue  # the fused edge disappears
+        source = fused_name if edge.producer == consumer else edge.producer
+        target = fused_name if edge.consumer == producer else edge.consumer
+        edges.append(
+            StreamEdge(
+                producer=source,
+                consumer=target,
+                stream=edge.stream,
+                grouping=edge.grouping,
+            )
+        )
+    new_topology = Topology(
+        name=topology.name, components=components, edges=tuple(edges)
+    )
+
+    p_prof = profiles[producer]
+    c_prof = profiles[consumer]
+    # The producer emits on exactly one stream (exclusive edge).
+    sel_p = p_prof.total_selectivity
+    fused_profile = OperatorProfile(
+        component=fused_name,
+        te_cycles=p_prof.te_cycles + sel_p * c_prof.te_cycles,
+        memory_bytes=p_prof.memory_bytes + sel_p * c_prof.memory_bytes,
+        output_bytes=dict(c_prof.output_bytes),
+        selectivity={
+            stream: sel_p * value for stream, value in c_prof.selectivity.items()
+        },
+        te_cv=max(p_prof.te_cv, c_prof.te_cv),
+    )
+    new_profiles = {
+        n: profiles[n] for n in new_topology.components if n != fused_name
+    }
+    new_profiles[fused_name] = fused_profile
+    return new_topology, ProfileSet(new_topology, new_profiles)
+
+
+def fusion_candidates(
+    topology: Topology,
+    profiles: ProfileSet,
+    machine,
+    system: SystemProfile = BRISKSTREAM,
+) -> list[FusionCandidate]:
+    """Edges worth fusing, best benefit first.
+
+    The saved cost per tuple is the consumer-side queue/header overhead
+    plus the *expected* remote fetch the edge would otherwise risk (one
+    hop, since an un-fused pair may land on different sockets).
+    """
+    candidates = []
+    for edge in topology.edges:
+        try:
+            _exclusive_edge(topology, edge.producer, edge.consumer)
+        except PlanError:
+            continue
+        p_prof = profiles[edge.producer]
+        c_prof = profiles[edge.consumer]
+        wire = system.wire_bytes(p_prof.stream_bytes(edge.stream))
+        one_hop = (
+            machine.hop_latency_ns.get(1, machine.local_latency_ns)
+            if machine.n_sockets > 1
+            else 0.0
+        )
+        saved = (
+            system.queue_cost_ns(p_prof.total_selectivity)
+            + machine.cache_lines(wire) * one_hop
+        )
+        compute = machine.cycles_to_ns(
+            p_prof.te_cycles + p_prof.total_selectivity * c_prof.te_cycles
+        )
+        candidates.append(
+            FusionCandidate(
+                producer=edge.producer,
+                consumer=edge.consumer,
+                saved_ns_per_tuple=saved,
+                pair_compute_ns=compute,
+            )
+        )
+    return sorted(candidates, key=lambda c: c.benefit_ratio, reverse=True)
+
+
+def auto_fuse(
+    topology: Topology,
+    profiles: ProfileSet,
+    machine,
+    system: SystemProfile = BRISKSTREAM,
+    min_benefit: float = 0.15,
+) -> tuple[Topology, ProfileSet, list[str]]:
+    """Greedily fuse every candidate whose benefit ratio clears the bar.
+
+    Returns the rewritten topology/profiles and the fused component names.
+    """
+    fused_names: list[str] = []
+    while True:
+        candidates = fusion_candidates(topology, profiles, machine, system)
+        chosen = next(
+            (c for c in candidates if c.benefit_ratio >= min_benefit), None
+        )
+        if chosen is None:
+            return topology, profiles, fused_names
+        topology, profiles = fuse(
+            topology, profiles, chosen.producer, chosen.consumer
+        )
+        fused_names.append(f"{chosen.producer}+{chosen.consumer}")

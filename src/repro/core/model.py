@@ -1,0 +1,477 @@
+"""The rate-based NUMA-aware performance model (Section 3.1).
+
+For a given execution plan the model estimates, per task, the expected
+output rate ``ro``.  The application throughput is the summed output rate
+of all sink operators: ``R = sum(ro over sinks)``.
+
+Per-tuple cost (Formula 1's ``T(p)``) decomposes into
+
+``Te``
+    function execution + emission time (profiled, plan-independent);
+``Others``
+    runtime overhead determined by the system profile (object churn,
+    queue access, serialization — Section 5 is about making this small);
+``Tf``
+    data fetch time, ``ceil(N / S) * L(i, j)`` when the task sits on a
+    different socket than its producer, else 0 (Formula 2).
+
+Two supply regimes close the model (Section 3.1):
+
+Case 1 (over-supplied, ``ri > capacity``)
+    the task is a *bottleneck*: it outputs at capacity, splitting output
+    over producers proportionally to their input shares;
+Case 2 (under-supplied)
+    output is limited by input: ``ro = ri * selectivity``.
+
+The model is the innermost loop of branch-and-bound search, so all
+plan-independent terms (per-edge wire bytes and cache-line counts, per-task
+execution and overhead costs) are compiled once per execution graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.plan import ExecutionPlan
+from repro.core.profiles import ProfileSet, SystemProfile
+from repro.dsps.graph import ExecutionGraph
+from repro.errors import PlanError
+from repro.hardware.machine import NS_PER_SECOND, MachineSpec
+
+#: Default system cost structure: BriskStream itself (jumbo tuples, tiny
+#: instruction footprint, pass-by-reference).  Calibrated so that "Others"
+#: lands near 10% of Storm's per-tuple overhead (Figure 8).
+BRISKSTREAM = SystemProfile(
+    name="BriskStream",
+    te_multiplier=1.0,
+    others_ns=60.0,
+    queue_op_ns=220.0,
+    serialization_ns_per_byte=0.0,
+    header_amortized=True,
+    queue_amortized=True,
+    batch_size=64,
+)
+
+#: Relative slack before a task counts as over-supplied (numerical noise guard).
+_OVERSUPPLY_TOLERANCE = 1e-9
+
+
+class TfMode(Enum):
+    """How the data-fetch term ``Tf`` reacts to relative location."""
+
+    #: Formula 2 — the RLAS paradigm: Tf depends on the NUMA distance
+    #: between the task and each of its producers.
+    RELATIVE = "relative"
+    #: RLAS_fix(U): ignore remote memory access entirely (Tf = 0).  Also the
+    #: "W/o rma" bound of Figure 10.
+    ZERO = "zero"
+    #: RLAS_fix(L): pessimistically anti-collocate every task from all its
+    #: producers (Tf uses the machine's worst-case latency).
+    WORST = "worst"
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeFlow:
+    """Steady-state flow over one task edge under a plan."""
+
+    producer: int
+    consumer: int
+    stream: str
+    tuple_rate: float
+    wire_bytes_per_tuple: float
+    producer_socket: int | None
+    consumer_socket: int | None
+    fetch_ns_per_tuple: float = 0.0
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.tuple_rate * self.wire_bytes_per_tuple
+
+    @property
+    def crosses_sockets(self) -> bool:
+        return (
+            self.producer_socket is not None
+            and self.consumer_socket is not None
+            and self.producer_socket != self.consumer_socket
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TaskRates:
+    """Model outputs for one task."""
+
+    task_id: int
+    component: str
+    weight: int
+    input_rate: float
+    capacity: float
+    processed_rate: float
+    output_rates: Mapping[str, float]
+    te_ns: float
+    overhead_ns: float
+    tf_ns: float
+    oversupplied: bool
+
+    @property
+    def t_ns(self) -> float:
+        """Total per-tuple cost ``T = Te + Others + Tf``."""
+        return self.te_ns + self.overhead_ns + self.tf_ns
+
+    @property
+    def output_rate(self) -> float:
+        """Total output rate over all streams."""
+        return float(sum(self.output_rates.values()))
+
+    @property
+    def oversupply_ratio(self) -> float:
+        """``ri / capacity`` — Algorithm 1 scales bottlenecks by its ceiling."""
+        if self.capacity <= 0:
+            return float("inf") if self.input_rate > 0 else 1.0
+        return self.input_rate / self.capacity
+
+
+@dataclass
+class ModelResult:
+    """Full evaluation of a plan: rates, interconnect traffic and ``R``."""
+
+    throughput: float
+    rates: dict[int, TaskRates]
+    interconnect_bytes: np.ndarray
+    flows: list[EdgeFlow] = field(default_factory=list)
+
+    @property
+    def bottlenecks(self) -> list[int]:
+        """Over-supplied task ids (Case 1) — the scaling targets."""
+        return [t for t, r in sorted(self.rates.items()) if r.oversupplied]
+
+    def rate(self, task_id: int) -> TaskRates:
+        try:
+            return self.rates[task_id]
+        except KeyError as exc:
+            raise PlanError(f"no rates computed for task {task_id}") from exc
+
+    def component_throughput(self, component: str) -> float:
+        """Summed processed rate of one component's tasks."""
+        return sum(
+            r.processed_rate for r in self.rates.values() if r.component == component
+        )
+
+
+class _CompiledEdge:
+    """Plan-independent constants of one task edge."""
+
+    __slots__ = ("producer", "consumer", "stream", "share", "wire_bytes", "cache_lines")
+
+    def __init__(
+        self,
+        producer: int,
+        consumer: int,
+        stream: str,
+        share: float,
+        wire_bytes: float,
+        cache_lines: int,
+    ) -> None:
+        self.producer = producer
+        self.consumer = consumer
+        self.stream = stream
+        self.share = share
+        self.wire_bytes = wire_bytes
+        self.cache_lines = cache_lines
+
+
+class _CompiledTask:
+    """Plan-independent constants of one task."""
+
+    __slots__ = (
+        "task_id",
+        "component",
+        "weight",
+        "te_ns",
+        "base_overhead_ns",
+        "serde_per_in_byte",
+        "selectivity",
+        "memory_bytes",
+        "spout_share",
+        "is_sink",
+        "in_edges",
+    )
+
+    def __init__(self) -> None:
+        self.in_edges: list[_CompiledEdge] = []
+
+
+class _CompiledGraph:
+    """All plan-independent terms of one execution graph."""
+
+    def __init__(
+        self,
+        graph: ExecutionGraph,
+        profiles: ProfileSet,
+        machine: MachineSpec,
+        system: SystemProfile,
+    ) -> None:
+        self.graph = graph
+        topology = graph.topology
+        spout_weights = {
+            name: sum(t.weight for t in graph.tasks_of(name))
+            for name in topology.spouts
+        }
+        sink_components = set(topology.sinks)
+        self.tasks: list[_CompiledTask] = []
+        by_id: dict[int, _CompiledTask] = {}
+        for task in graph.topological_task_order():
+            profile = profiles[task.component]
+            ct = _CompiledTask()
+            ct.task_id = task.task_id
+            ct.component = task.component
+            ct.weight = task.weight
+            ct.te_ns = system.execute_ns(machine.cycles_to_ns(profile.te_cycles))
+            total_sel = profile.total_selectivity
+            if total_sel > 0:
+                out_bytes = (
+                    sum(
+                        profile.stream_selectivity(s) * profile.stream_bytes(s)
+                        for s in profile.selectivity
+                    )
+                    / total_sel
+                )
+            else:
+                out_bytes = 0.0
+            ct.base_overhead_ns = (
+                system.others_ns
+                + system.queue_cost_ns(total_sel)
+                + system.serialization_ns_per_byte * out_bytes
+            )
+            if len(topology.incoming(task.component)) > 1:
+                # e.g. Flink's mandatory stream-merger for multi-input
+                # operators (LR); zero for BriskStream and Storm.
+                ct.base_overhead_ns += system.multi_input_penalty_ns
+            ct.serde_per_in_byte = system.serialization_ns_per_byte
+            ct.selectivity = tuple(profile.selectivity.items())
+            ct.memory_bytes = profile.memory_bytes
+            ct.spout_share = (
+                task.weight / spout_weights[task.component]
+                if task.component in spout_weights
+                else 0.0
+            )
+            ct.is_sink = task.component in sink_components
+            self.tasks.append(ct)
+            by_id[task.task_id] = ct
+        for edge in graph.edges:
+            producer = graph.task(edge.producer)
+            payload = profiles.edge_payload_bytes(producer.component, edge.stream)
+            wire = system.wire_bytes(payload)
+            by_id[edge.consumer].in_edges.append(
+                _CompiledEdge(
+                    producer=edge.producer,
+                    consumer=edge.consumer,
+                    stream=edge.stream,
+                    share=edge.share,
+                    wire_bytes=wire,
+                    cache_lines=machine.cache_lines(wire),
+                )
+            )
+
+
+class PerformanceModel:
+    """Evaluates execution plans for one application on one machine."""
+
+    def __init__(
+        self,
+        profiles: ProfileSet,
+        machine: MachineSpec,
+        system: SystemProfile = BRISKSTREAM,
+        tf_mode: TfMode = TfMode.RELATIVE,
+    ) -> None:
+        self.profiles = profiles
+        self.machine = machine
+        self.system = system
+        self.tf_mode = tf_mode
+        self._latency = [
+            [machine.latency_ns(i, j) for j in machine.sockets]
+            for i in machine.sockets
+        ]
+        self._worst_latency = self._compute_worst_latency()
+        self._compiled: dict[int, _CompiledGraph] = {}
+
+    def _compute_worst_latency(self) -> float:
+        machine = self.machine
+        if machine.n_sockets == 1:
+            return machine.local_latency_ns
+        return max(
+            machine.latency_ns(i, j)
+            for i in machine.sockets
+            for j in machine.sockets
+            if i != j
+        )
+
+    def _compile(self, graph: ExecutionGraph) -> _CompiledGraph:
+        compiled = self._compiled.get(id(graph))
+        if compiled is None or compiled.graph is not graph:
+            compiled = _CompiledGraph(graph, self.profiles, self.machine, self.system)
+            if len(self._compiled) > 64:
+                self._compiled.clear()
+            self._compiled[id(graph)] = compiled
+        return compiled
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        plan: ExecutionPlan,
+        ingress_rate: float,
+        bounding: bool = False,
+        collect_flows: bool = False,
+    ) -> ModelResult:
+        """Estimate rates and throughput of ``plan`` under input rate ``I``.
+
+        Parameters
+        ----------
+        plan:
+            Placement to evaluate.  Must be complete unless ``bounding``.
+        ingress_rate:
+            External input stream ingress rate ``I`` (events/s), split over
+            each spout component's replicas.
+        bounding:
+            Evaluate the B&B bounding function: tasks without a placement
+            (or whose producer is unplaced) fetch at local cost, i.e.
+            ``Tf = 0`` for those edges — the relaxed problem whose value
+            upper-bounds every completion of this partial plan.
+        collect_flows:
+            Also materialize per-edge :class:`EdgeFlow` records (needed by
+            the communication-matrix metrics; skipped in the optimizer's
+            hot path).
+        """
+        if not bounding and not plan.is_complete:
+            raise PlanError(
+                "plan is incomplete; use bounding=True to evaluate a partial plan"
+            )
+        compiled = self._compile(plan.graph)
+        placement = plan.placement
+        latency = self._latency
+        zero_tf = self.tf_mode is TfMode.ZERO
+        worst_tf = self.tf_mode is TfMode.WORST
+        worst_latency = self._worst_latency
+        n = self.machine.n_sockets
+        interconnect = np.zeros((n, n), dtype=np.float64)
+        rates: dict[int, TaskRates] = {}
+        out_rates: dict[int, dict[str, float]] = {}
+        flows: list[EdgeFlow] = []
+        throughput = 0.0
+
+        for ct in compiled.tasks:
+            socket = placement.get(ct.task_id)
+            if not ct.in_edges:
+                input_rate = ingress_rate * ct.spout_share
+                tf_ns = 0.0
+                in_bytes = 0.0
+            else:
+                total_rate = 0.0
+                weighted_tf = 0.0
+                weighted_bytes = 0.0
+                for edge in ct.in_edges:
+                    producer_out = out_rates[edge.producer].get(edge.stream)
+                    if not producer_out:
+                        continue
+                    rate = producer_out * edge.share
+                    producer_socket = placement.get(edge.producer)
+                    if zero_tf:
+                        fetch = 0.0
+                    elif worst_tf:
+                        fetch = edge.cache_lines * worst_latency
+                    elif producer_socket is None or socket is None:
+                        fetch = 0.0  # bounding relaxation: assume collocated
+                    elif producer_socket == socket:
+                        fetch = 0.0
+                    else:
+                        fetch = edge.cache_lines * latency[producer_socket][socket]
+                    total_rate += rate
+                    weighted_tf += rate * fetch
+                    weighted_bytes += rate * edge.wire_bytes
+                    if (
+                        producer_socket is not None
+                        and socket is not None
+                        and producer_socket != socket
+                    ):
+                        interconnect[producer_socket, socket] += rate * edge.wire_bytes
+                    if collect_flows:
+                        flows.append(
+                            EdgeFlow(
+                                producer=edge.producer,
+                                consumer=edge.consumer,
+                                stream=edge.stream,
+                                tuple_rate=rate,
+                                wire_bytes_per_tuple=edge.wire_bytes,
+                                producer_socket=producer_socket,
+                                consumer_socket=socket,
+                                fetch_ns_per_tuple=fetch,
+                            )
+                        )
+                if total_rate > 0.0:
+                    input_rate = total_rate
+                    tf_ns = weighted_tf / total_rate
+                    in_bytes = weighted_bytes / total_rate
+                else:
+                    input_rate = tf_ns = in_bytes = 0.0
+
+            overhead_ns = ct.base_overhead_ns + ct.serde_per_in_byte * in_bytes
+            t_ns = ct.te_ns + overhead_ns + tf_ns
+            capacity = ct.weight * NS_PER_SECOND / t_ns if t_ns > 0 else float("inf")
+            processed = input_rate if input_rate <= capacity else capacity
+            oversupplied = input_rate > capacity * (1.0 + _OVERSUPPLY_TOLERANCE)
+            task_out = {stream: processed * sel for stream, sel in ct.selectivity}
+            out_rates[ct.task_id] = task_out
+            if ct.is_sink:
+                throughput += processed
+                if not task_out:
+                    # Sinks emit nothing; their "output rate" for R is the
+                    # processed rate (the paper's sink counter increments).
+                    task_out = {"__sink__": processed}
+            rates[ct.task_id] = TaskRates(
+                task_id=ct.task_id,
+                component=ct.component,
+                weight=ct.weight,
+                input_rate=input_rate,
+                capacity=capacity,
+                processed_rate=processed,
+                output_rates=task_out,
+                te_ns=ct.te_ns,
+                overhead_ns=overhead_ns,
+                tf_ns=tf_ns,
+                oversupplied=oversupplied,
+            )
+
+        return ModelResult(
+            throughput=throughput,
+            rates=rates,
+            interconnect_bytes=interconnect,
+            flows=flows,
+        )
+
+    # ------------------------------------------------------------------
+    # Term helpers (used by measurement/metrics code and tests)
+    # ------------------------------------------------------------------
+    def fetch_cost_ns(
+        self,
+        payload_bytes: float,
+        producer_socket: int | None,
+        consumer_socket: int | None,
+    ) -> float:
+        """Formula 2 under the active :class:`TfMode` (wire bytes include
+        the per-tuple header share the system profile dictates)."""
+        if self.tf_mode is TfMode.ZERO:
+            return 0.0
+        wire = self.system.wire_bytes(payload_bytes)
+        lines = self.machine.cache_lines(wire)
+        if self.tf_mode is TfMode.WORST:
+            return lines * self._worst_latency
+        if producer_socket is None or consumer_socket is None:
+            return 0.0  # bounding relaxation: assume collocated
+        if producer_socket == consumer_socket:
+            return 0.0
+        return lines * self.machine.latency_ns(producer_socket, consumer_socket)

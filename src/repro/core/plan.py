@@ -1,0 +1,145 @@
+"""Execution plans: replication + placement of every task.
+
+A streaming execution plan determines the number of replicas of each
+operator and the CPU socket each replica is allocated to (Section 1).  The
+replication half lives in the :class:`~repro.dsps.graph.ExecutionGraph`;
+this module adds the placement half and utilities the optimizer and the
+simulators share.
+
+During branch-and-bound the placement is *partial*: unplaced tasks simply
+have no entry.  A plan is *complete* when every task is placed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.dsps.graph import ExecutionGraph, Task
+from repro.errors import PlanError
+from repro.hardware.machine import MachineSpec
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """An (optionally partial) placement of an execution graph's tasks."""
+
+    graph: ExecutionGraph
+    placement: Mapping[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "placement", dict(self.placement))
+        for task_id in self.placement:
+            self.graph.task(task_id)  # raises PlanError on unknown ids
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_complete(self) -> bool:
+        """True when every task has a socket."""
+        return len(self.placement) == self.graph.n_tasks
+
+    @property
+    def placed_tasks(self) -> list[int]:
+        return sorted(self.placement)
+
+    @property
+    def unplaced_tasks(self) -> list[int]:
+        return [t.task_id for t in self.graph.tasks if t.task_id not in self.placement]
+
+    def socket_of(self, task_id: int) -> int | None:
+        """Socket the task is placed on, or None while unplaced."""
+        return self.placement.get(task_id)
+
+    def tasks_on(self, socket: int) -> list[Task]:
+        """Tasks currently placed on ``socket``."""
+        return [
+            self.graph.task(task_id)
+            for task_id, s in sorted(self.placement.items())
+            if s == socket
+        ]
+
+    def used_sockets(self) -> set[int]:
+        """Sockets hosting at least one task."""
+        return set(self.placement.values())
+
+    def replicas_on(self, socket: int) -> int:
+        """Replica count (sum of task weights) on ``socket``."""
+        return sum(t.weight for t in self.tasks_on(socket))
+
+    def collocated(self, a: int, b: int) -> bool:
+        """True when both tasks are placed on the same socket."""
+        sa, sb = self.placement.get(a), self.placement.get(b)
+        return sa is not None and sa == sb
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def assign(self, assignments: Mapping[int, int] | Iterable[tuple[int, int]]) -> "ExecutionPlan":
+        """New plan with additional task -> socket assignments.
+
+        Re-assigning an already placed task to a different socket is an
+        error: B&B decisions are never silently overwritten.
+        """
+        items = assignments.items() if isinstance(assignments, Mapping) else assignments
+        updated = dict(self.placement)
+        for task_id, socket in items:
+            current = updated.get(task_id)
+            if current is not None and current != socket:
+                raise PlanError(
+                    f"task {task_id} already placed on socket {current}, "
+                    f"refusing to move it to {socket}"
+                )
+            updated[task_id] = socket
+        return ExecutionPlan(graph=self.graph, placement=updated)
+
+    def validate_complete(self, machine: MachineSpec) -> None:
+        """Raise unless the plan is complete and sockets are in range."""
+        if not self.is_complete:
+            raise PlanError(
+                f"plan incomplete: tasks {self.unplaced_tasks} unplaced"
+            )
+        for task_id, socket in self.placement.items():
+            if not 0 <= socket < machine.n_sockets:
+                raise PlanError(
+                    f"task {task_id} placed on socket {socket}, but machine "
+                    f"has {machine.n_sockets} sockets"
+                )
+
+    def replica_assignment(self) -> dict[tuple[str, int], int]:
+        """Per-replica socket map ``(component, replica) -> socket``."""
+        return self.graph.replica_assignment(self.placement)
+
+    def signature(self) -> frozenset[tuple[int, int]]:
+        """Hashable identity of this (partial) placement.
+
+        Used for redundancy elimination: two B&B nodes with the same
+        signature describe the same sub-problem.
+        """
+        return frozenset(self.placement.items())
+
+    def describe(self) -> str:
+        """Placement per socket in a readable layout."""
+        lines = [f"plan for {self.graph.topology.name!r}"]
+        for socket in sorted(self.used_sockets()):
+            tasks = ", ".join(t.label for t in self.tasks_on(socket))
+            lines.append(f"  socket {socket}: {tasks}")
+        if self.unplaced_tasks:
+            labels = ", ".join(
+                self.graph.task(t).label for t in self.unplaced_tasks
+            )
+            lines.append(f"  unplaced: {labels}")
+        return "\n".join(lines)
+
+
+def empty_plan(graph: ExecutionGraph) -> ExecutionPlan:
+    """A plan with no task placed yet (the B&B root's starting point)."""
+    return ExecutionPlan(graph=graph, placement={})
+
+
+def collocated_plan(graph: ExecutionGraph, socket: int = 0) -> ExecutionPlan:
+    """Everything on one socket — the root node's bounding configuration."""
+    return ExecutionPlan(
+        graph=graph, placement={t.task_id: socket for t in graph.tasks}
+    )

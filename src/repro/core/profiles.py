@@ -1,0 +1,263 @@
+"""Operator and system cost profiles: the model's "operator specific" inputs.
+
+Table 1 groups the performance-model inputs into machine-, operator- and
+plan-specific terms.  This module holds the operator terms:
+
+``Te``
+    average execution time per tuple (profiled in CPU cycles, Figure 3);
+``M``
+    average memory-bandwidth consumption per tuple (bytes);
+``N``
+    average size per tuple (bytes) — a property of the *producer's* output
+    stream, since the consumer fetches whatever its producer stored;
+selectivity
+    output tuples per input tuple, per output stream (pre-profiled,
+    Section 3.1).
+
+It also defines :class:`SystemProfile`, the per-DSPS cost structure used to
+model BriskStream against Storm/Flink-style runtimes (Section 5 / Figure 8):
+instruction-footprint multiplier on ``Te``, per-tuple "Others" overhead,
+(de)serialization cost and whether headers / queue insertions are amortized
+by jumbo tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Mapping
+
+from repro.dsps.tuples import DEFAULT_STREAM, TUPLE_HEADER_BYTES
+from repro.errors import ProfilingError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.dsps.engine import RunResult
+    from repro.dsps.topology import Topology
+
+
+@dataclass(frozen=True)
+class OperatorProfile:
+    """Profiled cost statistics of one logical operator.
+
+    Attributes
+    ----------
+    component:
+        Logical component name.
+    te_cycles:
+        50th-percentile execution cycles per input tuple (function execution
+        plus emission, Formula 1's ``Te`` before unit conversion).
+    memory_bytes:
+        ``M``: DRAM traffic in bytes per processed tuple.
+    output_bytes:
+        Mean output *payload* size per stream (bytes, headers excluded).
+    selectivity:
+        Output tuples per input tuple, per stream.
+    te_cv:
+        Coefficient of variation of ``Te``; drives the profiler's CDF
+        (Figure 3) and the discrete-event simulator's service-time jitter.
+    """
+
+    component: str
+    te_cycles: float
+    memory_bytes: float = 0.0
+    output_bytes: Mapping[str, float] = field(default_factory=dict)
+    selectivity: Mapping[str, float] = field(default_factory=dict)
+    te_cv: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.te_cycles < 0:
+            raise ProfilingError(f"{self.component}: Te must be >= 0 cycles")
+        if self.memory_bytes < 0:
+            raise ProfilingError(f"{self.component}: M must be >= 0 bytes")
+        object.__setattr__(self, "output_bytes", MappingProxyType(dict(self.output_bytes)))
+        object.__setattr__(self, "selectivity", MappingProxyType(dict(self.selectivity)))
+        for stream, value in self.selectivity.items():
+            if value < 0:
+                raise ProfilingError(
+                    f"{self.component}: selectivity on {stream!r} must be >= 0"
+                )
+
+    def stream_selectivity(self, stream: str = DEFAULT_STREAM) -> float:
+        """Selectivity on ``stream`` (0 when the stream is never emitted)."""
+        return float(self.selectivity.get(stream, 0.0))
+
+    @property
+    def total_selectivity(self) -> float:
+        """Total output tuples per input tuple across all streams."""
+        return float(sum(self.selectivity.values()))
+
+    def stream_bytes(self, stream: str = DEFAULT_STREAM) -> float:
+        """Mean output payload bytes on ``stream``."""
+        return float(self.output_bytes.get(stream, 0.0))
+
+
+class ProfileSet:
+    """The profiles of every component of one application topology."""
+
+    def __init__(self, topology: "Topology", profiles: Mapping[str, OperatorProfile]) -> None:
+        self.topology = topology
+        self._profiles = dict(profiles)
+        missing = set(topology.components) - set(self._profiles)
+        if missing:
+            raise ProfilingError(f"profiles missing for components {sorted(missing)}")
+
+    def __getitem__(self, component: str) -> OperatorProfile:
+        try:
+            return self._profiles[component]
+        except KeyError as exc:
+            raise ProfilingError(f"no profile for component {component!r}") from exc
+
+    def __contains__(self, component: str) -> bool:
+        return component in self._profiles
+
+    def components(self) -> list[str]:
+        return sorted(self._profiles)
+
+    def replace(self, component: str, **changes: object) -> "ProfileSet":
+        """New profile set with one component's profile fields replaced."""
+        updated = dict(self._profiles)
+        updated[component] = replace(self[component], **changes)
+        return ProfileSet(self.topology, updated)
+
+    def edge_payload_bytes(self, producer: str, stream: str = DEFAULT_STREAM) -> float:
+        """``N`` for an edge: the producer's output payload size on ``stream``."""
+        return self[producer].stream_bytes(stream)
+
+    @classmethod
+    def from_run(
+        cls,
+        topology: "Topology",
+        run: "RunResult",
+        te_cycles: Mapping[str, float],
+        memory_bytes: Mapping[str, float] | None = None,
+        te_cv: Mapping[str, float] | None = None,
+    ) -> "ProfileSet":
+        """Instantiate profiles by *measuring* a functional engine run.
+
+        Selectivities and output sizes are taken from the run (the paper
+        pre-profiles selectivity statistics the same way); ``Te`` and ``M``
+        must be supplied, since a GIL-bound wall clock cannot stand in for
+        per-core cycle counts.
+        """
+        memory_bytes = memory_bytes or {}
+        te_cv = te_cv or {}
+        profiles: dict[str, OperatorProfile] = {}
+        for name in topology.components:
+            if name not in te_cycles:
+                raise ProfilingError(f"te_cycles missing for component {name!r}")
+            streams = {edge.stream for edge in topology.outgoing(name)}
+            selectivity = {s: run.selectivity(name, s) for s in streams}
+            output_bytes = {s: run.mean_tuple_bytes(name, s) for s in streams}
+            profiles[name] = OperatorProfile(
+                component=name,
+                te_cycles=float(te_cycles[name]),
+                memory_bytes=float(memory_bytes.get(name, 0.0)),
+                output_bytes=output_bytes,
+                selectivity=selectivity,
+                te_cv=float(te_cv.get(name, 0.1)),
+            )
+        return cls(topology, profiles)
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """Per-DSPS runtime cost structure (Section 5, Figure 8).
+
+    ``T = Te * te_multiplier + Others + Tf`` where Others bundles temporary
+    object creation, condition checking, queue access and context switching.
+
+    Attributes
+    ----------
+    name:
+        System name for reports.
+    te_multiplier:
+        Factor scaling the profiled ``Te`` (BriskStream = 1).
+    te_footprint_ns:
+        Additive per-tuple execution inflation from the instruction
+        footprint (front-end stalls).  Together with ``te_multiplier``
+        this reproduces Figure 8's observation that BriskStream's Execute
+        is 5-24% of Storm's: small operators suffer relatively more from
+        a large code footprint than big ones
+        (``execute = te * multiplier + footprint``).
+    others_ns:
+        Fixed per-tuple overhead in ns (object churn, checks, switches).
+    queue_op_ns:
+        Cost of one communication-queue insertion, in ns.
+    serialization_ns_per_byte:
+        (De)serialization cost per payload byte (0 for same-address-space
+        pass-by-reference systems).
+    header_amortized:
+        True when one tuple header is shared per batch (jumbo tuple).
+    queue_amortized:
+        True when one queue insertion covers a whole batch.
+    batch_size:
+        Output buffering batch size.
+    queue_capacity:
+        Communication queue bound in tuples per producer/consumer pair.
+        Governs the saturated end-to-end latency (Table 5): big buffers
+        (Storm) take correspondingly long to drain.
+    multi_input_penalty_ns:
+        Extra per-tuple cost for operators consuming more than one input
+        stream.  Models Flink's mandatory stream-merger (co-flat-map)
+        operators, which hurt it on LR (Section 6.3).
+    interference_per_socket:
+        Unmanaged-interference growth: per-tuple overhead is multiplied by
+        ``1 + v * (used_sockets - 1)`` at *measurement* time.  Zero for
+        BriskStream (thread affinity + isolcpus); positive for distributed
+        DSPSs whose unpinned threads suffer migrations, queue contention
+        and coordination as the deployment spreads — the reason Storm and
+        Flink "fail to scale on large multicores" (Sections 1, 6.3).
+    """
+
+    name: str
+    te_multiplier: float = 1.0
+    te_footprint_ns: float = 0.0
+    others_ns: float = 0.0
+    queue_op_ns: float = 0.0
+    serialization_ns_per_byte: float = 0.0
+    header_amortized: bool = True
+    queue_amortized: bool = True
+    batch_size: int = 64
+    queue_capacity: int = 2048
+    multi_input_penalty_ns: float = 0.0
+    interference_per_socket: float = 0.0
+
+    def interference_factor(self, used_sockets: int) -> float:
+        """Overhead multiplier when the plan spans ``used_sockets`` sockets."""
+        return 1.0 + self.interference_per_socket * max(0, used_sockets - 1)
+
+    def __post_init__(self) -> None:
+        if self.te_multiplier <= 0:
+            raise ProfilingError("te_multiplier must be positive")
+        if self.batch_size < 1:
+            raise ProfilingError("batch_size must be >= 1")
+        if self.queue_capacity < self.batch_size:
+            raise ProfilingError("queue_capacity must hold at least one batch")
+
+    def execute_ns(self, te_ns: float) -> float:
+        """Function execution time on this system for a profiled ``Te``."""
+        return te_ns * self.te_multiplier + self.te_footprint_ns
+
+    def header_bytes_per_tuple(self) -> float:
+        """Effective metadata bytes each transferred tuple carries."""
+        if self.header_amortized:
+            return TUPLE_HEADER_BYTES / self.batch_size
+        return float(TUPLE_HEADER_BYTES)
+
+    def wire_bytes(self, payload_bytes: float) -> float:
+        """Bytes actually moved per tuple on an edge (payload + header)."""
+        return payload_bytes + self.header_bytes_per_tuple()
+
+    def queue_cost_ns(self, emitted_tuples: float) -> float:
+        """Queue insertion cost charged per input tuple.
+
+        ``emitted_tuples`` is the operator's total selectivity: each emitted
+        tuple needs (an amortized share of) a queue insertion.
+        """
+        per_tuple = self.queue_op_ns / self.batch_size if self.queue_amortized else self.queue_op_ns
+        return emitted_tuples * per_tuple
+
+    def overhead_ns(self, in_bytes: float, out_bytes: float, emitted_tuples: float) -> float:
+        """Total per-input-tuple "Others" overhead in ns."""
+        serde = self.serialization_ns_per_byte * (in_bytes + out_bytes)
+        return self.others_ns + serde + self.queue_cost_ns(emitted_tuples)

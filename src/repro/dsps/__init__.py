@@ -1,0 +1,88 @@
+"""Streaming substrate: tuples, streams, operators, topologies and engine.
+
+This package is the DSPS that RLAS optimizes — the BriskStream runtime
+reimagined as an executable-in-one-process dataflow (see DESIGN.md for the
+GIL-driven substitution).  It mirrors the Storm/Heron API surface that
+BriskStream adopts: spouts, operators (bolts), groupings and a topology
+builder.
+"""
+
+from repro.dsps.engine import LocalEngine, RunResult, TaskStats
+from repro.dsps.graph import ExecutionGraph, Task, TaskEdge
+from repro.dsps.operators import (
+    Emission,
+    FilterOperator,
+    FlatMapOperator,
+    IterableSpout,
+    MapOperator,
+    Operator,
+    OperatorContext,
+    Sink,
+    Spout,
+)
+from repro.dsps.queues import CommunicationQueue, OutputBuffer, QueueStats
+from repro.dsps.streams import (
+    BroadcastGrouping,
+    FieldsGrouping,
+    GlobalGrouping,
+    Grouping,
+    ShuffleGrouping,
+    StreamEdge,
+    broadcast,
+    fields,
+    global_,
+    shuffle,
+)
+from repro.dsps.topology import (
+    ComponentKind,
+    ComponentSpec,
+    Topology,
+    TopologyBuilder,
+)
+from repro.dsps.tuples import (
+    DEFAULT_STREAM,
+    TUPLE_HEADER_BYTES,
+    JumboTuple,
+    StreamTuple,
+    payload_bytes,
+)
+
+__all__ = [
+    "LocalEngine",
+    "RunResult",
+    "TaskStats",
+    "ExecutionGraph",
+    "Task",
+    "TaskEdge",
+    "Emission",
+    "FilterOperator",
+    "FlatMapOperator",
+    "IterableSpout",
+    "MapOperator",
+    "Operator",
+    "OperatorContext",
+    "Sink",
+    "Spout",
+    "CommunicationQueue",
+    "OutputBuffer",
+    "QueueStats",
+    "BroadcastGrouping",
+    "FieldsGrouping",
+    "GlobalGrouping",
+    "Grouping",
+    "ShuffleGrouping",
+    "StreamEdge",
+    "broadcast",
+    "fields",
+    "global_",
+    "shuffle",
+    "ComponentKind",
+    "ComponentSpec",
+    "Topology",
+    "TopologyBuilder",
+    "DEFAULT_STREAM",
+    "TUPLE_HEADER_BYTES",
+    "JumboTuple",
+    "StreamTuple",
+    "payload_bytes",
+]

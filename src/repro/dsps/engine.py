@@ -1,0 +1,289 @@
+"""Functional local engine: actually runs tuples through operator code.
+
+The GIL makes Python threads useless for multicore *throughput*, so the
+engine executes the replicated dataflow single-threaded, in topological task
+order, while preserving the semantics a threaded DSPS would give an acyclic
+DAG: every replica has private state, tuples are routed by the edge
+groupings, outputs are batched into jumbo tuples per consumer.
+
+The engine serves three purposes:
+
+* validating application logic (the examples and app tests run on it);
+* *measuring* selectivities and tuple sizes for model instantiation, the
+  way the paper pre-profiles each operator's selectivity statistics;
+* feeding recorded per-operator behaviour to the profiler and simulator.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.dsps.graph import ExecutionGraph, Task
+from repro.dsps.operators import Operator, OperatorContext, Sink, Spout
+from repro.dsps.queues import CommunicationQueue, OutputBuffer
+from repro.dsps.topology import ComponentKind, Topology
+from repro.dsps.tuples import StreamTuple, payload_bytes
+from repro.errors import TopologyError
+
+
+@dataclass
+class TaskStats:
+    """Per-task functional counters collected during a run."""
+
+    task_id: int
+    component: str
+    tuples_in: int = 0
+    tuples_out: int = 0
+    out_by_stream: dict[str, int] = field(default_factory=dict)
+    bytes_out_by_stream: dict[str, int] = field(default_factory=dict)
+
+    def record_out(self, stream: str, size: int) -> None:
+        self.tuples_out += 1
+        self.out_by_stream[stream] = self.out_by_stream.get(stream, 0) + 1
+        self.bytes_out_by_stream[stream] = (
+            self.bytes_out_by_stream.get(stream, 0) + size
+        )
+
+
+@dataclass
+class RunResult:
+    """Outcome of one functional engine run."""
+
+    topology_name: str
+    events_ingested: int
+    task_stats: dict[int, TaskStats]
+    sinks: dict[str, list[Sink]]
+
+    def component_in(self, component: str) -> int:
+        """Total tuples consumed by all replicas of ``component``."""
+        return sum(
+            s.tuples_in for s in self.task_stats.values() if s.component == component
+        )
+
+    def component_out(self, component: str, stream: str | None = None) -> int:
+        """Total tuples emitted by ``component`` (optionally one stream)."""
+        total = 0
+        for stats in self.task_stats.values():
+            if stats.component != component:
+                continue
+            if stream is None:
+                total += stats.tuples_out
+            else:
+                total += stats.out_by_stream.get(stream, 0)
+        return total
+
+    def selectivity(self, component: str, stream: str | None = None) -> float:
+        """Measured output/input ratio of ``component``.
+
+        For spouts the denominator is the number of ingested events.
+        """
+        consumed = self.component_in(component)
+        if consumed == 0:
+            consumed = self.events_ingested
+        if consumed == 0:
+            return 0.0
+        return self.component_out(component, stream) / consumed
+
+    def mean_tuple_bytes(self, component: str, stream: str | None = None) -> float:
+        """Measured mean output payload size of ``component`` in bytes."""
+        tuples = 0
+        total_bytes = 0
+        for stats in self.task_stats.values():
+            if stats.component != component:
+                continue
+            for name, count in stats.out_by_stream.items():
+                if stream is not None and name != stream:
+                    continue
+                tuples += count
+                total_bytes += stats.bytes_out_by_stream.get(name, 0)
+        if tuples == 0:
+            return 0.0
+        return total_bytes / tuples
+
+    def sink_received(self) -> int:
+        """Total tuples received across every sink replica."""
+        return sum(s.received for sinks in self.sinks.values() for s in sinks)
+
+
+class LocalEngine:
+    """Single-process functional executor for a topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        replication: Mapping[str, int] | None = None,
+        batch_size: int = 64,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        topology:
+            The validated application DAG.
+        replication:
+            Replicas per component; defaults to each component's
+            parallelism hint.
+        batch_size:
+            Jumbo-tuple batch size used on every producer/consumer pair.
+        """
+        self.topology = topology
+        if replication is None:
+            replication = {
+                name: spec.parallelism_hint
+                for name, spec in topology.components.items()
+            }
+        self.graph = ExecutionGraph(topology, replication, group_size=1)
+        self.batch_size = batch_size
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, max_events: int) -> RunResult:
+        """Ingest up to ``max_events`` external events per spout replica and
+        process the DAG to completion.
+
+        Returns per-task statistics plus the live sink instances, whose
+        application-level state (counters, detected spikes...) callers can
+        inspect directly.
+        """
+        if max_events < 0:
+            raise TopologyError("max_events must be >= 0")
+
+        tasks = self.graph.topological_task_order()
+        instances = self._instantiate(tasks)
+        stats = {
+            t.task_id: TaskStats(task_id=t.task_id, component=t.component)
+            for t in tasks
+        }
+        queues: dict[tuple[int, int], CommunicationQueue] = {}
+        buffers: dict[tuple[int, int], OutputBuffer] = {}
+        for edge in self.graph.edges:
+            key = (edge.producer, edge.consumer)
+            queues[key] = CommunicationQueue(edge.producer, edge.consumer)
+            buffers[key] = OutputBuffer(edge.producer, edge.consumer, self.batch_size)
+        route_counters: dict[tuple[int, str], int] = defaultdict(int)
+
+        events = 0
+        for task in tasks:
+            instance = instances[task.task_id]
+            if isinstance(instance, Spout):
+                events += self._run_spout(
+                    task, instance, stats, queues, buffers, route_counters, max_events
+                )
+            else:
+                self._run_operator(
+                    task, instance, stats, queues, buffers, route_counters
+                )
+            self._flush_buffers(task, buffers, queues)
+
+        sinks: dict[str, list[Sink]] = defaultdict(list)
+        for task in tasks:
+            instance = instances[task.task_id]
+            if isinstance(instance, Sink):
+                sinks[task.component].append(instance)
+        return RunResult(
+            topology_name=self.topology.name,
+            events_ingested=events,
+            task_stats=stats,
+            sinks=dict(sinks),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _instantiate(self, tasks: list[Task]) -> dict[int, Spout | Operator]:
+        instances: dict[int, Spout | Operator] = {}
+        for task in tasks:
+            spec = self.topology.component(task.component)
+            instance = spec.template.clone()
+            context = OperatorContext(
+                operator=task.component,
+                replica_index=task.replica_start,
+                n_replicas=self.graph.replication[task.component],
+                task_id=task.task_id,
+            )
+            instance.prepare(context)
+            instances[task.task_id] = instance
+        return instances
+
+    def _run_spout(
+        self,
+        task: Task,
+        spout: Spout,
+        stats: dict[int, TaskStats],
+        queues: dict[tuple[int, int], CommunicationQueue],
+        buffers: dict[tuple[int, int], OutputBuffer],
+        counters: dict[tuple[int, str], int],
+        max_events: int,
+    ) -> int:
+        produced = 0
+        for values in spout.next_batch(max_events):
+            item = StreamTuple(
+                values=values,
+                source_task=task.task_id,
+                event_time_ns=float(produced),
+            )
+            stats[task.task_id].record_out(item.stream, item.payload_size_bytes)
+            self._route(task, item, queues, buffers, counters)
+            produced += 1
+        return produced
+
+    def _run_operator(
+        self,
+        task: Task,
+        operator: Operator,
+        stats: dict[int, TaskStats],
+        queues: dict[tuple[int, int], CommunicationQueue],
+        buffers: dict[tuple[int, int], OutputBuffer],
+        counters: dict[tuple[int, str], int],
+    ) -> None:
+        task_stats = stats[task.task_id]
+        for edge in self.graph.incoming(task.task_id):
+            queue = queues[(edge.producer, edge.consumer)]
+            for item in queue.drain_tuples():
+                task_stats.tuples_in += 1
+                for stream, values in operator.process(item):
+                    out = item.derive(values, stream=stream, source_task=task.task_id)
+                    task_stats.record_out(stream, out.payload_size_bytes)
+                    self._route(task, out, queues, buffers, counters)
+        for stream, values in operator.flush():
+            out = StreamTuple(
+                values=tuple(values), stream=stream, source_task=task.task_id
+            )
+            task_stats.record_out(stream, out.payload_size_bytes)
+            self._route(task, out, queues, buffers, counters)
+
+    def _route(
+        self,
+        task: Task,
+        item: StreamTuple,
+        queues: dict[tuple[int, int], CommunicationQueue],
+        buffers: dict[tuple[int, int], OutputBuffer],
+        counters: dict[tuple[int, str], int],
+    ) -> None:
+        for edge in self.topology.outgoing(task.component):
+            if edge.stream != item.stream:
+                continue
+            consumers = self.graph.tasks_of(edge.consumer)
+            key = (task.task_id, f"{edge.consumer}/{edge.stream}")
+            indices = edge.grouping.route(item, len(consumers), counters[key])
+            counters[key] += 1
+            for index in indices:
+                consumer = consumers[index]
+                buffer = buffers[(task.task_id, consumer.task_id)]
+                sealed = buffer.append(item)
+                if sealed is not None:
+                    queues[(task.task_id, consumer.task_id)].put(sealed)
+
+    def _flush_buffers(
+        self,
+        task: Task,
+        buffers: dict[tuple[int, int], OutputBuffer],
+        queues: dict[tuple[int, int], CommunicationQueue],
+    ) -> None:
+        for edge in self.graph.outgoing(task.task_id):
+            buffer = buffers[(edge.producer, edge.consumer)]
+            sealed = buffer.flush()
+            if sealed is not None:
+                queues[(edge.producer, edge.consumer)].put(sealed)

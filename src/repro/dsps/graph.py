@@ -1,0 +1,295 @@
+"""Execution graph: the logical DAG expanded into replicated tasks.
+
+A *streaming execution plan* fixes, for every operator, its number of
+replicas and the socket each replica runs on (Section 2.2).  The execution
+graph materializes the first half: each component becomes ``replication``
+tasks, and every logical edge becomes task-level edges whose ``share``
+describes which fraction of a producer task's output rate reaches each
+consumer task (derived from the edge's grouping).
+
+Graph compression (heuristic 3, Section 4) is supported natively: a task may
+carry ``weight > 1``, meaning it stands for ``weight`` replicas that are
+scheduled together.  The performance model scales the task's processing
+capacity and resource demand by its weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import networkx as nx
+
+from repro.dsps.streams import BroadcastGrouping, GlobalGrouping, Grouping
+from repro.dsps.topology import Topology
+from repro.errors import PlanError
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit: a replica (or compressed replica group).
+
+    Attributes
+    ----------
+    task_id:
+        Dense id, unique within the execution graph.
+    component:
+        Logical component name this task replicates.
+    replica_start:
+        Index of the first replica merged into this task.
+    weight:
+        Number of replicas this task stands for (1 unless compressed).
+    """
+
+    task_id: int
+    component: str
+    replica_start: int
+    weight: int = 1
+
+    @property
+    def replicas(self) -> range:
+        """Replica indices of the component covered by this task."""
+        return range(self.replica_start, self.replica_start + self.weight)
+
+    @property
+    def label(self) -> str:
+        if self.weight == 1:
+            return f"{self.component}#{self.replica_start}"
+        return f"{self.component}#{self.replica_start}-{self.replica_start + self.weight - 1}"
+
+
+@dataclass(frozen=True)
+class TaskEdge:
+    """A task-level stream edge with its rate share.
+
+    ``share`` is the fraction of the producer task's output rate (on this
+    stream) that flows to the consumer task.  Shares over all consumers of a
+    unicast grouping sum to 1; a broadcast edge's shares sum to the
+    consumer-side fan-out.
+    """
+
+    producer: int
+    consumer: int
+    stream: str
+    grouping: Grouping
+    share: float
+
+
+class ExecutionGraph:
+    """The replicated task graph for one replication configuration."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        replication: Mapping[str, int],
+        group_size: int | Mapping[str, int] = 1,
+    ) -> None:
+        """Expand ``topology`` under ``replication``.
+
+        Parameters
+        ----------
+        topology:
+            Validated logical DAG.
+        replication:
+            Replicas per component.  Every component must be present.
+        group_size:
+            Compression ratio ``r``: merge up to ``r`` replicas of a
+            component into one schedulable task.  Either a single int for
+            all components or a per-component mapping.  Components consumed
+            through global or broadcast groupings are never compressed
+            (their rate semantics are per-replica).
+        """
+        self.topology = topology
+        self.replication = dict(replication)
+        for name in topology.components:
+            count = self.replication.get(name)
+            if count is None:
+                raise PlanError(f"replication missing for component {name!r}")
+            if count < 1:
+                raise PlanError(f"replication for {name!r} must be >= 1, got {count}")
+        unknown = set(self.replication) - set(topology.components)
+        if unknown:
+            raise PlanError(f"replication given for unknown components {sorted(unknown)}")
+
+        self._group_size = self._resolve_group_sizes(group_size)
+        self._tasks: list[Task] = []
+        self._tasks_by_component: dict[str, list[Task]] = {}
+        self._build_tasks()
+        self._edges: list[TaskEdge] = []
+        self._incoming: dict[int, list[TaskEdge]] = {t.task_id: [] for t in self._tasks}
+        self._outgoing: dict[int, list[TaskEdge]] = {t.task_id: [] for t in self._tasks}
+        self._build_edges()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _resolve_group_sizes(
+        self, group_size: int | Mapping[str, int]
+    ) -> dict[str, int]:
+        special = {
+            edge.consumer
+            for edge in self.topology.edges
+            if isinstance(edge.grouping, (GlobalGrouping, BroadcastGrouping))
+        }
+        sizes: dict[str, int] = {}
+        for name in self.topology.components:
+            if isinstance(group_size, Mapping):
+                size = int(group_size.get(name, 1))
+            else:
+                size = int(group_size)
+            if size < 1:
+                raise PlanError(f"group size for {name!r} must be >= 1, got {size}")
+            sizes[name] = 1 if name in special else size
+        return sizes
+
+    def _build_tasks(self) -> None:
+        next_id = 0
+        for name in self.topology.topological_order():
+            replicas = self.replication[name]
+            size = self._group_size[name]
+            tasks: list[Task] = []
+            start = 0
+            while start < replicas:
+                weight = min(size, replicas - start)
+                task = Task(
+                    task_id=next_id, component=name, replica_start=start, weight=weight
+                )
+                tasks.append(task)
+                self._tasks.append(task)
+                next_id += 1
+                start += weight
+            self._tasks_by_component[name] = tasks
+
+    def _build_edges(self) -> None:
+        for edge in self.topology.edges:
+            producers = self._tasks_by_component[edge.producer]
+            consumers = self._tasks_by_component[edge.consumer]
+            total_weight = sum(c.weight for c in consumers)
+            for producer in producers:
+                for consumer in consumers:
+                    share = self._share(edge.grouping, consumer, total_weight)
+                    if share <= 0.0:
+                        continue
+                    task_edge = TaskEdge(
+                        producer=producer.task_id,
+                        consumer=consumer.task_id,
+                        stream=edge.stream,
+                        grouping=edge.grouping,
+                        share=share,
+                    )
+                    self._edges.append(task_edge)
+                    self._incoming[consumer.task_id].append(task_edge)
+                    self._outgoing[producer.task_id].append(task_edge)
+
+    @staticmethod
+    def _share(grouping: Grouping, consumer: Task, total_weight: int) -> float:
+        if isinstance(grouping, GlobalGrouping):
+            return 1.0 if consumer.replica_start == 0 else 0.0
+        if isinstance(grouping, BroadcastGrouping):
+            return float(consumer.weight)
+        return consumer.weight / total_weight
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def tasks(self) -> list[Task]:
+        """All tasks, ids dense and topologically ordered by component."""
+        return list(self._tasks)
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def total_replicas(self) -> int:
+        """Total replica count (sum of task weights)."""
+        return sum(t.weight for t in self._tasks)
+
+    @property
+    def edges(self) -> list[TaskEdge]:
+        return list(self._edges)
+
+    def task(self, task_id: int) -> Task:
+        try:
+            return self._tasks[task_id]
+        except IndexError as exc:
+            raise PlanError(f"unknown task id {task_id}") from exc
+
+    def tasks_of(self, component: str) -> list[Task]:
+        """Tasks replicating one component."""
+        try:
+            return list(self._tasks_by_component[component])
+        except KeyError as exc:
+            raise PlanError(f"unknown component {component!r}") from exc
+
+    def incoming(self, task_id: int) -> list[TaskEdge]:
+        """Edges feeding task ``task_id``."""
+        self.task(task_id)
+        return list(self._incoming[task_id])
+
+    def outgoing(self, task_id: int) -> list[TaskEdge]:
+        """Edges produced by task ``task_id``."""
+        self.task(task_id)
+        return list(self._outgoing[task_id])
+
+    def producers_of(self, task_id: int) -> list[int]:
+        """Distinct producer task ids of ``task_id``."""
+        return sorted({e.producer for e in self._incoming[task_id]})
+
+    def consumers_of(self, task_id: int) -> list[int]:
+        """Distinct consumer task ids of ``task_id``."""
+        return sorted({e.consumer for e in self._outgoing[task_id]})
+
+    @property
+    def spout_tasks(self) -> list[Task]:
+        """Tasks of source components."""
+        return [t for group in self.topology.spouts for t in self._tasks_by_component[group]]
+
+    @property
+    def sink_tasks(self) -> list[Task]:
+        """Tasks of terminal components."""
+        return [t for group in self.topology.sinks for t in self._tasks_by_component[group]]
+
+    def topological_task_order(self) -> list[Task]:
+        """Tasks sorted so producer tasks precede consumer tasks."""
+        order: list[Task] = []
+        for name in self.topology.topological_order():
+            order.extend(self._tasks_by_component[name])
+        return order
+
+    def graph(self) -> nx.DiGraph:
+        """Task-level DAG as a networkx graph (for analysis/tests)."""
+        g = nx.DiGraph()
+        for task in self._tasks:
+            g.add_node(task.task_id, component=task.component, weight=task.weight)
+        for edge in self._edges:
+            g.add_edge(edge.producer, edge.consumer, share=edge.share, stream=edge.stream)
+        return g
+
+    def replica_assignment(
+        self, placement: Mapping[int, int]
+    ) -> dict[tuple[str, int], int]:
+        """Expand a per-task placement to per-replica socket assignments.
+
+        Returns a mapping ``(component, replica_index) -> socket``.  Used
+        when a plan optimized on a compressed graph must be executed on the
+        uncompressed one.
+        """
+        assignment: dict[tuple[str, int], int] = {}
+        for task in self._tasks:
+            if task.task_id not in placement:
+                raise PlanError(f"placement missing for task {task.label}")
+            socket = placement[task.task_id]
+            for replica in task.replicas:
+                assignment[(task.component, replica)] = socket
+        return assignment
+
+    def describe(self) -> str:
+        """Human-readable task inventory."""
+        lines = [
+            f"execution graph of {self.topology.name!r}: "
+            f"{self.n_tasks} tasks / {self.total_replicas} replicas"
+        ]
+        lines.extend(f"  [{t.task_id}] {t.label}" for t in self._tasks)
+        return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""Operator abstractions: spouts, bolts and sinks.
+
+An application is a DAG of continuously running operators (Section 2.2).
+The functional contract is deliberately small:
+
+* a :class:`Spout` produces new tuples from an external source;
+* an :class:`Operator` consumes one input tuple and emits zero or more
+  output tuples on named streams;
+* a :class:`Sink` consumes results and keeps whatever statistics the
+  application wants (the paper's sinks count tuples to monitor throughput).
+
+Operators must be *replicable*: the engine instantiates one copy of the
+operator per replica via :meth:`Operator.clone`, so instance state (e.g. a
+counter's hashmap) is per-replica, exactly as in a real DSPS.
+"""
+
+from __future__ import annotations
+
+import copy
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.dsps.tuples import DEFAULT_STREAM, StreamTuple
+
+#: An emitted record: (stream name, values tuple).
+Emission = tuple[str, tuple[Any, ...]]
+
+
+@dataclass(frozen=True)
+class OperatorContext:
+    """Runtime information handed to an operator replica at start-up."""
+
+    operator: str
+    replica_index: int
+    n_replicas: int
+    task_id: int
+
+
+class Operator(ABC):
+    """A continuously running, replicable stream operator."""
+
+    def prepare(self, context: OperatorContext) -> None:
+        """Called once per replica before any tuple is processed."""
+
+    @abstractmethod
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        """Handle one input tuple; yield ``(stream, values)`` emissions."""
+
+    def flush(self) -> Iterable[Emission]:
+        """Emit any trailing output when the input is exhausted."""
+        return ()
+
+    def clone(self) -> "Operator":
+        """Fresh replica with independent state (deep copy by default)."""
+        return copy.deepcopy(self)
+
+
+class Spout(ABC):
+    """A source operator pulling tuples from an external stream."""
+
+    def prepare(self, context: OperatorContext) -> None:
+        """Called once per replica before the first :meth:`next_batch`."""
+
+    @abstractmethod
+    def next_batch(self, max_tuples: int) -> Iterator[tuple[Any, ...]]:
+        """Produce up to ``max_tuples`` value tuples (may yield fewer)."""
+
+    def clone(self) -> "Spout":
+        return copy.deepcopy(self)
+
+
+class Sink(Operator):
+    """Terminal operator: counts received tuples and stores samples.
+
+    The paper's sinks increment a counter per received tuple, which is how
+    application throughput is monitored.  :attr:`received` is that counter.
+    """
+
+    def __init__(self, keep_samples: int = 0) -> None:
+        self.received = 0
+        self.keep_samples = keep_samples
+        self.samples: list[StreamTuple] = []
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        self.received += 1
+        if len(self.samples) < self.keep_samples:
+            self.samples.append(item)
+        self.on_tuple(item)
+        return ()
+
+    def on_tuple(self, item: StreamTuple) -> None:
+        """Hook for subclasses; default does nothing beyond counting."""
+
+
+class MapOperator(Operator):
+    """Apply ``fn`` to each tuple's values; emit the result (1:1)."""
+
+    def __init__(
+        self,
+        fn: Callable[[tuple[Any, ...]], Sequence[Any] | None],
+        stream: str = DEFAULT_STREAM,
+    ) -> None:
+        self.fn = fn
+        self.stream = stream
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        result = self.fn(item.values)
+        if result is not None:
+            yield self.stream, tuple(result)
+
+
+class FlatMapOperator(Operator):
+    """Apply ``fn`` producing zero or more output value tuples per input."""
+
+    def __init__(
+        self,
+        fn: Callable[[tuple[Any, ...]], Iterable[Sequence[Any]]],
+        stream: str = DEFAULT_STREAM,
+    ) -> None:
+        self.fn = fn
+        self.stream = stream
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        for values in self.fn(item.values):
+            yield self.stream, tuple(values)
+
+
+class FilterOperator(Operator):
+    """Pass tuples satisfying ``predicate``, drop the rest."""
+
+    def __init__(
+        self,
+        predicate: Callable[[tuple[Any, ...]], bool],
+        stream: str = DEFAULT_STREAM,
+    ) -> None:
+        self.predicate = predicate
+        self.stream = stream
+
+    def process(self, item: StreamTuple) -> Iterable[Emission]:
+        if self.predicate(item.values):
+            yield self.stream, item.values
+
+
+class IterableSpout(Spout):
+    """Spout replaying a (possibly infinite) iterable of value tuples."""
+
+    def __init__(self, source: Iterable[Sequence[Any]]) -> None:
+        self._factory = source
+        self._iterator: Iterator[Sequence[Any]] | None = None
+
+    def prepare(self, context: OperatorContext) -> None:
+        self._iterator = iter(self._factory)
+
+    def next_batch(self, max_tuples: int) -> Iterator[tuple[Any, ...]]:
+        if self._iterator is None:
+            self._iterator = iter(self._factory)
+        for _ in range(max_tuples):
+            try:
+                values = next(self._iterator)
+            except StopIteration:
+                return
+            yield tuple(values)

@@ -1,0 +1,182 @@
+"""Bounded communication queues with backpressure accounting.
+
+Each consumer task owns one input queue per producer task.  BriskStream
+enqueues *jumbo tuples* (batches sharing one header), so an insertion costs
+one queue operation regardless of how many tuples it carries.
+
+Queues are used in two modes:
+
+* the functional :class:`~repro.dsps.engine.LocalEngine` uses them as plain
+  FIFOs to move real tuples between operator replicas;
+* the discrete-event simulator bounds them and uses :meth:`QueueStats` to
+  account for blocking (backpressure) time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.dsps.tuples import JumboTuple, StreamTuple
+from repro.errors import SimulationError
+
+
+@dataclass
+class QueueStats:
+    """Counters describing one queue's lifetime behaviour."""
+
+    enqueued_batches: int = 0
+    enqueued_tuples: int = 0
+    dequeued_tuples: int = 0
+    rejected_batches: int = 0
+    max_depth_tuples: int = 0
+
+    @property
+    def pending_tuples(self) -> int:
+        return self.enqueued_tuples - self.dequeued_tuples
+
+
+class CommunicationQueue:
+    """A bounded FIFO of jumbo tuples between one producer/consumer pair.
+
+    Parameters
+    ----------
+    producer:
+        Producer task id (bookkeeping only).
+    consumer:
+        Consumer task id (bookkeeping only).
+    capacity_tuples:
+        Maximum number of buffered tuples before the queue reports itself
+        full (``None`` = unbounded, the functional engine's default).
+    """
+
+    def __init__(
+        self,
+        producer: int,
+        consumer: int,
+        capacity_tuples: int | None = None,
+    ) -> None:
+        if capacity_tuples is not None and capacity_tuples < 1:
+            raise SimulationError("queue capacity must be >= 1 tuple")
+        self.producer = producer
+        self.consumer = consumer
+        self.capacity_tuples = capacity_tuples
+        self.stats = QueueStats()
+        self._batches: deque[JumboTuple] = deque()
+        self._depth_tuples = 0
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    @property
+    def is_full(self) -> bool:
+        """True when no more tuples fit (backpressure to the producer)."""
+        if self.capacity_tuples is None:
+            return False
+        return self._depth_tuples >= self.capacity_tuples
+
+    def offer(self, batch: JumboTuple) -> bool:
+        """Try to enqueue ``batch``; returns False when full (no partial add)."""
+        if not batch.tuples:
+            return True
+        if (
+            self.capacity_tuples is not None
+            and self._depth_tuples + len(batch) > self.capacity_tuples
+        ):
+            self.stats.rejected_batches += 1
+            return False
+        self._batches.append(batch)
+        self._depth_tuples += len(batch)
+        self.stats.enqueued_batches += 1
+        self.stats.enqueued_tuples += len(batch)
+        self.stats.max_depth_tuples = max(self.stats.max_depth_tuples, self._depth_tuples)
+        return True
+
+    def put(self, batch: JumboTuple) -> None:
+        """Enqueue ``batch`` or raise when the queue is full."""
+        if not self.offer(batch):
+            raise SimulationError(
+                f"queue {self.producer}->{self.consumer} full "
+                f"({self._depth_tuples}/{self.capacity_tuples} tuples)"
+            )
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    @property
+    def depth_tuples(self) -> int:
+        """Buffered tuple count."""
+        return self._depth_tuples
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._batches
+
+    def poll(self) -> JumboTuple | None:
+        """Dequeue the oldest jumbo tuple, or None when empty."""
+        if not self._batches:
+            return None
+        batch = self._batches.popleft()
+        self._depth_tuples -= len(batch)
+        self.stats.dequeued_tuples += len(batch)
+        return batch
+
+    def drain_tuples(self, max_tuples: int | None = None) -> list[StreamTuple]:
+        """Dequeue whole batches until ``max_tuples`` tuples are collected.
+
+        Batches are never split (a jumbo tuple is consumed as a unit), so
+        slightly more than ``max_tuples`` tuples may be returned.
+        """
+        drained: list[StreamTuple] = []
+        while self._batches:
+            if max_tuples is not None and len(drained) >= max_tuples:
+                break
+            batch = self.poll()
+            assert batch is not None
+            drained.extend(batch.tuples)
+        return drained
+
+
+class OutputBuffer:
+    """Per-(producer, consumer) accumulation buffer forming jumbo tuples.
+
+    The partition controller appends output tuples here; once
+    ``batch_size`` tuples accumulate (or on :meth:`flush`), they are sealed
+    into one :class:`JumboTuple` and handed to the communication queue.
+    """
+
+    def __init__(self, producer: int, consumer: int, batch_size: int = 64) -> None:
+        if batch_size < 1:
+            raise SimulationError("jumbo tuple batch size must be >= 1")
+        self.producer = producer
+        self.consumer = consumer
+        self.batch_size = batch_size
+        self._pending: list[StreamTuple] = []
+        self.sealed_batches = 0
+
+    def append(self, item: StreamTuple) -> JumboTuple | None:
+        """Buffer ``item``; return a sealed jumbo tuple when the batch fills."""
+        self._pending.append(item)
+        if len(self._pending) >= self.batch_size:
+            return self._seal()
+        return None
+
+    def flush(self) -> JumboTuple | None:
+        """Seal whatever is pending (end of input / timeout path)."""
+        if not self._pending:
+            return None
+        return self._seal()
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def _seal(self) -> JumboTuple:
+        batch = JumboTuple(
+            source_task=self.producer,
+            target_task=self.consumer,
+            tuples=self._pending,
+        )
+        self._pending = []
+        self.sealed_batches += 1
+        return batch

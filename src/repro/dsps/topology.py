@@ -1,0 +1,265 @@
+"""Logical application topology: the DAG of operators.
+
+A streaming application is a DAG whose vertices are operators and whose
+edges are streams (Section 2.2).  :class:`TopologyBuilder` offers a
+Storm/Heron-flavoured fluent API, which BriskStream deliberately mirrors::
+
+    builder = TopologyBuilder("wc")
+    builder.set_spout("spout", sentence_spout, parallelism=1)
+    builder.add_operator("parser", parser, parallelism=2).shuffle_from("spout")
+    builder.add_operator("splitter", splitter).shuffle_from("parser")
+    builder.add_operator("counter", counter).fields_from("splitter", 0)
+    builder.add_sink("sink", Sink()).shuffle_from("counter")
+    topology = builder.build()
+
+The logical topology knows nothing about replication counts beyond the
+application's *declared* parallelism hints or about socket placement; those
+decisions belong to the execution plan (:mod:`repro.core.plan`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+import networkx as nx
+
+from repro.dsps.operators import Operator, Sink, Spout
+from repro.dsps.streams import (
+    BroadcastGrouping,
+    FieldsGrouping,
+    GlobalGrouping,
+    Grouping,
+    ShuffleGrouping,
+    StreamEdge,
+)
+from repro.dsps.tuples import DEFAULT_STREAM
+from repro.errors import TopologyError
+
+
+class ComponentKind(Enum):
+    """Role of a component in the DAG."""
+
+    SPOUT = "spout"
+    OPERATOR = "operator"
+    SINK = "sink"
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """A named vertex of the logical DAG."""
+
+    name: str
+    kind: ComponentKind
+    template: Spout | Operator
+    parallelism_hint: int = 1
+
+    @property
+    def is_spout(self) -> bool:
+        return self.kind is ComponentKind.SPOUT
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An immutable, validated logical application DAG."""
+
+    name: str
+    components: dict[str, ComponentSpec]
+    edges: tuple[StreamEdge, ...]
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+    @property
+    def spouts(self) -> list[str]:
+        """Names of all source components."""
+        return [n for n, c in self.components.items() if c.kind is ComponentKind.SPOUT]
+
+    @property
+    def sinks(self) -> list[str]:
+        """Components with no outgoing edge (the paper's sinks)."""
+        producers = {e.producer for e in self.edges}
+        return [name for name in self.components if name not in producers]
+
+    def component(self, name: str) -> ComponentSpec:
+        try:
+            return self.components[name]
+        except KeyError as exc:
+            raise TopologyError(f"unknown component {name!r}") from exc
+
+    def incoming(self, name: str) -> list[StreamEdge]:
+        """Edges feeding ``name``."""
+        self.component(name)
+        return [e for e in self.edges if e.consumer == name]
+
+    def outgoing(self, name: str) -> list[StreamEdge]:
+        """Edges produced by ``name``."""
+        self.component(name)
+        return [e for e in self.edges if e.producer == name]
+
+    def producers_of(self, name: str) -> list[str]:
+        """Distinct upstream component names of ``name``."""
+        return sorted({e.producer for e in self.incoming(name)})
+
+    def consumers_of(self, name: str) -> list[str]:
+        """Distinct downstream component names of ``name``."""
+        return sorted({e.consumer for e in self.outgoing(name)})
+
+    def graph(self) -> nx.DiGraph:
+        """The DAG as a :class:`networkx.DiGraph` (component granularity)."""
+        g = nx.DiGraph(name=self.name)
+        g.add_nodes_from(self.components)
+        for edge in self.edges:
+            g.add_edge(edge.producer, edge.consumer)
+        return g
+
+    def topological_order(self) -> list[str]:
+        """Components sorted so producers precede consumers."""
+        return list(nx.topological_sort(self.graph()))
+
+    def reverse_topological_order(self) -> list[str]:
+        """Sinks first — the order Algorithm 1 scales bottlenecks in."""
+        return list(reversed(self.topological_order()))
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def describe(self) -> str:
+        """Multi-line human-readable description of the DAG."""
+        lines = [f"topology {self.name!r}: {len(self.components)} components"]
+        for name in self.topological_order():
+            spec = self.components[name]
+            lines.append(f"  {name} [{spec.kind.value}] x{spec.parallelism_hint}")
+        lines.extend(f"  {edge.describe()}" for edge in self.edges)
+        return "\n".join(lines)
+
+
+class _ComponentHandle:
+    """Fluent helper returned by :meth:`TopologyBuilder.add_operator`."""
+
+    def __init__(self, builder: "TopologyBuilder", name: str) -> None:
+        self._builder = builder
+        self._name = name
+
+    def _connect(self, parent: str, stream: str, grouping: Grouping) -> "_ComponentHandle":
+        self._builder._add_edge(
+            StreamEdge(
+                producer=parent, consumer=self._name, stream=stream, grouping=grouping
+            )
+        )
+        return self
+
+    def shuffle_from(self, parent: str, stream: str = DEFAULT_STREAM) -> "_ComponentHandle":
+        """Connect to ``parent`` with shuffle (round-robin) grouping."""
+        return self._connect(parent, stream, ShuffleGrouping())
+
+    def fields_from(
+        self, parent: str, *key_fields: int, stream: str = DEFAULT_STREAM
+    ) -> "_ComponentHandle":
+        """Connect with fields (hash) grouping on ``key_fields``."""
+        return self._connect(parent, stream, FieldsGrouping(*key_fields))
+
+    def broadcast_from(
+        self, parent: str, stream: str = DEFAULT_STREAM
+    ) -> "_ComponentHandle":
+        """Connect with broadcast grouping (every replica sees every tuple)."""
+        return self._connect(parent, stream, BroadcastGrouping())
+
+    def global_from(self, parent: str, stream: str = DEFAULT_STREAM) -> "_ComponentHandle":
+        """Connect with global grouping (single consumer replica)."""
+        return self._connect(parent, stream, GlobalGrouping())
+
+
+class TopologyBuilder:
+    """Mutable builder assembling a validated :class:`Topology`."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise TopologyError("topology name must be non-empty")
+        self.name = name
+        self._components: dict[str, ComponentSpec] = {}
+        self._edges: list[StreamEdge] = []
+
+    # ------------------------------------------------------------------
+    # Vertices
+    # ------------------------------------------------------------------
+    def set_spout(self, name: str, spout: Spout, parallelism: int = 1) -> None:
+        """Register a source component."""
+        if not isinstance(spout, Spout):
+            raise TopologyError(f"{name!r}: expected a Spout, got {type(spout).__name__}")
+        self._add_component(ComponentSpec(name, ComponentKind.SPOUT, spout, parallelism))
+
+    def add_operator(
+        self, name: str, operator: Operator, parallelism: int = 1
+    ) -> _ComponentHandle:
+        """Register an intermediate operator; returns a connection handle."""
+        if not isinstance(operator, Operator):
+            raise TopologyError(
+                f"{name!r}: expected an Operator, got {type(operator).__name__}"
+            )
+        kind = ComponentKind.SINK if isinstance(operator, Sink) else ComponentKind.OPERATOR
+        self._add_component(ComponentSpec(name, kind, operator, parallelism))
+        return _ComponentHandle(self, name)
+
+    def add_sink(self, name: str, sink: Sink, parallelism: int = 1) -> _ComponentHandle:
+        """Register a terminal component."""
+        if not isinstance(sink, Sink):
+            raise TopologyError(f"{name!r}: expected a Sink, got {type(sink).__name__}")
+        self._add_component(ComponentSpec(name, ComponentKind.SINK, sink, parallelism))
+        return _ComponentHandle(self, name)
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build(self) -> Topology:
+        """Validate and freeze the topology."""
+        topology = Topology(
+            name=self.name,
+            components=dict(self._components),
+            edges=tuple(self._edges),
+        )
+        _validate(topology)
+        return topology
+
+    # ------------------------------------------------------------------
+    # Internal
+    # ------------------------------------------------------------------
+    def _add_component(self, spec: ComponentSpec) -> None:
+        if spec.name in self._components:
+            raise TopologyError(f"duplicate component name {spec.name!r}")
+        if spec.parallelism_hint < 1:
+            raise TopologyError(f"{spec.name!r}: parallelism hint must be >= 1")
+        self._components[spec.name] = spec
+
+    def _add_edge(self, edge: StreamEdge) -> None:
+        if edge.producer not in self._components:
+            raise TopologyError(f"unknown producer {edge.producer!r}")
+        if edge.consumer not in self._components:
+            raise TopologyError(f"unknown consumer {edge.consumer!r}")
+        if self._components[edge.consumer].kind is ComponentKind.SPOUT:
+            raise TopologyError(f"spout {edge.consumer!r} cannot consume a stream")
+        self._edges.append(edge)
+
+
+def _validate(topology: Topology) -> None:
+    """Reject malformed DAGs with a clear error message."""
+    if not topology.spouts:
+        raise TopologyError(f"topology {topology.name!r} has no spout")
+    graph = topology.graph()
+    if not nx.is_directed_acyclic_graph(graph):
+        cycle = nx.find_cycle(graph)
+        raise TopologyError(f"topology {topology.name!r} contains a cycle: {cycle}")
+    reachable: set[str] = set()
+    for spout in topology.spouts:
+        reachable.add(spout)
+        reachable.update(nx.descendants(graph, spout))
+    orphans = set(topology.components) - reachable
+    if orphans:
+        raise TopologyError(
+            f"components unreachable from any spout: {sorted(orphans)}"
+        )
+    for name in topology.components:
+        spec = topology.components[name]
+        if spec.kind is not ComponentKind.SPOUT and not topology.incoming(name):
+            raise TopologyError(f"non-spout component {name!r} has no input stream")

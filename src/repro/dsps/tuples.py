@@ -1,0 +1,139 @@
+"""Tuples and jumbo tuples.
+
+BriskStream passes tuples *by reference* inside one address space
+(Appendix A): a producer stores the payload locally and enqueues only a
+pointer.  The consumer later fetches the actual data, paying a NUMA-distance
+dependent cost (Formula 2).  Output tuples destined for the same consumer
+are accumulated into a single **jumbo tuple** that shares one header, which
+both removes duplicate metadata and amortizes the queue insertion cost
+(Section 5.2).
+
+This module models the data plane: payloads, headers and their sizes.  The
+byte sizes feed the performance model (``N`` in Table 1); the functional
+engine moves the actual Python values around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+#: Bytes of per-tuple metadata (stream id, source task, timestamp...).  In
+#: Storm/Heron every tuple carries its own header; in BriskStream one header
+#: is shared by every tuple inside a jumbo tuple.
+TUPLE_HEADER_BYTES = 48
+
+#: Default stream name, matching Storm's convention.
+DEFAULT_STREAM = "default"
+
+
+def payload_bytes(values: Sequence[Any]) -> int:
+    """Estimate the in-memory payload size of a tuple's values.
+
+    This plays the role of the *classmexer* agent the paper uses to measure
+    ``N``: a deterministic, structure-driven size estimate.
+    """
+    total = 0
+    for value in values:
+        if isinstance(value, str):
+            total += 40 + 2 * len(value)
+        elif isinstance(value, bool):
+            total += 16
+        elif isinstance(value, int):
+            total += 28
+        elif isinstance(value, float):
+            total += 24
+        elif isinstance(value, (bytes, bytearray)):
+            total += 33 + len(value)
+        elif isinstance(value, (list, tuple)):
+            total += 56 + payload_bytes(value)
+        elif isinstance(value, dict):
+            total += 64 + payload_bytes(list(value.keys()))
+            total += payload_bytes(list(value.values()))
+        elif value is None:
+            total += 16
+        else:
+            total += 48
+    return total
+
+
+@dataclass(frozen=True)
+class StreamTuple:
+    """A single data tuple flowing on a stream.
+
+    Attributes
+    ----------
+    values:
+        The payload fields.
+    stream:
+        Name of the output stream this tuple was emitted on.
+    source_task:
+        Id of the task that produced the tuple (-1 for external input).
+    event_time_ns:
+        Virtual time at which the *external event* behind this tuple entered
+        the system; preserved across operators so sinks can compute
+        end-to-end latency.
+    """
+
+    values: tuple[Any, ...]
+    stream: str = DEFAULT_STREAM
+    source_task: int = -1
+    event_time_ns: float = 0.0
+
+    @property
+    def size_bytes(self) -> int:
+        """Payload plus its own header (a lone tuple carries a full header)."""
+        return payload_bytes(self.values) + TUPLE_HEADER_BYTES
+
+    @property
+    def payload_size_bytes(self) -> int:
+        """Payload size without header."""
+        return payload_bytes(self.values)
+
+    def derive(
+        self,
+        values: Sequence[Any],
+        stream: str = DEFAULT_STREAM,
+        source_task: int = -1,
+    ) -> "StreamTuple":
+        """Create a downstream tuple anchored to the same external event."""
+        return StreamTuple(
+            values=tuple(values),
+            stream=stream,
+            source_task=source_task,
+            event_time_ns=self.event_time_ns,
+        )
+
+
+@dataclass
+class JumboTuple:
+    """A batch of tuples from one producer to one consumer sharing a header.
+
+    The jumbo tuple is BriskStream's unit of queue insertion: however many
+    tuples it carries, it costs a single enqueue and one shared header.
+    """
+
+    source_task: int
+    target_task: int
+    tuples: list[StreamTuple] = field(default_factory=list)
+
+    def append(self, item: StreamTuple) -> None:
+        self.tuples.append(item)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        return iter(self.tuples)
+
+    @property
+    def size_bytes(self) -> int:
+        """One shared header plus the raw payloads."""
+        return TUPLE_HEADER_BYTES + sum(t.payload_size_bytes for t in self.tuples)
+
+    @property
+    def per_tuple_overhead_bytes(self) -> float:
+        """Amortized header bytes per carried tuple."""
+        if not self.tuples:
+            return float(TUPLE_HEADER_BYTES)
+        return TUPLE_HEADER_BYTES / len(self.tuples)

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """An application topology is malformed (cycles, unknown components...)."""
+
+
+class PlanError(ReproError):
+    """An execution plan is malformed or inconsistent with its topology."""
+
+
+class InfeasiblePlanError(PlanError):
+    """No execution plan satisfying the resource constraints exists."""
+
+
+class HardwareError(ReproError):
+    """A machine specification is invalid or a socket index is out of range."""
+
+
+class ProfilingError(ReproError):
+    """Operator profiling failed or produced unusable statistics."""
+
+
+class SimulationError(ReproError):
+    """The execution simulator reached an invalid state."""

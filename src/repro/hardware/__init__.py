@@ -1,0 +1,36 @@
+"""NUMA hardware substrate: machine specs, interconnect topologies, MLC.
+
+The paper's optimizer consumes only the machine *specification* — per-socket
+CPU capacity ``C``, local DRAM bandwidth ``B``, remote channel bandwidths
+``Q(i, j)``, access latencies ``L(i, j)`` and the cache line size ``S``
+(Table 1).  This package provides those specifications for the paper's two
+eight-socket servers plus a parametric :class:`MachineSpec` for building
+arbitrary NUMA shapes.
+"""
+
+from repro.hardware.machine import GB, NS_PER_SECOND, MachineSpec
+from repro.hardware.mlc import MlcReport, run_mlc
+from repro.hardware.servers import laptop, server_a, server_b
+from repro.hardware.topology import (
+    InterconnectKind,
+    SocketTopology,
+    glueless_two_tray,
+    single_socket,
+    xnc_two_tray,
+)
+
+__all__ = [
+    "GB",
+    "NS_PER_SECOND",
+    "MachineSpec",
+    "MlcReport",
+    "run_mlc",
+    "laptop",
+    "server_a",
+    "server_b",
+    "InterconnectKind",
+    "SocketTopology",
+    "glueless_two_tray",
+    "single_socket",
+    "xnc_two_tray",
+]

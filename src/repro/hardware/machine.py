@@ -1,0 +1,215 @@
+"""Machine specifications: the model inputs of Table 1 ("machine specific").
+
+A :class:`MachineSpec` carries everything the RLAS performance model needs to
+know about a NUMA server:
+
+``C``
+    maximum attainable CPU capacity per socket.  We express capacity in
+    *core-nanoseconds per second*: each core contributes ``1e9`` ns of
+    service time per wall-clock second, so a socket with ``k`` cores has
+    ``C = k * 1e9``.  Operator costs (``T``) are expressed in ns/tuple, so
+    the CPU constraint (Eq. 3) is simply ``sum(ro * T) <= C``.
+``B``
+    maximum attainable local DRAM bandwidth (bytes/s).
+``Q(i, j)``
+    maximum attainable remote channel bandwidth from socket ``i`` to ``j``
+    (bytes/s).
+``L(i, j)``
+    worst-case memory access latency from socket ``i`` to ``j`` (ns per
+    cache line).
+``S``
+    cache line size (bytes).
+
+Latency and bandwidth are attached per *hop class* (local / 1 hop / max
+hops), mirroring how the paper reports them in Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import HardwareError
+from repro.hardware.topology import SocketTopology
+
+GB = 1e9
+NS_PER_SECOND = 1e9
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Parametric NUMA machine description.
+
+    Parameters
+    ----------
+    name:
+        Human-readable machine name (e.g. ``"Server A (HUAWEI KunLun)"``).
+    topology:
+        Socket interconnect structure (trays, hop counts).
+    cores_per_socket:
+        Physical cores per socket (hyper-threading disabled, as in the paper).
+    freq_ghz:
+        Core clock in GHz; converts profiled CPU cycles to nanoseconds.
+    local_latency_ns:
+        Local (LLC) access latency in ns.
+    hop_latency_ns:
+        Mapping from hop count (>= 1) to worst-case access latency in ns.
+    local_bandwidth:
+        Max attainable local DRAM bandwidth, bytes/s.
+    hop_bandwidth:
+        Mapping from hop count (>= 1) to remote channel bandwidth, bytes/s.
+    cache_line_bytes:
+        Cache line size ``S`` (bytes).
+    """
+
+    name: str
+    topology: SocketTopology
+    cores_per_socket: int
+    freq_ghz: float
+    local_latency_ns: float
+    hop_latency_ns: Mapping[int, float]
+    local_bandwidth: float
+    hop_bandwidth: Mapping[int, float]
+    cache_line_bytes: int = 64
+    power_governor: str = "performance"
+    memory_per_socket_gb: float = 256.0
+
+    def __post_init__(self) -> None:
+        if self.cores_per_socket < 1:
+            raise HardwareError("cores_per_socket must be >= 1")
+        if self.freq_ghz <= 0:
+            raise HardwareError("freq_ghz must be positive")
+        if self.local_bandwidth <= 0:
+            raise HardwareError("local_bandwidth must be positive")
+        if self.cache_line_bytes <= 0:
+            raise HardwareError("cache_line_bytes must be positive")
+        for hop in range(1, self.topology.max_hops + 1):
+            if hop not in self.hop_latency_ns:
+                raise HardwareError(f"missing latency for hop class {hop}")
+            if hop not in self.hop_bandwidth:
+                raise HardwareError(f"missing bandwidth for hop class {hop}")
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def n_sockets(self) -> int:
+        """Number of CPU sockets."""
+        return self.topology.n_sockets
+
+    @property
+    def n_cores(self) -> int:
+        """Total physical core count."""
+        return self.n_sockets * self.cores_per_socket
+
+    @property
+    def sockets(self) -> range:
+        """Iterable over socket ids."""
+        return range(self.n_sockets)
+
+    # ------------------------------------------------------------------
+    # Capacities (Table 1 machine-specific terms)
+    # ------------------------------------------------------------------
+    @property
+    def cpu_capacity(self) -> float:
+        """``C``: per-socket CPU capacity in core-ns per second."""
+        return self.cores_per_socket * NS_PER_SECOND
+
+    @property
+    def total_local_bandwidth(self) -> float:
+        """Aggregate local DRAM bandwidth over all sockets (bytes/s)."""
+        return self.local_bandwidth * self.n_sockets
+
+    def latency_ns(self, i: int, j: int) -> float:
+        """``L(i, j)``: worst-case memory access latency from ``i`` to ``j``."""
+        hops = self.topology.hops(i, j)
+        if hops == 0:
+            return self.local_latency_ns
+        return float(self.hop_latency_ns[hops])
+
+    def bandwidth(self, i: int, j: int) -> float:
+        """``Q(i, j)``: attainable channel bandwidth from ``i`` to ``j`` (bytes/s)."""
+        hops = self.topology.hops(i, j)
+        if hops == 0:
+            return self.local_bandwidth
+        return float(self.hop_bandwidth[hops])
+
+    def latency_matrix(self) -> np.ndarray:
+        """Full ``L`` matrix in ns (diagonal = local latency)."""
+        n = self.n_sockets
+        matrix = np.empty((n, n), dtype=np.float64)
+        for i in range(n):
+            for j in range(n):
+                matrix[i, j] = self.latency_ns(i, j)
+        return matrix
+
+    def bandwidth_matrix(self) -> np.ndarray:
+        """Full ``Q`` matrix in bytes/s (diagonal = local DRAM bandwidth)."""
+        n = self.n_sockets
+        matrix = np.empty((n, n), dtype=np.float64)
+        for i in range(n):
+            for j in range(n):
+                matrix[i, j] = self.bandwidth(i, j)
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Unit helpers
+    # ------------------------------------------------------------------
+    def cycles_to_ns(self, cycles: float) -> float:
+        """Convert profiled CPU cycles to nanoseconds on this machine."""
+        return cycles / self.freq_ghz
+
+    def ns_to_cycles(self, ns: float) -> float:
+        """Convert nanoseconds to CPU cycles on this machine."""
+        return ns * self.freq_ghz
+
+    def cache_lines(self, n_bytes: float) -> int:
+        """``ceil(N / S)``: cache lines needed to move ``n_bytes``."""
+        if n_bytes <= 0:
+            return 0
+        return -(-int(np.ceil(n_bytes)) // self.cache_line_bytes)
+
+    def remote_fetch_ns(self, n_bytes: float, i: int, j: int) -> float:
+        """Formula 2's remote branch: ``ceil(N/S) * L(i, j)`` in ns."""
+        if i == j:
+            return 0.0
+        return self.cache_lines(n_bytes) * self.latency_ns(i, j)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def subset(self, n_sockets: int) -> "MachineSpec":
+        """Machine restricted to its first ``n_sockets`` sockets.
+
+        Used by the scalability experiments (Figure 9): the same physical
+        server with only a prefix of sockets enabled (cf. ``isolcpus``).
+        """
+        return replace(self, topology=self.topology.subset(n_sockets))
+
+    def describe(self) -> dict[str, object]:
+        """Summary row matching Table 2's statistics."""
+        max_hops = self.topology.max_hops
+        return {
+            "machine": self.name,
+            "processor": (
+                f"{self.n_sockets}x{self.cores_per_socket} cores "
+                f"at {self.freq_ghz:.2f} GHz (HT disabled)"
+            ),
+            "power_governor": self.power_governor,
+            "memory_per_socket_gb": self.memory_per_socket_gb,
+            "local_latency_ns": self.local_latency_ns,
+            "one_hop_latency_ns": self.hop_latency_ns.get(1, self.local_latency_ns),
+            "max_hops_latency_ns": self.hop_latency_ns.get(
+                max_hops, self.local_latency_ns
+            ),
+            "local_bandwidth_gb_s": self.local_bandwidth / GB,
+            "one_hop_bandwidth_gb_s": self.hop_bandwidth.get(1, self.local_bandwidth)
+            / GB,
+            "max_hops_bandwidth_gb_s": self.hop_bandwidth.get(
+                max_hops, self.local_bandwidth
+            )
+            / GB,
+            "total_local_bandwidth_gb_s": self.total_local_bandwidth / GB,
+        }

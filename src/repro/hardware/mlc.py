@@ -1,0 +1,83 @@
+"""An Intel Memory Latency Checker (MLC) style report over a machine model.
+
+The paper instantiates the machine-specific model inputs by running Intel
+MLC on the target server.  Our substitute "measures" the same quantities off
+the :class:`~repro.hardware.machine.MachineSpec` and, optionally, perturbs
+them with a small measurement jitter so downstream code never depends on
+bit-exact constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.machine import MachineSpec
+
+
+@dataclass(frozen=True)
+class MlcReport:
+    """Latency / bandwidth matrices as an MLC run would report them.
+
+    Attributes
+    ----------
+    latency_ns:
+        ``n x n`` idle latency matrix (ns), row = requesting socket.
+    bandwidth:
+        ``n x n`` peak bandwidth matrix (bytes/s).
+    """
+
+    machine: str
+    latency_ns: np.ndarray
+    bandwidth: np.ndarray
+
+    @property
+    def n_sockets(self) -> int:
+        return self.latency_ns.shape[0]
+
+    def local_latency(self) -> float:
+        """Mean on-socket latency."""
+        return float(np.mean(np.diag(self.latency_ns)))
+
+    def max_latency(self) -> float:
+        """Worst-case cross-socket latency."""
+        return float(np.max(self.latency_ns))
+
+    def total_local_bandwidth(self) -> float:
+        """Aggregate local DRAM bandwidth (bytes/s)."""
+        return float(np.sum(np.diag(self.bandwidth)))
+
+    def format_table(self) -> str:
+        """Render the latency matrix like ``mlc --latency_matrix`` output."""
+        n = self.n_sockets
+        header = "        " + "".join(f"{j:>9d}" for j in range(n))
+        rows = [f"Idle latency (ns) - {self.machine}", header]
+        for i in range(n):
+            cells = "".join(f"{self.latency_ns[i, j]:>9.1f}" for j in range(n))
+            rows.append(f"node {i:>2d} {cells}")
+        return "\n".join(rows)
+
+
+def run_mlc(machine: MachineSpec, jitter: float = 0.0, seed: int = 0) -> MlcReport:
+    """Measure latency/bandwidth matrices of ``machine``.
+
+    Parameters
+    ----------
+    machine:
+        The machine under test.
+    jitter:
+        Relative standard deviation of multiplicative measurement noise
+        (``0.0`` reproduces the spec exactly).
+    seed:
+        Seed for the measurement-noise generator.
+    """
+    latency = machine.latency_matrix()
+    bandwidth = machine.bandwidth_matrix()
+    if jitter > 0.0:
+        rng = np.random.default_rng(seed)
+        latency = latency * rng.normal(1.0, jitter, latency.shape)
+        bandwidth = bandwidth * rng.normal(1.0, jitter, bandwidth.shape)
+        latency = np.maximum(latency, 1.0)
+        bandwidth = np.maximum(bandwidth, 1.0)
+    return MlcReport(machine=machine.name, latency_ns=latency, bandwidth=bandwidth)

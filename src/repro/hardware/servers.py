@@ -1,0 +1,75 @@
+"""Preset machine specifications for the paper's two test servers (Table 2).
+
+===================  ==========================  ==========================
+Statistic            Server A (HUAWEI KunLun)    Server B (HP DL980 G7)
+===================  ==========================  ==========================
+Processor            8 x 18 Xeon E7-8890 1.2GHz  8 x 8 Xeon E7-2860 2.27GHz
+Power governor       power save                  performance
+Memory per socket    1 TB                        256 GB
+Local latency (LLC)  50 ns                       50 ns
+1-hop latency        307.7 ns                    185.2 ns
+Max-hops latency     548.0 ns                    349.6 ns
+Local bandwidth      54.3 GB/s                   24.2 GB/s
+1-hop bandwidth      13.2 GB/s                   10.6 GB/s
+Max-hops bandwidth   5.8 GB/s                    10.8 GB/s
+Total local B/W      434.4 GB/s                  193.6 GB/s
+===================  ==========================  ==========================
+
+Server A is glue-less (two 4-socket trays over QPI-like links): bandwidth
+drops sharply with NUMA distance.  Server B uses an eXternal Node Controller
+(XNC): remote bandwidth is nearly flat regardless of distance.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.machine import GB, MachineSpec
+from repro.hardware.topology import glueless_two_tray, single_socket, xnc_two_tray
+
+
+def server_a(n_sockets: int = 8) -> MachineSpec:
+    """HUAWEI KunLun: 8 x 18 cores at 1.2 GHz, glue-less two-tray NUMA."""
+    spec = MachineSpec(
+        name="Server A (HUAWEI KunLun)",
+        topology=glueless_two_tray(8),
+        cores_per_socket=18,
+        freq_ghz=1.2,
+        local_latency_ns=50.0,
+        hop_latency_ns={1: 307.7, 2: 548.0},
+        local_bandwidth=54.3 * GB,
+        hop_bandwidth={1: 13.2 * GB, 2: 5.8 * GB},
+        power_governor="power save",
+        memory_per_socket_gb=1024.0,
+    )
+    return spec if n_sockets == 8 else spec.subset(n_sockets)
+
+
+def server_b(n_sockets: int = 8) -> MachineSpec:
+    """HP ProLiant DL980 G7: 8 x 8 cores at 2.27 GHz, XNC glue-assisted NUMA."""
+    spec = MachineSpec(
+        name="Server B (HP ProLiant DL980 G7)",
+        topology=xnc_two_tray(8),
+        cores_per_socket=8,
+        freq_ghz=2.27,
+        local_latency_ns=50.0,
+        hop_latency_ns={1: 185.2, 2: 349.6},
+        local_bandwidth=24.2 * GB,
+        hop_bandwidth={1: 10.6 * GB, 2: 10.8 * GB},
+        power_governor="performance",
+        memory_per_socket_gb=256.0,
+    )
+    return spec if n_sockets == 8 else spec.subset(n_sockets)
+
+
+def laptop(cores: int = 4, freq_ghz: float = 2.4) -> MachineSpec:
+    """A single-socket machine, handy for quickstarts and unit tests."""
+    return MachineSpec(
+        name="laptop (single socket)",
+        topology=single_socket(),
+        cores_per_socket=cores,
+        freq_ghz=freq_ghz,
+        local_latency_ns=50.0,
+        hop_latency_ns={},
+        local_bandwidth=20.0 * GB,
+        hop_bandwidth={},
+        memory_per_socket_gb=32.0,
+    )

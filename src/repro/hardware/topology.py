@@ -1,0 +1,164 @@
+"""Socket interconnect topologies for NUMA machines.
+
+The paper evaluates two eight-socket servers with different interconnects
+(Section 2.1, Figure 1):
+
+* **glue-less** (Server A, HUAWEI KunLun): CPUs are connected directly or
+  indirectly through QPI / vendor custom interconnects.  Sockets within a
+  CPU tray are one hop apart; sockets on different trays communicate through
+  an extra hop, which is significantly more expensive.
+* **glue-assisted** (Server B, HP ProLiant DL980 G7): an eXternal Node
+  Controller (XNC) interconnects the upper and lower trays and keeps a cache
+  directory, which flattens remote bandwidth across distances.
+
+This module models only the *structure* (hop counts, tray membership); the
+latency/bandwidth numbers attached to each hop class live in
+:mod:`repro.hardware.machine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import HardwareError
+
+
+class InterconnectKind(Enum):
+    """How the sockets of a machine are glued together."""
+
+    GLUELESS = "glueless"
+    XNC = "xnc"
+    SINGLE = "single"
+
+
+@dataclass(frozen=True)
+class SocketTopology:
+    """Hop structure of a multi-socket machine.
+
+    Parameters
+    ----------
+    n_sockets:
+        Number of CPU sockets.
+    kind:
+        Interconnect family (see :class:`InterconnectKind`).
+    trays:
+        Tuple of tuples: the socket ids contained in each CPU tray.  For a
+        single-tray machine this is one tuple covering all sockets.
+    """
+
+    n_sockets: int
+    kind: InterconnectKind
+    trays: tuple[tuple[int, ...], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.n_sockets < 1:
+            raise HardwareError(f"need at least one socket, got {self.n_sockets}")
+        trays = self.trays or (tuple(range(self.n_sockets)),)
+        object.__setattr__(self, "trays", trays)
+        covered = sorted(s for tray in self.trays for s in tray)
+        if covered != list(range(self.n_sockets)):
+            raise HardwareError(
+                f"trays {self.trays} do not partition sockets 0..{self.n_sockets - 1}"
+            )
+
+    def tray_of(self, socket: int) -> int:
+        """Return the tray index that contains ``socket``."""
+        self._check(socket)
+        for index, tray in enumerate(self.trays):
+            if socket in tray:
+                return index
+        raise HardwareError(f"socket {socket} not in any tray")  # pragma: no cover
+
+    def same_tray(self, a: int, b: int) -> bool:
+        """True when sockets ``a`` and ``b`` share a CPU tray."""
+        return self.tray_of(a) == self.tray_of(b)
+
+    def hops(self, a: int, b: int) -> int:
+        """Hop count between sockets ``a`` and ``b``.
+
+        0 for the same socket, 1 within a tray, 2 across trays.  This matches
+        the paper's "1 hop" / "max hops" latency classes (Table 2).
+        """
+        self._check(a)
+        self._check(b)
+        if a == b:
+            return 0
+        return 1 if self.same_tray(a, b) else 2
+
+    @property
+    def max_hops(self) -> int:
+        """Largest hop count present on this machine."""
+        if self.n_sockets == 1:
+            return 0
+        return 1 if len(self.trays) == 1 else 2
+
+    def hop_matrix(self) -> np.ndarray:
+        """Return the full ``n_sockets x n_sockets`` hop-count matrix."""
+        n = self.n_sockets
+        matrix = np.zeros((n, n), dtype=np.int64)
+        for i in range(n):
+            for j in range(n):
+                matrix[i, j] = self.hops(i, j)
+        return matrix
+
+    def sockets_at_distance(self, origin: int, hops: int) -> list[int]:
+        """All sockets exactly ``hops`` hops away from ``origin``."""
+        return [s for s in range(self.n_sockets) if self.hops(origin, s) == hops]
+
+    def subset(self, n_sockets: int) -> "SocketTopology":
+        """Topology restricted to the first ``n_sockets`` sockets.
+
+        Used by the scalability experiments (Figure 9), which enable an
+        increasing number of sockets.  Tray membership is preserved: e.g.
+        the first four sockets of an 8-socket two-tray machine form a single
+        tray.
+        """
+        if not 1 <= n_sockets <= self.n_sockets:
+            raise HardwareError(
+                f"cannot take {n_sockets} sockets from a {self.n_sockets}-socket machine"
+            )
+        keep = set(range(n_sockets))
+        trays = tuple(
+            tuple(s for s in tray if s in keep)
+            for tray in self.trays
+            if any(s in keep for s in tray)
+        )
+        return SocketTopology(n_sockets=n_sockets, kind=self.kind, trays=trays)
+
+    def _check(self, socket: int) -> None:
+        if not 0 <= socket < self.n_sockets:
+            raise HardwareError(
+                f"socket {socket} out of range for {self.n_sockets}-socket machine"
+            )
+
+
+def glueless_two_tray(n_sockets: int = 8) -> SocketTopology:
+    """Glue-less topology with two equally sized CPU trays (Server A style)."""
+    if n_sockets % 2:
+        raise HardwareError("two-tray topology needs an even socket count")
+    half = n_sockets // 2
+    return SocketTopology(
+        n_sockets=n_sockets,
+        kind=InterconnectKind.GLUELESS,
+        trays=(tuple(range(half)), tuple(range(half, n_sockets))),
+    )
+
+
+def xnc_two_tray(n_sockets: int = 8) -> SocketTopology:
+    """XNC glue-assisted topology with two CPU trays (Server B style)."""
+    if n_sockets % 2:
+        raise HardwareError("two-tray topology needs an even socket count")
+    half = n_sockets // 2
+    return SocketTopology(
+        n_sockets=n_sockets,
+        kind=InterconnectKind.XNC,
+        trays=(tuple(range(half)), tuple(range(half, n_sockets))),
+    )
+
+
+def single_socket() -> SocketTopology:
+    """Degenerate one-socket topology (useful in unit tests)."""
+    return SocketTopology(n_sockets=1, kind=InterconnectKind.SINGLE)

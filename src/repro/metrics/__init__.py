@@ -1,0 +1,18 @@
+"""Metrics and reporting: the numbers the paper's figures/tables plot."""
+
+from repro.metrics.comm_matrix import CommunicationMatrix, communication_matrix
+from repro.metrics.reporting import (
+    format_series,
+    format_table,
+    relative_error,
+    speedup,
+)
+
+__all__ = [
+    "CommunicationMatrix",
+    "communication_matrix",
+    "format_series",
+    "format_table",
+    "relative_error",
+    "speedup",
+]

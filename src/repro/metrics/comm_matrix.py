@@ -1,0 +1,91 @@
+"""Communication pattern matrices (Figure 15).
+
+Each cell ``(i, j)`` aggregates the data-fetch cost (``Tf``) — and, as a
+secondary view, the raw bytes — of all operators on socket ``j`` fetching
+from producers on socket ``i`` under a given plan.  On the glue-less
+Server A the traffic concentrates out of the producer-heavy socket; on the
+XNC-assisted Server B it spreads nearly uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import ModelResult, PerformanceModel
+from repro.core.plan import ExecutionPlan
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class CommunicationMatrix:
+    """Socket-to-socket communication aggregates under one plan."""
+
+    machine: str
+    fetch_ns_per_s: np.ndarray
+    bytes_per_s: np.ndarray
+
+    @property
+    def n_sockets(self) -> int:
+        return self.fetch_ns_per_s.shape[0]
+
+    def total_fetch_cost(self) -> float:
+        """Aggregate cross-socket fetch time (ns of fetch work per second)."""
+        return float(self.fetch_ns_per_s.sum())
+
+    def hottest_source(self) -> int:
+        """Socket emitting the most fetch-cost traffic (row argmax)."""
+        return int(self.fetch_ns_per_s.sum(axis=1).argmax())
+
+    def concentration(self) -> float:
+        """Fraction of total fetch cost leaving the hottest source socket.
+
+        Near 1.0 on Server A style plans (one producer-heavy socket);
+        closer to ``1/n`` when traffic spreads uniformly (Server B).
+        """
+        total = self.total_fetch_cost()
+        if total <= 0:
+            return 0.0
+        return float(self.fetch_ns_per_s.sum(axis=1).max() / total)
+
+    def format_table(self) -> str:
+        """Render the Tf matrix like Figure 15's heat map, as text."""
+        n = self.n_sockets
+        header = "from\\to " + "".join(f"{j:>11d}" for j in range(n))
+        rows = [f"Tf matrix (ns/s) - {self.machine}", header]
+        for i in range(n):
+            cells = "".join(f"{self.fetch_ns_per_s[i, j]:>11.3g}" for j in range(n))
+            rows.append(f"S{i:<6d} {cells}")
+        return "\n".join(rows)
+
+
+def communication_matrix(
+    plan: ExecutionPlan,
+    model: PerformanceModel,
+    ingress_rate: float,
+    result: ModelResult | None = None,
+) -> CommunicationMatrix:
+    """Build Figure 15's matrix for a complete plan.
+
+    ``result`` may be supplied to reuse an existing evaluation; it must
+    have been produced with ``collect_flows=True``.
+    """
+    if not plan.is_complete:
+        raise SimulationError("communication matrix needs a complete plan")
+    if result is None or not result.flows:
+        result = model.evaluate(plan, ingress_rate, collect_flows=True)
+    n = model.machine.n_sockets
+    fetch = np.zeros((n, n))
+    volume = np.zeros((n, n))
+    for flow in result.flows:
+        if flow.crosses_sockets:
+            fetch[flow.producer_socket, flow.consumer_socket] += (
+                flow.tuple_rate * flow.fetch_ns_per_tuple
+            )
+            volume[flow.producer_socket, flow.consumer_socket] += (
+                flow.bytes_per_second
+            )
+    return CommunicationMatrix(
+        machine=model.machine.name, fetch_ns_per_s=fetch, bytes_per_s=volume
+    )

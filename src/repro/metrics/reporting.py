@@ -1,0 +1,65 @@
+"""Plain-text tables and series matching the paper's reporting formats.
+
+The benchmark harness prints the same rows/series as each paper artefact;
+these helpers keep the formatting consistent and readable in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Align ``rows`` under ``headers``; floats get thousands separators."""
+    rendered: list[list[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_series(
+    name: str, points: Sequence[tuple[object, float]], unit: str = ""
+) -> str:
+    """One figure series as ``name: x=y`` pairs."""
+    body = "  ".join(f"{x}={y:,.1f}" for x, y in points)
+    suffix = f" ({unit})" if unit else ""
+    return f"{name}{suffix}: {body}"
+
+
+def relative_error(measured: float, estimated: float) -> float:
+    """The paper's relative error: ``|measured - estimated| / measured``."""
+    if measured == 0:
+        return float("inf")
+    return abs(measured - estimated) / abs(measured)
+
+
+def speedup(numerator: float, denominator: float) -> float:
+    """Throughput ratio guarded against division by zero."""
+    if denominator <= 0:
+        return float("inf")
+    return numerator / denominator

@@ -1,0 +1,46 @@
+"""Execution simulators: the reproduction's "measured" numbers.
+
+* :mod:`repro.simulation.flow` — steady-state fixed-point solver with
+  contention and prefetch physics (throughput measurements);
+* :mod:`repro.simulation.des` — discrete-event tuple-level simulator
+  (latency distributions);
+* :mod:`repro.simulation.profiler` — sequential operator profiling
+  (Figure 3's CDFs, model instantiation percentiles);
+* :mod:`repro.simulation.measurement` — round-trip breakdowns
+  (Figure 8 / Table 3 methodology);
+* :mod:`repro.simulation.prefetch` — the hardware-prefetch overlap model
+  explaining why measurements undercut Formula 2's estimates.
+"""
+
+from repro.simulation.des import DesResult, DiscreteEventSimulator, LatencyStats
+from repro.simulation.flow import (
+    FlowResult,
+    FlowSimulator,
+    FlowTaskRates,
+    measure_throughput,
+)
+from repro.simulation.measurement import Breakdown, RoundTripMeter
+from repro.simulation.prefetch import DEFAULT_PREFETCH, NO_PREFETCH, PrefetchModel
+from repro.simulation.profiler import (
+    OperatorProfiler,
+    OperatorSamples,
+    profile_operator_cdf,
+)
+
+__all__ = [
+    "DesResult",
+    "DiscreteEventSimulator",
+    "LatencyStats",
+    "FlowResult",
+    "FlowSimulator",
+    "FlowTaskRates",
+    "measure_throughput",
+    "Breakdown",
+    "RoundTripMeter",
+    "DEFAULT_PREFETCH",
+    "NO_PREFETCH",
+    "PrefetchModel",
+    "OperatorProfiler",
+    "OperatorSamples",
+    "profile_operator_cdf",
+]

@@ -1,0 +1,470 @@
+"""Discrete-event simulator: per-tuple latencies under an execution plan.
+
+The steady-state flow solver answers "how fast"; this simulator answers
+"how long does one event take end-to-end" (Figure 7 / Table 5).  It models
+the runtime mechanics that dominate latency:
+
+* per-tuple service times ``Te + Others + Tf`` with lognormal jitter
+  (the profiled CDFs of Figure 3);
+* output buffering into jumbo tuples — a tuple waits in its producer's
+  buffer until the batch seals (or the producer goes idle and flushes);
+* **bounded communication queues with backpressure**: a full queue blocks
+  the producer, and transitively the spout, so a saturated system settles
+  into full queues whose drain time *is* the end-to-end latency.  This is
+  why Storm (large buffers, slow per-tuple path) sits orders of magnitude
+  behind BriskStream in Table 5 while still sustaining its peak
+  throughput.
+
+Events are offered at the requested ingress rate; backpressure may slow
+actual generation.  End-to-end latency of an output is measured against
+the *generation* time of the external event it descends from (the paper's
+definition, Section 6.3).
+
+The simulator runs on replica-granularity (uncompressed) plans.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.model import BRISKSTREAM
+from repro.core.plan import ExecutionPlan
+from repro.core.profiles import ProfileSet, SystemProfile
+from repro.dsps.streams import BroadcastGrouping, GlobalGrouping
+from repro.errors import SimulationError
+from repro.hardware.machine import MachineSpec
+from repro.simulation.prefetch import DEFAULT_PREFETCH, PrefetchModel
+
+_EMIT, _COMPLETE = 0, 1
+
+
+@dataclass
+class LatencyStats:
+    """End-to-end latency samples collected at the sinks."""
+
+    samples_ns: list[float] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples_ns)
+
+    def percentile(self, q: float) -> float:
+        """Latency at percentile ``q`` (0..100), in nanoseconds."""
+        if not self.samples_ns:
+            raise SimulationError("no latency samples collected")
+        ordered = sorted(self.samples_ns)
+        index = min(
+            len(ordered) - 1, max(0, math.ceil(q / 100 * len(ordered)) - 1)
+        )
+        return ordered[index]
+
+    def p99_ms(self) -> float:
+        """99th-percentile end-to-end latency in milliseconds (Table 5)."""
+        return self.percentile(99) / 1e6
+
+    def mean_ms(self) -> float:
+        if not self.samples_ns:
+            raise SimulationError("no latency samples collected")
+        return sum(self.samples_ns) / len(self.samples_ns) / 1e6
+
+    def cdf(self, points: int = 100) -> list[tuple[float, float]]:
+        """(latency_ms, cumulative_fraction) curve with ``points`` knots."""
+        if not self.samples_ns:
+            raise SimulationError("no latency samples collected")
+        ordered = sorted(self.samples_ns)
+        knots = []
+        for i in range(points):
+            fraction = (i + 1) / points
+            index = max(0, min(len(ordered) - 1, int(fraction * len(ordered)) - 1))
+            knots.append((ordered[index] / 1e6, fraction))
+        return knots
+
+
+@dataclass
+class DesResult:
+    """Outcome of one discrete-event run."""
+
+    latency: LatencyStats
+    events_generated: int
+    tuples_delivered: int
+    simulated_ns: float
+
+    @property
+    def throughput(self) -> float:
+        """Delivered sink tuples per second of simulated time."""
+        if self.simulated_ns <= 0:
+            return 0.0
+        return self.tuples_delivered / (self.simulated_ns / 1e9)
+
+
+class _Queue:
+    """Bounded FIFO of batches; a batch is a list of event times."""
+
+    __slots__ = ("capacity", "depth", "batches", "producer_id", "fetch_ns")
+
+    def __init__(self, capacity: int, producer_id: int, fetch_ns: float) -> None:
+        self.capacity = capacity
+        self.depth = 0
+        self.batches: deque[list[float]] = deque()
+        self.producer_id = producer_id
+        self.fetch_ns = fetch_ns
+
+    def can_accept(self, size: int) -> bool:
+        return self.depth + size <= self.capacity
+
+    def push(self, batch: list[float]) -> None:
+        self.batches.append(batch)
+        self.depth += len(batch)
+
+    def pop(self) -> list[float]:
+        batch = self.batches.popleft()
+        self.depth -= len(batch)
+        return batch
+
+
+class _Task:
+    """Runtime state of one replica."""
+
+    __slots__ = (
+        "task_id",
+        "component",
+        "is_spout",
+        "is_sink",
+        "te_ns",
+        "sigma",
+        "overhead_ns",
+        "in_queues",
+        "rr",
+        "active",
+        "active_fetch",
+        "current_event_time",
+        "busy",
+        "blocked",
+        "pending_pushes",
+        "buffers",
+        "routes",
+        "spout_interval",
+        "last_flush",
+    )
+
+    def __init__(self) -> None:
+        self.in_queues: list[_Queue] = []
+        self.rr = 0
+        self.active: deque[float] = deque()
+        self.active_fetch = 0.0
+        self.current_event_time = 0.0
+        self.busy = False
+        self.blocked = False
+        self.pending_pushes: list[tuple[int, list[float]]] = []
+        self.buffers: dict[int, list[float]] = {}
+        # routes: (selectivity, [consumer ids], mode) per outgoing edge,
+        # mode in {"pick", "first", "all"}.
+        self.routes: list[tuple[float, list[int], str]] = []
+        self.spout_interval = 0.0
+        self.last_flush = 0.0
+
+
+class DiscreteEventSimulator:
+    """Tuple-level execution of a complete plan in virtual time."""
+
+    def __init__(
+        self,
+        profiles: ProfileSet,
+        machine: MachineSpec,
+        system: SystemProfile = BRISKSTREAM,
+        prefetch: PrefetchModel = DEFAULT_PREFETCH,
+        queue_capacity: int | None = None,
+        flush_timeout_ns: float = 1e6,
+        seed: int = 0,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        profiles / machine / system / prefetch:
+            Same roles as in the flow simulator.
+        queue_capacity:
+            Per producer/consumer queue bound in tuples; defaults to the
+            system profile's queue capacity.  Larger buffers mean higher
+            saturated latency (Storm vs BriskStream in Table 5).
+        flush_timeout_ns:
+            Maximum time a tuple may sit in a partially filled output
+            batch before the producer force-flushes it (every buffering
+            DSPS has such a timeout; without it low-rate streams would
+            stall in half-full jumbo tuples).
+        seed:
+            Seed for service-time jitter, routing and selectivity draws.
+        """
+        self.profiles = profiles
+        self.machine = machine
+        self.system = system
+        self.prefetch = prefetch
+        self.queue_capacity = (
+            queue_capacity if queue_capacity is not None else system.queue_capacity
+        )
+        if self.queue_capacity < system.batch_size:
+            raise SimulationError("queue capacity must hold at least one batch")
+        if flush_timeout_ns <= 0:
+            raise SimulationError("flush timeout must be positive")
+        self.flush_timeout_ns = flush_timeout_ns
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        plan: ExecutionPlan,
+        ingress_rate: float,
+        max_events: int = 20_000,
+        warmup_fraction: float = 0.2,
+    ) -> DesResult:
+        """Simulate ``max_events`` external events through ``plan``."""
+        if not plan.is_complete:
+            raise SimulationError("DES needs a complete plan")
+        if any(t.weight != 1 for t in plan.graph.tasks):
+            raise SimulationError(
+                "DES runs on replica-granularity plans; expand_plan() first"
+            )
+        if ingress_rate <= 0 or max_events <= 0:
+            raise SimulationError("ingress rate and max_events must be positive")
+
+        rng = random.Random(self.seed)
+        tasks = self._build(plan, ingress_rate)
+        self._rng = rng
+        self._tasks = tasks
+        self._heap: list[tuple[float, int, int, int]] = []
+        self._sequence = 0
+        self._samples: list[float] = []
+        self._generated = 0
+        self._delivered = 0
+        self._max_events = max_events
+
+        spouts = [t for t in tasks.values() if t.is_spout]
+        if not spouts:
+            raise SimulationError("plan has no spout task")
+        for index, spout in enumerate(spouts):
+            self._push(index * spout.spout_interval / len(spouts), _EMIT, spout.task_id)
+
+        now = 0.0
+        guard = 0
+        guard_limit = max_events * 2000 + 1_000_000
+        while self._heap:
+            guard += 1
+            if guard > guard_limit:
+                raise SimulationError("DES exceeded its event budget (livelock?)")
+            now, kind, _, task_id = heapq.heappop(self._heap)
+            task = tasks[task_id]
+            if kind == _EMIT:
+                self._on_emit(task, now)
+            else:
+                self._on_complete(task, now)
+
+        keep_from = int(len(self._samples) * warmup_fraction)
+        return DesResult(
+            latency=LatencyStats(samples_ns=self._samples[keep_from:]),
+            events_generated=self._generated,
+            tuples_delivered=self._delivered,
+            simulated_ns=now,
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self, plan: ExecutionPlan, ingress_rate: float) -> dict[int, _Task]:
+        graph = plan.graph
+        machine = self.machine
+        system = self.system
+        sink_components = set(graph.topology.sinks)
+        spout_components = set(graph.topology.spouts)
+        tasks: dict[int, _Task] = {}
+        spout_counts = {
+            name: len(graph.tasks_of(name)) for name in spout_components
+        }
+        interference = system.interference_factor(
+            len(set(plan.placement.values()))
+        )
+        for task in graph.tasks:
+            profile = self.profiles[task.component]
+            sim = _Task()
+            sim.task_id = task.task_id
+            sim.component = task.component
+            sim.is_spout = task.component in spout_components
+            sim.is_sink = task.component in sink_components
+            sim.te_ns = system.execute_ns(machine.cycles_to_ns(profile.te_cycles))
+            sim.sigma = (
+                math.sqrt(math.log(1.0 + profile.te_cv**2)) if profile.te_cv > 0 else 0.0
+            )
+            sim.overhead_ns = system.overhead_ns(0.0, 0.0, profile.total_selectivity)
+            if len(graph.topology.incoming(task.component)) > 1:
+                sim.overhead_ns += system.multi_input_penalty_ns
+            sim.overhead_ns *= interference
+            if sim.is_spout:
+                share = ingress_rate / spout_counts[task.component]
+                sim.spout_interval = 1e9 / share
+            tasks[task.task_id] = sim
+
+        for edge in graph.edges:
+            producer = graph.task(edge.producer)
+            consumer_task = tasks[edge.consumer]
+            payload = self.profiles.edge_payload_bytes(producer.component, edge.stream)
+            wire = system.wire_bytes(payload)
+            p_sock = plan.placement[edge.producer]
+            c_sock = plan.placement[edge.consumer]
+            fetch_est = (
+                0.0
+                if p_sock == c_sock
+                else machine.cache_lines(wire) * machine.latency_ns(p_sock, c_sock)
+            )
+            fetch = self.prefetch.effective_fetch_ns(fetch_est, consumer_task.te_ns)
+            queue = _Queue(self.queue_capacity, edge.producer, fetch)
+            consumer_task.in_queues.append(queue)
+            tasks[edge.producer].buffers[edge.consumer] = []
+
+        # Routing tables: one entry per (logical edge) on the producer side.
+        for name in graph.topology.components:
+            for edge in graph.topology.outgoing(name):
+                consumers = [t.task_id for t in graph.tasks_of(edge.consumer)]
+                profile = self.profiles[name]
+                selectivity = profile.stream_selectivity(edge.stream)
+                if isinstance(edge.grouping, BroadcastGrouping):
+                    mode = "all"
+                elif isinstance(edge.grouping, GlobalGrouping):
+                    mode = "first"
+                else:
+                    mode = "pick"
+                for task in graph.tasks_of(name):
+                    tasks[task.task_id].routes.append((selectivity, consumers, mode))
+        return tasks
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _push(self, time: float, kind: int, task_id: int) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (time, kind, self._sequence, task_id))
+
+    def _on_emit(self, spout: _Task, now: float) -> None:
+        if spout.blocked or self._generated >= self._max_events:
+            return
+        self._generated += 1
+        service = self._service(spout, fetch=0.0)
+        done = now + service
+        self._route_outputs(spout, event_time=now, now=done)
+        if self._generated < self._max_events:
+            if done - spout.last_flush > self.flush_timeout_ns:
+                self._flush(spout, done)
+                spout.last_flush = done
+            self._push(max(now + spout.spout_interval, done), _EMIT, spout.task_id)
+        else:
+            self._flush(spout, done)
+
+    def _on_complete(self, task: _Task, now: float) -> None:
+        task.busy = False
+        if task.is_sink:
+            self._delivered += 1
+            self._samples.append(now - task.current_event_time)
+        else:
+            self._route_outputs(task, event_time=task.current_event_time, now=now)
+            if now - task.last_flush > self.flush_timeout_ns:
+                self._flush(task, now)
+                task.last_flush = now
+        self._start_next(task, now)
+
+    # ------------------------------------------------------------------
+    # Processing machinery
+    # ------------------------------------------------------------------
+    def _service(self, task: _Task, fetch: float) -> float:
+        te = task.te_ns
+        if task.sigma > 0:
+            te *= self._rng.lognormvariate(-task.sigma**2 / 2, task.sigma)
+        return te + task.overhead_ns + fetch
+
+    def _start_next(self, task: _Task, now: float) -> None:
+        if task.busy or task.blocked:
+            return
+        if not task.active and not self._pull_batch(task, now):
+            self._flush(task, now)  # going idle: release partial batches
+            return
+        task.current_event_time = task.active.popleft()
+        task.busy = True
+        self._push(now + self._service(task, task.active_fetch), _COMPLETE, task.task_id)
+
+    def _pull_batch(self, task: _Task, now: float) -> bool:
+        """Round-robin a batch out of the input queues; unblock producers."""
+        n = len(task.in_queues)
+        for offset in range(n):
+            queue = task.in_queues[(task.rr + offset) % n]
+            if queue.batches:
+                task.rr = (task.rr + offset + 1) % n
+                batch = queue.pop()
+                task.active = deque(batch)
+                task.active_fetch = queue.fetch_ns
+                producer = self._tasks[queue.producer_id]
+                if producer.blocked:
+                    self._retry_pushes(producer, now)
+                return True
+        return False
+
+    def _route_outputs(self, task: _Task, event_time: float, now: float) -> None:
+        rng = self._rng
+        for selectivity, consumers, mode in task.routes:
+            emissions = int(selectivity)
+            if rng.random() < selectivity - emissions:
+                emissions += 1
+            for _ in range(emissions):
+                if mode == "all":
+                    targets = consumers
+                elif mode == "first":
+                    targets = consumers[:1]
+                else:
+                    targets = (consumers[rng.randrange(len(consumers))],)
+                for consumer_id in targets:
+                    buffer = task.buffers[consumer_id]
+                    buffer.append(event_time)
+                    if len(buffer) >= self.system.batch_size:
+                        task.buffers[consumer_id] = []
+                        self._push_batch(task, consumer_id, buffer, now)
+
+    def _push_batch(
+        self, producer: _Task, consumer_id: int, batch: list[float], now: float
+    ) -> None:
+        queue = self._queue_between(producer.task_id, consumer_id)
+        if queue.can_accept(len(batch)):
+            queue.push(batch)
+            self._start_next(self._tasks[consumer_id], now)
+        else:
+            producer.blocked = True
+            producer.pending_pushes.append((consumer_id, batch))
+
+    def _retry_pushes(self, producer: _Task, now: float) -> None:
+        pending = producer.pending_pushes
+        producer.pending_pushes = []
+        producer.blocked = False
+        for consumer_id, batch in pending:
+            self._push_batch(producer, consumer_id, batch, now)
+        if producer.blocked:
+            return
+        if producer.is_spout:
+            if self._generated < self._max_events:
+                self._push(now, _EMIT, producer.task_id)
+            else:
+                self._flush(producer, now)
+        else:
+            self._start_next(producer, now)
+
+    def _flush(self, task: _Task, now: float) -> None:
+        for consumer_id, buffer in list(task.buffers.items()):
+            if buffer and not task.blocked:
+                task.buffers[consumer_id] = []
+                self._push_batch(task, consumer_id, buffer, now)
+
+    def _queue_between(self, producer_id: int, consumer_id: int) -> _Queue:
+        for queue in self._tasks[consumer_id].in_queues:
+            if queue.producer_id == producer_id:
+                return queue
+        raise SimulationError(
+            f"no queue between tasks {producer_id} and {consumer_id}"
+        )  # pragma: no cover - graph construction guarantees the queue

@@ -1,0 +1,149 @@
+"""Round-trip measurements: per-tuple time breakdown and NUMA-distance cost.
+
+Reproduces the measurement methodology of Section 6.1:
+
+* **Execute** — time in core function execution (includes processor
+  stalls);
+* **Others** — everything else on the critical path (object churn,
+  condition checks, queue access, context switching);
+* **RMA** — derived by allocating the operator *remotely* to its producer
+  and subtracting the local round-trip from the remote one.
+
+Two front-ends are provided: :func:`breakdown` (Figure 8's bars) and
+:func:`t_under_distance` (Table 3's measured vs estimated ``T`` as the
+operator moves further from its producer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import BRISKSTREAM
+from repro.core.profiles import ProfileSet, SystemProfile
+from repro.dsps.topology import Topology
+from repro.errors import ProfilingError
+from repro.hardware.machine import MachineSpec
+from repro.simulation.prefetch import DEFAULT_PREFETCH, PrefetchModel
+
+
+@dataclass(frozen=True)
+class Breakdown:
+    """Per-tuple time decomposition of one operator (ns)."""
+
+    component: str
+    system: str
+    execute_ns: float
+    others_ns: float
+    rma_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        return self.execute_ns + self.others_ns + self.rma_ns
+
+
+class RoundTripMeter:
+    """Measures per-tuple round-trip times of operators under placements."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        profiles: ProfileSet,
+        machine: MachineSpec,
+        system: SystemProfile = BRISKSTREAM,
+        prefetch: PrefetchModel = DEFAULT_PREFETCH,
+    ) -> None:
+        self.topology = topology
+        self.profiles = profiles
+        self.machine = machine
+        self.system = system
+        self.prefetch = prefetch
+
+    # ------------------------------------------------------------------
+    # Helpers shared by both front-ends
+    # ------------------------------------------------------------------
+    def _producer_of(self, component: str) -> tuple[str, str]:
+        incoming = self.topology.incoming(component)
+        if not incoming:
+            raise ProfilingError(f"{component!r} has no producer to measure against")
+        edge = incoming[0]
+        return edge.producer, edge.stream
+
+    def execute_ns(self, component: str) -> float:
+        """Execute: function execution time per tuple on this system."""
+        profile = self.profiles[component]
+        return self.system.execute_ns(
+            self.machine.cycles_to_ns(profile.te_cycles)
+        )
+
+    def others_ns(self, component: str) -> float:
+        """Others: overhead on the critical path per tuple."""
+        profile = self.profiles[component]
+        producer, stream = self._producer_of(component)
+        in_bytes = self.system.wire_bytes(
+            self.profiles.edge_payload_bytes(producer, stream)
+        )
+        out_bytes = sum(
+            profile.stream_selectivity(s) * profile.stream_bytes(s)
+            for s in profile.selectivity
+        )
+        return self.system.overhead_ns(in_bytes, out_bytes, profile.total_selectivity)
+
+    def estimated_rma_ns(self, component: str, from_socket: int, to_socket: int) -> float:
+        """Formula 2's fetch-cost estimate for the given relative location."""
+        if from_socket == to_socket:
+            return 0.0
+        producer, stream = self._producer_of(component)
+        wire = self.system.wire_bytes(self.profiles.edge_payload_bytes(producer, stream))
+        lines = self.machine.cache_lines(wire)
+        return lines * self.machine.latency_ns(from_socket, to_socket)
+
+    def measured_rma_ns(self, component: str, from_socket: int, to_socket: int) -> float:
+        """Measured fetch cost: the estimate after prefetch overlap.
+
+        Derived exactly like the paper derives RMA: remote round-trip
+        minus local round-trip.
+        """
+        estimate = self.estimated_rma_ns(component, from_socket, to_socket)
+        return self.prefetch.effective_fetch_ns(estimate, self.execute_ns(component))
+
+    # ------------------------------------------------------------------
+    # Front-ends
+    # ------------------------------------------------------------------
+    def breakdown(
+        self, component: str, remote: bool = False, max_hops: bool = True
+    ) -> Breakdown:
+        """Figure 8's bar for one operator: Execute / Others / RMA.
+
+        ``remote`` allocates the operator max-hop away from its producer
+        (the paper's "remote" group); otherwise they are collocated.
+        """
+        rma = 0.0
+        if remote:
+            origin = 0
+            candidates = (
+                self.machine.topology.sockets_at_distance(
+                    origin, self.machine.topology.max_hops
+                )
+                if max_hops
+                else [s for s in self.machine.sockets if s != origin]
+            )
+            if not candidates:
+                raise ProfilingError("machine has a single socket; no remote group")
+            rma = self.measured_rma_ns(component, origin, candidates[0])
+        return Breakdown(
+            component=component,
+            system=self.system.name,
+            execute_ns=self.execute_ns(component),
+            others_ns=self.others_ns(component),
+            rma_ns=rma,
+        )
+
+    def t_under_distance(
+        self, component: str, from_socket: int, to_socket: int
+    ) -> tuple[float, float]:
+        """Table 3's row: (measured, estimated) ``T`` in ns/tuple when the
+        operator on ``to_socket`` consumes a producer on ``from_socket``."""
+        local = self.execute_ns(component) + self.others_ns(component)
+        measured = local + self.measured_rma_ns(component, from_socket, to_socket)
+        estimated = local + self.estimated_rma_ns(component, from_socket, to_socket)
+        return measured, estimated

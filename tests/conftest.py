@@ -1,0 +1,110 @@
+"""Shared fixtures: small machines, a synthetic pipeline, cached apps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OperatorProfile, PerformanceModel, ProfileSet
+from repro.dsps import (
+    FlatMapOperator,
+    IterableSpout,
+    MapOperator,
+    Sink,
+    TopologyBuilder,
+)
+from repro.hardware import GB, MachineSpec, glueless_two_tray, server_a, server_b
+
+
+@pytest.fixture(scope="session")
+def machine_a() -> MachineSpec:
+    """The paper's Server A (HUAWEI KunLun)."""
+    return server_a()
+
+
+@pytest.fixture(scope="session")
+def machine_b() -> MachineSpec:
+    """The paper's Server B (HP DL980 G7)."""
+    return server_b()
+
+
+@pytest.fixture(scope="session")
+def tiny_machine() -> MachineSpec:
+    """A small 4-socket machine that keeps optimizer tests fast."""
+    return MachineSpec(
+        name="tiny (4x4)",
+        topology=glueless_two_tray(4),
+        cores_per_socket=4,
+        freq_ghz=2.0,
+        local_latency_ns=50.0,
+        hop_latency_ns={1: 200.0, 2: 400.0},
+        local_bandwidth=20.0 * GB,
+        hop_bandwidth={1: 8.0 * GB, 2: 4.0 * GB},
+    )
+
+
+def build_pipeline(selectivity: float = 2.0, parallelism: int = 1):
+    """A synthetic 4-stage pipeline: spout -> stage -> fan -> sink."""
+    builder = TopologyBuilder("pipeline")
+    builder.set_spout("spout", IterableSpout([("x", 1)] * 100), parallelism)
+    builder.add_operator(
+        "stage", MapOperator(lambda v: v), parallelism
+    ).shuffle_from("spout")
+    builder.add_operator(
+        "fan",
+        FlatMapOperator(lambda v: [v] * int(selectivity)),
+        parallelism,
+    ).shuffle_from("stage")
+    builder.add_sink("sink", Sink(), parallelism).shuffle_from("fan")
+    return builder.build()
+
+
+def pipeline_profiles(topology, fan_selectivity: float = 2.0) -> ProfileSet:
+    """Hand-written profiles for the synthetic pipeline."""
+    return ProfileSet(
+        topology,
+        {
+            "spout": OperatorProfile(
+                "spout", 200, 100, {"default": 100}, {"default": 1.0}
+            ),
+            "stage": OperatorProfile(
+                "stage", 400, 150, {"default": 100}, {"default": 1.0}
+            ),
+            "fan": OperatorProfile(
+                "fan", 800, 250, {"default": 60}, {"default": fan_selectivity}
+            ),
+            "sink": OperatorProfile("sink", 100, 40, {}, {}),
+        },
+    )
+
+
+@pytest.fixture()
+def pipeline_topology():
+    return build_pipeline()
+
+
+@pytest.fixture()
+def pipeline(pipeline_topology):
+    """(topology, profiles) for the synthetic pipeline."""
+    return pipeline_topology, pipeline_profiles(pipeline_topology)
+
+
+@pytest.fixture()
+def pipeline_model(pipeline, tiny_machine) -> PerformanceModel:
+    topology, profiles = pipeline
+    return PerformanceModel(profiles, tiny_machine)
+
+
+@pytest.fixture(scope="session")
+def wc_app():
+    """Cached (topology, profiles) of the real Word Count application."""
+    from repro.apps import load_application
+
+    return load_application("wc")
+
+
+@pytest.fixture(scope="session")
+def lr_app():
+    """Cached (topology, profiles) of the Linear Road application."""
+    from repro.apps import load_application
+
+    return load_application("lr")

@@ -1,0 +1,86 @@
+"""Functional tests for Fraud Detection and Spike Detection."""
+
+import pytest
+
+from repro.apps import build_fraud_detection, build_spike_detection
+from repro.apps.fraud_detection import MarkovPredictor
+from repro.apps.spike_detection import MovingAverage, SpikeDetector
+from repro.dsps import LocalEngine, StreamTuple
+
+
+class TestFraudDetection:
+    def test_topology_shape(self):
+        topology = build_fraud_detection()
+        assert topology.topological_order() == ["spout", "parser", "predictor", "sink"]
+
+    def test_selectivity_one_everywhere(self):
+        """Appendix B: a signal reaches the sink for every input."""
+        run = LocalEngine(build_fraud_detection()).run(400)
+        assert run.selectivity("parser") == pytest.approx(1.0)
+        assert run.selectivity("predictor") == pytest.approx(1.0)
+        assert run.sink_received() == 400
+
+    def test_predictor_scores_unusual_traces_higher(self):
+        predictor = MarkovPredictor()
+        normal = list(
+            predictor.process(StreamTuple(values=("acc", "low,low,mid,low,low")))
+        )[0][1]
+        shady = list(
+            predictor.process(StreamTuple(values=("acc", "max,high,max,high,max")))
+        )[0][1]
+        assert shady[1] > normal[1]
+        assert shady[2] and not normal[2]
+
+    def test_fraud_detected_on_workload(self):
+        run = LocalEngine(build_fraud_detection(fraud_fraction=0.2)).run(500)
+        sink = run.sinks["sink"][0]
+        assert 0 < sink.fraud_count < 500
+
+    def test_fields_grouping_keeps_entity_on_one_replica(self):
+        topology = build_fraud_detection()
+        engine = LocalEngine(
+            topology,
+            replication={"spout": 1, "parser": 2, "predictor": 4, "sink": 1},
+        )
+        run = engine.run(300)
+        assert run.sink_received() == 300
+
+
+class TestSpikeDetection:
+    def test_topology_shape(self):
+        topology = build_spike_detection()
+        assert topology.topological_order() == [
+            "spout",
+            "parser",
+            "moving_average",
+            "spike_detector",
+            "sink",
+        ]
+
+    def test_selectivity_one_everywhere(self):
+        run = LocalEngine(build_spike_detection()).run(400)
+        for component in ("parser", "moving_average", "spike_detector"):
+            assert run.selectivity(component) == pytest.approx(1.0)
+        assert run.sink_received() == 400
+
+    def test_moving_average_windows(self):
+        op = MovingAverage(window=3)
+        values = [10.0, 20.0, 30.0, 40.0]
+        averages = []
+        for i, v in enumerate(values):
+            out = list(op.process(StreamTuple(values=("dev", v, i))))
+            averages.append(out[0][1][1])
+        assert averages == [10.0, 15.0, 20.0, (20.0 + 30 + 40) / 3]
+
+    def test_spike_detector_flags_outliers(self):
+        detector = SpikeDetector(threshold=1.5)
+        calm = list(detector.process(StreamTuple(values=("dev", 10.0, 10.0))))
+        spike = list(detector.process(StreamTuple(values=("dev", 10.0, 100.0))))
+        assert not calm[0][1][3]
+        assert spike[0][1][3]
+        assert detector.spikes == 1
+
+    def test_spikes_found_on_workload(self):
+        run = LocalEngine(build_spike_detection(spike_fraction=0.05)).run(2000)
+        sink = run.sinks["sink"][0]
+        assert sink.spike_count > 0

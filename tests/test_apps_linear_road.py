@@ -1,0 +1,168 @@
+"""Functional tests for the Linear Road application."""
+
+import pytest
+
+from repro.apps import build_linear_road
+from repro.apps.linear_road import (
+    AccidentDetector,
+    BALANCE_STREAM,
+    DAILY_STREAM,
+    DETECT_STREAM,
+    Dispatcher,
+    POSITION_STREAM,
+    TollNotifier,
+    TOLL_STREAM,
+)
+from repro.dsps import LocalEngine, StreamTuple
+
+
+class TestDispatcher:
+    def test_routes_by_record_type(self):
+        dispatcher = Dispatcher()
+        position = list(
+            dispatcher.process(
+                StreamTuple(values=(0, 10, 7, 55, 1, 2, 0, 3, 15900, 0, 0))
+            )
+        )
+        balance = list(
+            dispatcher.process(
+                StreamTuple(values=(2, 11, 7, 0, 0, 0, 0, 0, 0, 42, 0))
+            )
+        )
+        daily = list(
+            dispatcher.process(
+                StreamTuple(values=(3, 12, 7, 0, 0, 0, 0, 0, 0, 43, 5))
+            )
+        )
+        assert position[0][0] == POSITION_STREAM
+        assert balance[0][0] == BALANCE_STREAM
+        assert daily[0][0] == DAILY_STREAM
+
+
+class TestAccidentDetector:
+    def test_four_stopped_reports_trigger(self):
+        detector = AccidentDetector()
+        report = (100, 9, 0, 1, 2, 0, 3, 15900)
+        emissions = []
+        for _ in range(4):
+            emissions.extend(
+                detector.process(StreamTuple(values=report, stream=POSITION_STREAM))
+            )
+        assert len(emissions) == 1
+        assert emissions[0][0] == DETECT_STREAM
+        assert detector.detected == 1
+
+    def test_moving_vehicle_never_triggers(self):
+        detector = AccidentDetector()
+        for position in range(0, 400, 100):
+            report = (100, 9, 60, 1, 2, 0, 3, position)
+            assert not list(
+                detector.process(StreamTuple(values=report, stream=POSITION_STREAM))
+            )
+
+    def test_no_duplicate_alert_for_same_accident(self):
+        detector = AccidentDetector()
+        report = (100, 9, 0, 1, 2, 0, 3, 15900)
+        total = []
+        for _ in range(10):
+            total.extend(
+                detector.process(StreamTuple(values=report, stream=POSITION_STREAM))
+            )
+        assert len(total) == 1
+
+
+class TestTollNotifier:
+    def test_congestion_charges_toll(self):
+        notifier = TollNotifier()
+        key = (1, 0, 3)
+        notifier.process(
+            StreamTuple(values=(*key, 20.0), stream="las_stream")
+        ).__iter__().__next__()
+        list(notifier.process(StreamTuple(values=(*key, 80), stream="counts_stream")))
+        out = list(
+            notifier.process(
+                StreamTuple(
+                    values=(100, 9, 30, 1, 2, 0, 3, 15900), stream=POSITION_STREAM
+                )
+            )
+        )
+        assert out[0][0] == TOLL_STREAM
+        assert out[0][1][1] > 0  # toll charged
+        assert notifier.tolls_charged == 1
+
+    def test_free_flow_is_toll_free(self):
+        notifier = TollNotifier()
+        out = list(
+            notifier.process(
+                StreamTuple(
+                    values=(100, 9, 80, 1, 2, 0, 3, 15900), stream=POSITION_STREAM
+                )
+            )
+        )
+        assert out[0][1][1] == 0
+
+    def test_accident_suspends_tolls(self):
+        notifier = TollNotifier()
+        key = (1, 0, 3)
+        list(notifier.process(StreamTuple(values=(*key, 20.0), stream="las_stream")))
+        list(notifier.process(StreamTuple(values=(*key, 80), stream="counts_stream")))
+        list(notifier.process(StreamTuple(values=(*key, 100), stream=DETECT_STREAM)))
+        out = list(
+            notifier.process(
+                StreamTuple(
+                    values=(100, 9, 30, 1, 2, 0, 3, 15900), stream=POSITION_STREAM
+                )
+            )
+        )
+        assert out[0][1][1] == 0
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return LocalEngine(build_linear_road()).run(3000)
+
+    def test_dispatcher_selectivities_match_table8(self, run):
+        assert run.selectivity("dispatcher", POSITION_STREAM) > 0.97
+        assert run.selectivity("dispatcher", BALANCE_STREAM) < 0.02
+        assert run.selectivity("dispatcher", DAILY_STREAM) < 0.02
+
+    def test_unit_selectivity_operators(self, run):
+        for component in ("avg_speed", "las_avg_speed", "count_vehicles"):
+            assert run.selectivity(component) == pytest.approx(1.0)
+
+    def test_accident_streams_are_rare(self, run):
+        assert run.selectivity("accident_detect") < 0.05
+        assert run.selectivity("accident_notify") < 0.2
+
+    def test_toll_notifier_answers_every_input(self, run):
+        # ~1.0: the accident-stream inputs (selectivity 0) are a sliver.
+        assert run.selectivity("toll_notify") == pytest.approx(1.0, abs=0.01)
+
+    def test_sink_receives_several_streams(self, run):
+        # toll notifications dominate (3 inputs x sel 1 on ~99% of events)
+        assert run.sink_received() > 2.5 * run.events_ingested
+
+    def test_topology_has_eleven_components_plus_sink(self):
+        topology = build_linear_road()
+        assert len(topology) == 12
+        assert set(topology.sinks) == {"sink"}
+
+    def test_replicated_run_consistent(self):
+        replication = {
+            "spout": 1,
+            "parser": 2,
+            "dispatcher": 2,
+            "avg_speed": 3,
+            "las_avg_speed": 2,
+            "accident_detect": 2,
+            "count_vehicles": 3,
+            "accident_notify": 2,
+            "toll_notify": 4,
+            "daily_expenditure": 1,
+            "account_balance": 1,
+            "sink": 2,
+        }
+        run = LocalEngine(build_linear_road(), replication=replication).run(1500)
+        assert run.selectivity("toll_notify") == pytest.approx(1.0, abs=0.05)
+        assert run.sink_received() > 2.5 * run.events_ingested

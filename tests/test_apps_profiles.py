@@ -1,0 +1,90 @@
+"""Tests for the calibrated application profiles."""
+
+import pytest
+
+from repro.apps import (
+    APP_NAMES,
+    LOCAL_T_TARGETS_NS,
+    build_application,
+    load_application,
+    profile_application,
+)
+from repro.core import BRISKSTREAM, PerformanceModel
+from repro.core.scaling import saturation_ingress
+from repro.errors import ProfilingError
+from repro.hardware import server_a
+
+
+class TestBuildApplication:
+    def test_all_four_apps(self):
+        for app in APP_NAMES:
+            topology = build_application(app)
+            assert topology.name == app
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ProfilingError, match="unknown application"):
+            build_application("nope")
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("app", APP_NAMES)
+    def test_profiles_cover_topology(self, app):
+        topology, profiles = load_application(app)
+        for name in topology.components:
+            assert profiles[name].te_cycles > 0
+
+    def test_wc_splitter_matches_table3_anchor(self, wc_app):
+        """Te + Others at Server A's clock must hit Table 3's local T."""
+        topology, profiles = wc_app
+        machine = server_a()
+        splitter = profiles["splitter"]
+        te_ns = machine.cycles_to_ns(splitter.te_cycles)
+        overhead = BRISKSTREAM.overhead_ns(0, 0, splitter.total_selectivity)
+        assert te_ns + overhead == pytest.approx(1612.8, rel=0.01)
+
+    def test_wc_counter_matches_table3_anchor(self, wc_app):
+        topology, profiles = wc_app
+        machine = server_a()
+        counter = profiles["counter"]
+        te_ns = machine.cycles_to_ns(counter.te_cycles)
+        overhead = BRISKSTREAM.overhead_ns(0, 0, counter.total_selectivity)
+        assert te_ns + overhead == pytest.approx(612.3, rel=0.01)
+
+    def test_wc_selectivities_measured(self, wc_app):
+        _, profiles = wc_app
+        assert profiles["splitter"].stream_selectivity() == pytest.approx(10.0)
+        assert profiles["parser"].stream_selectivity() == pytest.approx(1.0)
+
+    def test_lr_dispatcher_selectivities(self, lr_app):
+        _, profiles = lr_app
+        dispatcher = profiles["dispatcher"]
+        assert dispatcher.stream_selectivity("position_report") > 0.97
+        assert dispatcher.total_selectivity == pytest.approx(1.0, abs=0.02)
+
+    def test_caching_returns_same_objects(self):
+        a = load_application("wc")
+        b = load_application("wc")
+        assert a[0] is b[0]
+        assert a[1] is b[1]
+
+    def test_profile_application_rejects_unknown_targets(self):
+        from repro.dsps import IterableSpout, Sink, TopologyBuilder
+
+        builder = TopologyBuilder("custom")
+        builder.set_spout("s", IterableSpout([("x",)]))
+        builder.add_sink("z", Sink()).shuffle_from("s")
+        with pytest.raises(ProfilingError, match="no calibration targets"):
+            profile_application(builder.build())
+
+
+class TestThroughputOrdering:
+    def test_saturation_order_matches_paper(self):
+        """Per-event cost ordering implies WC >> SD > LR-ish > FD ingress."""
+        machine = server_a()
+        rates = {}
+        for app in APP_NAMES:
+            topology, profiles = load_application(app)
+            model = PerformanceModel(profiles, machine)
+            rates[app] = saturation_ingress(topology, model)
+        assert rates["wc"] > rates["sd"] > rates["fd"]
+        assert rates["lr"] < rates["fd"]  # LR's pipeline is the heaviest

@@ -1,0 +1,69 @@
+"""Functional tests for the Word Count application."""
+
+import pytest
+
+from repro.apps import build_wordcount
+from repro.apps.wordcount import Counter, Parser, Splitter
+from repro.dsps import LocalEngine, StreamTuple
+
+
+class TestOperators:
+    def test_parser_drops_empty(self):
+        parser = Parser()
+        assert list(parser.process(StreamTuple(values=("",)))) == []
+        assert list(parser.process(StreamTuple(values=("a b",)))) == [
+            ("default", ("a b",))
+        ]
+
+    def test_splitter_emits_each_word(self):
+        splitter = Splitter()
+        out = list(splitter.process(StreamTuple(values=("a boy and a girl",))))
+        assert [v[0] for _, v in out] == ["a", "boy", "and", "a", "girl"]
+
+    def test_counter_tracks_occurrences(self):
+        counter = Counter()
+        first = list(counter.process(StreamTuple(values=("a",))))
+        second = list(counter.process(StreamTuple(values=("a",))))
+        assert first == [("default", ("a", 1))]
+        assert second == [("default", ("a", 2))]
+
+
+class TestTopology:
+    def test_structure_matches_figure2(self):
+        topology = build_wordcount()
+        assert topology.topological_order() == [
+            "spout",
+            "parser",
+            "splitter",
+            "counter",
+            "sink",
+        ]
+        assert topology.sinks == ["sink"]
+
+    def test_selectivities_match_paper(self):
+        """Parser selectivity 1, splitter 10 on the testing workload."""
+        topology = build_wordcount()
+        run = LocalEngine(topology).run(500)
+        assert run.selectivity("parser") == pytest.approx(1.0)
+        assert run.selectivity("splitter") == pytest.approx(10.0)
+        assert run.selectivity("counter") == pytest.approx(1.0)
+
+    def test_sink_sees_every_word(self):
+        topology = build_wordcount()
+        run = LocalEngine(topology).run(200)
+        assert run.sink_received() == 200 * 10
+
+    def test_counts_are_consistent(self):
+        """Total counted occurrences equal words emitted."""
+        topology = build_wordcount()
+        engine = LocalEngine(topology, replication={
+            "spout": 1, "parser": 2, "splitter": 2, "counter": 4, "sink": 1
+        })
+        run = engine.run(300)
+        assert run.component_out("counter") == run.component_out("splitter")
+
+    def test_empty_sentences_dropped(self):
+        topology = build_wordcount(empty_fraction=0.3)
+        run = LocalEngine(topology).run(500)
+        assert run.selectivity("parser") < 1.0
+        assert run.sink_received() < 5000

@@ -1,0 +1,87 @@
+"""Unit tests for the synthetic workload generators."""
+
+from collections import Counter
+
+import pytest
+
+from repro.apps import linear_road_records, sensor_readings, sentences, take, transactions
+from repro.apps.workloads import (
+    ACCOUNT_BALANCE_REQUEST,
+    DAILY_EXPENDITURE_REQUEST,
+    POSITION_REPORT,
+)
+
+
+class TestSentences:
+    def test_word_count_per_sentence(self):
+        for (sentence,) in take(sentences(seed=1), 50):
+            assert len(sentence.split()) == 10
+
+    def test_deterministic_by_seed(self):
+        assert take(sentences(seed=5), 20) == take(sentences(seed=5), 20)
+        assert take(sentences(seed=5), 20) != take(sentences(seed=6), 20)
+
+    def test_empty_fraction(self):
+        items = take(sentences(seed=2, empty_fraction=0.5), 400)
+        empties = sum(1 for (s,) in items if not s)
+        assert 120 < empties < 280
+
+    def test_custom_length(self):
+        for (sentence,) in take(sentences(seed=1, words_per_sentence=3), 10):
+            assert len(sentence.split()) == 3
+
+
+class TestTransactions:
+    def test_record_shape(self):
+        for entity, trace in take(transactions(seed=1), 20):
+            assert entity.startswith("acc_")
+            assert len(trace.split(",")) == 5
+
+    def test_fraud_fraction_visible(self):
+        records = take(transactions(seed=3, fraud_fraction=0.5), 400)
+        suspicious = sum(1 for _, trace in records if "max" in trace or trace.count("high") >= 3)
+        assert suspicious > 100
+
+
+class TestSensorReadings:
+    def test_record_shape(self):
+        for device, value, timestamp in take(sensor_readings(seed=1), 20):
+            assert device.startswith("dev_")
+            assert isinstance(value, float)
+            assert timestamp > 0
+
+    def test_timestamps_monotone(self):
+        stamps = [t for _, _, t in take(sensor_readings(seed=1), 100)]
+        assert stamps == sorted(stamps)
+
+    def test_device_pool_respected(self):
+        devices = {d for d, _, _ in take(sensor_readings(seed=1, n_devices=4), 200)}
+        assert len(devices) <= 4
+
+
+class TestLinearRoadRecords:
+    def test_type_mix_matches_table8(self):
+        records = take(linear_road_records(seed=1), 5000)
+        kinds = Counter(r[0] for r in records)
+        assert kinds[POSITION_REPORT] / len(records) > 0.97
+        assert kinds[ACCOUNT_BALANCE_REQUEST] > 0
+        assert kinds[DAILY_EXPENDITURE_REQUEST] > 0
+
+    def test_position_reports_have_valid_fields(self):
+        for record in take(linear_road_records(seed=2), 500):
+            if record[0] != POSITION_REPORT:
+                continue
+            _, time, vid, speed, xway, lane, direction, segment, position, _, _ = record
+            assert 0 <= speed < 100
+            assert segment == position // 5280
+            assert direction in (0, 1)
+
+    def test_some_vehicles_are_stopped(self):
+        records = take(linear_road_records(seed=3, stopped_fraction=0.05), 3000)
+        stopped = [r for r in records if r[0] == POSITION_REPORT and r[3] == 0]
+        assert stopped
+
+    def test_deterministic(self):
+        a = take(linear_road_records(seed=9), 100)
+        b = take(linear_road_records(seed=9), 100)
+        assert a == b

@@ -1,0 +1,114 @@
+"""Unit tests for the OS / FF / RR placement baselines."""
+
+import pytest
+
+from repro.baselines import first_fit, os_scheduler, place_with_strategy, round_robin
+from repro.core import PerformanceModel
+from repro.dsps import ExecutionGraph
+from repro.errors import PlanError
+
+from tests.conftest import build_pipeline, pipeline_profiles
+
+
+@pytest.fixture()
+def setup(tiny_machine):
+    topology = build_pipeline()
+    profiles = pipeline_profiles(topology)
+    model = PerformanceModel(profiles, tiny_machine)
+    graph = ExecutionGraph(topology, {n: 2 for n in topology.components})
+    return model, graph
+
+
+class TestRoundRobin:
+    def test_spreads_over_all_sockets(self, setup, tiny_machine):
+        model, graph = setup
+        plan = round_robin(graph, tiny_machine)
+        assert plan.is_complete
+        assert plan.used_sockets() == set(tiny_machine.sockets)
+
+    def test_deterministic(self, setup, tiny_machine):
+        model, graph = setup
+        a = round_robin(graph, tiny_machine)
+        b = round_robin(graph, tiny_machine)
+        assert a.placement == b.placement
+
+    def test_balanced_counts(self, setup, tiny_machine):
+        model, graph = setup
+        plan = round_robin(graph, tiny_machine)
+        counts = [plan.replicas_on(s) for s in tiny_machine.sockets]
+        assert max(counts) - min(counts) <= 1
+
+
+class TestFirstFit:
+    def test_produces_complete_plan(self, setup):
+        model, graph = setup
+        plan = first_fit(graph, model, 1e6)
+        assert plan.is_complete
+
+    def test_greedy_packs_low_sockets_first(self, setup, tiny_machine):
+        model, graph = setup
+        plan = first_fit(graph, model, 1e5)
+        # At light load everything fits the first socket(s).
+        assert min(plan.used_sockets()) == 0
+        assert len(plan.used_sockets()) <= 2
+
+    def test_relaxes_when_nothing_fits(self, tiny_machine):
+        """More replicas than cores: FF must still return a (bad) plan."""
+        topology = build_pipeline()
+        profiles = pipeline_profiles(topology)
+        model = PerformanceModel(profiles, tiny_machine)
+        graph = ExecutionGraph(topology, {n: 5 for n in topology.components})
+        plan = first_fit(graph, model, 1e7)
+        assert plan.is_complete
+        # 20 replicas on 16 cores: some socket is oversubscribed.
+        assert any(
+            plan.replicas_on(s) > tiny_machine.cores_per_socket
+            for s in tiny_machine.sockets
+        )
+
+
+class TestOsScheduler:
+    def test_load_balanced(self, setup, tiny_machine):
+        model, graph = setup
+        plan = os_scheduler(graph, tiny_machine, seed=1)
+        counts = [plan.replicas_on(s) for s in tiny_machine.sockets]
+        assert max(counts) - min(counts) <= 1
+
+    def test_seed_controls_layout(self, setup, tiny_machine):
+        model, graph = setup
+        layouts = {
+            tuple(sorted(os_scheduler(graph, tiny_machine, seed=s).placement.items()))
+            for s in range(5)
+        }
+        assert len(layouts) > 1
+
+
+class TestDispatch:
+    def test_strategy_names(self, setup, tiny_machine):
+        model, graph = setup
+        for name in ("OS", "FF", "RR"):
+            plan = place_with_strategy(name, graph, model, 1e6)
+            assert plan.is_complete
+
+    def test_unknown_strategy(self, setup):
+        model, graph = setup
+        with pytest.raises(PlanError):
+            place_with_strategy("magic", graph, model, 1e6)
+
+
+class TestQuality:
+    def test_rlas_beats_heuristics_under_pressure(self, setup, tiny_machine):
+        """Figure 13's claim on the small machine."""
+        from repro.core import PlacementOptimizer
+
+        model, graph = setup
+        rate = 1e7
+        rlas = PlacementOptimizer(model, rate).optimize(graph)
+        assert rlas.plan is not None
+        from repro.simulation import measure_throughput
+
+        r_rlas = measure_throughput(rlas.plan, model.profiles, tiny_machine, rate)
+        for name in ("OS", "FF", "RR"):
+            plan = place_with_strategy(name, graph, model, rate, seed=2)
+            r_other = measure_throughput(plan, model.profiles, tiny_machine, rate)
+            assert r_rlas >= r_other * 0.95, name

@@ -1,0 +1,90 @@
+"""Unit tests for Monte-Carlo random plan sampling (Figure 14)."""
+
+import pytest
+
+from repro.baselines import (
+    random_placement,
+    random_replication,
+    sample_random_plans,
+    throughput_cdf,
+)
+from repro.dsps import ExecutionGraph
+
+import random
+
+from tests.conftest import build_pipeline, pipeline_profiles
+
+
+class TestRandomReplication:
+    def test_hits_limit_exactly(self):
+        topology = build_pipeline()
+        rng = random.Random(1)
+        replication = random_replication(topology, 16, rng)
+        assert sum(replication.values()) == 16
+        assert all(v >= 1 for v in replication.values())
+
+    def test_deterministic_by_rng(self):
+        topology = build_pipeline()
+        a = random_replication(topology, 12, random.Random(3))
+        b = random_replication(topology, 12, random.Random(3))
+        assert a == b
+
+
+class TestRandomPlacement:
+    def test_all_tasks_placed(self, tiny_machine):
+        topology = build_pipeline()
+        graph = ExecutionGraph(topology, {n: 2 for n in topology.components})
+        plan = random_placement(graph, tiny_machine, random.Random(1))
+        assert plan.is_complete
+        assert all(0 <= s < 4 for s in plan.placement.values())
+
+
+class TestSampling:
+    def test_sample_count_and_positivity(self, tiny_machine):
+        topology = build_pipeline()
+        profiles = pipeline_profiles(topology)
+        samples = sample_random_plans(
+            topology, profiles, tiny_machine, 1e7, n_plans=25, seed=2
+        )
+        assert len(samples) == 25
+        assert all(s.throughput > 0 for s in samples)
+
+    def test_seeded_reproducibility(self, tiny_machine):
+        topology = build_pipeline()
+        profiles = pipeline_profiles(topology)
+        a = sample_random_plans(topology, profiles, tiny_machine, 1e7, 10, seed=5)
+        b = sample_random_plans(topology, profiles, tiny_machine, 1e7, 10, seed=5)
+        assert [s.throughput for s in a] == [s.throughput for s in b]
+
+    def test_rlas_beats_every_random_plan(self, tiny_machine):
+        """Figure 14's headline claim, on the small machine."""
+        from repro.core import PerformanceModel, RLASOptimizer
+        from repro.core.scaling import saturation_ingress
+        from repro.simulation import measure_throughput
+
+        topology = build_pipeline()
+        profiles = pipeline_profiles(topology)
+        model = PerformanceModel(profiles, tiny_machine)
+        rate = saturation_ingress(topology, model)
+        optimized = RLASOptimizer(
+            topology, profiles, tiny_machine, rate, compress_ratio=2
+        ).optimize()
+        r_rlas = measure_throughput(
+            optimized.expanded_plan, profiles, tiny_machine, rate
+        )
+        samples = sample_random_plans(
+            topology, profiles, tiny_machine, rate, n_plans=60, seed=11
+        )
+        assert all(s.throughput <= r_rlas * 1.02 for s in samples)
+
+    def test_cdf_shape(self, tiny_machine):
+        topology = build_pipeline()
+        profiles = pipeline_profiles(topology)
+        samples = sample_random_plans(
+            topology, profiles, tiny_machine, 1e7, n_plans=20, seed=4
+        )
+        cdf = throughput_cdf(samples)
+        values = [v for v, _ in cdf]
+        fractions = [f for _, f in cdf]
+        assert values == sorted(values)
+        assert fractions[-1] == pytest.approx(1.0)

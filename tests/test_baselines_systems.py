@@ -1,0 +1,109 @@
+"""Unit tests for the Storm/Flink/StreamBox comparator models."""
+
+import pytest
+
+from repro.baselines import (
+    FACTOR_STEPS,
+    FLINK,
+    MINUS_INSTR_FOOTPRINT,
+    SIMPLE,
+    STORM,
+    StreamBoxModel,
+)
+from repro.core import BRISKSTREAM, PerformanceModel, collocated_plan
+from repro.dsps import ExecutionGraph
+from repro.simulation import measure_throughput
+
+from tests.conftest import build_pipeline, pipeline_profiles
+
+
+@pytest.fixture()
+def setup(tiny_machine):
+    topology = build_pipeline()
+    profiles = pipeline_profiles(topology)
+    return topology, profiles, tiny_machine
+
+
+class TestSystemProfiles:
+    def test_storm_slower_than_brisk(self, setup):
+        topology, profiles, machine = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        plan = collocated_plan(graph)
+        r_brisk = measure_throughput(plan, profiles, machine, 1e12)
+        r_storm = measure_throughput(plan, profiles, machine, 1e12, system=STORM)
+        r_flink = measure_throughput(plan, profiles, machine, 1e12, system=FLINK)
+        assert r_brisk > 3 * r_storm
+        assert r_brisk > 3 * r_flink
+        assert r_flink >= r_storm
+
+    def test_factor_steps_cumulative_improvement(self, setup):
+        """Figure 16: each added factor must not hurt."""
+        topology, profiles, machine = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        plan = collocated_plan(graph)
+        values = [
+            measure_throughput(plan, profiles, machine, 1e12, system=system)
+            for _, system in FACTOR_STEPS[:3]
+        ]
+        assert values[0] < values[1] < values[2]
+
+    def test_simple_equals_storm_cost_structure(self):
+        assert SIMPLE.te_multiplier == STORM.te_multiplier
+        assert SIMPLE.others_ns == STORM.others_ns
+
+    def test_minus_instr_keeps_per_tuple_queueing(self):
+        assert MINUS_INSTR_FOOTPRINT.te_multiplier == 1.0
+        assert not MINUS_INSTR_FOOTPRINT.queue_amortized
+        assert not MINUS_INSTR_FOOTPRINT.header_amortized
+
+    def test_flink_multi_input_penalty(self):
+        assert FLINK.multi_input_penalty_ns > 0
+        assert BRISKSTREAM.multi_input_penalty_ns == 0
+        assert STORM.multi_input_penalty_ns == 0
+
+    def test_storm_buffers_dwarf_brisk(self):
+        assert STORM.queue_capacity > 10 * BRISKSTREAM.queue_capacity
+
+
+class TestStreamBox:
+    @pytest.fixture()
+    def models(self, setup):
+        topology, profiles, machine = setup
+        ooo = StreamBoxModel(topology, profiles, machine, ordered=False)
+        ordered = StreamBoxModel(topology, profiles, machine, ordered=True)
+        return ooo, ordered
+
+    def test_ordered_slower_than_out_of_order(self, models):
+        ooo, ordered = models
+        assert ordered.throughput(8).throughput < ooo.throughput(8).throughput
+
+    def test_scheduler_binds_at_scale(self, models, tiny_machine):
+        ooo, _ = models
+        big = ooo.throughput(tiny_machine.n_cores)
+        assert big.scheduler_bound or big.throughput > 0
+
+    def test_scaling_flattens(self, setup):
+        """Figure 11's shape: growth stalls once the lock dominates."""
+        topology, profiles, machine = setup
+        ooo = StreamBoxModel(topology, profiles, machine, ordered=False)
+        points = ooo.sweep([1, 2, 4, 8, 16])
+        values = [p.throughput for p in points]
+        early_gain = values[1] / values[0]
+        late_gain = values[-1] / values[-2]
+        assert early_gain > late_gain
+
+    def test_cores_clamped_to_machine(self, models, tiny_machine):
+        ooo, _ = models
+        assert ooo.throughput(10_000).cores == tiny_machine.n_cores
+
+    def test_sweep_matches_throughput(self, models):
+        ooo, _ = models
+        sweep = ooo.sweep([2, 4])
+        assert sweep[0].throughput == ooo.throughput(2).throughput
+
+    def test_invalid_cores(self, models):
+        from repro.errors import SimulationError
+
+        ooo, _ = models
+        with pytest.raises(SimulationError):
+            ooo.throughput(0)

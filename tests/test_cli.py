@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_machines_command(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "Server" in out or "processor" in out
+        assert "KunLun" in out or "A" in out
+
+    def test_profile_command(self, capsys):
+        assert main(["profile", "--app", "wc"]) == 0
+        out = capsys.readouterr().out
+        assert "splitter" in out
+        assert "Te (cycles)" in out
+
+    def test_optimize_small(self, capsys):
+        # 1 socket keeps the run fast.
+        assert (
+            main(
+                [
+                    "optimize",
+                    "--app",
+                    "fd",
+                    "--sockets",
+                    "1",
+                    "--compress-ratio",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "RLAS plan" in out
+        assert "replication" in out
+
+    def test_simulate_small(self, capsys):
+        assert main(["simulate", "--app", "fd", "--sockets", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "measured throughput" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["optimize", "--app", "nope"])
+
+    def test_tf_mode_choices(self):
+        args = build_parser().parse_args(["optimize", "--tf-mode", "worst"])
+        assert args.tf_mode == "worst"

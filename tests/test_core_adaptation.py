@@ -1,0 +1,117 @@
+"""Tests for workload-drift adaptation (Section 5.3 extension)."""
+
+import pytest
+
+from repro.core import PerformanceModel, RLASOptimizer
+from repro.core.adaptation import (
+    AdaptationAction,
+    AdaptiveController,
+    detect_drift,
+)
+from repro.core.scaling import saturation_ingress
+from repro.errors import PlanError
+
+from tests.conftest import build_pipeline, pipeline_profiles
+
+
+@pytest.fixture(scope="module")
+def deployed(request):
+    from repro.hardware import GB, MachineSpec, glueless_two_tray
+
+    machine = MachineSpec(
+        name="tiny (4x4)",
+        topology=glueless_two_tray(4),
+        cores_per_socket=4,
+        freq_ghz=2.0,
+        local_latency_ns=50.0,
+        hop_latency_ns={1: 200.0, 2: 400.0},
+        local_bandwidth=20.0 * GB,
+        hop_bandwidth={1: 8.0 * GB, 2: 4.0 * GB},
+    )
+    topology = build_pipeline()
+    profiles = pipeline_profiles(topology)
+    rate = saturation_ingress(topology, PerformanceModel(profiles, machine))
+    plan = RLASOptimizer(
+        topology, profiles, machine, rate, compress_ratio=2
+    ).optimize()
+    return topology, profiles, machine, rate, plan
+
+
+class TestDetectDrift:
+    def test_no_drift_on_identical(self, deployed):
+        _, profiles, _, _, _ = deployed
+        reports = detect_drift(profiles, profiles)
+        assert all(r.magnitude == pytest.approx(0.0) for r in reports)
+
+    def test_te_drift_measured(self, deployed):
+        _, profiles, _, _, _ = deployed
+        drifted = profiles.replace("fan", te_cycles=profiles["fan"].te_cycles * 1.5)
+        report = {r.component: r for r in detect_drift(profiles, drifted)}
+        assert report["fan"].magnitude == pytest.approx(0.5)
+        assert report["spout"].magnitude == pytest.approx(0.0)
+
+    def test_selectivity_drift_measured(self, deployed):
+        _, profiles, _, _, _ = deployed
+        drifted = profiles.replace("fan", selectivity={"default": 3.0})
+        report = {r.component: r for r in detect_drift(profiles, drifted)}
+        assert report["fan"].selectivity_delta == pytest.approx(1.0)
+
+    def test_mismatched_topologies_rejected(self, deployed):
+        _, profiles, _, _, _ = deployed
+        from repro.dsps import IterableSpout, Sink, TopologyBuilder
+        from repro.core import OperatorProfile, ProfileSet
+
+        builder = TopologyBuilder("other")
+        builder.set_spout("s", IterableSpout([("x",)]))
+        builder.add_sink("z", Sink()).shuffle_from("s")
+        other = ProfileSet(
+            builder.build(),
+            {
+                "s": OperatorProfile("s", 10),
+                "z": OperatorProfile("z", 10),
+            },
+        )
+        with pytest.raises(PlanError):
+            detect_drift(profiles, other)
+
+
+class TestController:
+    def test_small_drift_does_nothing(self, deployed):
+        topology, profiles, machine, rate, plan = deployed
+        controller = AdaptiveController(plan, profiles, rate)
+        drifted = profiles.replace("fan", te_cycles=profiles["fan"].te_cycles * 1.02)
+        assert controller.observe(drifted) is AdaptationAction.NONE
+        assert controller.plan is plan
+
+    def test_moderate_drift_replaces(self, deployed):
+        topology, profiles, machine, rate, plan = deployed
+        controller = AdaptiveController(plan, profiles, rate)
+        drifted = profiles.replace("fan", te_cycles=profiles["fan"].te_cycles * 1.2)
+        action = controller.observe(drifted)
+        assert action is AdaptationAction.REPLACE
+        # Replication preserved, placement recomputed.
+        assert controller.plan.replication == plan.replication
+        assert controller.plan.realized_throughput > 0
+        assert controller.profiles is drifted
+
+    def test_large_drift_reoptimizes(self, deployed):
+        topology, profiles, machine, rate, plan = deployed
+        controller = AdaptiveController(plan, profiles, rate)
+        drifted = profiles.replace("fan", te_cycles=profiles["fan"].te_cycles * 2.0)
+        action = controller.observe(drifted)
+        assert action is AdaptationAction.REOPTIMIZE
+        # The fan got slower: the new plan gives it more replicas.
+        assert controller.plan.replication["fan"] >= plan.replication["fan"]
+
+    def test_history_recorded(self, deployed):
+        topology, profiles, machine, rate, plan = deployed
+        controller = AdaptiveController(plan, profiles, rate)
+        controller.observe(profiles)
+        assert controller.history == [AdaptationAction.NONE]
+
+    def test_invalid_thresholds(self, deployed):
+        topology, profiles, machine, rate, plan = deployed
+        with pytest.raises(PlanError):
+            AdaptiveController(
+                plan, profiles, rate, replace_threshold=0.5, reoptimize_threshold=0.1
+            )

@@ -1,0 +1,130 @@
+"""Unit tests for branch-and-bound placement (Algorithm 2)."""
+
+import pytest
+
+from repro.core import (
+    PerformanceModel,
+    PlacementOptimizer,
+    TfMode,
+    collocated_plan,
+)
+from repro.dsps import ExecutionGraph
+from repro.errors import PlanError
+
+from tests.conftest import build_pipeline, pipeline_profiles
+
+
+@pytest.fixture()
+def model(tiny_machine):
+    topology = build_pipeline()
+    return PerformanceModel(pipeline_profiles(topology), tiny_machine)
+
+
+@pytest.fixture()
+def topology():
+    return build_pipeline()
+
+
+class TestSearch:
+    def test_finds_feasible_plan(self, model, topology):
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        result = PlacementOptimizer(model, 1e6).optimize(graph)
+        assert result.plan is not None
+        assert result.plan.is_complete
+        assert result.throughput > 0
+        assert result.stats.solutions_found >= 1
+
+    def test_light_load_collocates(self, model, topology):
+        """At low rates everything fits locally, which is optimal (Tf=0)."""
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        result = PlacementOptimizer(model, 1e5).optimize(graph)
+        assert len(result.plan.used_sockets()) == 1
+
+    def test_matches_collocated_value_when_local_fits(self, model, topology):
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        result = PlacementOptimizer(model, 1e5).optimize(graph)
+        reference = model.evaluate(collocated_plan(graph), 1e5).throughput
+        assert result.throughput >= reference * (1 - 1e-9)
+
+    def test_spreads_when_one_socket_is_too_small(self, model, topology, tiny_machine):
+        # 3 replicas each = 12 replicas > 4 cores per socket.
+        graph = ExecutionGraph(topology, {n: 3 for n in topology.components})
+        result = PlacementOptimizer(model, 1e7).optimize(graph)
+        assert result.plan is not None
+        assert len(result.plan.used_sockets()) >= 3
+        for socket in result.plan.used_sockets():
+            assert result.plan.replicas_on(socket) <= tiny_machine.cores_per_socket
+
+    def test_infeasible_when_replicas_exceed_cores(self, model, topology):
+        graph = ExecutionGraph(topology, {n: 5 for n in topology.components})
+        result = PlacementOptimizer(model, 1e6).optimize(graph)
+        assert result.plan is None
+        assert not result.feasible
+        assert result.throughput == 0.0
+
+    def test_initial_plan_seeds_incumbent(self, model, topology):
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        seed = collocated_plan(graph)
+        result = PlacementOptimizer(model, 1e5).optimize(graph, initial_plan=seed)
+        assert result.throughput >= model.evaluate(seed, 1e5).throughput * (1 - 1e-9)
+
+    def test_respects_node_budget(self, model, topology):
+        graph = ExecutionGraph(topology, {n: 2 for n in topology.components})
+        result = PlacementOptimizer(model, 1e7, max_nodes=3).optimize(graph)
+        assert result.stats.nodes_expanded <= 3
+
+    def test_branch_width_one_is_greedy(self, model, topology):
+        graph = ExecutionGraph(topology, {n: 2 for n in topology.components})
+        result = PlacementOptimizer(model, 1e7, branch_width=1).optimize(graph)
+        assert result.plan is not None
+        # Greedy: one child per expansion.
+        assert result.stats.children_generated <= result.stats.nodes_expanded + 1
+
+    def test_wider_search_never_worse(self, model, topology):
+        graph = ExecutionGraph(topology, {n: 2 for n in topology.components})
+        narrow = PlacementOptimizer(model, 1e7, branch_width=1).optimize(graph)
+        wide = PlacementOptimizer(model, 1e7, branch_width=4).optimize(graph)
+        assert wide.throughput >= narrow.throughput * (1 - 1e-9)
+
+    def test_invalid_parameters(self, model):
+        with pytest.raises(PlanError):
+            PlacementOptimizer(model, 0.0)
+        with pytest.raises(PlanError):
+            PlacementOptimizer(model, 1e6, branch_width=0)
+
+    def test_bottlenecks_reported(self, model, topology):
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        result = PlacementOptimizer(model, 1e12).optimize(graph)
+        assert result.bottlenecks  # everything is over-fed at infinite input
+
+    def test_compressed_graph_supported(self, model, topology):
+        graph = ExecutionGraph(
+            topology, {"spout": 1, "stage": 1, "fan": 4, "sink": 1}, group_size=2
+        )
+        result = PlacementOptimizer(model, 1e7).optimize(graph)
+        assert result.plan is not None
+
+
+class TestNumaAwareness:
+    def test_prefers_fewer_hops(self, model, topology, tiny_machine):
+        """When forced off-socket, the plan should stay within the tray."""
+        graph = ExecutionGraph(topology, {n: 2 for n in topology.components})
+        result = PlacementOptimizer(model, 1e7).optimize(graph)
+        used = sorted(result.plan.used_sockets())
+        # tiny machine trays are (0,1) and (2,3): an in-tray plan exists
+        # for 8 replicas, so the search should not span trays.
+        trays = {tiny_machine.topology.tray_of(s) for s in used}
+        assert len(trays) == 1
+
+    def test_zero_tf_mode_yields_equal_or_higher_estimate(
+        self, topology, tiny_machine
+    ):
+        profiles = pipeline_profiles(topology)
+        graph = ExecutionGraph(topology, {n: 2 for n in topology.components})
+        relative = PlacementOptimizer(
+            PerformanceModel(profiles, tiny_machine, tf_mode=TfMode.RELATIVE), 1e7
+        ).optimize(graph)
+        zero = PlacementOptimizer(
+            PerformanceModel(profiles, tiny_machine, tf_mode=TfMode.ZERO), 1e7
+        ).optimize(graph)
+        assert zero.throughput >= relative.throughput * (1 - 1e-9)

@@ -1,0 +1,96 @@
+"""Unit tests for graph compression and plan expansion (heuristic 3)."""
+
+import pytest
+
+from repro.core import (
+    PerformanceModel,
+    collocated_plan,
+    compress_graph,
+    compression_summary,
+    expand_plan,
+)
+from repro.core.plan import ExecutionPlan, empty_plan
+from repro.dsps import ExecutionGraph
+from repro.errors import PlanError
+
+from tests.conftest import build_pipeline, pipeline_profiles
+
+
+@pytest.fixture()
+def topology():
+    return build_pipeline()
+
+
+class TestCompressGraph:
+    def test_compress_reduces_tasks(self, topology):
+        graph = ExecutionGraph(
+            topology, {"spout": 1, "stage": 2, "fan": 10, "sink": 2}
+        )
+        compressed = compress_graph(graph, 5)
+        assert compressed.n_tasks < graph.n_tasks
+        assert compressed.total_replicas == graph.total_replicas
+
+    def test_ratio_one_is_identity_shape(self, topology):
+        graph = ExecutionGraph(
+            topology, {"spout": 1, "stage": 2, "fan": 10, "sink": 2}
+        )
+        same = compress_graph(graph, 1)
+        assert same.n_tasks == graph.n_tasks
+
+    def test_invalid_ratio(self, topology):
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        with pytest.raises(PlanError):
+            compress_graph(graph, 0)
+
+    def test_accepts_plan_argument(self, topology):
+        graph = ExecutionGraph(topology, {n: 2 for n in topology.components})
+        plan = collocated_plan(graph)
+        compressed = compress_graph(plan, 2)
+        assert compressed.total_replicas == graph.total_replicas
+
+
+class TestExpandPlan:
+    def test_expansion_preserves_socket_per_replica(self, topology):
+        compressed = ExecutionGraph(
+            topology, {"spout": 1, "stage": 2, "fan": 10, "sink": 2}, group_size=5
+        )
+        placement = {t.task_id: t.task_id % 3 for t in compressed.tasks}
+        plan = ExecutionPlan(graph=compressed, placement=placement)
+        expanded = expand_plan(plan)
+        assert expanded.is_complete
+        assert expanded.graph.n_tasks == 15
+        assert all(t.weight == 1 for t in expanded.graph.tasks)
+        # Every replica inherited its group's socket.
+        assignment = plan.replica_assignment()
+        for task in expanded.graph.tasks:
+            expected = assignment[(task.component, task.replica_start)]
+            assert expanded.placement[task.task_id] == expected
+
+    def test_expansion_preserves_model_throughput(self, topology, tiny_machine):
+        profiles = pipeline_profiles(topology)
+        model = PerformanceModel(profiles, tiny_machine)
+        compressed = ExecutionGraph(
+            topology, {"spout": 1, "stage": 2, "fan": 4, "sink": 2}, group_size=2
+        )
+        plan = collocated_plan(compressed)
+        expanded = expand_plan(plan)
+        r_compressed = model.evaluate(plan, 1e7).throughput
+        r_expanded = model.evaluate(expanded, 1e7).throughput
+        assert r_expanded == pytest.approx(r_compressed, rel=1e-9)
+
+    def test_incomplete_plan_rejected(self, topology):
+        graph = ExecutionGraph(topology, {n: 2 for n in topology.components})
+        with pytest.raises(PlanError, match="incomplete"):
+            expand_plan(empty_plan(graph))
+
+
+class TestSummary:
+    def test_summary_fields(self, topology):
+        graph = ExecutionGraph(
+            topology, {"spout": 1, "stage": 2, "fan": 10, "sink": 2}, group_size=5
+        )
+        plan = collocated_plan(graph)
+        summary = compression_summary(plan)
+        assert summary["replicas"] == 15
+        assert summary["max_group"] == 5
+        assert summary["tasks"] == graph.n_tasks

@@ -1,0 +1,138 @@
+"""Unit tests for resource constraints (Equations 3-5)."""
+
+import pytest
+
+from repro.core import (
+    ConstraintKind,
+    OperatorProfile,
+    PerformanceModel,
+    ProfileSet,
+    collocated_plan,
+    empty_plan,
+    is_feasible,
+    resource_report,
+)
+from repro.dsps import ExecutionGraph
+
+from tests.conftest import build_pipeline, pipeline_profiles
+
+
+@pytest.fixture()
+def setup(tiny_machine):
+    topology = build_pipeline()
+    profiles = pipeline_profiles(topology)
+    model = PerformanceModel(profiles, tiny_machine)
+    return topology, profiles, model
+
+
+def _report(model, plan, rate):
+    result = model.evaluate(plan, rate, bounding=True)
+    return resource_report(plan, result, model.machine, model.profiles)
+
+
+class TestCpuConstraint:
+    def test_light_load_feasible(self, setup, tiny_machine):
+        topology, profiles, model = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        report = _report(model, collocated_plan(graph), 1000.0)
+        assert report.is_feasible
+        assert report.usage(0).cpu_utilization(tiny_machine) < 0.01
+
+    def test_saturated_tasks_use_full_cores(self, setup, tiny_machine):
+        topology, profiles, model = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        report = _report(model, collocated_plan(graph), 1e12)
+        # Over-supplied replicas each burn a full core (1e9 ns/s); the sink
+        # stays slightly under-supplied, so the total sits below 4 cores.
+        assert 3e9 < report.usage(0).cpu_ns_per_s <= 4e9 * (1 + 1e-9)
+
+    def test_cores_constraint_violated(self, setup, tiny_machine):
+        topology, profiles, model = setup
+        # 6 replicas of each component on one 4-core socket.
+        graph = ExecutionGraph(topology, {n: 6 for n in topology.components})
+        report = _report(model, collocated_plan(graph), 1000.0)
+        kinds = {v.kind for v in report.violations}
+        assert ConstraintKind.CORES in kinds
+
+    def test_cpu_constraint_violated_at_saturation(self, setup, tiny_machine):
+        topology, profiles, model = setup
+        graph = ExecutionGraph(
+            topology, {"spout": 2, "stage": 1, "fan": 1, "sink": 1}
+        )
+        plan = collocated_plan(graph)
+        report = _report(model, plan, 1e12)
+        kinds = {v.kind for v in report.violations}
+        assert ConstraintKind.CPU in kinds or ConstraintKind.CORES in kinds
+
+
+class TestBandwidthConstraints:
+    def test_memory_bandwidth_violation(self, tiny_machine):
+        topology = build_pipeline()
+        profiles = ProfileSet(
+            topology,
+            {
+                "spout": OperatorProfile(
+                    "spout", 10, 1e6, {"default": 100}, {"default": 1.0}
+                ),
+                "stage": OperatorProfile(
+                    "stage", 10, 1e6, {"default": 100}, {"default": 1.0}
+                ),
+                "fan": OperatorProfile(
+                    "fan", 10, 1e6, {"default": 100}, {"default": 1.0}
+                ),
+                "sink": OperatorProfile("sink", 10, 1e6, {}, {}),
+            },
+        )
+        model = PerformanceModel(profiles, tiny_machine)
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        # 1 MB per tuple at high rate blows the 20 GB/s local bandwidth.
+        report = _report(model, collocated_plan(graph), 1e6)
+        kinds = {v.kind for v in report.violations}
+        assert ConstraintKind.MEMORY_BANDWIDTH in kinds
+
+    def test_interconnect_violation(self, setup, tiny_machine):
+        topology, profiles, model = setup
+        profiles = profiles.replace("spout", output_bytes={"default": 50_000.0})
+        model = PerformanceModel(profiles, tiny_machine)
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        plan = empty_plan(graph).assign({0: 0, 1: 2, 2: 2, 3: 2})
+        report = _report(model, plan, 1e12)
+        kinds = {v.kind for v in report.violations}
+        assert ConstraintKind.INTERCONNECT in kinds
+        violation = next(
+            v for v in report.violations if v.kind is ConstraintKind.INTERCONNECT
+        )
+        assert violation.location == (0, 2)
+        assert violation.ratio > 1.0
+
+
+class TestReport:
+    def test_partial_plan_only_counts_placed(self, setup):
+        topology, profiles, model = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        plan = empty_plan(graph).assign({0: 0})
+        report = _report(model, plan, 1e12)
+        assert report.usage(0).replicas == 1
+        assert report.usage(1).replicas == 0
+
+    def test_is_feasible_helper(self, setup):
+        topology, profiles, model = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        plan = collocated_plan(graph)
+        result = model.evaluate(plan, 1000.0)
+        assert is_feasible(plan, result, model.machine, profiles)
+
+    def test_violation_describe(self, setup):
+        topology, profiles, model = setup
+        graph = ExecutionGraph(topology, {n: 6 for n in topology.components})
+        report = _report(model, collocated_plan(graph), 1000.0)
+        text = report.violations[0].describe()
+        assert "socket" in text
+
+    def test_mismatched_machine_rejected(self, setup, machine_a):
+        topology, profiles, model = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        plan = collocated_plan(graph)
+        result = model.evaluate(plan, 1000.0)
+        with pytest.raises(ValueError, match="sockets"):
+            resource_report(plan, result, machine_a, profiles)

@@ -1,0 +1,127 @@
+"""Tests for operator fusion (Appendix D extension)."""
+
+import pytest
+
+from repro.core import PerformanceModel, collocated_plan
+from repro.core.fusion import auto_fuse, fuse, fusion_candidates
+from repro.dsps import ExecutionGraph, LocalEngine
+from repro.errors import PlanError
+
+from tests.conftest import build_pipeline, pipeline_profiles
+
+
+@pytest.fixture()
+def setup():
+    topology = build_pipeline()
+    return topology, pipeline_profiles(topology)
+
+
+class TestFuse:
+    def test_fused_topology_shape(self, setup):
+        topology, profiles = setup
+        fused_topology, fused_profiles = fuse(topology, profiles, "stage", "fan")
+        assert "stage+fan" in fused_topology.components
+        assert "stage" not in fused_topology.components
+        assert fused_topology.topological_order() == ["spout", "stage+fan", "sink"]
+
+    def test_functional_equivalence(self, setup):
+        """The fused DAG delivers exactly the same sink tuples."""
+        topology, profiles = setup
+        fused_topology, _ = fuse(topology, profiles, "stage", "fan")
+        original = LocalEngine(topology).run(50).sink_received()
+        fused = LocalEngine(fused_topology).run(50).sink_received()
+        assert fused == original == 100  # fan selectivity 2
+
+    def test_cost_algebra(self, setup):
+        topology, profiles = setup
+        _, fused_profiles = fuse(topology, profiles, "stage", "fan")
+        fused = fused_profiles["stage+fan"]
+        # Te = Te_stage + sel_stage * Te_fan (sel_stage = 1).
+        assert fused.te_cycles == pytest.approx(400 + 800)
+        # Output selectivity = sel_stage * sel_fan = 2.
+        assert fused.total_selectivity == pytest.approx(2.0)
+        assert fused.stream_bytes() == profiles["fan"].stream_bytes()
+
+    def test_model_prefers_fused_on_communication_bound_pair(
+        self, setup, tiny_machine
+    ):
+        """Fusion removes the queue+header cost from the model."""
+        topology, profiles = setup
+        fused_topology, fused_profiles = fuse(topology, profiles, "stage", "fan")
+        rate = 1e12
+        plain = PerformanceModel(profiles, tiny_machine).evaluate(
+            collocated_plan(
+                ExecutionGraph(topology, {n: 1 for n in topology.components})
+            ),
+            rate,
+        )
+        fused = PerformanceModel(fused_profiles, tiny_machine).evaluate(
+            collocated_plan(
+                ExecutionGraph(
+                    fused_topology, {n: 1 for n in fused_topology.components}
+                )
+            ),
+            rate,
+        )
+        # One fewer pipeline stage: the fused pair runs on one thread, so
+        # peak throughput per replica drops — but per-tuple cost is lower
+        # than the sum (queue cost eliminated).
+        fused_task = fused.rates[1]
+        plain_stage = plain.rates[1]
+        plain_fan = plain.rates[2]
+        assert fused_task.t_ns < plain_stage.t_ns + plain_fan.t_ns
+
+    def test_non_exclusive_edge_rejected(self, setup):
+        topology, profiles = setup
+        # 'fan' -> 'sink': fine; but 'spout' -> 'stage' involves a spout.
+        with pytest.raises(PlanError, match="spout"):
+            fuse(topology, profiles, "spout", "stage")
+
+    def test_diamond_edges_rejected(self, tiny_machine):
+        from repro.dsps import IterableSpout, MapOperator, Sink, TopologyBuilder
+
+        builder = TopologyBuilder("diamond")
+        builder.set_spout("s", IterableSpout([(1,)]))
+        builder.add_operator("a", MapOperator(lambda v: v)).shuffle_from("s")
+        builder.add_operator("b", MapOperator(lambda v: v)).shuffle_from("s")
+        builder.add_sink("z", Sink()).shuffle_from("a").shuffle_from("b")
+        topology = builder.build()
+        from repro.core import OperatorProfile, ProfileSet
+
+        profiles = ProfileSet(
+            topology,
+            {
+                n: OperatorProfile(n, 100, 0, {"default": 10}, {"default": 1.0})
+                for n in ("s", "a", "b")
+            }
+            | {"z": OperatorProfile("z", 10, 0, {}, {})},
+        )
+        with pytest.raises(PlanError, match="must consume only"):
+            fuse(topology, profiles, "a", "z")
+
+
+class TestCandidates:
+    def test_candidates_ranked_by_benefit(self, setup, tiny_machine):
+        topology, profiles = setup
+        candidates = fusion_candidates(topology, profiles, tiny_machine)
+        assert candidates
+        ratios = [c.benefit_ratio for c in candidates]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_auto_fuse_converges(self, setup, tiny_machine):
+        topology, profiles = setup
+        fused_topology, fused_profiles, fused = auto_fuse(
+            topology, profiles, tiny_machine, min_benefit=0.01
+        )
+        assert fused  # something got fused at a permissive threshold
+        # Result is still a valid executable topology.
+        run = LocalEngine(fused_topology).run(20)
+        assert run.sink_received() == 40
+
+    def test_auto_fuse_high_bar_is_noop(self, setup, tiny_machine):
+        topology, profiles = setup
+        fused_topology, _, fused = auto_fuse(
+            topology, profiles, tiny_machine, min_benefit=1e9
+        )
+        assert fused == []
+        assert fused_topology is topology

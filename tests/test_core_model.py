@@ -1,0 +1,257 @@
+"""Unit tests for the rate-based performance model (Formulas 1-2)."""
+
+import pytest
+
+from repro.core import (
+    BRISKSTREAM,
+    PerformanceModel,
+    ProfileSet,
+    SystemProfile,
+    TfMode,
+    collocated_plan,
+    empty_plan,
+)
+from repro.dsps import ExecutionGraph
+from repro.errors import PlanError
+
+from tests.conftest import build_pipeline, pipeline_profiles
+
+
+@pytest.fixture()
+def setup(tiny_machine):
+    topology = build_pipeline()
+    profiles = pipeline_profiles(topology)
+    model = PerformanceModel(profiles, tiny_machine)
+    graph = ExecutionGraph(
+        topology, {"spout": 1, "stage": 1, "fan": 1, "sink": 1}
+    )
+    return topology, profiles, model, graph
+
+
+class TestRates:
+    def test_undersupplied_output_equals_input(self, setup, tiny_machine):
+        _, _, model, graph = setup
+        plan = collocated_plan(graph)
+        low_rate = 1000.0
+        result = model.evaluate(plan, low_rate)
+        stage = graph.tasks_of("stage")[0]
+        rates = result.rates[stage.task_id]
+        assert not rates.oversupplied
+        assert rates.processed_rate == pytest.approx(low_rate)
+        assert rates.output_rate == pytest.approx(low_rate)
+
+    def test_oversupplied_capped_at_capacity(self, setup):
+        _, _, model, graph = setup
+        plan = collocated_plan(graph)
+        result = model.evaluate(plan, 1e12)
+        for task in graph.tasks:
+            rates = result.rates[task.task_id]
+            assert rates.processed_rate <= rates.capacity * (1 + 1e-9)
+
+    def test_bottlenecks_are_oversupplied_tasks(self, setup):
+        _, _, model, graph = setup
+        result = model.evaluate(collocated_plan(graph), 1e12)
+        assert result.bottlenecks  # everything saturates at infinite input
+        for task_id in result.bottlenecks:
+            assert result.rates[task_id].oversupplied
+
+    def test_selectivity_multiplies_output(self, setup):
+        _, _, model, graph = setup
+        result = model.evaluate(collocated_plan(graph), 1000.0)
+        fan = graph.tasks_of("fan")[0]
+        rates = result.rates[fan.task_id]
+        assert rates.output_rate == pytest.approx(2.0 * rates.processed_rate)
+
+    def test_throughput_is_sink_rate(self, setup):
+        _, _, model, graph = setup
+        result = model.evaluate(collocated_plan(graph), 1000.0)
+        sink = graph.tasks_of("sink")[0]
+        assert result.throughput == pytest.approx(
+            result.rates[sink.task_id].processed_rate
+        )
+        # sink consumes fan output: 2x input rate
+        assert result.throughput == pytest.approx(2000.0)
+
+    def test_replication_raises_capacity(self, setup, tiny_machine):
+        topology, profiles, model, _ = setup
+        single = ExecutionGraph(
+            topology, {"spout": 1, "stage": 1, "fan": 1, "sink": 1}
+        )
+        double = ExecutionGraph(
+            topology, {"spout": 1, "stage": 1, "fan": 2, "sink": 1}
+        )
+        r_single = model.evaluate(collocated_plan(single), 1e12).throughput
+        r_double = model.evaluate(collocated_plan(double), 1e12).throughput
+        assert r_double > r_single
+
+    def test_weighted_task_capacity_scales(self, setup, tiny_machine):
+        topology, profiles, model, _ = setup
+        compressed = ExecutionGraph(
+            topology,
+            {"spout": 1, "stage": 1, "fan": 4, "sink": 1},
+            group_size=4,
+        )
+        expanded = ExecutionGraph(
+            topology, {"spout": 1, "stage": 1, "fan": 4, "sink": 1}
+        )
+        r_compressed = model.evaluate(collocated_plan(compressed), 1e12).throughput
+        r_expanded = model.evaluate(collocated_plan(expanded), 1e12).throughput
+        assert r_compressed == pytest.approx(r_expanded, rel=1e-9)
+
+    def test_incomplete_plan_rejected_without_bounding(self, setup):
+        _, _, model, graph = setup
+        with pytest.raises(PlanError, match="incomplete"):
+            model.evaluate(empty_plan(graph), 1000.0)
+
+    def test_component_throughput(self, setup):
+        _, _, model, graph = setup
+        result = model.evaluate(collocated_plan(graph), 1000.0)
+        assert result.component_throughput("fan") == pytest.approx(1000.0)
+
+
+class TestTf:
+    def test_collocated_tf_zero(self, setup):
+        _, _, model, graph = setup
+        result = model.evaluate(collocated_plan(graph), 1000.0)
+        for rates in result.rates.values():
+            assert rates.tf_ns == 0.0
+
+    def test_remote_placement_pays_formula2(self, setup, tiny_machine):
+        _, profiles, model, graph = setup
+        plan = empty_plan(graph).assign(
+            {t.task_id: (0 if t.component in ("spout", "stage") else 1) for t in graph.tasks}
+        )
+        result = model.evaluate(plan, 1000.0)
+        fan = graph.tasks_of("fan")[0]
+        wire = BRISKSTREAM.wire_bytes(profiles.edge_payload_bytes("stage"))
+        expected = tiny_machine.cache_lines(wire) * tiny_machine.latency_ns(0, 1)
+        assert result.rates[fan.task_id].tf_ns == pytest.approx(expected)
+
+    def test_remote_reduces_throughput(self, setup):
+        _, _, model, graph = setup
+        local = model.evaluate(collocated_plan(graph), 1e12).throughput
+        spread = empty_plan(graph).assign(
+            {t.task_id: i % 2 * 2 for i, t in enumerate(graph.tasks)}
+        )
+        remote = model.evaluate(spread, 1e12).throughput
+        assert remote < local
+
+    def test_cross_tray_worse_than_in_tray(self, setup):
+        _, _, model, graph = setup
+        tasks = graph.tasks
+        in_tray = empty_plan(graph).assign(
+            {tasks[0].task_id: 0, tasks[1].task_id: 0, tasks[2].task_id: 1, tasks[3].task_id: 1}
+        )
+        cross_tray = empty_plan(graph).assign(
+            {tasks[0].task_id: 0, tasks[1].task_id: 0, tasks[2].task_id: 2, tasks[3].task_id: 2}
+        )
+        r_in = model.evaluate(in_tray, 1e12).throughput
+        r_cross = model.evaluate(cross_tray, 1e12).throughput
+        assert r_cross < r_in
+
+    def test_tf_mode_zero_ignores_distance(self, setup, tiny_machine):
+        topology, profiles, _, graph = setup
+        model = PerformanceModel(profiles, tiny_machine, tf_mode=TfMode.ZERO)
+        spread = empty_plan(graph).assign(
+            {t.task_id: i % tiny_machine.n_sockets for i, t in enumerate(graph.tasks)}
+        )
+        local = model.evaluate(collocated_plan(graph), 1e12).throughput
+        remote = model.evaluate(spread, 1e12).throughput
+        assert remote == pytest.approx(local)
+
+    def test_tf_mode_worst_is_pessimistic_even_when_local(self, setup, tiny_machine):
+        topology, profiles, _, graph = setup
+        worst = PerformanceModel(profiles, tiny_machine, tf_mode=TfMode.WORST)
+        relative = PerformanceModel(profiles, tiny_machine, tf_mode=TfMode.RELATIVE)
+        plan = collocated_plan(graph)
+        assert (
+            worst.evaluate(plan, 1e12).throughput
+            < relative.evaluate(plan, 1e12).throughput
+        )
+
+    def test_fetch_cost_helper(self, setup, tiny_machine):
+        _, _, model, _ = setup
+        assert model.fetch_cost_ns(100, 0, 0) == 0.0
+        assert model.fetch_cost_ns(100, 0, 1) > 0
+        assert model.fetch_cost_ns(100, None, 1) == 0.0
+
+
+class TestBounding:
+    def test_bound_dominates_any_completion(self, setup, tiny_machine):
+        _, _, model, graph = setup
+        partial = empty_plan(graph).assign({0: 0, 1: 0})
+        bound = model.evaluate(partial, 1e12, bounding=True).throughput
+        for socket_fan in range(tiny_machine.n_sockets):
+            for socket_sink in range(tiny_machine.n_sockets):
+                complete = partial.assign({2: socket_fan, 3: socket_sink})
+                value = model.evaluate(complete, 1e12).throughput
+                assert value <= bound * (1 + 1e-9)
+
+    def test_bound_of_complete_plan_equals_value(self, setup):
+        _, _, model, graph = setup
+        plan = collocated_plan(graph)
+        exact = model.evaluate(plan, 1e12).throughput
+        bound = model.evaluate(plan, 1e12, bounding=True).throughput
+        assert bound == pytest.approx(exact)
+
+
+class TestInterconnect:
+    def test_local_plan_has_no_traffic(self, setup):
+        _, _, model, graph = setup
+        result = model.evaluate(collocated_plan(graph), 1000.0)
+        assert result.interconnect_bytes.sum() == 0.0
+
+    def test_cross_socket_traffic_counted(self, setup):
+        _, _, model, graph = setup
+        plan = empty_plan(graph).assign({0: 0, 1: 0, 2: 1, 3: 1})
+        result = model.evaluate(plan, 1000.0)
+        assert result.interconnect_bytes[0, 1] > 0
+        assert result.interconnect_bytes[1, 0] == 0.0
+
+    def test_flows_collected_on_demand(self, setup):
+        _, _, model, graph = setup
+        plan = collocated_plan(graph)
+        assert model.evaluate(plan, 1000.0).flows == []
+        flows = model.evaluate(plan, 1000.0, collect_flows=True).flows
+        assert len(flows) == len(graph.edges)
+
+
+class TestMultiInputPenalty:
+    def test_penalty_applies_to_multi_input_components(self, tiny_machine):
+        from repro.dsps import IterableSpout, MapOperator, Sink, TopologyBuilder
+        from repro.core import OperatorProfile
+
+        builder = TopologyBuilder("merge")
+        builder.set_spout("s", IterableSpout([("x",)]))
+        builder.add_operator("a", MapOperator(lambda v: v)).shuffle_from("s")
+        builder.add_operator("b", MapOperator(lambda v: v)).shuffle_from("s")
+        builder.add_sink("z", Sink()).shuffle_from("a").shuffle_from("b")
+        topology = builder.build()
+        profiles = ProfileSet(
+            topology,
+            {
+                name: OperatorProfile(
+                    name, 100, 0, {"default": 50}, {"default": 1.0}
+                )
+                for name in ("s", "a", "b")
+            }
+            | {"z": OperatorProfile("z", 100, 0, {}, {})},
+        )
+        plain = SystemProfile(name="plain")
+        penalized = SystemProfile(name="flinkish", multi_input_penalty_ns=1000.0)
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        plan = collocated_plan(graph)
+        r_plain = PerformanceModel(profiles, tiny_machine, system=plain).evaluate(
+            plan, 1e12
+        )
+        r_pen = PerformanceModel(profiles, tiny_machine, system=penalized).evaluate(
+            plan, 1e12
+        )
+        sink = graph.tasks_of("z")[0].task_id
+        spout = graph.tasks_of("s")[0].task_id
+        assert r_pen.rates[sink].overhead_ns == pytest.approx(
+            r_plain.rates[sink].overhead_ns + 1000.0
+        )
+        assert r_pen.rates[spout].overhead_ns == pytest.approx(
+            r_plain.rates[spout].overhead_ns
+        )

@@ -1,0 +1,107 @@
+"""Unit tests for execution plans."""
+
+import pytest
+
+from repro.core import ExecutionPlan, collocated_plan, empty_plan
+from repro.dsps import ExecutionGraph
+from repro.errors import PlanError
+
+from tests.conftest import build_pipeline
+
+
+@pytest.fixture()
+def graph():
+    return ExecutionGraph(
+        build_pipeline(), {"spout": 1, "stage": 2, "fan": 2, "sink": 1}
+    )
+
+
+class TestPlanBasics:
+    def test_empty_plan(self, graph):
+        plan = empty_plan(graph)
+        assert not plan.is_complete
+        assert plan.unplaced_tasks == [t.task_id for t in graph.tasks]
+        assert plan.socket_of(0) is None
+
+    def test_collocated_plan(self, graph):
+        plan = collocated_plan(graph, socket=2)
+        assert plan.is_complete
+        assert plan.used_sockets() == {2}
+        assert plan.replicas_on(2) == graph.total_replicas
+
+    def test_assign_accumulates(self, graph):
+        plan = empty_plan(graph).assign({0: 1}).assign({1: 2})
+        assert plan.socket_of(0) == 1
+        assert plan.socket_of(1) == 2
+        assert len(plan.placed_tasks) == 2
+
+    def test_assign_is_persistent(self, graph):
+        base = empty_plan(graph)
+        derived = base.assign({0: 1})
+        assert base.socket_of(0) is None
+        assert derived.socket_of(0) == 1
+
+    def test_reassignment_rejected(self, graph):
+        plan = empty_plan(graph).assign({0: 1})
+        with pytest.raises(PlanError, match="already placed"):
+            plan.assign({0: 2})
+
+    def test_idempotent_same_socket_ok(self, graph):
+        plan = empty_plan(graph).assign({0: 1}).assign({0: 1})
+        assert plan.socket_of(0) == 1
+
+    def test_unknown_task_rejected(self, graph):
+        with pytest.raises(PlanError):
+            ExecutionPlan(graph=graph, placement={99: 0})
+
+    def test_collocated_check(self, graph):
+        plan = empty_plan(graph).assign({0: 1, 1: 1, 2: 3})
+        assert plan.collocated(0, 1)
+        assert not plan.collocated(0, 2)
+        assert not plan.collocated(0, 5)
+
+    def test_tasks_on_socket(self, graph):
+        plan = empty_plan(graph).assign({0: 1, 3: 1})
+        labels = [t.task_id for t in plan.tasks_on(1)]
+        assert labels == [0, 3]
+
+
+class TestValidation:
+    def test_validate_complete_rejects_partial(self, graph, tiny_machine):
+        plan = empty_plan(graph).assign({0: 0})
+        with pytest.raises(PlanError, match="incomplete"):
+            plan.validate_complete(tiny_machine)
+
+    def test_validate_complete_rejects_bad_socket(self, graph, tiny_machine):
+        plan = collocated_plan(graph, socket=7)  # tiny machine has 4 sockets
+        with pytest.raises(PlanError, match="sockets"):
+            plan.validate_complete(tiny_machine)
+
+    def test_validate_complete_accepts_good_plan(self, graph, tiny_machine):
+        collocated_plan(graph, socket=3).validate_complete(tiny_machine)
+
+
+class TestSignatures:
+    def test_signature_equality(self, graph):
+        a = empty_plan(graph).assign({0: 1, 1: 2})
+        b = empty_plan(graph).assign({1: 2, 0: 1})
+        assert a.signature() == b.signature()
+
+    def test_signature_differs_on_socket(self, graph):
+        a = empty_plan(graph).assign({0: 1})
+        b = empty_plan(graph).assign({0: 2})
+        assert a.signature() != b.signature()
+
+
+class TestDescribe:
+    def test_describe_mentions_unplaced(self, graph):
+        plan = empty_plan(graph).assign({0: 0})
+        text = plan.describe()
+        assert "socket 0" in text
+        assert "unplaced" in text
+
+    def test_replica_assignment_roundtrip(self, graph):
+        plan = collocated_plan(graph, socket=1)
+        assignment = plan.replica_assignment()
+        assert all(socket == 1 for socket in assignment.values())
+        assert len(assignment) == graph.total_replicas

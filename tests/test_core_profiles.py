@@ -1,0 +1,120 @@
+"""Unit tests for operator/system profiles."""
+
+import pytest
+
+from repro.core import BRISKSTREAM, OperatorProfile, ProfileSet, SystemProfile
+from repro.dsps import LocalEngine, TUPLE_HEADER_BYTES
+from repro.errors import ProfilingError
+
+from tests.conftest import build_pipeline, pipeline_profiles
+
+
+class TestOperatorProfile:
+    def test_selectivity_access(self):
+        profile = OperatorProfile(
+            "op", 100, selectivity={"a": 2.0, "b": 0.5}, output_bytes={"a": 10}
+        )
+        assert profile.stream_selectivity("a") == 2.0
+        assert profile.stream_selectivity("missing") == 0.0
+        assert profile.total_selectivity == 2.5
+
+    def test_stream_bytes(self):
+        profile = OperatorProfile("op", 100, output_bytes={"a": 10.5})
+        assert profile.stream_bytes("a") == 10.5
+        assert profile.stream_bytes("b") == 0.0
+
+    def test_negative_te_rejected(self):
+        with pytest.raises(ProfilingError):
+            OperatorProfile("op", -1)
+
+    def test_negative_selectivity_rejected(self):
+        with pytest.raises(ProfilingError):
+            OperatorProfile("op", 1, selectivity={"a": -0.1})
+
+    def test_mappings_frozen(self):
+        profile = OperatorProfile("op", 100, selectivity={"a": 1.0})
+        with pytest.raises(TypeError):
+            profile.selectivity["a"] = 2.0
+
+
+class TestProfileSet:
+    def test_complete_coverage_required(self):
+        topology = build_pipeline()
+        with pytest.raises(ProfilingError, match="missing"):
+            ProfileSet(topology, {})
+
+    def test_lookup_and_contains(self):
+        topology = build_pipeline()
+        profiles = pipeline_profiles(topology)
+        assert "fan" in profiles
+        assert profiles["fan"].te_cycles == 800
+        with pytest.raises(ProfilingError):
+            profiles["ghost"]
+
+    def test_replace_returns_new_set(self):
+        topology = build_pipeline()
+        profiles = pipeline_profiles(topology)
+        updated = profiles.replace("fan", te_cycles=999)
+        assert updated["fan"].te_cycles == 999
+        assert profiles["fan"].te_cycles == 800
+
+    def test_edge_payload_bytes(self):
+        topology = build_pipeline()
+        profiles = pipeline_profiles(topology)
+        assert profiles.edge_payload_bytes("spout") == 100
+
+    def test_from_run_measures_selectivity(self):
+        topology = build_pipeline(selectivity=3.0)
+        run = LocalEngine(topology).run(50)
+        profiles = ProfileSet.from_run(
+            topology,
+            run,
+            te_cycles={"spout": 1, "stage": 2, "fan": 3, "sink": 4},
+        )
+        assert profiles["fan"].stream_selectivity() == pytest.approx(3.0)
+        assert profiles["fan"].stream_bytes() > 0
+
+    def test_from_run_requires_all_te(self):
+        topology = build_pipeline()
+        run = LocalEngine(topology).run(10)
+        with pytest.raises(ProfilingError, match="te_cycles missing"):
+            ProfileSet.from_run(topology, run, te_cycles={"spout": 1})
+
+
+class TestSystemProfile:
+    def test_jumbo_amortizes_header(self):
+        assert BRISKSTREAM.header_bytes_per_tuple() == pytest.approx(
+            TUPLE_HEADER_BYTES / BRISKSTREAM.batch_size
+        )
+
+    def test_non_amortized_full_header(self):
+        system = SystemProfile(name="x", header_amortized=False)
+        assert system.header_bytes_per_tuple() == TUPLE_HEADER_BYTES
+
+    def test_queue_cost_scales_with_selectivity(self):
+        system = SystemProfile(
+            name="x", queue_op_ns=100, queue_amortized=False
+        )
+        assert system.queue_cost_ns(3.0) == pytest.approx(300.0)
+
+    def test_queue_cost_amortized(self):
+        system = SystemProfile(
+            name="x", queue_op_ns=100, queue_amortized=True, batch_size=10
+        )
+        assert system.queue_cost_ns(1.0) == pytest.approx(10.0)
+
+    def test_overhead_includes_serialization(self):
+        system = SystemProfile(name="x", others_ns=50, serialization_ns_per_byte=0.5)
+        assert system.overhead_ns(100, 60, 0.0) == pytest.approx(50 + 80)
+
+    def test_wire_bytes(self):
+        system = SystemProfile(name="x", header_amortized=False)
+        assert system.wire_bytes(100) == 100 + TUPLE_HEADER_BYTES
+
+    def test_invalid_te_multiplier(self):
+        with pytest.raises(ProfilingError):
+            SystemProfile(name="x", te_multiplier=0)
+
+    def test_queue_capacity_must_hold_a_batch(self):
+        with pytest.raises(ProfilingError):
+            SystemProfile(name="x", batch_size=64, queue_capacity=10)

@@ -1,0 +1,77 @@
+"""Unit tests for local-search plan refinement."""
+
+import pytest
+
+from repro.core import PerformanceModel, collocated_plan
+from repro.core.plan import ExecutionPlan
+from repro.core.refinement import refine_plan
+from repro.dsps import ExecutionGraph
+from repro.errors import PlanError
+
+from tests.conftest import build_pipeline, pipeline_profiles
+
+
+@pytest.fixture()
+def setup(tiny_machine):
+    topology = build_pipeline()
+    profiles = pipeline_profiles(topology)
+    model = PerformanceModel(profiles, tiny_machine)
+    return topology, model
+
+
+class TestRefinement:
+    def test_improves_a_bad_plan(self, setup, tiny_machine):
+        topology, model = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        # Deliberately terrible: every stage max-hop from its producer.
+        bad = ExecutionPlan(
+            graph=graph, placement={0: 0, 1: 2, 2: 0, 3: 2}
+        )
+        before = model.evaluate(bad, 1e7).throughput
+        plan, result, stats = refine_plan(bad, model, 1e7)
+        assert result.throughput > before
+        assert stats.moves_accepted + stats.swaps_accepted > 0
+        assert stats.final_throughput >= stats.initial_throughput
+
+    def test_never_degrades(self, setup):
+        topology, model = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        good = collocated_plan(graph)
+        before = model.evaluate(good, 1e7).throughput
+        _, result, _ = refine_plan(good, model, 1e7)
+        assert result.throughput >= before * (1 - 1e-12)
+
+    def test_noop_on_local_plan(self, setup):
+        topology, model = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        plan, result, stats = refine_plan(collocated_plan(graph), model, 1e5)
+        assert stats.moves_accepted == 0
+        assert stats.swaps_accepted == 0
+        assert plan.placement == collocated_plan(graph).placement
+
+    def test_respects_core_limits(self, setup, tiny_machine):
+        topology, model = setup
+        graph = ExecutionGraph(topology, {n: 2 for n in topology.components})
+        spread = ExecutionPlan(
+            graph=graph,
+            placement={t.task_id: t.task_id % 4 for t in graph.tasks},
+        )
+        plan, _, _ = refine_plan(spread, model, 1e7)
+        for socket in plan.used_sockets():
+            assert plan.replicas_on(socket) <= tiny_machine.cores_per_socket
+
+    def test_incomplete_plan_rejected(self, setup):
+        topology, model = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        from repro.core.plan import empty_plan
+
+        with pytest.raises(PlanError):
+            refine_plan(empty_plan(graph), model, 1e7)
+
+    def test_zero_passes_budget(self, setup):
+        topology, model = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        bad = ExecutionPlan(graph=graph, placement={0: 0, 1: 2, 2: 0, 3: 2})
+        _, _, stats = refine_plan(bad, model, 1e7, max_passes=0)
+        assert stats.passes == 0
+        assert stats.moves_accepted == 0

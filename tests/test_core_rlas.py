@@ -1,0 +1,103 @@
+"""Integration tests for the RLAS facade (on the small test machine)."""
+
+import pytest
+
+from repro.core import (
+    PerformanceModel,
+    RLASOptimizer,
+    TfMode,
+    rlas_fix_lower,
+    rlas_fix_upper,
+)
+from repro.core.scaling import saturation_ingress
+
+from tests.conftest import build_pipeline, pipeline_profiles
+
+
+@pytest.fixture(scope="module")
+def optimized(tiny_machine_module):
+    topology = build_pipeline()
+    profiles = pipeline_profiles(topology)
+    machine = tiny_machine_module
+    rate = saturation_ingress(topology, PerformanceModel(profiles, machine))
+    plan = RLASOptimizer(
+        topology, profiles, machine, rate, compress_ratio=2
+    ).optimize()
+    return topology, profiles, machine, rate, plan
+
+
+@pytest.fixture(scope="session")
+def tiny_machine_module():
+    from repro.hardware import GB, MachineSpec, glueless_two_tray
+
+    return MachineSpec(
+        name="tiny (4x4)",
+        topology=glueless_two_tray(4),
+        cores_per_socket=4,
+        freq_ghz=2.0,
+        local_latency_ns=50.0,
+        hop_latency_ns={1: 200.0, 2: 400.0},
+        local_bandwidth=20.0 * GB,
+        hop_bandwidth={1: 8.0 * GB, 2: 4.0 * GB},
+    )
+
+
+class TestOptimizedPlan:
+    def test_plan_is_complete_and_valid(self, optimized):
+        topology, profiles, machine, rate, plan = optimized
+        plan.expanded_plan.validate_complete(machine)
+        assert plan.throughput > 0
+        assert plan.realized_throughput == pytest.approx(plan.throughput)
+
+    def test_expanded_matches_replication(self, optimized):
+        _, _, _, _, plan = optimized
+        assert plan.expanded_plan.graph.total_replicas == plan.total_replicas
+        assert all(t.weight == 1 for t in plan.expanded_plan.graph.tasks)
+
+    def test_beats_trivial_plan(self, optimized, tiny_machine_module):
+        topology, profiles, machine, rate, plan = optimized
+        from repro.core import collocated_plan
+        from repro.dsps import ExecutionGraph
+
+        model = PerformanceModel(profiles, machine)
+        trivial = collocated_plan(
+            ExecutionGraph(topology, {n: 1 for n in topology.components})
+        )
+        assert plan.throughput > model.evaluate(trivial, rate).throughput
+
+    def test_describe_is_readable(self, optimized):
+        _, _, _, _, plan = optimized
+        text = plan.describe()
+        assert "replication" in text
+        assert "throughput" in text
+
+
+class TestFixedModes:
+    def test_fix_modes_plan_and_realize(self, tiny_machine_module):
+        topology = build_pipeline()
+        profiles = pipeline_profiles(topology)
+        machine = tiny_machine_module
+        rate = saturation_ingress(topology, PerformanceModel(profiles, machine))
+        lower = rlas_fix_lower(
+            topology, profiles, machine, rate, compress_ratio=2
+        )
+        upper = rlas_fix_upper(
+            topology, profiles, machine, rate, compress_ratio=2
+        )
+        assert lower.planning_mode is TfMode.WORST
+        assert upper.planning_mode is TfMode.ZERO
+        # fix(L) under-estimates capacity during planning; fix(U) ignores
+        # RMA; both realize under the relative model.
+        assert lower.realized_throughput > 0
+        assert upper.realized_throughput > 0
+
+    def test_rlas_realizes_at_least_fix_lower(self, tiny_machine_module):
+        topology = build_pipeline()
+        profiles = pipeline_profiles(topology)
+        machine = tiny_machine_module
+        rate = saturation_ingress(topology, PerformanceModel(profiles, machine))
+        rlas = RLASOptimizer(
+            topology, profiles, machine, rate, compress_ratio=2
+        ).optimize()
+        lower = rlas_fix_lower(topology, profiles, machine, rate, compress_ratio=2)
+        assert rlas.realized_throughput >= lower.realized_throughput * 0.9

@@ -1,0 +1,134 @@
+"""Unit tests for iterative scaling (Algorithm 1) and helpers."""
+
+import pytest
+
+from repro.core import PerformanceModel, ScalingOptimizer
+from repro.core.scaling import saturation_ingress, suggest_initial_replication
+from repro.errors import PlanError
+
+from tests.conftest import build_pipeline, pipeline_profiles
+
+
+@pytest.fixture()
+def setup(tiny_machine):
+    topology = build_pipeline()
+    profiles = pipeline_profiles(topology)
+    model = PerformanceModel(profiles, tiny_machine)
+    return topology, model
+
+
+class TestScaling:
+    def test_scales_until_balanced(self, setup):
+        topology, model = setup
+        rate = saturation_ingress(topology, model)
+        result = ScalingOptimizer(topology, model, rate).optimize()
+        assert result.throughput > 0
+        assert result.total_replicas > len(topology.components)
+        assert result.placement.plan is not None
+
+    def test_respects_replica_budget(self, setup, tiny_machine):
+        topology, model = setup
+        rate = saturation_ingress(topology, model)
+        result = ScalingOptimizer(topology, model, rate).optimize()
+        assert result.total_replicas <= tiny_machine.n_cores
+
+    def test_custom_budget(self, setup):
+        topology, model = setup
+        result = ScalingOptimizer(
+            topology, model, 1e7, max_total_replicas=6
+        ).optimize()
+        assert result.total_replicas <= 6
+
+    def test_throughput_improves_over_iterations(self, setup):
+        topology, model = setup
+        rate = saturation_ingress(topology, model)
+        result = ScalingOptimizer(topology, model, rate).optimize()
+        feasible = [i.throughput for i in result.iterations if i.feasible]
+        assert feasible[-1] >= feasible[0]
+        assert result.throughput == pytest.approx(max(feasible))
+
+    def test_bottleneck_components_grow(self, setup):
+        topology, model = setup
+        rate = saturation_ingress(topology, model)
+        result = ScalingOptimizer(topology, model, rate).optimize()
+        # The fan (heaviest per-tuple cost + selectivity 2 amplification
+        # toward the sink) must end up more replicated than the spout.
+        assert result.replication["fan"] > 1
+
+    def test_low_rate_needs_no_scaling(self, setup):
+        topology, model = setup
+        result = ScalingOptimizer(topology, model, 1000.0).optimize()
+        assert result.replication == {n: 1 for n in topology.components}
+        assert result.throughput == pytest.approx(2000.0)
+
+    def test_explicit_initial_replication(self, setup):
+        topology, model = setup
+        start = {"spout": 2, "stage": 2, "fan": 2, "sink": 2}
+        result = ScalingOptimizer(topology, model, 1000.0).optimize(
+            initial_replication=start
+        )
+        assert result.replication == start
+
+    def test_max_iterations_respected(self, setup):
+        topology, model = setup
+        rate = saturation_ingress(topology, model)
+        result = ScalingOptimizer(
+            topology, model, rate, max_iterations=2
+        ).optimize()
+        # two growth iterations plus at most the rebalance record
+        assert len(result.iterations) <= 3
+
+    def test_invalid_compress_ratio(self, setup):
+        topology, model = setup
+        with pytest.raises(PlanError):
+            ScalingOptimizer(topology, model, 1e6, compress_ratio=0)
+
+    def test_compression_used(self, setup):
+        topology, model = setup
+        rate = saturation_ingress(topology, model)
+        result = ScalingOptimizer(
+            topology, model, rate, compress_ratio=4
+        ).optimize()
+        graph = result.placement.plan.graph
+        assert any(t.weight > 1 for t in graph.tasks) or result.total_replicas <= len(
+            topology.components
+        )
+
+
+class TestSaturationIngress:
+    def test_positive_and_finite(self, setup):
+        topology, model = setup
+        rate = saturation_ingress(topology, model)
+        assert 0 < rate < float("inf")
+
+    def test_scales_with_machine_size(self, setup, tiny_machine):
+        topology, model = setup
+        profiles = model.profiles
+        small_model = PerformanceModel(profiles, tiny_machine.subset(1))
+        small = saturation_ingress(topology, small_model)
+        large = saturation_ingress(topology, model)
+        assert large == pytest.approx(4 * small, rel=1e-6)
+
+    def test_headroom_scales_linearly(self, setup):
+        topology, model = setup
+        assert saturation_ingress(topology, model, headroom=0.5) == pytest.approx(
+            saturation_ingress(topology, model, headroom=1.0) * 0.5
+        )
+
+
+class TestSuggestInitialReplication:
+    def test_covers_all_components(self, setup):
+        topology, model = setup
+        suggestion = suggest_initial_replication(topology, model, 1e7, 16)
+        assert set(suggestion) == set(topology.components)
+        assert all(v >= 1 for v in suggestion.values())
+
+    def test_respects_budget(self, setup):
+        topology, model = setup
+        suggestion = suggest_initial_replication(topology, model, 1e9, 16)
+        assert sum(suggestion.values()) <= 16
+
+    def test_heavy_components_get_more(self, setup):
+        topology, model = setup
+        suggestion = suggest_initial_replication(topology, model, 1e7, 64)
+        assert suggestion["fan"] >= suggestion["spout"]

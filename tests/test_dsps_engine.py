@@ -1,0 +1,129 @@
+"""Unit tests for the functional local engine."""
+
+import pytest
+
+from repro.dsps import (
+    FlatMapOperator,
+    IterableSpout,
+    LocalEngine,
+    MapOperator,
+    Operator,
+    Sink,
+    TopologyBuilder,
+)
+from repro.errors import TopologyError
+
+
+def _word_topology(parallelism=1):
+    sentences = [("a b c",), ("a a",), ("",)] * 10
+    builder = TopologyBuilder("mini-wc")
+    builder.set_spout("spout", IterableSpout(sentences))
+    builder.add_operator(
+        "parser", MapOperator(lambda v: v if v[0] else None), parallelism
+    ).shuffle_from("spout")
+    builder.add_operator(
+        "splitter",
+        FlatMapOperator(lambda v: [(w,) for w in v[0].split()]),
+        parallelism,
+    ).shuffle_from("parser")
+    builder.add_sink("sink", Sink(keep_samples=1000), parallelism).fields_from(
+        "splitter", 0
+    )
+    return builder.build()
+
+
+class TestRun:
+    def test_counts_flow_through(self):
+        result = LocalEngine(_word_topology()).run(30)
+        # 30 sentences, 10 empty dropped, 20 valid with 3+2 words alternating.
+        assert result.events_ingested == 30
+        assert result.component_in("parser") == 30
+        assert result.component_out("parser") == 20
+        assert result.component_out("splitter") == 10 * 3 + 10 * 2
+        assert result.sink_received() == 50
+
+    def test_selectivity_measurement(self):
+        result = LocalEngine(_word_topology()).run(30)
+        assert result.selectivity("parser") == pytest.approx(20 / 30)
+        assert result.selectivity("splitter") == pytest.approx(50 / 20)
+
+    def test_replicated_run_same_totals(self):
+        result = LocalEngine(_word_topology(parallelism=3)).run(30)
+        assert result.component_in("parser") == 30
+        assert result.sink_received() == 50
+
+    def test_fields_grouping_consistency(self):
+        """The same word must always land on the same sink replica."""
+        topology = _word_topology(parallelism=4)
+        result = LocalEngine(topology).run(30)
+        seen: dict[str, int] = {}
+        for replica_index, sink in enumerate(result.sinks["sink"]):
+            for sample in sink.samples:
+                word = sample.values[0]
+                assert seen.setdefault(word, replica_index) == replica_index
+
+    def test_replica_state_is_private(self):
+        class Tally(Operator):
+            def __init__(self):
+                self.seen = 0
+
+            def process(self, item):
+                self.seen += 1
+                yield "default", item.values
+
+        builder = TopologyBuilder("private")
+        builder.set_spout("s", IterableSpout([(i,) for i in range(10)]))
+        builder.add_operator("t", Tally(), 2).shuffle_from("s")
+        builder.add_sink("z", Sink()).shuffle_from("t")
+        engine = LocalEngine(builder.build())
+        result = engine.run(10)
+        assert result.sink_received() == 10
+        # Template instance must remain untouched (clones did the work).
+        assert engine.topology.component("t").template.seen == 0
+
+    def test_mean_tuple_bytes_positive(self):
+        result = LocalEngine(_word_topology()).run(10)
+        assert result.mean_tuple_bytes("splitter") > 0
+        assert result.mean_tuple_bytes("sink") == 0.0
+
+    def test_zero_events(self):
+        result = LocalEngine(_word_topology()).run(0)
+        assert result.sink_received() == 0
+
+    def test_negative_events_rejected(self):
+        with pytest.raises(TopologyError):
+            LocalEngine(_word_topology()).run(-1)
+
+    def test_flush_emissions_are_routed(self):
+        class Batcher(Operator):
+            def __init__(self):
+                self.held = []
+
+            def process(self, item):
+                self.held.append(item.values)
+                return ()
+
+            def flush(self):
+                yield "default", (len(self.held),)
+
+        builder = TopologyBuilder("flush")
+        builder.set_spout("s", IterableSpout([(i,) for i in range(7)]))
+        builder.add_operator("b", Batcher()).shuffle_from("s")
+        builder.add_sink("z", Sink(keep_samples=10)).shuffle_from("b")
+        result = LocalEngine(builder.build()).run(7)
+        assert result.sink_received() == 1
+        assert result.sinks["z"][0].samples[0].values == (7,)
+
+    def test_default_replication_uses_hints(self):
+        builder = TopologyBuilder("hints")
+        builder.set_spout("s", IterableSpout([(1,)]), parallelism=2)
+        builder.add_sink("z", Sink(), parallelism=3).shuffle_from("s")
+        engine = LocalEngine(builder.build())
+        assert len(engine.graph.tasks_of("s")) == 2
+        assert len(engine.graph.tasks_of("z")) == 3
+
+    def test_event_time_preserved_to_sink(self):
+        topology = _word_topology()
+        result = LocalEngine(topology).run(5)
+        sink = result.sinks["sink"][0]
+        assert all(s.event_time_ns >= 0 for s in sink.samples)

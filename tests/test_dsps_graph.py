@@ -1,0 +1,185 @@
+"""Unit tests for the execution graph (replication + compression)."""
+
+import pytest
+
+from repro.dsps import ExecutionGraph, IterableSpout, MapOperator, Sink, TopologyBuilder
+from repro.errors import PlanError
+
+from tests.conftest import build_pipeline
+
+
+@pytest.fixture()
+def topology():
+    return build_pipeline()
+
+
+class TestExpansion:
+    def test_task_counts(self, topology):
+        graph = ExecutionGraph(
+            topology, {"spout": 1, "stage": 2, "fan": 3, "sink": 1}
+        )
+        assert graph.n_tasks == 7
+        assert graph.total_replicas == 7
+        assert len(graph.tasks_of("fan")) == 3
+
+    def test_task_ids_dense_and_topological(self, topology):
+        graph = ExecutionGraph(
+            topology, {"spout": 1, "stage": 2, "fan": 2, "sink": 1}
+        )
+        ids = [t.task_id for t in graph.topological_task_order()]
+        assert ids == list(range(graph.n_tasks))
+
+    def test_all_to_all_edges_for_shuffle(self, topology):
+        graph = ExecutionGraph(
+            topology, {"spout": 2, "stage": 3, "fan": 1, "sink": 1}
+        )
+        spout_tasks = graph.tasks_of("spout")
+        stage_tasks = graph.tasks_of("stage")
+        edges = [
+            e for t in spout_tasks for e in graph.outgoing(t.task_id)
+        ]
+        assert len(edges) == len(spout_tasks) * len(stage_tasks)
+
+    def test_shares_sum_to_one_per_producer(self, topology):
+        graph = ExecutionGraph(
+            topology, {"spout": 2, "stage": 5, "fan": 1, "sink": 1}
+        )
+        for task in graph.tasks_of("spout"):
+            total = sum(e.share for e in graph.outgoing(task.task_id))
+            assert total == pytest.approx(1.0)
+
+    def test_missing_replication_rejected(self, topology):
+        with pytest.raises(PlanError, match="replication missing"):
+            ExecutionGraph(topology, {"spout": 1})
+
+    def test_zero_replication_rejected(self, topology):
+        with pytest.raises(PlanError, match=">= 1"):
+            ExecutionGraph(
+                topology, {"spout": 0, "stage": 1, "fan": 1, "sink": 1}
+            )
+
+    def test_unknown_component_rejected(self, topology):
+        with pytest.raises(PlanError, match="unknown components"):
+            ExecutionGraph(
+                topology,
+                {"spout": 1, "stage": 1, "fan": 1, "sink": 1, "ghost": 2},
+            )
+
+    def test_spout_and_sink_tasks(self, topology):
+        graph = ExecutionGraph(
+            topology, {"spout": 2, "stage": 1, "fan": 1, "sink": 3}
+        )
+        assert len(graph.spout_tasks) == 2
+        assert len(graph.sink_tasks) == 3
+
+    def test_navigation(self, topology):
+        graph = ExecutionGraph(
+            topology, {"spout": 1, "stage": 2, "fan": 1, "sink": 1}
+        )
+        fan = graph.tasks_of("fan")[0]
+        assert len(graph.producers_of(fan.task_id)) == 2
+        assert len(graph.consumers_of(fan.task_id)) == 1
+        with pytest.raises(PlanError):
+            graph.task(999)
+
+
+class TestCompression:
+    def test_groups_replicas(self, topology):
+        graph = ExecutionGraph(
+            topology, {"spout": 1, "stage": 1, "fan": 12, "sink": 1}, group_size=5
+        )
+        fan_tasks = graph.tasks_of("fan")
+        assert [t.weight for t in fan_tasks] == [5, 5, 2]
+        assert graph.total_replicas == 15
+
+    def test_label_shows_replica_range(self, topology):
+        graph = ExecutionGraph(
+            topology, {"spout": 1, "stage": 1, "fan": 7, "sink": 1}, group_size=5
+        )
+        labels = [t.label for t in graph.tasks_of("fan")]
+        assert labels == ["fan#0-4", "fan#5-6"]
+
+    def test_weighted_shares_proportional(self, topology):
+        graph = ExecutionGraph(
+            topology, {"spout": 1, "stage": 1, "fan": 7, "sink": 1}, group_size=5
+        )
+        stage = graph.tasks_of("stage")[0]
+        shares = {
+            graph.task(e.consumer).label: e.share
+            for e in graph.outgoing(stage.task_id)
+        }
+        assert shares["fan#0-4"] == pytest.approx(5 / 7)
+        assert shares["fan#5-6"] == pytest.approx(2 / 7)
+
+    def test_per_component_group_sizes(self, topology):
+        graph = ExecutionGraph(
+            topology,
+            {"spout": 1, "stage": 4, "fan": 4, "sink": 1},
+            group_size={"stage": 2, "fan": 4},
+        )
+        assert len(graph.tasks_of("stage")) == 2
+        assert len(graph.tasks_of("fan")) == 1
+
+    def test_replica_assignment_expands_groups(self, topology):
+        graph = ExecutionGraph(
+            topology, {"spout": 1, "stage": 1, "fan": 6, "sink": 1}, group_size=3
+        )
+        placement = {t.task_id: t.task_id % 2 for t in graph.tasks}
+        assignment = graph.replica_assignment(placement)
+        assert len([k for k in assignment if k[0] == "fan"]) == 6
+        fan_tasks = graph.tasks_of("fan")
+        for task in fan_tasks:
+            for replica in task.replicas:
+                assert assignment[("fan", replica)] == placement[task.task_id]
+
+    def test_replica_assignment_requires_complete_placement(self, topology):
+        graph = ExecutionGraph(
+            topology, {"spout": 1, "stage": 1, "fan": 2, "sink": 1}
+        )
+        with pytest.raises(PlanError, match="placement missing"):
+            graph.replica_assignment({0: 0})
+
+    def test_invalid_group_size(self, topology):
+        with pytest.raises(PlanError, match="group size"):
+            ExecutionGraph(
+                topology,
+                {"spout": 1, "stage": 1, "fan": 1, "sink": 1},
+                group_size=0,
+            )
+
+
+class TestSpecialGroupings:
+    def _topology(self):
+        builder = TopologyBuilder("special")
+        builder.set_spout("s", IterableSpout([("x",)]))
+        builder.add_operator("b", MapOperator(lambda v: v)).broadcast_from("s")
+        builder.add_operator("g", MapOperator(lambda v: v)).global_from("b")
+        builder.add_sink("z", Sink()).shuffle_from("g")
+        return builder.build()
+
+    def test_broadcast_share_is_weight(self):
+        topology = self._topology()
+        graph = ExecutionGraph(topology, {"s": 1, "b": 3, "g": 1, "z": 1})
+        spout = graph.tasks_of("s")[0]
+        shares = [e.share for e in graph.outgoing(spout.task_id)]
+        assert shares == [1.0, 1.0, 1.0]
+
+    def test_global_only_first_replica(self):
+        topology = self._topology()
+        graph = ExecutionGraph(topology, {"s": 1, "b": 2, "g": 3, "z": 1})
+        g_tasks = graph.tasks_of("g")
+        incoming = [len(graph.incoming(t.task_id)) for t in g_tasks]
+        assert incoming[0] > 0
+        assert all(n == 0 for n in incoming[1:])
+
+    def test_broadcast_consumers_never_compressed(self):
+        topology = self._topology()
+        graph = ExecutionGraph(
+            topology, {"s": 1, "b": 6, "g": 1, "z": 1}, group_size=5
+        )
+        assert all(t.weight == 1 for t in graph.tasks_of("b"))
+
+    def test_describe(self):
+        topology = self._topology()
+        graph = ExecutionGraph(topology, {"s": 1, "b": 2, "g": 1, "z": 1})
+        assert "execution graph" in graph.describe()

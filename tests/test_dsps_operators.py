@@ -1,0 +1,106 @@
+"""Unit tests for the operator primitives."""
+
+import pytest
+
+from repro.dsps import (
+    FilterOperator,
+    FlatMapOperator,
+    IterableSpout,
+    MapOperator,
+    OperatorContext,
+    Sink,
+    StreamTuple,
+)
+
+
+def _tuple(*values):
+    return StreamTuple(values=values)
+
+
+class TestMapOperator:
+    def test_maps_values(self):
+        op = MapOperator(lambda v: (v[0] * 2,))
+        assert list(op.process(_tuple(3))) == [("default", (6,))]
+
+    def test_none_drops_tuple(self):
+        op = MapOperator(lambda v: None)
+        assert list(op.process(_tuple(1))) == []
+
+    def test_custom_stream(self):
+        op = MapOperator(lambda v: v, stream="side")
+        assert list(op.process(_tuple(1)))[0][0] == "side"
+
+
+class TestFlatMapOperator:
+    def test_expands(self):
+        op = FlatMapOperator(lambda v: [(x,) for x in range(v[0])])
+        out = list(op.process(_tuple(3)))
+        assert [v for _, v in out] == [(0,), (1,), (2,)]
+
+    def test_empty_expansion(self):
+        op = FlatMapOperator(lambda v: [])
+        assert list(op.process(_tuple(1))) == []
+
+
+class TestFilterOperator:
+    def test_passes_and_drops(self):
+        op = FilterOperator(lambda v: v[0] > 0)
+        assert list(op.process(_tuple(1))) == [("default", (1,))]
+        assert list(op.process(_tuple(-1))) == []
+
+
+class TestSink:
+    def test_counts(self):
+        sink = Sink()
+        for i in range(5):
+            list(sink.process(_tuple(i)))
+        assert sink.received == 5
+
+    def test_sample_retention_bounded(self):
+        sink = Sink(keep_samples=3)
+        for i in range(10):
+            list(sink.process(_tuple(i)))
+        assert len(sink.samples) == 3
+        assert sink.received == 10
+
+    def test_on_tuple_hook(self):
+        class Custom(Sink):
+            def __init__(self):
+                super().__init__()
+                self.total = 0
+
+            def on_tuple(self, item):
+                self.total += item.values[0]
+
+        sink = Custom()
+        for i in range(4):
+            list(sink.process(_tuple(i)))
+        assert sink.total == 6
+
+
+class TestClone:
+    def test_clone_has_independent_state(self):
+        sink = Sink()
+        list(sink.process(_tuple(1)))
+        clone = sink.clone()
+        assert clone.received == 1  # deep copy of current state
+        list(clone.process(_tuple(2)))
+        assert clone.received == 2
+        assert sink.received == 1
+
+
+class TestIterableSpout:
+    def test_replays_iterable(self):
+        spout = IterableSpout([(1,), (2,), (3,)])
+        spout.prepare(OperatorContext("s", 0, 1, 0))
+        assert list(spout.next_batch(10)) == [(1,), (2,), (3,)]
+
+    def test_respects_batch_limit(self):
+        spout = IterableSpout([(i,) for i in range(10)])
+        spout.prepare(OperatorContext("s", 0, 1, 0))
+        assert len(list(spout.next_batch(4))) == 4
+        assert len(list(spout.next_batch(100))) == 6
+
+    def test_works_without_prepare(self):
+        spout = IterableSpout([(1,)])
+        assert list(spout.next_batch(5)) == [(1,)]

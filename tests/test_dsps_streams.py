@@ -1,0 +1,95 @@
+"""Unit tests for groupings (partitioning strategies)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.dsps import (
+    BroadcastGrouping,
+    FieldsGrouping,
+    GlobalGrouping,
+    ShuffleGrouping,
+    StreamEdge,
+    StreamTuple,
+)
+from repro.errors import TopologyError
+
+
+def _tuple(*values):
+    return StreamTuple(values=values)
+
+
+class TestShuffle:
+    def test_round_robin(self):
+        grouping = ShuffleGrouping()
+        targets = [grouping.route(_tuple(i), 3, i)[0] for i in range(9)]
+        assert targets == [0, 1, 2, 0, 1, 2, 0, 1, 2]
+
+    def test_rate_share_uniform(self):
+        grouping = ShuffleGrouping()
+        assert grouping.rate_share(0, 4) == pytest.approx(0.25)
+        assert grouping.fan_out(4) == 1.0
+
+    def test_rate_share_rejects_zero_consumers(self):
+        with pytest.raises(TopologyError):
+            ShuffleGrouping().rate_share(0, 0)
+
+
+class TestFields:
+    def test_same_key_same_replica(self):
+        grouping = FieldsGrouping(0)
+        a = grouping.route(_tuple("word", 1), 5, 0)
+        b = grouping.route(_tuple("word", 99), 5, 17)
+        assert a == b
+
+    def test_different_keys_spread(self):
+        grouping = FieldsGrouping(0)
+        targets = Counter(
+            grouping.route(_tuple(f"w{i}"), 4, 0)[0] for i in range(400)
+        )
+        assert len(targets) == 4
+        assert min(targets.values()) > 50  # roughly uniform
+
+    def test_composite_key(self):
+        grouping = FieldsGrouping(0, 2)
+        a = grouping.route(_tuple("x", 1, "y"), 7, 0)
+        b = grouping.route(_tuple("x", 2, "y"), 7, 0)
+        assert a == b
+
+    def test_missing_field_raises(self):
+        with pytest.raises(TopologyError):
+            FieldsGrouping(3).route(_tuple("only"), 2, 0)
+
+    def test_needs_at_least_one_field(self):
+        with pytest.raises(TopologyError):
+            FieldsGrouping()
+
+
+class TestBroadcast:
+    def test_all_replicas_receive(self):
+        grouping = BroadcastGrouping()
+        assert grouping.route(_tuple(1), 4, 0) == [0, 1, 2, 3]
+
+    def test_fan_out_and_share(self):
+        grouping = BroadcastGrouping()
+        assert grouping.fan_out(4) == 4.0
+        assert grouping.rate_share(2, 4) == 1.0
+        assert not grouping.unicast
+
+
+class TestGlobal:
+    def test_always_first_replica(self):
+        grouping = GlobalGrouping()
+        assert grouping.route(_tuple(1), 5, 99) == [0]
+
+    def test_rate_share_concentrated(self):
+        grouping = GlobalGrouping()
+        assert grouping.rate_share(0, 5) == 1.0
+        assert grouping.rate_share(3, 5) == 0.0
+
+
+class TestStreamEdge:
+    def test_describe(self):
+        edge = StreamEdge(producer="a", consumer="b", stream="s")
+        assert "a" in edge.describe()
+        assert "shuffle" in edge.describe()

@@ -1,0 +1,168 @@
+"""Unit tests for the topology builder and DAG validation."""
+
+import pytest
+
+from repro.dsps import (
+    ComponentKind,
+    FilterOperator,
+    IterableSpout,
+    MapOperator,
+    Sink,
+    TopologyBuilder,
+)
+from repro.errors import TopologyError
+
+
+def _spout():
+    return IterableSpout([("x",)])
+
+
+def _op():
+    return MapOperator(lambda v: v)
+
+
+class TestBuilder:
+    def test_linear_chain(self):
+        builder = TopologyBuilder("chain")
+        builder.set_spout("s", _spout())
+        builder.add_operator("a", _op()).shuffle_from("s")
+        builder.add_sink("z", Sink()).shuffle_from("a")
+        topology = builder.build()
+        assert topology.spouts == ["s"]
+        assert topology.sinks == ["z"]
+        assert topology.topological_order() == ["s", "a", "z"]
+
+    def test_reverse_topological_order(self):
+        builder = TopologyBuilder("chain")
+        builder.set_spout("s", _spout())
+        builder.add_operator("a", _op()).shuffle_from("s")
+        builder.add_sink("z", Sink()).shuffle_from("a")
+        topology = builder.build()
+        assert topology.reverse_topological_order()[0] == "z"
+
+    def test_diamond(self):
+        builder = TopologyBuilder("diamond")
+        builder.set_spout("s", _spout())
+        builder.add_operator("l", _op()).shuffle_from("s")
+        builder.add_operator("r", _op()).shuffle_from("s")
+        builder.add_sink("z", Sink()).shuffle_from("l").shuffle_from("r")
+        topology = builder.build()
+        assert topology.producers_of("z") == ["l", "r"]
+        assert topology.consumers_of("s") == ["l", "r"]
+        assert len(topology.incoming("z")) == 2
+
+    def test_multi_stream_edges(self):
+        builder = TopologyBuilder("streams")
+        builder.set_spout("s", _spout())
+        builder.add_operator("a", _op()).shuffle_from("s", stream="left")
+        builder.add_sink("z", Sink()).shuffle_from("a")
+        topology = builder.build()
+        assert topology.outgoing("s")[0].stream == "left"
+
+    def test_component_kinds(self):
+        builder = TopologyBuilder("kinds")
+        builder.set_spout("s", _spout())
+        builder.add_operator("a", _op()).shuffle_from("s")
+        builder.add_sink("z", Sink()).shuffle_from("a")
+        topology = builder.build()
+        assert topology.component("s").kind is ComponentKind.SPOUT
+        assert topology.component("a").kind is ComponentKind.OPERATOR
+        assert topology.component("z").kind is ComponentKind.SINK
+
+    def test_sink_added_via_add_operator_detected(self):
+        builder = TopologyBuilder("kinds")
+        builder.set_spout("s", _spout())
+        builder.add_operator("z", Sink()).shuffle_from("s")
+        topology = builder.build()
+        assert topology.component("z").kind is ComponentKind.SINK
+
+    def test_grouping_constructors(self):
+        builder = TopologyBuilder("groupings")
+        builder.set_spout("s", _spout())
+        builder.add_operator("f", _op()).fields_from("s", 0)
+        builder.add_operator("b", _op()).broadcast_from("f")
+        builder.add_operator("g", _op()).global_from("b")
+        builder.add_sink("z", Sink()).shuffle_from("g")
+        topology = builder.build()
+        kinds = [type(e.grouping).__name__ for e in topology.edges]
+        assert kinds == [
+            "FieldsGrouping",
+            "BroadcastGrouping",
+            "GlobalGrouping",
+            "ShuffleGrouping",
+        ]
+
+    def test_describe_lists_everything(self):
+        builder = TopologyBuilder("desc")
+        builder.set_spout("s", _spout())
+        builder.add_sink("z", Sink()).shuffle_from("s")
+        text = builder.build().describe()
+        assert "s" in text and "z" in text and "shuffle" in text
+
+
+class TestValidation:
+    def test_no_spout_rejected(self):
+        builder = TopologyBuilder("bad")
+        with pytest.raises(TopologyError, match="no spout"):
+            builder.build()
+
+    def test_duplicate_name_rejected(self):
+        builder = TopologyBuilder("bad")
+        builder.set_spout("s", _spout())
+        with pytest.raises(TopologyError, match="duplicate"):
+            builder.set_spout("s", _spout())
+
+    def test_unknown_producer_rejected(self):
+        builder = TopologyBuilder("bad")
+        builder.set_spout("s", _spout())
+        with pytest.raises(TopologyError, match="unknown producer"):
+            builder.add_operator("a", _op()).shuffle_from("ghost")
+
+    def test_spout_cannot_consume(self):
+        builder = TopologyBuilder("bad")
+        builder.set_spout("s", _spout())
+        builder.add_operator("a", _op()).shuffle_from("s")
+        from repro.dsps.streams import StreamEdge
+
+        with pytest.raises(TopologyError, match="cannot consume"):
+            builder._add_edge(StreamEdge(producer="a", consumer="s"))
+
+    def test_orphan_component_rejected(self):
+        builder = TopologyBuilder("bad")
+        builder.set_spout("s", _spout())
+        builder.add_sink("z", Sink()).shuffle_from("s")
+        builder.add_operator("lonely", _op())  # never connected
+        with pytest.raises(TopologyError, match="no input stream|unreachable"):
+            builder.build()
+
+    def test_wrong_component_type_rejected(self):
+        builder = TopologyBuilder("bad")
+        with pytest.raises(TopologyError, match="expected a Spout"):
+            builder.set_spout("s", _op())
+        builder.set_spout("ok", _spout())
+        with pytest.raises(TopologyError, match="expected a Sink"):
+            builder.add_sink("z", _op())
+
+    def test_zero_parallelism_rejected(self):
+        builder = TopologyBuilder("bad")
+        with pytest.raises(TopologyError, match="parallelism"):
+            builder.set_spout("s", _spout(), parallelism=0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TopologyError):
+            TopologyBuilder("")
+
+    def test_unknown_component_lookup(self):
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", _spout())
+        builder.add_sink("z", Sink()).shuffle_from("s")
+        topology = builder.build()
+        with pytest.raises(TopologyError):
+            topology.component("nope")
+
+    def test_filter_operator_accepted(self):
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", _spout())
+        builder.add_operator("f", FilterOperator(lambda v: True)).shuffle_from("s")
+        builder.add_sink("z", Sink()).shuffle_from("f")
+        assert len(builder.build()) == 3

@@ -1,0 +1,81 @@
+"""Unit tests for tuples, jumbo tuples and size accounting."""
+
+import pytest
+
+from repro.dsps import TUPLE_HEADER_BYTES, JumboTuple, StreamTuple, payload_bytes
+
+
+class TestPayloadBytes:
+    def test_string_scales_with_length(self):
+        assert payload_bytes(["ab"]) > payload_bytes(["a"])
+
+    def test_int_and_float(self):
+        assert payload_bytes([1]) == 28
+        assert payload_bytes([1.5]) == 24
+
+    def test_bool_is_not_counted_as_int(self):
+        assert payload_bytes([True]) == 16
+
+    def test_none(self):
+        assert payload_bytes([None]) == 16
+
+    def test_nested_list(self):
+        flat = payload_bytes([1, 2])
+        nested = payload_bytes([[1, 2]])
+        assert nested == flat + 56
+
+    def test_dict(self):
+        assert payload_bytes([{"a": 1}]) > payload_bytes(["a", 1])
+
+    def test_bytes_payload(self):
+        assert payload_bytes([b"abc"]) == 33 + 3
+
+    def test_unknown_object_gets_flat_charge(self):
+        class Thing:
+            pass
+
+        assert payload_bytes([Thing()]) == 48
+
+    def test_empty(self):
+        assert payload_bytes([]) == 0
+
+
+class TestStreamTuple:
+    def test_size_includes_header(self):
+        item = StreamTuple(values=("abc",))
+        assert item.size_bytes == item.payload_size_bytes + TUPLE_HEADER_BYTES
+
+    def test_derive_keeps_event_time(self):
+        parent = StreamTuple(values=("x",), event_time_ns=123.0)
+        child = parent.derive(("y", 1), stream="out", source_task=5)
+        assert child.event_time_ns == 123.0
+        assert child.stream == "out"
+        assert child.source_task == 5
+        assert child.values == ("y", 1)
+
+    def test_frozen(self):
+        item = StreamTuple(values=("x",))
+        with pytest.raises(AttributeError):
+            item.values = ("y",)
+
+
+class TestJumboTuple:
+    def test_shares_one_header(self):
+        tuples = [StreamTuple(values=(i,)) for i in range(10)]
+        jumbo = JumboTuple(source_task=0, target_task=1, tuples=list(tuples))
+        individual = sum(t.size_bytes for t in tuples)
+        assert jumbo.size_bytes == individual - 9 * TUPLE_HEADER_BYTES
+
+    def test_per_tuple_overhead_amortizes(self):
+        jumbo = JumboTuple(source_task=0, target_task=1)
+        assert jumbo.per_tuple_overhead_bytes == TUPLE_HEADER_BYTES
+        for i in range(4):
+            jumbo.append(StreamTuple(values=(i,)))
+        assert jumbo.per_tuple_overhead_bytes == TUPLE_HEADER_BYTES / 4
+
+    def test_iteration_and_len(self):
+        jumbo = JumboTuple(source_task=0, target_task=1)
+        jumbo.append(StreamTuple(values=(1,)))
+        jumbo.append(StreamTuple(values=(2,)))
+        assert len(jumbo) == 2
+        assert [t.values[0] for t in jumbo] == [1, 2]

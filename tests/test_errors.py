@@ -1,0 +1,45 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    HardwareError,
+    InfeasiblePlanError,
+    PlanError,
+    ProfilingError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            TopologyError,
+            PlanError,
+            InfeasiblePlanError,
+            HardwareError,
+            ProfilingError,
+            SimulationError,
+        ],
+    )
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_infeasible_is_plan_error(self):
+        assert issubclass(InfeasiblePlanError, PlanError)
+
+    def test_base_catchable_at_api_boundary(self):
+        """Library calls surface ReproError for invalid input."""
+        from repro.dsps import TopologyBuilder
+
+        try:
+            TopologyBuilder("x").build()
+        except ReproError as exc:
+            assert "spout" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected a ReproError")

@@ -1,0 +1,149 @@
+"""Unit tests for machine specifications (Table 2 constants)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareError
+from repro.hardware import GB, MachineSpec, glueless_two_tray, server_a, server_b
+
+
+class TestServerA:
+    def test_core_count(self, machine_a):
+        assert machine_a.n_sockets == 8
+        assert machine_a.cores_per_socket == 18
+        assert machine_a.n_cores == 144
+
+    def test_latencies_match_table2(self, machine_a):
+        assert machine_a.latency_ns(0, 0) == 50.0
+        assert machine_a.latency_ns(0, 1) == pytest.approx(307.7)
+        assert machine_a.latency_ns(0, 4) == pytest.approx(548.0)
+
+    def test_bandwidths_match_table2(self, machine_a):
+        assert machine_a.local_bandwidth == pytest.approx(54.3 * GB)
+        assert machine_a.bandwidth(0, 2) == pytest.approx(13.2 * GB)
+        assert machine_a.bandwidth(0, 7) == pytest.approx(5.8 * GB)
+
+    def test_total_local_bandwidth(self, machine_a):
+        assert machine_a.total_local_bandwidth == pytest.approx(434.4 * GB)
+
+    def test_describe_matches_table2_rows(self, machine_a):
+        row = machine_a.describe()
+        assert row["one_hop_latency_ns"] == pytest.approx(307.7)
+        assert row["max_hops_latency_ns"] == pytest.approx(548.0)
+        assert row["total_local_bandwidth_gb_s"] == pytest.approx(434.4)
+        assert row["power_governor"] == "power save"
+
+
+class TestServerB:
+    def test_core_count(self, machine_b):
+        assert machine_b.n_cores == 64
+        assert machine_b.freq_ghz == pytest.approx(2.27)
+
+    def test_flat_remote_bandwidth(self, machine_b):
+        """Server B's XNC makes remote bandwidth distance-insensitive."""
+        one_hop = machine_b.bandwidth(0, 1)
+        max_hop = machine_b.bandwidth(0, 7)
+        assert abs(one_hop - max_hop) / one_hop < 0.05
+
+    def test_lower_latencies_than_server_a(self, machine_a, machine_b):
+        assert machine_b.latency_ns(0, 1) < machine_a.latency_ns(0, 1)
+        assert machine_b.latency_ns(0, 4) < machine_a.latency_ns(0, 4)
+
+    def test_server_a_higher_aggregate_compute(self, machine_a, machine_b):
+        total_a = machine_a.n_cores * machine_a.freq_ghz
+        total_b = machine_b.n_cores * machine_b.freq_ghz
+        assert total_a > total_b
+
+
+class TestUnits:
+    def test_cpu_capacity_is_core_ns_per_second(self, machine_a):
+        assert machine_a.cpu_capacity == pytest.approx(18e9)
+
+    def test_cycles_roundtrip(self, machine_a):
+        assert machine_a.cycles_to_ns(machine_a.ns_to_cycles(123.4)) == pytest.approx(
+            123.4
+        )
+
+    def test_cycles_to_ns_uses_frequency(self, machine_a, machine_b):
+        # The same cycle count runs faster on the higher-clocked Server B.
+        assert machine_b.cycles_to_ns(1200) < machine_a.cycles_to_ns(1200)
+
+    def test_cache_lines_rounds_up(self, machine_a):
+        assert machine_a.cache_lines(1) == 1
+        assert machine_a.cache_lines(64) == 1
+        assert machine_a.cache_lines(65) == 2
+        assert machine_a.cache_lines(0) == 0
+        assert machine_a.cache_lines(-5) == 0
+
+    def test_remote_fetch_formula2(self, machine_a):
+        # ceil(180/64) = 3 lines at max-hop latency.
+        assert machine_a.remote_fetch_ns(180, 0, 4) == pytest.approx(3 * 548.0)
+        assert machine_a.remote_fetch_ns(180, 0, 0) == 0.0
+
+
+class TestMatrices:
+    def test_latency_matrix_symmetry(self, machine_a):
+        matrix = machine_a.latency_matrix()
+        assert np.allclose(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 50.0)
+
+    def test_bandwidth_matrix_diagonal(self, machine_b):
+        matrix = machine_b.bandwidth_matrix()
+        assert np.all(np.diag(matrix) == machine_b.local_bandwidth)
+
+
+class TestSubset:
+    def test_subset_keeps_per_socket_characteristics(self, machine_a):
+        small = machine_a.subset(2)
+        assert small.n_sockets == 2
+        assert small.cores_per_socket == 18
+        assert small.latency_ns(0, 1) == pytest.approx(307.7)
+
+    def test_subset_single_socket_has_no_remote(self, machine_a):
+        single = machine_a.subset(1)
+        assert single.topology.max_hops == 0
+
+    def test_server_factories_accept_socket_count(self):
+        assert server_a(4).n_sockets == 4
+        assert server_b(2).n_sockets == 2
+
+
+class TestValidation:
+    def test_missing_hop_latency_rejected(self):
+        with pytest.raises(HardwareError):
+            MachineSpec(
+                name="bad",
+                topology=glueless_two_tray(4),
+                cores_per_socket=4,
+                freq_ghz=2.0,
+                local_latency_ns=50.0,
+                hop_latency_ns={1: 200.0},  # missing hop 2
+                local_bandwidth=10 * GB,
+                hop_bandwidth={1: 5 * GB, 2: 2 * GB},
+            )
+
+    def test_bad_frequency_rejected(self):
+        with pytest.raises(HardwareError):
+            MachineSpec(
+                name="bad",
+                topology=glueless_two_tray(4),
+                cores_per_socket=4,
+                freq_ghz=0.0,
+                local_latency_ns=50.0,
+                hop_latency_ns={1: 200.0, 2: 400.0},
+                local_bandwidth=10 * GB,
+                hop_bandwidth={1: 5 * GB, 2: 2 * GB},
+            )
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(HardwareError):
+            MachineSpec(
+                name="bad",
+                topology=glueless_two_tray(4),
+                cores_per_socket=0,
+                freq_ghz=1.0,
+                local_latency_ns=50.0,
+                hop_latency_ns={1: 200.0, 2: 400.0},
+                local_bandwidth=10 * GB,
+                hop_bandwidth={1: 5 * GB, 2: 2 * GB},
+            )

@@ -1,0 +1,40 @@
+"""Unit tests for the MLC-style measurement report."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import run_mlc
+
+
+class TestMlc:
+    def test_exact_without_jitter(self, machine_a):
+        report = run_mlc(machine_a)
+        assert report.latency_ns[0, 0] == 50.0
+        assert report.latency_ns[0, 4] == pytest.approx(548.0)
+        assert report.local_latency() == pytest.approx(50.0)
+        assert report.max_latency() == pytest.approx(548.0)
+
+    def test_total_local_bandwidth(self, machine_a):
+        report = run_mlc(machine_a)
+        assert report.total_local_bandwidth() == pytest.approx(
+            machine_a.total_local_bandwidth
+        )
+
+    def test_jitter_perturbs_but_preserves_scale(self, machine_a):
+        report = run_mlc(machine_a, jitter=0.02, seed=42)
+        exact = machine_a.latency_matrix()
+        assert not np.allclose(report.latency_ns, exact)
+        assert np.allclose(report.latency_ns, exact, rtol=0.15)
+
+    def test_jitter_deterministic_by_seed(self, machine_a):
+        a = run_mlc(machine_a, jitter=0.05, seed=7)
+        b = run_mlc(machine_a, jitter=0.05, seed=7)
+        assert np.array_equal(a.latency_ns, b.latency_ns)
+
+    def test_format_table_lists_all_nodes(self, machine_b):
+        text = run_mlc(machine_b).format_table()
+        for socket in range(machine_b.n_sockets):
+            assert f"node  {socket}" in text
+
+    def test_n_sockets(self, machine_b):
+        assert run_mlc(machine_b).n_sockets == 8

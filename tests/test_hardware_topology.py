@@ -1,0 +1,122 @@
+"""Unit tests for socket interconnect topologies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareError
+from repro.hardware import (
+    InterconnectKind,
+    SocketTopology,
+    glueless_two_tray,
+    single_socket,
+    xnc_two_tray,
+)
+
+
+class TestConstruction:
+    def test_glueless_has_two_trays(self):
+        topo = glueless_two_tray(8)
+        assert topo.trays == ((0, 1, 2, 3), (4, 5, 6, 7))
+        assert topo.kind is InterconnectKind.GLUELESS
+
+    def test_xnc_has_two_trays(self):
+        topo = xnc_two_tray(8)
+        assert topo.kind is InterconnectKind.XNC
+        assert topo.n_sockets == 8
+
+    def test_single_socket(self):
+        topo = single_socket()
+        assert topo.n_sockets == 1
+        assert topo.max_hops == 0
+
+    def test_odd_socket_count_rejected(self):
+        with pytest.raises(HardwareError):
+            glueless_two_tray(7)
+
+    def test_zero_sockets_rejected(self):
+        with pytest.raises(HardwareError):
+            SocketTopology(n_sockets=0, kind=InterconnectKind.SINGLE)
+
+    def test_trays_must_partition_sockets(self):
+        with pytest.raises(HardwareError):
+            SocketTopology(
+                n_sockets=4, kind=InterconnectKind.GLUELESS, trays=((0, 1), (1, 2, 3))
+            )
+
+    def test_default_tray_covers_all(self):
+        topo = SocketTopology(n_sockets=3, kind=InterconnectKind.SINGLE)
+        assert topo.trays == ((0, 1, 2),)
+
+
+class TestHops:
+    @pytest.fixture()
+    def topo(self):
+        return glueless_two_tray(8)
+
+    def test_same_socket_zero_hops(self, topo):
+        assert topo.hops(3, 3) == 0
+
+    def test_same_tray_one_hop(self, topo):
+        assert topo.hops(0, 3) == 1
+        assert topo.hops(4, 7) == 1
+
+    def test_cross_tray_two_hops(self, topo):
+        assert topo.hops(0, 4) == 2
+        assert topo.hops(3, 7) == 2
+
+    def test_hops_symmetric(self, topo):
+        for i in range(8):
+            for j in range(8):
+                assert topo.hops(i, j) == topo.hops(j, i)
+
+    def test_max_hops(self, topo):
+        assert topo.max_hops == 2
+
+    def test_out_of_range_socket(self, topo):
+        with pytest.raises(HardwareError):
+            topo.hops(0, 8)
+
+    def test_hop_matrix_matches_hops(self, topo):
+        matrix = topo.hop_matrix()
+        assert matrix.shape == (8, 8)
+        assert matrix[0, 4] == 2
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_sockets_at_distance(self, topo):
+        assert topo.sockets_at_distance(0, 0) == [0]
+        assert topo.sockets_at_distance(0, 1) == [1, 2, 3]
+        assert topo.sockets_at_distance(0, 2) == [4, 5, 6, 7]
+
+    def test_tray_of(self, topo):
+        assert topo.tray_of(0) == 0
+        assert topo.tray_of(5) == 1
+
+    def test_same_tray(self, topo):
+        assert topo.same_tray(1, 2)
+        assert not topo.same_tray(1, 6)
+
+
+class TestSubset:
+    def test_subset_keeps_tray_structure(self):
+        topo = glueless_two_tray(8).subset(4)
+        assert topo.n_sockets == 4
+        assert topo.trays == ((0, 1, 2, 3),)
+        assert topo.max_hops == 1
+
+    def test_subset_spanning_trays(self):
+        topo = glueless_two_tray(8).subset(6)
+        assert topo.trays == ((0, 1, 2, 3), (4, 5))
+        assert topo.hops(0, 5) == 2
+
+    def test_subset_to_one(self):
+        topo = glueless_two_tray(8).subset(1)
+        assert topo.n_sockets == 1
+        assert topo.max_hops == 0
+
+    def test_subset_too_large_rejected(self):
+        with pytest.raises(HardwareError):
+            glueless_two_tray(8).subset(9)
+
+    def test_subset_zero_rejected(self):
+        with pytest.raises(HardwareError):
+            glueless_two_tray(8).subset(0)

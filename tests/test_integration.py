@@ -1,0 +1,97 @@
+"""End-to-end integration tests tying optimizer, simulators and apps."""
+
+import pytest
+
+from repro.core import PerformanceModel, RLASOptimizer
+from repro.core.scaling import saturation_ingress
+from repro.hardware import server_a, server_b
+from repro.simulation import DiscreteEventSimulator, FlowSimulator
+from repro.metrics import communication_matrix, relative_error
+
+
+@pytest.fixture(scope="module")
+def wc_optimized(wc_app):
+    """RLAS-optimized WC on a 2-socket slice of Server A (fast)."""
+    topology, profiles = wc_app
+    machine = server_a(2)
+    model = PerformanceModel(profiles, machine)
+    rate = saturation_ingress(topology, model)
+    plan = RLASOptimizer(
+        topology, profiles, machine, rate, compress_ratio=5, max_iterations=24
+    ).optimize()
+    return topology, profiles, machine, rate, plan
+
+
+class TestModelVsMeasurement:
+    def test_relative_error_within_paper_range(self, wc_optimized):
+        """Table 4: the model predicts measured throughput within ~15%."""
+        topology, profiles, machine, rate, plan = wc_optimized
+        measured = FlowSimulator(profiles, machine).simulate(
+            plan.expanded_plan, rate
+        )
+        error = relative_error(measured.throughput, plan.realized_throughput)
+        assert error < 0.2
+
+    def test_des_throughput_consistent_with_flow(self, wc_optimized):
+        """The tuple-level simulator sustains a comparable rate."""
+        topology, profiles, machine, rate, plan = wc_optimized
+        flow = FlowSimulator(profiles, machine).simulate(plan.expanded_plan, rate)
+        ingress = flow.throughput / 10 * 0.9  # words -> sentences, backed off
+        des = DiscreteEventSimulator(profiles, machine, seed=1).run(
+            plan.expanded_plan, ingress, max_events=2000
+        )
+        assert des.throughput == pytest.approx(flow.throughput, rel=0.35)
+
+    def test_latency_reasonable_at_high_load(self, wc_optimized):
+        topology, profiles, machine, rate, plan = wc_optimized
+        des = DiscreteEventSimulator(profiles, machine, seed=2).run(
+            plan.expanded_plan, rate / 10, max_events=2000
+        )
+        assert 0 < des.latency.p99_ms() < 1000
+
+
+class TestCommunicationPatterns:
+    def test_wc_traffic_concentrates_on_server_a_style_plan(self, wc_optimized):
+        topology, profiles, machine, rate, plan = wc_optimized
+        model = PerformanceModel(profiles, machine)
+        matrix = communication_matrix(plan.expanded_plan, model, rate)
+        # WC's splitters live on few sockets: traffic leaves a hot source.
+        if matrix.total_fetch_cost() > 0:
+            assert matrix.concentration() > 1.0 / machine.n_sockets
+
+
+class TestCrossMachine:
+    def test_rlas_runs_on_server_b_slice(self, wc_app):
+        topology, profiles = wc_app
+        machine = server_b(2)
+        model = PerformanceModel(profiles, machine)
+        rate = saturation_ingress(topology, model)
+        plan = RLASOptimizer(
+            topology, profiles, machine, rate, compress_ratio=5, max_iterations=16
+        ).optimize()
+        assert plan.realized_throughput > 0
+        plan.expanded_plan.validate_complete(machine)
+
+    def test_more_sockets_more_throughput(self, wc_app):
+        topology, profiles = wc_app
+        results = []
+        for sockets in (1, 2):
+            machine = server_a(sockets)
+            model = PerformanceModel(profiles, machine)
+            rate = saturation_ingress(topology, model)
+            plan = RLASOptimizer(
+                topology, profiles, machine, rate, compress_ratio=5, max_iterations=16
+            ).optimize()
+            results.append(plan.realized_throughput)
+        assert results[1] > results[0]
+
+
+class TestFunctionalConsistency:
+    def test_optimized_replication_runs_functionally(self, wc_optimized):
+        """The optimized replication actually executes the real WC code."""
+        from repro.dsps import LocalEngine
+
+        topology, profiles, machine, rate, plan = wc_optimized
+        engine = LocalEngine(topology, replication=plan.replication)
+        run = engine.run(200)
+        assert run.sink_received() == 2000

@@ -1,0 +1,97 @@
+"""Unit tests for the metrics and reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import PerformanceModel, collocated_plan
+from repro.core.plan import ExecutionPlan
+from repro.dsps import ExecutionGraph
+from repro.errors import SimulationError
+from repro.metrics import (
+    communication_matrix,
+    format_series,
+    format_table,
+    relative_error,
+    speedup,
+)
+
+from tests.conftest import build_pipeline, pipeline_profiles
+
+
+@pytest.fixture()
+def setup(tiny_machine):
+    topology = build_pipeline()
+    profiles = pipeline_profiles(topology)
+    model = PerformanceModel(profiles, tiny_machine)
+    graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+    return model, graph
+
+
+class TestCommunicationMatrix:
+    def test_local_plan_is_silent(self, setup):
+        model, graph = setup
+        matrix = communication_matrix(collocated_plan(graph), model, 1e6)
+        assert matrix.total_fetch_cost() == 0.0
+        assert matrix.concentration() == 0.0
+
+    def test_cross_socket_fetch_recorded(self, setup):
+        model, graph = setup
+        plan = ExecutionPlan(graph=graph, placement={0: 0, 1: 1, 2: 1, 3: 1})
+        matrix = communication_matrix(plan, model, 1e6)
+        assert matrix.fetch_ns_per_s[0, 1] > 0
+        assert matrix.bytes_per_s[0, 1] > 0
+        assert matrix.hottest_source() == 0
+        assert matrix.concentration() == pytest.approx(1.0)
+
+    def test_spread_traffic_less_concentrated(self, setup):
+        model, graph = setup
+        chain = ExecutionPlan(graph=graph, placement={0: 0, 1: 1, 2: 2, 3: 3})
+        matrix = communication_matrix(chain, model, 1e6)
+        assert matrix.concentration() < 1.0
+
+    def test_incomplete_plan_rejected(self, setup):
+        from repro.core.plan import empty_plan
+
+        model, graph = setup
+        with pytest.raises(SimulationError):
+            communication_matrix(empty_plan(graph), model, 1e6)
+
+    def test_format_table_readable(self, setup):
+        model, graph = setup
+        plan = ExecutionPlan(graph=graph, placement={0: 0, 1: 1, 2: 1, 3: 1})
+        text = communication_matrix(plan, model, 1e6).format_table()
+        assert "Tf matrix" in text
+        assert "S0" in text
+
+    def test_reuses_supplied_result(self, setup):
+        model, graph = setup
+        plan = ExecutionPlan(graph=graph, placement={0: 0, 1: 1, 2: 1, 3: 1})
+        result = model.evaluate(plan, 1e6, collect_flows=True)
+        matrix = communication_matrix(plan, model, 1e6, result=result)
+        assert matrix.fetch_ns_per_s[0, 1] > 0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["app", "value"],
+            [["wc", 1234.5], ["fd", 0.25]],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "1,234.5" in text
+        assert "0.2500" in text
+
+    def test_format_series(self):
+        text = format_series("WC", [(1, 10.0), (2, 20.0)], unit="K events/s")
+        assert "WC (K events/s)" in text
+        assert "1=10.0" in text
+
+    def test_relative_error(self):
+        assert relative_error(100.0, 92.0) == pytest.approx(0.08)
+        assert relative_error(0.0, 1.0) == float("inf")
+
+    def test_speedup(self):
+        assert speedup(20.0, 2.0) == 10.0
+        assert speedup(1.0, 0.0) == float("inf")

@@ -1,0 +1,166 @@
+"""Unit tests for the discrete-event latency simulator."""
+
+import pytest
+
+from repro.core import SystemProfile, collocated_plan
+from repro.core.plan import ExecutionPlan
+from repro.dsps import ExecutionGraph
+from repro.errors import SimulationError
+from repro.simulation import DiscreteEventSimulator, LatencyStats
+
+from tests.conftest import build_pipeline, pipeline_profiles
+
+
+@pytest.fixture()
+def setup(tiny_machine):
+    topology = build_pipeline()
+    profiles = pipeline_profiles(topology)
+    return topology, profiles, tiny_machine
+
+
+def _plan(topology, replication=None):
+    graph = ExecutionGraph(
+        topology, replication or {n: 1 for n in topology.components}
+    )
+    return collocated_plan(graph)
+
+
+class TestLatencyStats:
+    def test_percentiles(self):
+        stats = LatencyStats(samples_ns=[float(i) for i in range(1, 101)])
+        assert stats.percentile(50) == 50.0
+        assert stats.percentile(99) == 99.0
+        assert stats.p99_ms() == pytest.approx(99.0 / 1e6)
+
+    def test_mean(self):
+        stats = LatencyStats(samples_ns=[1e6, 3e6])
+        assert stats.mean_ms() == pytest.approx(2.0)
+
+    def test_cdf_monotone(self):
+        stats = LatencyStats(samples_ns=[float(i) for i in range(1000)])
+        cdf = stats.cdf(points=50)
+        latencies = [x for x, _ in cdf]
+        fractions = [y for _, y in cdf]
+        assert latencies == sorted(latencies)
+        assert fractions[-1] == 1.0
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(SimulationError):
+            LatencyStats().percentile(50)
+
+
+class TestDesRuns:
+    def test_delivers_expected_tuple_count(self, setup):
+        topology, profiles, machine = setup
+        des = DiscreteEventSimulator(profiles, machine, seed=1)
+        result = des.run(_plan(topology), ingress_rate=1e5, max_events=2000)
+        assert result.events_generated == 2000
+        # fan selectivity 2 -> the sink sees ~2 tuples per event.
+        assert result.tuples_delivered == pytest.approx(4000, rel=0.05)
+
+    def test_latency_positive_and_bounded(self, setup):
+        topology, profiles, machine = setup
+        des = DiscreteEventSimulator(profiles, machine, seed=1)
+        result = des.run(_plan(topology), ingress_rate=1e5, max_events=2000)
+        assert result.latency.percentile(1) > 0
+        assert result.latency.p99_ms() < 1e3
+
+    def test_deterministic_by_seed(self, setup):
+        topology, profiles, machine = setup
+        a = DiscreteEventSimulator(profiles, machine, seed=7).run(
+            _plan(topology), 1e5, max_events=500
+        )
+        b = DiscreteEventSimulator(profiles, machine, seed=7).run(
+            _plan(topology), 1e5, max_events=500
+        )
+        assert a.latency.samples_ns == b.latency.samples_ns
+
+    def test_saturation_raises_latency(self, setup):
+        """Below capacity latency is batching-bounded; above it, queueing
+        dominates (the single-replica pipeline caps near ~2.2M events/s)."""
+        topology, profiles, machine = setup
+        plan = _plan(topology)
+        des = DiscreteEventSimulator(profiles, machine, seed=2)
+        light = des.run(plan, ingress_rate=2e5, max_events=3000)
+        heavy = des.run(plan, ingress_rate=8e6, max_events=3000)
+        assert heavy.latency.percentile(95) > light.latency.percentile(95)
+
+    def test_flush_timeout_bounds_low_rate_latency(self, setup):
+        topology, profiles, machine = setup
+        plan = _plan(topology)
+        slow = DiscreteEventSimulator(
+            profiles, machine, flush_timeout_ns=50e6, seed=2
+        ).run(plan, ingress_rate=2e4, max_events=2000)
+        fast = DiscreteEventSimulator(
+            profiles, machine, flush_timeout_ns=0.2e6, seed=2
+        ).run(plan, ingress_rate=2e4, max_events=2000)
+        assert fast.latency.percentile(95) < slow.latency.percentile(95)
+
+    def test_remote_placement_higher_latency(self, setup):
+        topology, profiles, machine = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        local = collocated_plan(graph)
+        remote = ExecutionPlan(graph=graph, placement={0: 0, 1: 2, 2: 0, 3: 2})
+        des = DiscreteEventSimulator(profiles, machine, seed=3)
+        r_local = des.run(local, 1e5, max_events=2000)
+        r_remote = des.run(remote, 1e5, max_events=2000)
+        assert r_remote.latency.mean_ms() > r_local.latency.mean_ms()
+
+    def test_bigger_buffers_higher_saturated_latency(self, setup):
+        """Table 5's mechanism: saturated latency scales with buffering."""
+        topology, profiles, machine = setup
+        plan = _plan(topology)
+        small = DiscreteEventSimulator(
+            profiles, machine, queue_capacity=256, seed=4
+        ).run(plan, 1e7, max_events=4000)
+        large = DiscreteEventSimulator(
+            profiles, machine, queue_capacity=16384, seed=4
+        ).run(plan, 1e7, max_events=4000)
+        assert large.latency.p99_ms() > small.latency.p99_ms()
+
+    def test_replicated_plan_runs(self, setup):
+        topology, profiles, machine = setup
+        plan = _plan(
+            topology, {"spout": 1, "stage": 2, "fan": 2, "sink": 2}
+        )
+        des = DiscreteEventSimulator(profiles, machine, seed=5)
+        result = des.run(plan, 1e5, max_events=1000)
+        assert result.tuples_delivered > 0
+
+    def test_throughput_reported(self, setup):
+        topology, profiles, machine = setup
+        des = DiscreteEventSimulator(profiles, machine, seed=6)
+        result = des.run(_plan(topology), 1e5, max_events=1000)
+        assert result.throughput > 0
+
+
+class TestValidation:
+    def test_compressed_plan_rejected(self, setup):
+        topology, profiles, machine = setup
+        graph = ExecutionGraph(
+            topology, {"spout": 1, "stage": 1, "fan": 4, "sink": 1}, group_size=2
+        )
+        des = DiscreteEventSimulator(profiles, machine)
+        with pytest.raises(SimulationError, match="replica-granularity"):
+            des.run(collocated_plan(graph), 1e5)
+
+    def test_incomplete_plan_rejected(self, setup):
+        topology, profiles, machine = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        from repro.core.plan import empty_plan
+
+        with pytest.raises(SimulationError):
+            DiscreteEventSimulator(profiles, machine).run(empty_plan(graph), 1e5)
+
+    def test_tiny_queue_rejected(self, setup):
+        topology, profiles, machine = setup
+        with pytest.raises(SimulationError):
+            DiscreteEventSimulator(profiles, machine, queue_capacity=4)
+
+    def test_bad_parameters_rejected(self, setup):
+        topology, profiles, machine = setup
+        des = DiscreteEventSimulator(profiles, machine)
+        with pytest.raises(SimulationError):
+            des.run(_plan(topology), 0.0)
+        with pytest.raises(SimulationError):
+            des.run(_plan(topology), 1e5, max_events=0)

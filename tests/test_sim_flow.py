@@ -1,0 +1,132 @@
+"""Unit tests for the steady-state flow simulator."""
+
+import pytest
+
+from repro.core import PerformanceModel, collocated_plan
+from repro.core.plan import ExecutionPlan
+from repro.dsps import ExecutionGraph
+from repro.errors import SimulationError
+from repro.simulation import FlowSimulator, NO_PREFETCH, measure_throughput
+
+from tests.conftest import build_pipeline, pipeline_profiles
+
+
+@pytest.fixture()
+def setup(tiny_machine):
+    topology = build_pipeline()
+    profiles = pipeline_profiles(topology)
+    return topology, profiles, tiny_machine
+
+
+class TestFlowBasics:
+    def test_undersupplied_matches_model(self, setup):
+        topology, profiles, machine = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        plan = collocated_plan(graph)
+        model_r = PerformanceModel(profiles, machine).evaluate(plan, 1000.0).throughput
+        flow_r = measure_throughput(plan, profiles, machine, 1000.0)
+        assert flow_r == pytest.approx(model_r, rel=1e-6)
+
+    def test_no_prefetch_matches_model_remote(self, setup):
+        """With the prefetch correction off, measured == estimated."""
+        topology, profiles, machine = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        plan = ExecutionPlan(graph=graph, placement={0: 0, 1: 1, 2: 2, 3: 3})
+        model_r = PerformanceModel(profiles, machine).evaluate(plan, 1e12).throughput
+        flow_r = measure_throughput(
+            plan, profiles, machine, 1e12, prefetch=NO_PREFETCH
+        )
+        assert flow_r == pytest.approx(model_r, rel=1e-6)
+
+    def test_prefetch_makes_measured_faster_than_estimate(self, setup):
+        topology, profiles, machine = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        plan = ExecutionPlan(graph=graph, placement={0: 0, 1: 1, 2: 2, 3: 3})
+        model_r = PerformanceModel(profiles, machine).evaluate(plan, 1e12).throughput
+        flow_r = measure_throughput(plan, profiles, machine, 1e12)
+        assert flow_r > model_r
+
+    def test_backpressure_chains_capacities(self, setup):
+        topology, profiles, machine = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        plan = collocated_plan(graph)
+        result = FlowSimulator(profiles, machine).simulate(plan, 1e12)
+        fan = graph.tasks_of("fan")[0]
+        sink = graph.tasks_of("sink")[0]
+        assert result.rates[sink.task_id].input_rate == pytest.approx(
+            result.rates[fan.task_id].processed_rate * 2.0
+        )
+
+    def test_converges(self, setup):
+        topology, profiles, machine = setup
+        graph = ExecutionGraph(topology, {n: 2 for n in topology.components})
+        plan = ExecutionPlan(
+            graph=graph, placement={t.task_id: t.task_id % 4 for t in graph.tasks}
+        )
+        result = FlowSimulator(profiles, machine).simulate(plan, 1e7)
+        assert result.converged
+        assert result.iterations < 60
+
+
+class TestContention:
+    def test_core_oversubscription_slows_down(self, setup):
+        """More replicas than cores on a socket time-share it (OS/FF/RR)."""
+        topology, profiles, machine = setup
+        graph = ExecutionGraph(topology, {n: 2 for n in topology.components})
+        packed = collocated_plan(graph)  # 8 replicas on a 4-core socket
+        spread_graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        clean = collocated_plan(spread_graph)  # 4 replicas on 4 cores
+        r_packed = measure_throughput(packed, profiles, machine, 1e12)
+        r_clean = measure_throughput(clean, profiles, machine, 1e12)
+        # Doubling replicas without cores cannot double throughput.
+        assert r_packed < 2 * r_clean * 0.9
+
+    def test_oversubscribed_utilization_reported(self, setup):
+        topology, profiles, machine = setup
+        graph = ExecutionGraph(topology, {n: 2 for n in topology.components})
+        plan = collocated_plan(graph)
+        result = FlowSimulator(profiles, machine).simulate(plan, 1e12)
+        assert result.cpu_utilization[0] > 0.9
+
+    def test_interconnect_traffic_recorded(self, setup):
+        topology, profiles, machine = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        plan = ExecutionPlan(graph=graph, placement={0: 0, 1: 1, 2: 1, 3: 1})
+        result = FlowSimulator(profiles, machine).simulate(plan, 1e6)
+        assert result.interconnect_bytes[0, 1] > 0
+
+    def test_noise_is_deterministic_by_seed(self, setup):
+        topology, profiles, machine = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        plan = collocated_plan(graph)
+        a = measure_throughput(plan, profiles, machine, 1e12, noise_cv=0.05, seed=3)
+        b = measure_throughput(plan, profiles, machine, 1e12, noise_cv=0.05, seed=3)
+        c = measure_throughput(plan, profiles, machine, 1e12, noise_cv=0.05, seed=4)
+        assert a == b
+        assert a != c
+
+
+class TestValidation:
+    def test_incomplete_plan_rejected(self, setup):
+        topology, profiles, machine = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        from repro.core.plan import empty_plan
+
+        with pytest.raises(SimulationError):
+            FlowSimulator(profiles, machine).simulate(empty_plan(graph), 1e6)
+
+    def test_bad_rate_rejected(self, setup):
+        topology, profiles, machine = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        with pytest.raises(SimulationError):
+            FlowSimulator(profiles, machine).simulate(collocated_plan(graph), 0.0)
+
+    def test_component_throughput_helper(self, setup):
+        topology, profiles, machine = setup
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        result = FlowSimulator(profiles, machine).simulate(
+            collocated_plan(graph), 1000.0
+        )
+        assert result.component_throughput("sink") == pytest.approx(
+            result.throughput
+        )

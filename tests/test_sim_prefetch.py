@@ -1,0 +1,42 @@
+"""Unit tests for the prefetch-overlap model."""
+
+import pytest
+
+from repro.simulation import DEFAULT_PREFETCH, NO_PREFETCH, PrefetchModel
+
+
+class TestPrefetch:
+    def test_no_prefetch_passes_through(self):
+        assert NO_PREFETCH.effective_fetch_ns(1000.0, 5000.0) == 1000.0
+
+    def test_local_fetch_stays_zero(self):
+        assert DEFAULT_PREFETCH.effective_fetch_ns(0.0, 5000.0) == 0.0
+
+    def test_measured_never_exceeds_estimate(self):
+        for fetch in (10.0, 300.0, 1000.0, 5000.0):
+            for te in (0.0, 100.0, 2000.0):
+                assert DEFAULT_PREFETCH.effective_fetch_ns(fetch, te) <= fetch
+
+    def test_compute_heavy_operator_hides_short_fetch(self):
+        """Table 3: WC's Counter shows ~zero in-tray penalty."""
+        model = PrefetchModel(overlap_fraction=0.5)
+        # Counter-like: Te 549 ns, one cache line at 307.7 ns.
+        assert model.effective_fetch_ns(307.7, 549.0) == pytest.approx(33.2, abs=1.0)
+
+    def test_compute_light_operator_pays_fully(self):
+        """Figure 8: WC's Parser has Te << Tf and pays for RMA."""
+        model = PrefetchModel(overlap_fraction=0.5)
+        exposed = model.effective_fetch_ns(1644.0, 140.0)
+        assert exposed / 1644.0 > 0.95
+
+    def test_cross_tray_remains_visible(self):
+        """Counter's max-hop penalty is only partially hidden."""
+        model = PrefetchModel(overlap_fraction=0.5)
+        exposed = model.effective_fetch_ns(548.0, 549.0)
+        assert 200 < exposed < 400
+
+    def test_monotone_in_distance(self):
+        model = DEFAULT_PREFETCH
+        te = 1500.0
+        costs = [model.effective_fetch_ns(f, te) for f in (300.0, 900.0, 1650.0)]
+        assert costs == sorted(costs)

@@ -1,0 +1,108 @@
+"""Unit tests for the operator profiler and round-trip measurements."""
+
+import pytest
+
+from repro.core import BRISKSTREAM, PerformanceModel
+from repro.errors import ProfilingError
+from repro.simulation import OperatorProfiler, RoundTripMeter, profile_operator_cdf
+
+from tests.conftest import build_pipeline, pipeline_profiles
+
+
+@pytest.fixture()
+def setup():
+    topology = build_pipeline()
+    profiles = pipeline_profiles(topology)
+    return topology, profiles
+
+
+class TestProfiler:
+    def test_median_tracks_configured_te(self, setup):
+        _, profiles = setup
+        profiler = OperatorProfiler(profiles, seed=1)
+        samples = profiler.profile("fan", samples=20000)
+        assert samples.percentile(50) == pytest.approx(800, rel=0.05)
+
+    def test_cv_tracks_configuration(self, setup):
+        _, profiles = setup
+        profiler = OperatorProfiler(profiles, seed=1)
+        samples = profiler.profile("fan", samples=20000)
+        assert samples.cv == pytest.approx(profiles["fan"].te_cv, rel=0.3)
+
+    def test_cdf_monotone_figure3_shape(self, setup):
+        _, profiles = setup
+        profiler = OperatorProfiler(profiles, seed=2)
+        cdf = profiler.profile("stage").cdf()
+        cycles = [x for x, _ in cdf]
+        assert cycles == sorted(cycles)
+        assert cdf[-1][1] == 1.0
+
+    def test_profile_all_covers_components(self, setup):
+        topology, profiles = setup
+        results = OperatorProfiler(profiles, seed=1).profile_all(samples=500)
+        assert set(results) == set(topology.components)
+
+    def test_instantiate_percentile(self, setup):
+        """Lower percentile -> optimistic Te -> higher model throughput."""
+        topology, profiles = setup
+        profiler = OperatorProfiler(profiles, seed=3)
+        optimistic = profiler.instantiate(percentile=10.0)
+        pessimistic = profiler.instantiate(percentile=90.0)
+        for name in topology.components:
+            assert optimistic[name].te_cycles < pessimistic[name].te_cycles
+
+    def test_too_few_samples_rejected(self, setup):
+        _, profiles = setup
+        with pytest.raises(ProfilingError):
+            OperatorProfiler(profiles).profile("fan", samples=1)
+
+    def test_standalone_cdf_helper(self, setup):
+        _, profiles = setup
+        cdf = profile_operator_cdf(profiles["fan"], samples=200, seed=1)
+        assert len(cdf) == 200
+
+
+class TestRoundTripMeter:
+    @pytest.fixture()
+    def meter(self, setup, tiny_machine):
+        topology, profiles = setup
+        return RoundTripMeter(topology, profiles, tiny_machine)
+
+    def test_local_breakdown_has_no_rma(self, meter):
+        breakdown = meter.breakdown("fan", remote=False)
+        assert breakdown.rma_ns == 0.0
+        assert breakdown.execute_ns > 0
+        assert breakdown.others_ns > 0
+
+    def test_remote_breakdown_charges_rma(self, meter):
+        breakdown = meter.breakdown("fan", remote=True)
+        assert breakdown.rma_ns > 0
+        assert breakdown.total_ns > meter.breakdown("fan").total_ns
+
+    def test_estimate_dominates_measurement(self, meter, tiny_machine):
+        for to_socket in range(1, tiny_machine.n_sockets):
+            measured, estimated = meter.t_under_distance("fan", 0, to_socket)
+            assert measured <= estimated
+
+    def test_t_grows_with_distance(self, meter):
+        local_m, local_e = meter.t_under_distance("fan", 0, 0)
+        near_m, near_e = meter.t_under_distance("fan", 0, 1)
+        far_m, far_e = meter.t_under_distance("fan", 0, 2)
+        assert local_m <= near_m <= far_m
+        assert local_e <= near_e <= far_e
+        assert local_m == local_e  # collocated: no RMA in either
+
+    def test_spout_has_no_producer(self, meter):
+        with pytest.raises(ProfilingError):
+            meter.t_under_distance("spout", 0, 1)
+
+    def test_storm_breakdown_bigger_everywhere(self, setup, tiny_machine):
+        from repro.baselines import STORM
+
+        topology, profiles = setup
+        brisk = RoundTripMeter(topology, profiles, tiny_machine)
+        storm = RoundTripMeter(topology, profiles, tiny_machine, system=STORM)
+        b = brisk.breakdown("fan")
+        s = storm.breakdown("fan")
+        assert s.execute_ns > b.execute_ns
+        assert s.others_ns > b.others_ns

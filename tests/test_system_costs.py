@@ -1,0 +1,75 @@
+"""Unit tests for the system cost structure helpers (execute/interference)."""
+
+import pytest
+
+from repro.core import BRISKSTREAM, SystemProfile
+from repro.baselines import FLINK, STORM
+
+
+class TestExecuteModel:
+    def test_brisk_execute_is_identity(self):
+        assert BRISKSTREAM.execute_ns(1518.4) == pytest.approx(1518.4)
+
+    def test_storm_affine_model(self):
+        """Figure 8's 5-24% band falls out of te*2 + 2500."""
+        assert STORM.execute_ns(1518.4) == pytest.approx(2 * 1518.4 + 2500)
+        # Small operator: Brisk/Storm execute ratio ~5%.
+        parser_ratio = 136.6 / STORM.execute_ns(136.6)
+        assert 0.04 < parser_ratio < 0.06
+        # Large operator: ~27%.
+        splitter_ratio = 1518.4 / STORM.execute_ns(1518.4)
+        assert 0.2 < splitter_ratio < 0.35
+
+    def test_flink_between_brisk_and_storm(self):
+        te = 1000.0
+        assert (
+            BRISKSTREAM.execute_ns(te)
+            < FLINK.execute_ns(te)
+            < STORM.execute_ns(te)
+        )
+
+
+class TestInterference:
+    def test_single_socket_is_free(self):
+        assert STORM.interference_factor(1) == 1.0
+        assert STORM.interference_factor(0) == 1.0
+
+    def test_grows_with_sockets(self):
+        factors = [STORM.interference_factor(s) for s in (1, 2, 4, 8)]
+        assert factors == sorted(factors)
+        assert factors[-1] > 2.0
+
+    def test_brisk_is_immune(self):
+        """Thread affinity + isolcpus: no unmanaged interference."""
+        assert BRISKSTREAM.interference_factor(8) == 1.0
+
+    def test_custom_factor(self):
+        system = SystemProfile(name="x", interference_per_socket=0.5)
+        assert system.interference_factor(3) == pytest.approx(2.0)
+
+
+class TestFlowInterference:
+    def test_spread_plan_pays_interference(self, tiny_machine):
+        from repro.core.plan import ExecutionPlan, collocated_plan
+        from repro.dsps import ExecutionGraph
+        from repro.simulation import measure_throughput
+        from tests.conftest import build_pipeline, pipeline_profiles
+
+        topology = build_pipeline()
+        profiles = pipeline_profiles(topology)
+        system = SystemProfile(
+            name="wobbly", others_ns=500.0, interference_per_socket=1.0
+        )
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        local = collocated_plan(graph)
+        spread = ExecutionPlan(
+            graph=graph, placement={t.task_id: t.task_id for t in graph.tasks}
+        )
+        r_local = measure_throughput(
+            local, profiles, tiny_machine, 1e12, system=system
+        )
+        r_spread = measure_throughput(
+            spread, profiles, tiny_machine, 1e12, system=system
+        )
+        # Spreading over 4 sockets quadruples the overhead (beyond RMA).
+        assert r_spread < r_local * 0.7
