@@ -17,11 +17,15 @@ from __future__ import annotations
 
 import os
 import pickle
+import subprocess
+from datetime import datetime, timezone
 from functools import lru_cache
 from math import ceil
 from pathlib import Path
 
 from repro.apps import load_application
+from repro.metrics import build_report, write_report
+from repro.metrics.registry import MetricsRegistry
 from repro.baselines import FLINK, STORM, SYSTEMS, place_with_strategy
 from repro.core import (
     BRISKSTREAM,
@@ -64,11 +68,73 @@ QUICK = os.environ.get("REPRO_BENCH_SCALE", "full") == "quick"
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
-def write_result(artefact: str, text: str) -> None:
-    """Print an artefact's table and persist it under benchmarks/results/."""
+def write_result(
+    artefact: str,
+    text: str,
+    data: dict | None = None,
+    registry: MetricsRegistry | None = None,
+    server: str = "A",
+    sockets: int = 8,
+) -> None:
+    """Print an artefact's table and persist it under benchmarks/results/.
+
+    When ``data`` (structured rows/series) or ``registry`` is supplied, a
+    machine-readable JSON run report is written next to the text table.
+    """
     print(f"\n=== {artefact} ===\n{text}")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{artefact}.txt").write_text(text + "\n")
+    if data is not None or registry is not None:
+        write_json_result(
+            artefact, data=data, registry=registry, server=server, sockets=sockets
+        )
+
+
+@lru_cache(maxsize=1)
+def _git_sha() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=Path(__file__).resolve().parent.parent,
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def bench_meta(server: str = "A", sockets: int = 8) -> dict:
+    """Provenance block stamped into every benchmark JSON result."""
+    return {
+        "git_sha": _git_sha(),
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "machine_spec": machine(server, sockets).name,
+        "scale": "quick" if QUICK else "full",
+    }
+
+
+def write_json_result(
+    artefact: str,
+    data: dict | None = None,
+    registry: MetricsRegistry | None = None,
+    server: str = "A",
+    sockets: int = 8,
+) -> Path:
+    """Persist one artefact's machine-readable result (docs/metrics.md)."""
+    report = build_report(
+        kind="benchmark",
+        name=artefact,
+        registry=registry,
+        meta={"bench_meta": bench_meta(server, sockets)},
+        data=data,
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return write_report(RESULTS_DIR / f"{artefact}.json", report)
 
 
 @lru_cache(maxsize=None)

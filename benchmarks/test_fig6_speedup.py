@@ -62,6 +62,17 @@ def test_fig6_speedup(benchmark):
             rows,
             title="Figure 6 — throughput speedup over Storm/Flink (Server A)",
         ),
+        data={
+            app: {
+                "brisk_events_s": d["brisk"],
+                "storm_events_s": d["storm"],
+                "flink_events_s": d["flink"],
+                "speedup_vs_storm": d["vs_storm"],
+                "speedup_vs_flink": d["vs_flink"],
+                "paper_speedup": PAPER_SPEEDUP[app],
+            }
+            for app, d in data.items()
+        },
     )
     for app, d in data.items():
         # BriskStream wins everywhere, by a clear margin.

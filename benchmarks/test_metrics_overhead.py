@@ -1,0 +1,116 @@
+"""Instrumentation overhead: the NullRegistry path must be ~free.
+
+The engine's hot loop is shared between the seed (uninstrumented) engine
+and the observability layer: all instrumentation sits behind instrument
+handles that are ``None`` unless a live :class:`MetricsRegistry` is
+injected, so a default run executes the seed loop plus one local boolean
+test per tuple.  This micro-benchmark demonstrates that empirically:
+
+* two interleaved sets of NullRegistry runs (the "seed-equivalent" call
+  shape ``LocalEngine(topology)`` and the explicit ``NullRegistry()``
+  injection) must agree within 5% — the acceptance bound for the
+  observability PR;
+* the fully instrumented run must produce *identical* functional results
+  (tuple counts), whatever it costs in wall-clock;
+* all three per-event costs are reported in the JSON artefact.
+
+Timings use best-of-N to shed scheduler noise; the whole experiment
+retries a few times before failing so one preempted round cannot flake
+the suite.
+"""
+
+from time import perf_counter
+
+from repro.dsps.engine import LocalEngine
+from repro.metrics import MetricsRegistry, NullRegistry, format_table
+
+from support import QUICK, bundle, write_result
+
+EVENTS = 600 if QUICK else 2000
+ROUNDS = 5
+MAX_ATTEMPTS = 4
+TOLERANCE = 0.05
+
+
+def _timed_run(topology, registry):
+    engine = (
+        LocalEngine(topology)
+        if registry is None
+        else LocalEngine(topology, registry=registry)
+    )
+    started = perf_counter()
+    result = engine.run(EVENTS)
+    return perf_counter() - started, result
+
+
+def run_experiment():
+    topology, _ = bundle("wc")
+    _timed_run(topology, None)  # warm caches / JIT-less but import costs
+    seed_times, null_times, inst_times = [], [], []
+    result_seed = result_null = result_inst = None
+    for _ in range(ROUNDS):
+        # Interleave the configurations so drift hits all of them equally.
+        elapsed, result_seed = _timed_run(topology, None)
+        seed_times.append(elapsed)
+        elapsed, result_null = _timed_run(topology, NullRegistry())
+        null_times.append(elapsed)
+        elapsed, result_inst = _timed_run(topology, MetricsRegistry())
+        inst_times.append(elapsed)
+    return {
+        "seed_s": min(seed_times),
+        "null_s": min(null_times),
+        "instrumented_s": min(inst_times),
+        "results": (result_seed, result_null, result_inst),
+    }
+
+
+def test_null_registry_overhead(benchmark):
+    sample = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for _ in range(MAX_ATTEMPTS - 1):
+        ratio = sample["null_s"] / sample["seed_s"]
+        if abs(ratio - 1.0) <= TOLERANCE:
+            break
+        sample = run_experiment()  # noisy round: measure again
+
+    seed_s, null_s, inst_s = (
+        sample["seed_s"],
+        sample["null_s"],
+        sample["instrumented_s"],
+    )
+    result_seed, result_null, result_inst = sample["results"]
+    tuples = sum(s.tuples_in + s.tuples_out for s in result_seed.task_stats.values())
+    rows = [
+        ["seed-equivalent (no registry)", seed_s * 1e9 / tuples, 1.0],
+        ["NullRegistry injected", null_s * 1e9 / tuples, null_s / seed_s],
+        ["MetricsRegistry (full)", inst_s * 1e9 / tuples, inst_s / seed_s],
+    ]
+    write_result(
+        "metrics_overhead",
+        format_table(
+            ["configuration", "ns/tuple", "vs seed"],
+            [[c, round(ns, 1), round(ratio, 3)] for c, ns, ratio in rows],
+            title=f"Engine instrumentation overhead — WC, {EVENTS} events",
+        ),
+        data={
+            "events": EVENTS,
+            "tuples": tuples,
+            "seed_ns_per_tuple": seed_s * 1e9 / tuples,
+            "null_ns_per_tuple": null_s * 1e9 / tuples,
+            "instrumented_ns_per_tuple": inst_s * 1e9 / tuples,
+            "null_vs_seed": null_s / seed_s,
+            "instrumented_vs_seed": inst_s / seed_s,
+        },
+    )
+
+    # Identical functional behaviour across all three configurations.
+    for other in (result_null, result_inst):
+        for task_id, stats in result_seed.task_stats.items():
+            assert other.task_stats[task_id].tuples_in == stats.tuples_in
+            assert other.task_stats[task_id].tuples_out == stats.tuples_out
+
+    # The acceptance bound: a NullRegistry run costs the seed engine +/- 5%.
+    assert null_s <= seed_s * (1 + TOLERANCE), (
+        f"NullRegistry overhead {null_s / seed_s:.3f}x exceeds 5%"
+    )
+    # Sanity ceiling on the instrumented path (it times every tuple).
+    assert inst_s < seed_s * 5, f"instrumented run {inst_s / seed_s:.1f}x slower"

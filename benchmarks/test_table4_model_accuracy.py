@@ -49,6 +49,16 @@ def test_table4_model_accuracy(benchmark):
             rows,
             title="Table 4 — model accuracy under the optimal plan (Server A)",
         ),
+        data={
+            app: {
+                "measured_events_s": measured,
+                "estimated_events_s": estimated,
+                "relative_error": error,
+                "paper_relative_error": PAPER_ERROR[app],
+                "paper_measured_k_events_s": PAPER_THROUGHPUT_K[app],
+            }
+            for app, (measured, estimated, error) in data.items()
+        },
     )
     for app, (measured, estimated, error) in data.items():
         # The model approximates the measurement well (paper: <= 0.14).

@@ -1,8 +1,9 @@
-"""Command-line interface: optimize, simulate and inspect from a shell.
+"""Command-line interface: run, optimize, simulate and inspect from a shell.
 
 Examples::
 
     python -m repro machines
+    python -m repro run wc --events 5000 --emit-metrics wc_run.json
     python -m repro optimize --app wc --server A --sockets 8
     python -m repro simulate --app lr --server B --latency
     python -m repro profile --app sd
@@ -16,8 +17,9 @@ import sys
 from repro.apps import APP_NAMES, load_application
 from repro.core import PerformanceModel, RLASOptimizer, TfMode
 from repro.core.scaling import saturation_ingress
+from repro.dsps.engine import LocalEngine
 from repro.hardware import server_a, server_b
-from repro.metrics import format_table
+from repro.metrics import MetricsRegistry, build_report, format_table, write_report
 from repro.simulation import DiscreteEventSimulator, FlowSimulator
 
 _SERVERS = {"A": server_a, "B": server_b}
@@ -27,7 +29,25 @@ def _machine(args: argparse.Namespace):
     return _SERVERS[args.server](args.sockets)
 
 
-def _optimize(args: argparse.Namespace):
+def _registry(args: argparse.Namespace) -> MetricsRegistry | None:
+    """A live registry when ``--emit-metrics`` was requested, else None."""
+    return MetricsRegistry() if getattr(args, "emit_metrics", None) else None
+
+
+def _emit(
+    args: argparse.Namespace,
+    kind: str,
+    registry: MetricsRegistry | None,
+    meta: dict,
+) -> None:
+    if registry is None or not args.emit_metrics:
+        return
+    report = build_report(kind=kind, name=args.app, registry=registry, meta=meta)
+    path = write_report(args.emit_metrics, report)
+    print(f"metrics report written to {path}")
+
+
+def _optimize(args: argparse.Namespace, registry: MetricsRegistry | None = None):
     topology, profiles = load_application(args.app)
     machine = _machine(args)
     model = PerformanceModel(profiles, machine)
@@ -39,6 +59,7 @@ def _optimize(args: argparse.Namespace):
         rate,
         tf_mode=TfMode(args.tf_mode),
         compress_ratio=args.compress_ratio,
+        registry=registry,
     ).optimize()
     print(plan.describe())
     return plan, rate, profiles, machine
@@ -67,17 +88,65 @@ def cmd_machines(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_run(args: argparse.Namespace) -> int:
+    """Execute an application on the functional engine, fully instrumented."""
+    topology, _profiles = load_application(args.app)
+    registry = MetricsRegistry()
+    engine = LocalEngine(topology, batch_size=args.batch_size, registry=registry)
+    result = engine.run(args.events)
+    rows = []
+    for name in topology.topological_order():
+        rows.append(
+            [
+                name,
+                result.component_in(name),
+                result.component_out(name),
+                round(result.selectivity(name), 3),
+                round(result.mean_tuple_bytes(name), 1),
+            ]
+        )
+    print(
+        format_table(
+            ["component", "tuples in", "tuples out", "selectivity", "mean bytes"],
+            rows,
+            title=f"Engine run — {args.app.upper()} "
+            f"({result.events_ingested} events ingested)",
+        )
+    )
+    print(f"sink received: {result.sink_received()} tuples")
+    _emit(
+        args,
+        "engine-run",
+        registry,
+        meta={
+            "app": args.app,
+            "events": args.events,
+            "batch_size": args.batch_size,
+            "topology": topology.name,
+        },
+    )
+    return 0
+
+
 def cmd_optimize(args: argparse.Namespace) -> int:
-    _optimize(args)
+    registry = _registry(args)
+    _optimize(args, registry)
+    _emit(
+        args,
+        "optimize",
+        registry,
+        meta={"app": args.app, "server": args.server, "sockets": args.sockets},
+    )
     return 0
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    plan, rate, profiles, machine = _optimize(args)
+    registry = _registry(args)
+    plan, rate, profiles, machine = _optimize(args, registry)
     flow = FlowSimulator(profiles, machine).simulate(plan.expanded_plan, rate)
     print(f"\nmeasured throughput: {flow.throughput:,.0f} events/s")
     if args.latency:
-        des = DiscreteEventSimulator(profiles, machine, seed=1)
+        des = DiscreteEventSimulator(profiles, machine, seed=1, registry=registry)
         events_out = flow.throughput / max(rate, 1.0)
         result = des.run(
             plan.expanded_plan, flow.throughput / max(events_out, 1e-9), max_events=4000
@@ -86,6 +155,17 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             f"latency: p50={result.latency.percentile(50) / 1e6:.2f} ms  "
             f"p99={result.latency.p99_ms():.2f} ms"
         )
+    _emit(
+        args,
+        "simulate",
+        registry,
+        meta={
+            "app": args.app,
+            "server": args.server,
+            "sockets": args.sockets,
+            "latency": bool(args.latency),
+        },
+    )
     return 0
 
 
@@ -123,6 +203,20 @@ def build_parser() -> argparse.ArgumentParser:
         handler=cmd_machines
     )
 
+    run = sub.add_parser(
+        "run", help="execute an app on the functional engine with metrics"
+    )
+    run.add_argument("app", choices=APP_NAMES, help="application to run")
+    run.add_argument("--events", type=int, default=2000, help="events per spout")
+    run.add_argument("--batch-size", type=int, default=64)
+    run.add_argument(
+        "--emit-metrics",
+        metavar="PATH",
+        default=None,
+        help="write a JSON run report (see docs/metrics.md)",
+    )
+    run.set_defaults(handler=cmd_run)
+
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--app", choices=APP_NAMES, default="wc")
         p.add_argument("--server", choices=("A", "B"), default="A")
@@ -135,6 +229,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="relative (RLAS) / worst (fix L) / zero (fix U)",
         )
         p.add_argument("--compress-ratio", type=int, default=5)
+        p.add_argument(
+            "--emit-metrics",
+            metavar="PATH",
+            default=None,
+            help="write a JSON run report (see docs/metrics.md)",
+        )
 
     opt = sub.add_parser("optimize", help="run RLAS and print the plan")
     common(opt)

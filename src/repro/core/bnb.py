@@ -55,7 +55,25 @@ class SearchStats:
     solutions_found: int = 0
     best_fit_commits: int = 0
     runtime_s: float = 0.0
+    time_to_best_s: float = 0.0
     optimal: bool = True
+
+    def publish(self, registry, prefix: str = "rlas.bnb") -> None:
+        """Accumulate this search's counts into a metrics registry.
+
+        Counters add up across searches (one scaling run performs many);
+        the time gauges reflect the most recent search.
+        """
+        registry.counter(f"{prefix}.searches").inc()
+        registry.counter(f"{prefix}.nodes_expanded").inc(self.nodes_expanded)
+        registry.counter(f"{prefix}.nodes_pruned").inc(self.nodes_pruned)
+        registry.counter(f"{prefix}.nodes_deduplicated").inc(self.nodes_deduplicated)
+        registry.counter(f"{prefix}.children_generated").inc(self.children_generated)
+        registry.counter(f"{prefix}.plans_evaluated").inc(self.evaluations)
+        registry.counter(f"{prefix}.solutions_found").inc(self.solutions_found)
+        registry.gauge(f"{prefix}.runtime_s").set(self.runtime_s)
+        registry.gauge(f"{prefix}.time_to_best_s").set(self.time_to_best_s)
+        registry.histogram(f"{prefix}.search_runtime_s").observe(self.runtime_s)
 
 
 @dataclass
@@ -179,6 +197,7 @@ class PlacementOptimizer:
                 best_value = child.bound
                 best_result = child.result
                 stats.solutions_found += 1
+                stats.time_to_best_s = time.perf_counter() - start
 
         root = empty_plan(graph)
         stack: list[_Node] = [_Node(bound=float("inf"), rank=0, plan=root)]
@@ -213,6 +232,7 @@ class PlacementOptimizer:
                         best_value = child.bound
                         best_result = child.result
                         stats.solutions_found += 1
+                        stats.time_to_best_s = time.perf_counter() - start
                     continue
                 live.append(_Node(bound=child.bound, rank=rank, plan=child.plan))
                 stats.children_generated += 1

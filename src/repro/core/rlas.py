@@ -29,6 +29,7 @@ from repro.core.refinement import refine_plan
 from repro.core.scaling import ScalingIteration, ScalingOptimizer
 from repro.dsps.topology import Topology
 from repro.hardware.machine import MachineSpec
+from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry
 
 #: The paper's default compression ratio (Table 7 shows r=5 is the sweet spot).
 DEFAULT_COMPRESS_RATIO = 5
@@ -96,6 +97,7 @@ class RLASOptimizer:
         max_iterations: int = 64,
         max_nodes: int | None = None,
         final_refine_passes: int = 3,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.topology = topology
         self.profiles = profiles
@@ -108,6 +110,7 @@ class RLASOptimizer:
         self.max_iterations = max_iterations
         self.max_nodes = max_nodes
         self.final_refine_passes = final_refine_passes
+        self.registry = registry if registry is not None else NULL_REGISTRY
 
     def optimize(
         self, initial_replication: dict[str, int] | None = None
@@ -124,6 +127,7 @@ class RLASOptimizer:
             max_total_replicas=self.max_total_replicas,
             max_iterations=self.max_iterations,
             max_nodes=self.max_nodes,
+            registry=self.registry,
         )
         scaling = scaler.optimize(initial_replication)
         plan = scaling.placement.plan
@@ -142,6 +146,19 @@ class RLASOptimizer:
             self.profiles, self.machine, system=self.system, tf_mode=TfMode.RELATIVE
         )
         realized = realized_model.evaluate(expanded, self.ingress_rate)
+        if self.registry.enabled:
+            registry = self.registry
+            registry.counter("rlas.optimize.runs").inc()
+            registry.gauge("rlas.optimize.runtime_s").set(scaling.runtime_s)
+            registry.gauge("rlas.optimize.total_replicas").set(
+                sum(scaling.replication.values())
+            )
+            registry.gauge("rlas.optimize.estimated_throughput").set(
+                model_result.throughput
+            )
+            registry.gauge("rlas.optimize.realized_throughput").set(
+                realized.throughput
+            )
         return OptimizedPlan(
             topology=self.topology,
             machine=self.machine,

@@ -30,6 +30,7 @@ from repro.core.refinement import refine_plan
 from repro.dsps.graph import ExecutionGraph
 from repro.dsps.topology import Topology
 from repro.errors import PlanError
+from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry
 
 
 def saturation_ingress(
@@ -144,6 +145,7 @@ class ScalingOptimizer:
         max_nodes: int | None = None,
         refine_passes: int = 1,
         refine_top_k: int = 12,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         """
         Parameters
@@ -169,6 +171,9 @@ class ScalingOptimizer:
             placement (0 passes disables it).  Refining inside the loop
             matters: it lowers the RMA-induced part of a bottleneck before
             the scaler reacts to it by adding replicas.
+        registry:
+            Metrics sink for search statistics (B&B node counts, scaling
+            iterations, time-to-best); defaults to the no-op registry.
         """
         if compress_ratio < 1:
             raise PlanError("compress ratio must be >= 1")
@@ -185,6 +190,7 @@ class ScalingOptimizer:
         self.max_nodes = max_nodes
         self.refine_passes = refine_passes
         self.refine_top_k = refine_top_k
+        self.registry = registry if registry is not None else NULL_REGISTRY
 
     # ------------------------------------------------------------------
     # Public API
@@ -230,6 +236,8 @@ class ScalingOptimizer:
             result = self._place_with_fallback(placer, graph, replication)
             result = self._refine(result)
             feasible = result.plan is not None
+            self.registry.counter("rlas.scaling.iterations").inc()
+            result.stats.publish(self.registry)
             iterations.append(
                 ScalingIteration(
                     replication=dict(replication),
@@ -240,6 +248,12 @@ class ScalingOptimizer:
             if feasible and (best is None or result.throughput > best.throughput):
                 best = ScalingResult(
                     replication=dict(replication), placement=result
+                )
+                self.registry.gauge("rlas.scaling.best_throughput").set(
+                    result.throughput
+                )
+                self.registry.gauge("rlas.scaling.time_to_best_s").set(
+                    time.perf_counter() - start
                 )
             if not feasible:
                 break  # cannot place this configuration: stop scaling

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Mapping
 
 from repro.dsps.graph import ExecutionGraph, Task
@@ -26,6 +27,7 @@ from repro.dsps.queues import CommunicationQueue, OutputBuffer
 from repro.dsps.topology import ComponentKind, Topology
 from repro.dsps.tuples import StreamTuple, payload_bytes
 from repro.errors import TopologyError
+from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry
 
 
 @dataclass
@@ -115,6 +117,7 @@ class LocalEngine:
         topology: Topology,
         replication: Mapping[str, int] | None = None,
         batch_size: int = 64,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         """
         Parameters
@@ -126,6 +129,12 @@ class LocalEngine:
             parallelism hint.
         batch_size:
             Jumbo-tuple batch size used on every producer/consumer pair.
+        registry:
+            Metrics sink for run instrumentation (tuple counts, queue
+            depths, per-operator wall-clock).  Defaults to the shared
+            :data:`~repro.metrics.registry.NULL_REGISTRY`, in which case
+            the hot path stays the uninstrumented seed loop (one boolean
+            check per task).
         """
         self.topology = topology
         if replication is None:
@@ -135,6 +144,7 @@ class LocalEngine:
             }
         self.graph = ExecutionGraph(topology, replication, group_size=1)
         self.batch_size = batch_size
+        self.registry = registry if registry is not None else NULL_REGISTRY
 
     # ------------------------------------------------------------------
     # Execution
@@ -164,9 +174,11 @@ class LocalEngine:
             buffers[key] = OutputBuffer(edge.producer, edge.consumer, self.batch_size)
         route_counters: dict[tuple[int, str], int] = defaultdict(int)
 
+        instrumented = self.registry.enabled
         events = 0
         for task in tasks:
             instance = instances[task.task_id]
+            started = perf_counter() if instrumented else 0.0
             if isinstance(instance, Spout):
                 events += self._run_spout(
                     task, instance, stats, queues, buffers, route_counters, max_events
@@ -176,18 +188,55 @@ class LocalEngine:
                     task, instance, stats, queues, buffers, route_counters
                 )
             self._flush_buffers(task, buffers, queues)
+            if instrumented:
+                self.registry.gauge(
+                    f"engine.{task.component}.{task.replica_start}.task_wall_ns"
+                ).set((perf_counter() - started) * 1e9)
 
         sinks: dict[str, list[Sink]] = defaultdict(list)
         for task in tasks:
             instance = instances[task.task_id]
             if isinstance(instance, Sink):
                 sinks[task.component].append(instance)
-        return RunResult(
+        result = RunResult(
             topology_name=self.topology.name,
             events_ingested=events,
             task_stats=stats,
             sinks=dict(sinks),
         )
+        if instrumented:
+            self._publish_run_metrics(tasks, result, queues)
+        return result
+
+    def _publish_run_metrics(
+        self,
+        tasks: list[Task],
+        result: RunResult,
+        queues: dict[tuple[int, int], CommunicationQueue],
+    ) -> None:
+        """Mirror the run's functional counters into the metrics registry.
+
+        Names follow the ``component.replica.metric`` convention under the
+        ``engine.`` prefix; per-queue metrics use the producer/consumer
+        task-id pair as the replica field.
+        """
+        registry = self.registry
+        registry.counter("engine.run.events_ingested").inc(result.events_ingested)
+        registry.counter("engine.run.sink_received").inc(result.sink_received())
+        for task in tasks:
+            stats = result.task_stats[task.task_id]
+            prefix = f"engine.{task.component}.{task.replica_start}"
+            registry.counter(f"{prefix}.tuples_in").inc(stats.tuples_in)
+            registry.counter(f"{prefix}.tuples_out").inc(stats.tuples_out)
+        for (producer, consumer), queue in queues.items():
+            stats = queue.stats
+            prefix = f"engine.queue.{producer}-{consumer}"
+            registry.counter(f"{prefix}.enqueued_batches").inc(stats.enqueued_batches)
+            registry.counter(f"{prefix}.enqueued_tuples").inc(stats.enqueued_tuples)
+            registry.gauge(f"{prefix}.max_depth_tuples").set(stats.max_depth_tuples)
+            registry.gauge(f"{prefix}.jumbo_fill_ratio").set(
+                stats.jumbo_fill_ratio(self.batch_size)
+            )
 
     # ------------------------------------------------------------------
     # Internals
@@ -217,8 +266,16 @@ class LocalEngine:
         counters: dict[tuple[int, str], int],
         max_events: int,
     ) -> int:
+        histogram = (
+            self.registry.histogram(
+                f"engine.{task.component}.{task.replica_start}.process_ns"
+            )
+            if self.registry.enabled
+            else None
+        )
         produced = 0
         for values in spout.next_batch(max_events):
+            started = perf_counter() if histogram is not None else 0.0
             item = StreamTuple(
                 values=values,
                 source_task=task.task_id,
@@ -227,6 +284,8 @@ class LocalEngine:
             stats[task.task_id].record_out(item.stream, item.payload_size_bytes)
             self._route(task, item, queues, buffers, counters)
             produced += 1
+            if histogram is not None:
+                histogram.observe((perf_counter() - started) * 1e9)
         return produced
 
     def _run_operator(
@@ -239,11 +298,26 @@ class LocalEngine:
         counters: dict[tuple[int, str], int],
     ) -> None:
         task_stats = stats[task.task_id]
+        histogram = (
+            self.registry.histogram(
+                f"engine.{task.component}.{task.replica_start}.process_ns"
+            )
+            if self.registry.enabled
+            else None
+        )
         for edge in self.graph.incoming(task.task_id):
             queue = queues[(edge.producer, edge.consumer)]
             for item in queue.drain_tuples():
                 task_stats.tuples_in += 1
-                for stream, values in operator.process(item):
+                if histogram is None:
+                    emitted = operator.process(item)
+                else:
+                    # Timed path: materialize the generator so the observed
+                    # wall-clock covers the operator's whole per-tuple work.
+                    started = perf_counter()
+                    emitted = list(operator.process(item))
+                    histogram.observe((perf_counter() - started) * 1e9)
+                for stream, values in emitted:
                     out = item.derive(values, stream=stream, source_task=task.task_id)
                     task_stats.record_out(stream, out.payload_size_bytes)
                     self._route(task, out, queues, buffers, counters)

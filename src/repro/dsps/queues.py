@@ -35,6 +35,23 @@ class QueueStats:
     def pending_tuples(self) -> int:
         return self.enqueued_tuples - self.dequeued_tuples
 
+    @property
+    def mean_batch_tuples(self) -> float:
+        """Average sealed jumbo-tuple size actually enqueued."""
+        if self.enqueued_batches == 0:
+            return 0.0
+        return self.enqueued_tuples / self.enqueued_batches
+
+    def jumbo_fill_ratio(self, batch_size: int) -> float:
+        """Mean enqueued batch size as a fraction of the target size.
+
+        1.0 means every jumbo tuple sealed full; low values mean flushes
+        (end of input, timeouts) dominated and batching bought little.
+        """
+        if batch_size <= 0:
+            return 0.0
+        return self.mean_batch_tuples / batch_size
+
 
 class CommunicationQueue:
     """A bounded FIFO of jumbo tuples between one producer/consumer pair.

@@ -33,3 +33,7 @@ class ProfilingError(ReproError):
 
 class SimulationError(ReproError):
     """The execution simulator reached an invalid state."""
+
+
+class MetricsError(ReproError):
+    """A metrics instrument or run report is used inconsistently."""

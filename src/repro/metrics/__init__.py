@@ -1,6 +1,31 @@
-"""Metrics and reporting: the numbers the paper's figures/tables plot."""
+"""Metrics and reporting: runtime observability plus the paper's tables.
 
-from repro.metrics.comm_matrix import CommunicationMatrix, communication_matrix
+Three layers:
+
+* :mod:`repro.metrics.registry` — structured runtime metrics (counters,
+  gauges, streaming histograms) that the engine, simulators and optimizer
+  report into;
+* :mod:`repro.metrics.export` — the versioned JSON run-report format that
+  makes whole runs machine-readable;
+* :mod:`repro.metrics.reporting` / :mod:`repro.metrics.comm_matrix` —
+  the human-readable tables and series the paper's figures plot.
+"""
+
+from repro.metrics.export import (
+    SCHEMA_VERSION,
+    RunReport,
+    build_report,
+    load_report,
+    write_report,
+)
+from repro.metrics.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
 from repro.metrics.reporting import (
     format_series,
     format_table,
@@ -8,11 +33,35 @@ from repro.metrics.reporting import (
     speedup,
 )
 
+_LAZY = {"CommunicationMatrix", "communication_matrix"}
+
+
+def __getattr__(name: str):
+    # comm_matrix pulls in the performance model, whose import chain leads
+    # back through the engine to the registry; loading it lazily keeps
+    # `repro.metrics.registry` importable from those low-level modules.
+    if name in _LAZY:
+        from repro.metrics import comm_matrix
+
+        return getattr(comm_matrix, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "CommunicationMatrix",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "RunReport",
+    "SCHEMA_VERSION",
+    "build_report",
     "communication_matrix",
     "format_series",
     "format_table",
+    "load_report",
     "relative_error",
     "speedup",
+    "write_report",
 ]

@@ -1,0 +1,146 @@
+"""Versioned JSON run reports: the machine-readable side of every run.
+
+A *run report* is one JSON document describing one run — an engine
+execution, an optimizer invocation, a simulation, or one benchmark
+artefact.  The schema (documented in ``docs/metrics.md``) is deliberately
+small and stable:
+
+``schema_version``
+    Integer; readers reject documents newer than they understand.
+``kind`` / ``name``
+    What produced the report (``engine-run``, ``optimize``, ``simulate``,
+    ``benchmark``...) and which app/artefact it describes.
+``meta``
+    Free-form provenance (app, server, git sha, timestamp...).
+``metrics``
+    A :meth:`~repro.metrics.registry.MetricsRegistry.snapshot`:
+    ``counters`` / ``gauges`` / ``histograms`` keyed by dotted names.
+``data``
+    Free-form structured payload (benchmark rows, derived series).
+
+:func:`write_report` and :func:`load_report` round-trip the document;
+benchmarks and the CLI's ``--emit-metrics`` flag both go through them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import MetricsError
+from repro.metrics.registry import MetricsRegistry
+
+#: Bump when the report layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+_REQUIRED_KEYS = ("schema_version", "kind", "name", "meta", "metrics", "data")
+_METRIC_SECTIONS = ("counters", "gauges", "histograms")
+
+
+@dataclass
+class RunReport:
+    """One machine-readable run description."""
+
+    kind: str
+    name: str
+    meta: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    data: dict = field(default_factory=dict)
+    generated_unix: float = 0.0
+    schema_version: int = SCHEMA_VERSION
+
+    def counters(self) -> dict[str, int]:
+        return self.metrics.get("counters", {})
+
+    def gauges(self) -> dict[str, float]:
+        return self.metrics.get("gauges", {})
+
+    def histograms(self) -> dict[str, dict]:
+        return self.metrics.get("histograms", {})
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "kind": self.kind,
+            "name": self.name,
+            "generated_unix": self.generated_unix,
+            "meta": self.meta,
+            "metrics": self.metrics,
+            "data": self.data,
+        }
+
+
+def build_report(
+    kind: str,
+    name: str,
+    registry: MetricsRegistry | None = None,
+    meta: dict | None = None,
+    data: dict | None = None,
+) -> RunReport:
+    """Assemble a report from a registry snapshot plus free-form payloads."""
+    metrics = (
+        registry.snapshot()
+        if registry is not None
+        else {section: {} for section in _METRIC_SECTIONS}
+    )
+    return RunReport(
+        kind=kind,
+        name=name,
+        meta=dict(meta or {}),
+        metrics=metrics,
+        data=dict(data or {}),
+        generated_unix=time.time(),
+    )
+
+
+def write_report(path: str | Path, report: RunReport) -> Path:
+    """Serialize ``report`` to ``path`` (parent directories are created)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def report_from_dict(raw: dict) -> RunReport:
+    """Validate and rebuild a report from its JSON dictionary form."""
+    missing = [key for key in _REQUIRED_KEYS if key not in raw]
+    if missing:
+        raise MetricsError(f"run report missing keys: {', '.join(missing)}")
+    version = raw["schema_version"]
+    if not isinstance(version, int) or version < 1:
+        raise MetricsError(f"invalid run-report schema version: {version!r}")
+    if version > SCHEMA_VERSION:
+        raise MetricsError(
+            f"run report has schema version {version}, "
+            f"this reader understands <= {SCHEMA_VERSION}"
+        )
+    metrics = raw["metrics"]
+    if not isinstance(metrics, dict) or any(
+        section not in metrics for section in _METRIC_SECTIONS
+    ):
+        raise MetricsError(
+            "run-report metrics must contain counters/gauges/histograms"
+        )
+    return RunReport(
+        kind=raw["kind"],
+        name=raw["name"],
+        meta=raw["meta"],
+        metrics=metrics,
+        data=raw["data"],
+        generated_unix=float(raw.get("generated_unix", 0.0)),
+        schema_version=version,
+    )
+
+
+def load_report(path: str | Path) -> RunReport:
+    """Load and validate a report previously written by :func:`write_report`."""
+    source = Path(path)
+    try:
+        raw = json.loads(source.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise MetricsError(f"cannot read run report {source}: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise MetricsError(f"run report {source} is not a JSON object")
+    return report_from_dict(raw)

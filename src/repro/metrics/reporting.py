@@ -52,9 +52,13 @@ def format_series(
 
 
 def relative_error(measured: float, estimated: float) -> float:
-    """The paper's relative error: ``|measured - estimated| / measured``."""
+    """The paper's relative error: ``|measured - estimated| / measured``.
+
+    Two exact zeros agree perfectly (error 0); a zero measurement with a
+    non-zero estimate is infinitely wrong.
+    """
     if measured == 0:
-        return float("inf")
+        return 0.0 if estimated == 0 else float("inf")
     return abs(measured - estimated) / abs(measured)
 
 

@@ -37,6 +37,7 @@ from repro.core.profiles import ProfileSet, SystemProfile
 from repro.dsps.streams import BroadcastGrouping, GlobalGrouping
 from repro.errors import SimulationError
 from repro.hardware.machine import MachineSpec
+from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry
 from repro.simulation.prefetch import DEFAULT_PREFETCH, PrefetchModel
 
 _EMIT, _COMPLETE = 0, 1
@@ -103,7 +104,7 @@ class DesResult:
 class _Queue:
     """Bounded FIFO of batches; a batch is a list of event times."""
 
-    __slots__ = ("capacity", "depth", "batches", "producer_id", "fetch_ns")
+    __slots__ = ("capacity", "depth", "batches", "producer_id", "fetch_ns", "push_times")
 
     def __init__(self, capacity: int, producer_id: int, fetch_ns: float) -> None:
         self.capacity = capacity
@@ -111,6 +112,9 @@ class _Queue:
         self.batches: deque[list[float]] = deque()
         self.producer_id = producer_id
         self.fetch_ns = fetch_ns
+        # Enqueue timestamps, maintained only on instrumented runs so the
+        # default path pays nothing (None = tracking off).
+        self.push_times: deque[float] | None = None
 
     def can_accept(self, size: int) -> bool:
         return self.depth + size <= self.capacity
@@ -148,6 +152,9 @@ class _Task:
         "routes",
         "spout_interval",
         "last_flush",
+        "busy_ns",
+        "service_hist",
+        "wait_hist",
     )
 
     def __init__(self) -> None:
@@ -165,6 +172,9 @@ class _Task:
         self.routes: list[tuple[float, list[int], str]] = []
         self.spout_interval = 0.0
         self.last_flush = 0.0
+        self.busy_ns = 0.0
+        self.service_hist = None
+        self.wait_hist = None
 
 
 class DiscreteEventSimulator:
@@ -179,6 +189,7 @@ class DiscreteEventSimulator:
         queue_capacity: int | None = None,
         flush_timeout_ns: float = 1e6,
         seed: int = 0,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         """
         Parameters
@@ -196,6 +207,9 @@ class DiscreteEventSimulator:
             stall in half-full jumbo tuples).
         seed:
             Seed for service-time jitter, routing and selectivity draws.
+        registry:
+            Metrics sink for per-replica service/wait times and event-loop
+            occupancy; defaults to the shared no-op registry.
         """
         self.profiles = profiles
         self.machine = machine
@@ -210,6 +224,7 @@ class DiscreteEventSimulator:
             raise SimulationError("flush timeout must be positive")
         self.flush_timeout_ns = flush_timeout_ns
         self.seed = seed
+        self.registry = registry if registry is not None else NULL_REGISTRY
 
     # ------------------------------------------------------------------
     # Public API
@@ -232,6 +247,7 @@ class DiscreteEventSimulator:
             raise SimulationError("ingress rate and max_events must be positive")
 
         rng = random.Random(self.seed)
+        self._enabled = self.registry.enabled
         tasks = self._build(plan, ingress_rate)
         self._rng = rng
         self._tasks = tasks
@@ -263,11 +279,40 @@ class DiscreteEventSimulator:
                 self._on_complete(task, now)
 
         keep_from = int(len(self._samples) * warmup_fraction)
-        return DesResult(
+        result = DesResult(
             latency=LatencyStats(samples_ns=self._samples[keep_from:]),
             events_generated=self._generated,
             tuples_delivered=self._delivered,
             simulated_ns=now,
+        )
+        if self._enabled:
+            self._publish_run_metrics(tasks, result, loop_events=guard)
+        return result
+
+    def _publish_run_metrics(
+        self, tasks: dict[int, _Task], result: DesResult, loop_events: int
+    ) -> None:
+        """Registry mirror of the run: occupancy, counters, latency."""
+        registry = self.registry
+        registry.counter("des.run.events_generated").inc(result.events_generated)
+        registry.counter("des.run.tuples_delivered").inc(result.tuples_delivered)
+        registry.counter("des.run.loop_events").inc(loop_events)
+        registry.gauge("des.run.simulated_ns").set(result.simulated_ns)
+        latency = registry.histogram("des.run.latency_ns")
+        for sample in result.latency.samples_ns:
+            latency.observe(sample)
+        if result.simulated_ns <= 0:
+            return
+        busy_total = 0.0
+        for task in tasks.values():
+            busy_total += task.busy_ns
+            registry.gauge(f"des.{task.component}.{task.task_id}.occupancy").set(
+                task.busy_ns / result.simulated_ns
+            )
+        # Event-loop occupancy: mean busy fraction across every replica —
+        # how much of the simulated span the machine's tasks spent serving.
+        registry.gauge("des.run.occupancy").set(
+            busy_total / (result.simulated_ns * max(1, len(tasks)))
         )
 
     # ------------------------------------------------------------------
@@ -304,6 +349,10 @@ class DiscreteEventSimulator:
             if sim.is_spout:
                 share = ingress_rate / spout_counts[task.component]
                 sim.spout_interval = 1e9 / share
+            if self._enabled:
+                prefix = f"des.{task.component}.{task.task_id}"
+                sim.service_hist = self.registry.histogram(f"{prefix}.service_ns")
+                sim.wait_hist = self.registry.histogram(f"{prefix}.wait_ns")
             tasks[task.task_id] = sim
 
         for edge in graph.edges:
@@ -320,6 +369,8 @@ class DiscreteEventSimulator:
             )
             fetch = self.prefetch.effective_fetch_ns(fetch_est, consumer_task.te_ns)
             queue = _Queue(self.queue_capacity, edge.producer, fetch)
+            if self._enabled:
+                queue.push_times = deque()
             consumer_task.in_queues.append(queue)
             tasks[edge.producer].buffers[edge.consumer] = []
 
@@ -351,6 +402,9 @@ class DiscreteEventSimulator:
             return
         self._generated += 1
         service = self._service(spout, fetch=0.0)
+        if spout.service_hist is not None:
+            spout.service_hist.observe(service)
+            spout.busy_ns += service
         done = now + service
         self._route_outputs(spout, event_time=now, now=done)
         if self._generated < self._max_events:
@@ -390,7 +444,11 @@ class DiscreteEventSimulator:
             return
         task.current_event_time = task.active.popleft()
         task.busy = True
-        self._push(now + self._service(task, task.active_fetch), _COMPLETE, task.task_id)
+        service = self._service(task, task.active_fetch)
+        if task.service_hist is not None:
+            task.service_hist.observe(service)
+            task.busy_ns += service
+        self._push(now + service, _COMPLETE, task.task_id)
 
     def _pull_batch(self, task: _Task, now: float) -> bool:
         """Round-robin a batch out of the input queues; unblock producers."""
@@ -400,6 +458,8 @@ class DiscreteEventSimulator:
             if queue.batches:
                 task.rr = (task.rr + offset + 1) % n
                 batch = queue.pop()
+                if queue.push_times is not None and task.wait_hist is not None:
+                    task.wait_hist.observe(now - queue.push_times.popleft())
                 task.active = deque(batch)
                 task.active_fetch = queue.fetch_ns
                 producer = self._tasks[queue.producer_id]
@@ -434,6 +494,8 @@ class DiscreteEventSimulator:
         queue = self._queue_between(producer.task_id, consumer_id)
         if queue.can_accept(len(batch)):
             queue.push(batch)
+            if queue.push_times is not None:
+                queue.push_times.append(now)
             self._start_next(self._tasks[consumer_id], now)
         else:
             producer.blocked = True

@@ -23,6 +23,7 @@ from repro.core.profiles import ProfileSet, SystemProfile
 from repro.dsps.topology import Topology
 from repro.errors import ProfilingError
 from repro.hardware.machine import MachineSpec
+from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry
 from repro.simulation.prefetch import DEFAULT_PREFETCH, PrefetchModel
 
 
@@ -51,12 +52,14 @@ class RoundTripMeter:
         machine: MachineSpec,
         system: SystemProfile = BRISKSTREAM,
         prefetch: PrefetchModel = DEFAULT_PREFETCH,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.topology = topology
         self.profiles = profiles
         self.machine = machine
         self.system = system
         self.prefetch = prefetch
+        self.registry = registry if registry is not None else NULL_REGISTRY
 
     # ------------------------------------------------------------------
     # Helpers shared by both front-ends
@@ -130,13 +133,20 @@ class RoundTripMeter:
             if not candidates:
                 raise ProfilingError("machine has a single socket; no remote group")
             rma = self.measured_rma_ns(component, origin, candidates[0])
-        return Breakdown(
+        result = Breakdown(
             component=component,
             system=self.system.name,
             execute_ns=self.execute_ns(component),
             others_ns=self.others_ns(component),
             rma_ns=rma,
         )
+        if self.registry.enabled:
+            group = "remote" if remote else "local"
+            prefix = f"measure.{component}.{group}"
+            self.registry.gauge(f"{prefix}.execute_ns").set(result.execute_ns)
+            self.registry.gauge(f"{prefix}.others_ns").set(result.others_ns)
+            self.registry.gauge(f"{prefix}.rma_ns").set(result.rma_ns)
+        return result
 
     def t_under_distance(
         self, component: str, from_socket: int, to_socket: int

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.metrics import load_report
 
 
 class TestParser:
@@ -42,6 +43,46 @@ class TestParser:
         assert main(["simulate", "--app", "fd", "--sockets", "1"]) == 0
         out = capsys.readouterr().out
         assert "measured throughput" in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "wc", "--events", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Engine run" in out
+        assert "sink received" in out
+
+    def test_run_emits_metrics_report(self, tmp_path, capsys):
+        target = tmp_path / "m.json"
+        assert main(["run", "wc", "--events", "200", "--emit-metrics", str(target)]) == 0
+        report = load_report(target)
+        assert report.kind == "engine-run"
+        assert report.meta["app"] == "wc"
+        assert any(n.endswith(".tuples_in") for n in report.counters())
+        histograms = report.histograms()
+        assert any(n.endswith(".process_ns") for n in histograms)
+        stats = next(h for n, h in histograms.items() if n.endswith(".process_ns"))
+        assert {"p50", "p95", "p99"} <= set(stats)
+
+    def test_optimize_emits_metrics_report(self, tmp_path, capsys):
+        target = tmp_path / "opt.json"
+        assert (
+            main(
+                [
+                    "optimize",
+                    "--app",
+                    "fd",
+                    "--sockets",
+                    "1",
+                    "--compress-ratio",
+                    "3",
+                    "--emit-metrics",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        report = load_report(target)
+        assert report.kind == "optimize"
+        assert report.counters()["rlas.bnb.nodes_expanded"] > 0
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):

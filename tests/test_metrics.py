@@ -92,6 +92,11 @@ class TestReporting:
         assert relative_error(100.0, 92.0) == pytest.approx(0.08)
         assert relative_error(0.0, 1.0) == float("inf")
 
+    def test_relative_error_both_zero(self):
+        # Regression: two exact zeros agree perfectly — the error is 0,
+        # not inf (a zero estimate of a zero measurement is not wrong).
+        assert relative_error(0.0, 0.0) == 0.0
+
     def test_speedup(self):
         assert speedup(20.0, 2.0) == 10.0
         assert speedup(1.0, 0.0) == float("inf")
