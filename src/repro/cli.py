@@ -4,6 +4,7 @@ Examples::
 
     python -m repro machines
     python -m repro run wc --events 5000 --emit-metrics wc_run.json
+    python -m repro run wc --backend process --workers 2 --events 5000
     python -m repro optimize --app wc --server A --sockets 8
     python -m repro simulate --app lr --server B --latency
     python -m repro profile --app sd
@@ -92,7 +93,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     """Execute an application on the functional engine, fully instrumented."""
     topology, _profiles = load_application(args.app)
     registry = MetricsRegistry()
-    engine = LocalEngine(topology, batch_size=args.batch_size, registry=registry)
+    engine = LocalEngine(
+        topology,
+        batch_size=args.batch_size,
+        registry=registry,
+        backend=args.backend,
+        queue_capacity=args.queue_capacity,
+        n_workers=args.workers,
+    )
     result = engine.run(args.events)
     rows = []
     for name in topology.topological_order():
@@ -122,6 +130,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             "app": args.app,
             "events": args.events,
             "batch_size": args.batch_size,
+            "backend": args.backend,
             "topology": topology.name,
         },
     )
@@ -209,6 +218,24 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("app", choices=APP_NAMES, help="application to run")
     run.add_argument("--events", type=int, default=2000, help="events per spout")
     run.add_argument("--batch-size", type=int, default=64)
+    run.add_argument(
+        "--backend",
+        choices=("inline", "process"),
+        default="inline",
+        help="executor backend (see docs/runtime.md)",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --backend process",
+    )
+    run.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=None,
+        help="bound every communication queue to N tuples (backpressure)",
+    )
     run.add_argument(
         "--emit-metrics",
         metavar="PATH",

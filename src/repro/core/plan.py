@@ -64,6 +64,17 @@ class ExecutionPlan:
         """Sockets hosting at least one task."""
         return set(self.placement.values())
 
+    def socket_groups(self) -> dict[int, list[int]]:
+        """Placed task ids grouped by socket, in task-id order per socket.
+
+        The runtime layer's process backend partitions workers along these
+        groups so that same-socket tasks stay in one address space.
+        """
+        groups: dict[int, list[int]] = {}
+        for task_id, socket in sorted(self.placement.items()):
+            groups.setdefault(socket, []).append(task_id)
+        return groups
+
     def replicas_on(self, socket: int) -> int:
         """Replica count (sum of task weights) on ``socket``."""
         return sum(t.weight for t in self.tasks_on(socket))

@@ -1,116 +1,40 @@
-"""Functional local engine: actually runs tuples through operator code.
+"""Functional local engine: a facade over the unified runtime layer.
 
-The GIL makes Python threads useless for multicore *throughput*, so the
-engine executes the replicated dataflow single-threaded, in topological task
-order, while preserving the semantics a threaded DSPS would give an acyclic
-DAG: every replica has private state, tuples are routed by the edge
-groupings, outputs are batched into jumbo tuples per consumer.
+Historically this module *was* the executor: it expanded the replicated
+dataflow into tasks, queues and routing tables and walked them inline.
+That expansion now lives in :mod:`repro.runtime.lowering` (shared with the
+discrete-event simulator) and the execution strategies live behind
+:class:`repro.runtime.backends.ExecutorBackend`:
 
-The engine serves three purposes:
+* ``backend="inline"`` (default) — deterministic single-process execution
+  with the seed engine's exact semantics; with bounded queues it adds
+  blocking-producer backpressure.
+* ``backend="process"`` — parallel execution on multiprocessing workers
+  grouped by plan socket (see :mod:`repro.runtime.process_pool`).
 
-* validating application logic (the examples and app tests run on it);
-* *measuring* selectivities and tuple sizes for model instantiation, the
-  way the paper pre-profiles each operator's selectivity statistics;
-* feeding recorded per-operator behaviour to the profiler and simulator.
+The engine keeps serving its three original purposes — validating
+application logic, measuring selectivities/tuple sizes for model
+instantiation, and feeding the profiler — while delegating *how* tuples
+move to the chosen backend.  :class:`TaskStats` and :class:`RunResult`
+are re-exported from :mod:`repro.runtime.results` for compatibility.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
-from time import perf_counter
 from typing import Mapping
 
-from repro.dsps.graph import ExecutionGraph, Task
-from repro.dsps.operators import Operator, OperatorContext, Sink, Spout
-from repro.dsps.queues import CommunicationQueue, OutputBuffer
-from repro.dsps.topology import ComponentKind, Topology
-from repro.dsps.tuples import StreamTuple, payload_bytes
-from repro.errors import TopologyError
+from repro.dsps.graph import ExecutionGraph
+from repro.dsps.topology import Topology
 from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry
+from repro.runtime.backends import ExecutorBackend, resolve_backend
+from repro.runtime.lowering import RuntimeSpec, lower_graph, lower_plan
+from repro.runtime.results import RunResult, TaskStats
 
-
-@dataclass
-class TaskStats:
-    """Per-task functional counters collected during a run."""
-
-    task_id: int
-    component: str
-    tuples_in: int = 0
-    tuples_out: int = 0
-    out_by_stream: dict[str, int] = field(default_factory=dict)
-    bytes_out_by_stream: dict[str, int] = field(default_factory=dict)
-
-    def record_out(self, stream: str, size: int) -> None:
-        self.tuples_out += 1
-        self.out_by_stream[stream] = self.out_by_stream.get(stream, 0) + 1
-        self.bytes_out_by_stream[stream] = (
-            self.bytes_out_by_stream.get(stream, 0) + size
-        )
-
-
-@dataclass
-class RunResult:
-    """Outcome of one functional engine run."""
-
-    topology_name: str
-    events_ingested: int
-    task_stats: dict[int, TaskStats]
-    sinks: dict[str, list[Sink]]
-
-    def component_in(self, component: str) -> int:
-        """Total tuples consumed by all replicas of ``component``."""
-        return sum(
-            s.tuples_in for s in self.task_stats.values() if s.component == component
-        )
-
-    def component_out(self, component: str, stream: str | None = None) -> int:
-        """Total tuples emitted by ``component`` (optionally one stream)."""
-        total = 0
-        for stats in self.task_stats.values():
-            if stats.component != component:
-                continue
-            if stream is None:
-                total += stats.tuples_out
-            else:
-                total += stats.out_by_stream.get(stream, 0)
-        return total
-
-    def selectivity(self, component: str, stream: str | None = None) -> float:
-        """Measured output/input ratio of ``component``.
-
-        For spouts the denominator is the number of ingested events.
-        """
-        consumed = self.component_in(component)
-        if consumed == 0:
-            consumed = self.events_ingested
-        if consumed == 0:
-            return 0.0
-        return self.component_out(component, stream) / consumed
-
-    def mean_tuple_bytes(self, component: str, stream: str | None = None) -> float:
-        """Measured mean output payload size of ``component`` in bytes."""
-        tuples = 0
-        total_bytes = 0
-        for stats in self.task_stats.values():
-            if stats.component != component:
-                continue
-            for name, count in stats.out_by_stream.items():
-                if stream is not None and name != stream:
-                    continue
-                tuples += count
-                total_bytes += stats.bytes_out_by_stream.get(name, 0)
-        if tuples == 0:
-            return 0.0
-        return total_bytes / tuples
-
-    def sink_received(self) -> int:
-        """Total tuples received across every sink replica."""
-        return sum(s.received for sinks in self.sinks.values() for s in sinks)
+__all__ = ["LocalEngine", "RunResult", "TaskStats"]
 
 
 class LocalEngine:
-    """Single-process functional executor for a topology."""
+    """Functional executor for a topology, pluggable in how it runs."""
 
     def __init__(
         self,
@@ -118,6 +42,11 @@ class LocalEngine:
         replication: Mapping[str, int] | None = None,
         batch_size: int = 64,
         registry: MetricsRegistry | None = None,
+        *,
+        backend: "str | ExecutorBackend" = "inline",
+        queue_capacity: int | None = None,
+        queue_budget: int | None = None,
+        n_workers: int | None = None,
     ) -> None:
         """
         Parameters
@@ -133,8 +62,21 @@ class LocalEngine:
             Metrics sink for run instrumentation (tuple counts, queue
             depths, per-operator wall-clock).  Defaults to the shared
             :data:`~repro.metrics.registry.NULL_REGISTRY`, in which case
-            the hot path stays the uninstrumented seed loop (one boolean
-            check per task).
+            the hot path stays the uninstrumented loop.
+        backend:
+            Executor backend name (``"inline"``/``"process"``) or a
+            ready-made :class:`~repro.runtime.backends.ExecutorBackend`.
+        queue_capacity:
+            Uniform per-edge tuple bound.  ``None`` together with
+            ``queue_budget=None`` leaves queues unbounded (the historical
+            engine semantics, still the default).
+        queue_budget:
+            Per-consumer-task buffered-tuple budget, split over the
+            consumer's input edges (mutually exclusive with
+            ``queue_capacity``).
+        n_workers:
+            Worker-process count when ``backend="process"`` is given by
+            name; ignored otherwise.
         """
         self.topology = topology
         if replication is None:
@@ -145,10 +87,48 @@ class LocalEngine:
         self.graph = ExecutionGraph(topology, replication, group_size=1)
         self.batch_size = batch_size
         self.registry = registry if registry is not None else NULL_REGISTRY
+        self.spec = lower_graph(
+            topology,
+            self.graph,
+            batch_size=batch_size,
+            queue_capacity=queue_capacity,
+            queue_budget=queue_budget,
+        )
+        self.backend = resolve_backend(backend, n_workers=n_workers)
 
-    # ------------------------------------------------------------------
-    # Execution
-    # ------------------------------------------------------------------
+    @classmethod
+    def from_plan(
+        cls,
+        plan,
+        *,
+        batch_size: int = 64,
+        registry: MetricsRegistry | None = None,
+        backend: "str | ExecutorBackend" = "inline",
+        queue_capacity: int | None = None,
+        queue_budget: int | None = None,
+        n_workers: int | None = None,
+    ) -> "LocalEngine":
+        """Build an engine from a complete :class:`~repro.core.plan.ExecutionPlan`.
+
+        Plan-driven engines run *bounded* by default: capacities derive
+        from the plan's queue budget, and tasks carry their socket
+        placement (which the process backend uses to group workers).
+        """
+        spec = lower_plan(
+            plan,
+            batch_size=batch_size,
+            queue_capacity=queue_capacity,
+            **({} if queue_budget is None else {"queue_budget": queue_budget}),
+        )
+        engine = cls.__new__(cls)
+        engine.topology = spec.topology
+        engine.graph = spec.graph
+        engine.batch_size = batch_size
+        engine.registry = registry if registry is not None else NULL_REGISTRY
+        engine.spec = spec
+        engine.backend = resolve_backend(backend, n_workers=n_workers)
+        return engine
+
     def run(self, max_events: int) -> RunResult:
         """Ingest up to ``max_events`` external events per spout replica and
         process the DAG to completion.
@@ -157,207 +137,8 @@ class LocalEngine:
         application-level state (counters, detected spikes...) callers can
         inspect directly.
         """
-        if max_events < 0:
-            raise TopologyError("max_events must be >= 0")
+        return self.backend.execute(self.spec, max_events, self.registry)
 
-        tasks = self.graph.topological_task_order()
-        instances = self._instantiate(tasks)
-        stats = {
-            t.task_id: TaskStats(task_id=t.task_id, component=t.component)
-            for t in tasks
-        }
-        queues: dict[tuple[int, int], CommunicationQueue] = {}
-        buffers: dict[tuple[int, int], OutputBuffer] = {}
-        for edge in self.graph.edges:
-            key = (edge.producer, edge.consumer)
-            queues[key] = CommunicationQueue(edge.producer, edge.consumer)
-            buffers[key] = OutputBuffer(edge.producer, edge.consumer, self.batch_size)
-        route_counters: dict[tuple[int, str], int] = defaultdict(int)
-
-        instrumented = self.registry.enabled
-        events = 0
-        for task in tasks:
-            instance = instances[task.task_id]
-            started = perf_counter() if instrumented else 0.0
-            if isinstance(instance, Spout):
-                events += self._run_spout(
-                    task, instance, stats, queues, buffers, route_counters, max_events
-                )
-            else:
-                self._run_operator(
-                    task, instance, stats, queues, buffers, route_counters
-                )
-            self._flush_buffers(task, buffers, queues)
-            if instrumented:
-                self.registry.gauge(
-                    f"engine.{task.component}.{task.replica_start}.task_wall_ns"
-                ).set((perf_counter() - started) * 1e9)
-
-        sinks: dict[str, list[Sink]] = defaultdict(list)
-        for task in tasks:
-            instance = instances[task.task_id]
-            if isinstance(instance, Sink):
-                sinks[task.component].append(instance)
-        result = RunResult(
-            topology_name=self.topology.name,
-            events_ingested=events,
-            task_stats=stats,
-            sinks=dict(sinks),
-        )
-        if instrumented:
-            self._publish_run_metrics(tasks, result, queues)
-        return result
-
-    def _publish_run_metrics(
-        self,
-        tasks: list[Task],
-        result: RunResult,
-        queues: dict[tuple[int, int], CommunicationQueue],
-    ) -> None:
-        """Mirror the run's functional counters into the metrics registry.
-
-        Names follow the ``component.replica.metric`` convention under the
-        ``engine.`` prefix; per-queue metrics use the producer/consumer
-        task-id pair as the replica field.
-        """
-        registry = self.registry
-        registry.counter("engine.run.events_ingested").inc(result.events_ingested)
-        registry.counter("engine.run.sink_received").inc(result.sink_received())
-        for task in tasks:
-            stats = result.task_stats[task.task_id]
-            prefix = f"engine.{task.component}.{task.replica_start}"
-            registry.counter(f"{prefix}.tuples_in").inc(stats.tuples_in)
-            registry.counter(f"{prefix}.tuples_out").inc(stats.tuples_out)
-        for (producer, consumer), queue in queues.items():
-            stats = queue.stats
-            prefix = f"engine.queue.{producer}-{consumer}"
-            registry.counter(f"{prefix}.enqueued_batches").inc(stats.enqueued_batches)
-            registry.counter(f"{prefix}.enqueued_tuples").inc(stats.enqueued_tuples)
-            registry.gauge(f"{prefix}.max_depth_tuples").set(stats.max_depth_tuples)
-            registry.gauge(f"{prefix}.jumbo_fill_ratio").set(
-                stats.jumbo_fill_ratio(self.batch_size)
-            )
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _instantiate(self, tasks: list[Task]) -> dict[int, Spout | Operator]:
-        instances: dict[int, Spout | Operator] = {}
-        for task in tasks:
-            spec = self.topology.component(task.component)
-            instance = spec.template.clone()
-            context = OperatorContext(
-                operator=task.component,
-                replica_index=task.replica_start,
-                n_replicas=self.graph.replication[task.component],
-                task_id=task.task_id,
-            )
-            instance.prepare(context)
-            instances[task.task_id] = instance
-        return instances
-
-    def _run_spout(
-        self,
-        task: Task,
-        spout: Spout,
-        stats: dict[int, TaskStats],
-        queues: dict[tuple[int, int], CommunicationQueue],
-        buffers: dict[tuple[int, int], OutputBuffer],
-        counters: dict[tuple[int, str], int],
-        max_events: int,
-    ) -> int:
-        histogram = (
-            self.registry.histogram(
-                f"engine.{task.component}.{task.replica_start}.process_ns"
-            )
-            if self.registry.enabled
-            else None
-        )
-        produced = 0
-        for values in spout.next_batch(max_events):
-            started = perf_counter() if histogram is not None else 0.0
-            item = StreamTuple(
-                values=values,
-                source_task=task.task_id,
-                event_time_ns=float(produced),
-            )
-            stats[task.task_id].record_out(item.stream, item.payload_size_bytes)
-            self._route(task, item, queues, buffers, counters)
-            produced += 1
-            if histogram is not None:
-                histogram.observe((perf_counter() - started) * 1e9)
-        return produced
-
-    def _run_operator(
-        self,
-        task: Task,
-        operator: Operator,
-        stats: dict[int, TaskStats],
-        queues: dict[tuple[int, int], CommunicationQueue],
-        buffers: dict[tuple[int, int], OutputBuffer],
-        counters: dict[tuple[int, str], int],
-    ) -> None:
-        task_stats = stats[task.task_id]
-        histogram = (
-            self.registry.histogram(
-                f"engine.{task.component}.{task.replica_start}.process_ns"
-            )
-            if self.registry.enabled
-            else None
-        )
-        for edge in self.graph.incoming(task.task_id):
-            queue = queues[(edge.producer, edge.consumer)]
-            for item in queue.drain_tuples():
-                task_stats.tuples_in += 1
-                if histogram is None:
-                    emitted = operator.process(item)
-                else:
-                    # Timed path: materialize the generator so the observed
-                    # wall-clock covers the operator's whole per-tuple work.
-                    started = perf_counter()
-                    emitted = list(operator.process(item))
-                    histogram.observe((perf_counter() - started) * 1e9)
-                for stream, values in emitted:
-                    out = item.derive(values, stream=stream, source_task=task.task_id)
-                    task_stats.record_out(stream, out.payload_size_bytes)
-                    self._route(task, out, queues, buffers, counters)
-        for stream, values in operator.flush():
-            out = StreamTuple(
-                values=tuple(values), stream=stream, source_task=task.task_id
-            )
-            task_stats.record_out(stream, out.payload_size_bytes)
-            self._route(task, out, queues, buffers, counters)
-
-    def _route(
-        self,
-        task: Task,
-        item: StreamTuple,
-        queues: dict[tuple[int, int], CommunicationQueue],
-        buffers: dict[tuple[int, int], OutputBuffer],
-        counters: dict[tuple[int, str], int],
-    ) -> None:
-        for edge in self.topology.outgoing(task.component):
-            if edge.stream != item.stream:
-                continue
-            consumers = self.graph.tasks_of(edge.consumer)
-            key = (task.task_id, f"{edge.consumer}/{edge.stream}")
-            indices = edge.grouping.route(item, len(consumers), counters[key])
-            counters[key] += 1
-            for index in indices:
-                consumer = consumers[index]
-                buffer = buffers[(task.task_id, consumer.task_id)]
-                sealed = buffer.append(item)
-                if sealed is not None:
-                    queues[(task.task_id, consumer.task_id)].put(sealed)
-
-    def _flush_buffers(
-        self,
-        task: Task,
-        buffers: dict[tuple[int, int], OutputBuffer],
-        queues: dict[tuple[int, int], CommunicationQueue],
-    ) -> None:
-        for edge in self.graph.outgoing(task.task_id):
-            buffer = buffers[(edge.producer, edge.consumer)]
-            sealed = buffer.flush()
-            if sealed is not None:
-                queues[(edge.producer, edge.consumer)].put(sealed)
+    def describe(self) -> str:
+        """Human-readable summary of the lowered runtime configuration."""
+        return self.spec.describe()

@@ -30,6 +30,13 @@ class QueueStats:
     dequeued_tuples: int = 0
     rejected_batches: int = 0
     max_depth_tuples: int = 0
+    #: Backpressure episodes: times a producer had to suspend because a
+    #: sealed batch did not fit (incremented by the executing backend once
+    #: per episode, not per retry).
+    blocked_batches: int = 0
+    #: Wall-clock (live runs) or virtual (DES) nanoseconds producers spent
+    #: suspended on this queue.
+    blocked_ns: float = 0.0
 
     @property
     def pending_tuples(self) -> int:
@@ -91,6 +98,12 @@ class CommunicationQueue:
         if self.capacity_tuples is None:
             return False
         return self._depth_tuples >= self.capacity_tuples
+
+    def has_space(self, tuples: int) -> bool:
+        """True when ``tuples`` more tuples fit without exceeding capacity."""
+        if self.capacity_tuples is None:
+            return True
+        return self._depth_tuples + tuples <= self.capacity_tuples
 
     def offer(self, batch: JumboTuple) -> bool:
         """Try to enqueue ``batch``; returns False when full (no partial add)."""

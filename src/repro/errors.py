@@ -35,5 +35,9 @@ class SimulationError(ReproError):
     """The execution simulator reached an invalid state."""
 
 
+class ExecutionError(ReproError):
+    """A runtime backend failed while executing a lowered plan."""
+
+
 class MetricsError(ReproError):
     """A metrics instrument or run report is used inconsistently."""

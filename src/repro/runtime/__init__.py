@@ -1,0 +1,48 @@
+"""Unified runtime layer: lowering + pluggable executor backends.
+
+This package owns the single translation from ``(Topology, ExecutionPlan)``
+to runnable state (:mod:`repro.runtime.lowering`), the result types every
+executor produces (:mod:`repro.runtime.results`), and the executor
+backends themselves (:mod:`repro.runtime.backends`,
+:mod:`repro.runtime.process_pool`).  The functional engine facade
+(:class:`repro.dsps.engine.LocalEngine`) and the discrete-event simulator
+both build on the same lowering, so live runs and simulated runs share
+queue topology, routing and iteration orders by construction.
+"""
+
+from repro.runtime.backends import (
+    ExecutorBackend,
+    InlineBackend,
+    publish_engine_metrics,
+    resolve_backend,
+)
+from repro.runtime.lowering import (
+    DEFAULT_QUEUE_BUDGET,
+    RouteSpec,
+    RuntimeSpec,
+    TaskRuntime,
+    instantiate_task,
+    instantiate_tasks,
+    lower_graph,
+    lower_plan,
+)
+from repro.runtime.process_pool import ProcessPoolBackend
+from repro.runtime.results import RunResult, TaskStats
+
+__all__ = [
+    "DEFAULT_QUEUE_BUDGET",
+    "ExecutorBackend",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "RouteSpec",
+    "RunResult",
+    "RuntimeSpec",
+    "TaskRuntime",
+    "TaskStats",
+    "instantiate_task",
+    "instantiate_tasks",
+    "lower_graph",
+    "lower_plan",
+    "publish_engine_metrics",
+    "resolve_backend",
+]

@@ -1,0 +1,346 @@
+"""Executor backends: how a lowered :class:`RuntimeSpec` actually runs.
+
+The runtime layer separates *what* runs (the lowering: tasks, queues,
+routes) from *how* it runs:
+
+* :class:`InlineBackend` — the deterministic single-process executor.  It
+  keeps the seed engine's semantics exactly (same task order, same drain
+  order, same routing counters), but is driven through a cooperative
+  scheduler so that **bounded** queues exert real blocking-producer
+  backpressure: a producer whose sealed batch does not fit suspends until
+  the consumer drains, transitively throttling the spout — the same
+  mechanism the discrete-event simulator models in virtual time.  With
+  unbounded queues (the default without a plan) nothing ever blocks and
+  the schedule degenerates to the seed engine's topological walk,
+  reproducing its sink outputs bit-for-bit.
+* :class:`~repro.runtime.process_pool.ProcessPoolBackend` — true parallel
+  execution on multiprocessing workers grouped by plan socket (imported
+  lazily to keep this module light).
+
+Backends receive a spec, an event budget and a metrics registry, and
+return the same :class:`~repro.runtime.results.RunResult` shape.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import defaultdict
+from time import perf_counter
+from typing import Iterator, Mapping
+
+from repro.dsps.operators import Operator, Sink
+from repro.dsps.queues import CommunicationQueue, OutputBuffer, QueueStats
+from repro.dsps.tuples import JumboTuple, StreamTuple
+from repro.errors import ExecutionError, TopologyError
+from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry
+from repro.runtime.lowering import RuntimeSpec, TaskRuntime, instantiate_tasks
+from repro.runtime.results import RunResult, TaskStats
+
+
+class ExecutorBackend(ABC):
+    """Strategy interface: execute a lowered spec and report the outcome."""
+
+    #: Short name used by the CLI's ``--backend`` flag and in metrics.
+    name: str = "abstract"
+
+    @abstractmethod
+    def execute(
+        self,
+        spec: RuntimeSpec,
+        max_events: int,
+        registry: MetricsRegistry | None = None,
+    ) -> RunResult:
+        """Ingest up to ``max_events`` events per spout task and run to
+        completion, returning per-task statistics and live sink state."""
+
+
+def resolve_backend(
+    backend: "str | ExecutorBackend",
+    *,
+    n_workers: int | None = None,
+    ordered: bool = False,
+) -> ExecutorBackend:
+    """Turn a backend name (or pass through an instance) into a backend.
+
+    ``n_workers``/``ordered`` only apply when constructing the process
+    backend from its name.
+    """
+    if isinstance(backend, ExecutorBackend):
+        return backend
+    if backend == "inline":
+        return InlineBackend()
+    if backend == "process":
+        from repro.runtime.process_pool import ProcessPoolBackend
+
+        return ProcessPoolBackend(n_workers=n_workers, ordered=ordered)
+    raise ExecutionError(f"unknown backend {backend!r}; expected inline or process")
+
+
+def publish_engine_metrics(
+    registry: MetricsRegistry,
+    spec: RuntimeSpec,
+    result: RunResult,
+    queue_stats: Mapping[tuple[int, int], QueueStats],
+) -> None:
+    """Mirror a run's functional counters into the metrics registry.
+
+    Shared by every backend so runs emit one schema regardless of how they
+    executed.  Names follow ``component.replica.metric`` under the
+    ``engine.`` prefix; per-queue metrics use the producer/consumer
+    task-id pair as the replica field (see docs/metrics.md).
+    """
+    if not registry.enabled:
+        return
+    registry.counter("engine.run.events_ingested").inc(result.events_ingested)
+    registry.counter("engine.run.sink_received").inc(result.sink_received())
+    blocked_total = 0
+    for rt in spec.tasks:
+        stats = result.task_stats[rt.task_id]
+        prefix = f"engine.{rt.component}.{rt.task.replica_start}"
+        registry.counter(f"{prefix}.tuples_in").inc(stats.tuples_in)
+        registry.counter(f"{prefix}.tuples_out").inc(stats.tuples_out)
+    for (producer, consumer), stats in queue_stats.items():
+        prefix = f"engine.queue.{producer}-{consumer}"
+        registry.counter(f"{prefix}.enqueued_batches").inc(stats.enqueued_batches)
+        registry.counter(f"{prefix}.enqueued_tuples").inc(stats.enqueued_tuples)
+        registry.gauge(f"{prefix}.max_depth_tuples").set(stats.max_depth_tuples)
+        registry.gauge(f"{prefix}.jumbo_fill_ratio").set(
+            stats.jumbo_fill_ratio(spec.batch_size)
+        )
+        capacity = spec.queue_capacity.get((producer, consumer))
+        if capacity is not None:
+            registry.gauge(f"{prefix}.capacity_tuples").set(capacity)
+        if stats.blocked_batches:
+            registry.counter(f"{prefix}.blocked_batches").inc(stats.blocked_batches)
+            registry.gauge(f"{prefix}.blocked_ns").set(stats.blocked_ns)
+        blocked_total += stats.blocked_batches
+    registry.counter("engine.run.backpressure_blocks").inc(blocked_total)
+
+
+class InlineBackend(ExecutorBackend):
+    """Deterministic single-process executor with cooperative backpressure."""
+
+    name = "inline"
+
+    def execute(
+        self,
+        spec: RuntimeSpec,
+        max_events: int,
+        registry: MetricsRegistry | None = None,
+    ) -> RunResult:
+        if max_events < 0:
+            raise TopologyError("max_events must be >= 0")
+        registry = registry if registry is not None else NULL_REGISTRY
+        return _InlineRun(spec, max_events, registry).execute()
+
+
+class _InlineRun:
+    """Mutable state of one inline execution (one object per ``run()``)."""
+
+    def __init__(
+        self, spec: RuntimeSpec, max_events: int, registry: MetricsRegistry
+    ) -> None:
+        self.spec = spec
+        self.max_events = max_events
+        self.registry = registry
+        self.instrumented = registry.enabled
+        self.instances = instantiate_tasks(spec)
+        self.stats = {
+            rt.task_id: TaskStats(task_id=rt.task_id, component=rt.component)
+            for rt in spec.tasks
+        }
+        self.queues: dict[tuple[int, int], CommunicationQueue] = {}
+        self.buffers: dict[tuple[int, int], OutputBuffer] = {}
+        for edge in spec.edges:
+            key = (edge.producer, edge.consumer)
+            self.queues[key] = CommunicationQueue(
+                edge.producer, edge.consumer, spec.queue_capacity[key]
+            )
+            self.buffers[key] = OutputBuffer(
+                edge.producer, edge.consumer, spec.batch_size
+            )
+        self.counters: dict[tuple[int, str], int] = defaultdict(int)
+        self.done: set[int] = set()
+        self.events = 0
+        self.ticks = 0  # processed batches/events; stall detector input
+
+    # ------------------------------------------------------------------
+    # Scheduler
+    # ------------------------------------------------------------------
+    def execute(self) -> RunResult:
+        wall: dict[int, float] = defaultdict(float)
+        active: list[tuple[int, Iterator[None]]] = [
+            (
+                rt.task_id,
+                self._spout_loop(rt) if rt.is_spout else self._operator_loop(rt),
+            )
+            for rt in self.spec.tasks
+        ]
+        while active:
+            before = self.ticks
+            survivors: list[tuple[int, Iterator[None]]] = []
+            for task_id, loop in active:
+                started = perf_counter() if self.instrumented else 0.0
+                alive = next(loop, _FINISHED) is not _FINISHED
+                if self.instrumented:
+                    wall[task_id] += perf_counter() - started
+                if alive:
+                    survivors.append((task_id, loop))
+            active = survivors
+            if active and self.ticks == before:
+                blocked = [
+                    f"{p}->{c}"
+                    for (p, c), q in self.queues.items()
+                    if q.is_full
+                ]
+                raise ExecutionError(
+                    "inline scheduler stalled: no task can make progress "
+                    f"(full queues: {blocked or 'none'})"
+                )
+
+        sinks: dict[str, list[Sink]] = defaultdict(list)
+        for rt in self.spec.tasks:
+            instance = self.instances[rt.task_id]
+            if isinstance(instance, Sink):
+                sinks[rt.component].append(instance)
+        result = RunResult(
+            topology_name=self.spec.topology.name,
+            events_ingested=self.events,
+            task_stats=self.stats,
+            sinks=dict(sinks),
+        )
+        if self.instrumented:
+            for rt in self.spec.tasks:
+                self.registry.gauge(
+                    f"engine.{rt.component}.{rt.task.replica_start}.task_wall_ns"
+                ).set(wall[rt.task_id] * 1e9)
+            publish_engine_metrics(
+                self.registry,
+                self.spec,
+                result,
+                {key: q.stats for key, q in self.queues.items()},
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Task loops (generators: ``yield`` = cannot progress right now)
+    # ------------------------------------------------------------------
+    def _histogram(self, rt: TaskRuntime):
+        if not self.instrumented:
+            return None
+        return self.registry.histogram(
+            f"engine.{rt.component}.{rt.task.replica_start}.process_ns"
+        )
+
+    def _spout_loop(self, rt: TaskRuntime) -> Iterator[None]:
+        spout = self.instances[rt.task_id]
+        stats = self.stats[rt.task_id]
+        histogram = self._histogram(rt)
+        produced = 0
+        for values in spout.next_batch(self.max_events):
+            started = perf_counter() if histogram is not None else 0.0
+            item = StreamTuple(
+                values=values,
+                source_task=rt.task_id,
+                event_time_ns=float(produced),
+            )
+            stats.record_out(item.stream, item.payload_size_bytes)
+            yield from self._route(rt, item)
+            produced += 1
+            self.ticks += 1
+            if histogram is not None:
+                histogram.observe((perf_counter() - started) * 1e9)
+        yield from self._flush_buffers(rt)
+        self.events += produced
+        self.done.add(rt.task_id)
+
+    def _operator_loop(self, rt: TaskRuntime) -> Iterator[None]:
+        operator = self.instances[rt.task_id]
+        assert isinstance(operator, Operator)
+        stats = self.stats[rt.task_id]
+        histogram = self._histogram(rt)
+        producers = {edge.producer for edge in rt.in_edges}
+        in_queues = [
+            self.queues[(edge.producer, edge.consumer)] for edge in rt.in_edges
+        ]
+        while True:
+            progressed = False
+            for queue in in_queues:
+                while True:
+                    items = queue.drain_tuples()
+                    if not items:
+                        break
+                    progressed = True
+                    self.ticks += 1
+                    for item in items:
+                        stats.tuples_in += 1
+                        if histogram is None:
+                            emitted = operator.process(item)
+                        else:
+                            # Timed path: materialize the generator so the
+                            # observed wall-clock covers the whole per-tuple
+                            # work of the operator.
+                            started = perf_counter()
+                            emitted = list(operator.process(item))
+                            histogram.observe((perf_counter() - started) * 1e9)
+                        for stream, values in emitted:
+                            out = item.derive(
+                                values, stream=stream, source_task=rt.task_id
+                            )
+                            stats.record_out(stream, out.payload_size_bytes)
+                            yield from self._route(rt, out)
+            if producers <= self.done:
+                if all(queue.is_empty for queue in in_queues):
+                    break
+                continue
+            if not progressed:
+                yield
+        for stream, values in operator.flush():
+            out = StreamTuple(
+                values=tuple(values), stream=stream, source_task=rt.task_id
+            )
+            stats.record_out(stream, out.payload_size_bytes)
+            yield from self._route(rt, out)
+        yield from self._flush_buffers(rt)
+        self.done.add(rt.task_id)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route(self, rt: TaskRuntime, item: StreamTuple) -> Iterator[None]:
+        for route in rt.routes:
+            if route.stream != item.stream:
+                continue
+            key = (rt.task_id, route.counter_key)
+            indices = route.grouping.route(
+                item, len(route.consumers), self.counters[key]
+            )
+            self.counters[key] += 1
+            for index in indices:
+                consumer = route.consumers[index]
+                sealed = self.buffers[(rt.task_id, consumer)].append(item)
+                if sealed is not None:
+                    yield from self._enqueue(rt.task_id, consumer, sealed)
+
+    def _enqueue(self, producer: int, consumer: int, batch: JumboTuple) -> Iterator[None]:
+        queue = self.queues[(producer, consumer)]
+        if not queue.has_space(len(batch)):
+            # Blocking-producer backpressure: suspend until the consumer
+            # drains enough of the queue for the sealed batch to fit.
+            queue.stats.blocked_batches += 1
+            blocked_from = perf_counter()
+            while not queue.has_space(len(batch)):
+                yield
+            queue.stats.blocked_ns += (perf_counter() - blocked_from) * 1e9
+        queue.put(batch)
+        self.ticks += 1
+
+    def _flush_buffers(self, rt: TaskRuntime) -> Iterator[None]:
+        for edge in rt.out_edges:
+            sealed = self.buffers[(edge.producer, edge.consumer)].flush()
+            if sealed is not None:
+                yield from self._enqueue(edge.producer, edge.consumer, sealed)
+
+
+#: Sentinel distinguishing a finished task loop from a yielded suspension.
+_FINISHED = object()

@@ -1,0 +1,655 @@
+"""Process-pool executor: true parallel execution across worker processes.
+
+The GIL limits the inline backend to one core, so this backend partitions
+the lowered task table across ``multiprocessing`` workers — by plan socket
+when the spec carries a placement (one worker per socket, mirroring
+BriskStream's NUMA partitioning), round-robin otherwise — and ships
+sealed jumbo batches between workers as pickled payloads over bounded
+``mp.Queue`` inboxes.
+
+Flow control happens at three levels:
+
+* **local edges** (producer and consumer on the same worker) use the
+  spec's per-edge tuple capacities as hard bounds: an over-capacity
+  append makes the producer process the consumer's backlog in place
+  until the batch fits;
+* **remote edges** are physically bounded by the consumer worker's inbox
+  (``inbox_batches`` jumbo batches): a full inbox blocks the sending
+  task.  While blocked, a worker keeps draining its *own* inbox (admitting
+  over-capacity batches rather than deadlocking; such overflow is counted
+  and reported) so that mutually-sending workers always make progress;
+* **spouts** additionally check every downstream channel before
+  generating a chunk and pause while any is full, so ingestion is
+  throttled by the slowest consumer — the live analogue of the DES's
+  blocking-producer backpressure.
+
+Two processing disciplines are supported.  The default *arrival* mode
+processes batches in the order they arrive (pipelined, maximum overlap).
+``ordered=True`` processes each task's input edges in strict declaration
+order instead — the same order the inline backend drains queues in —
+which reproduces inline results for order-sensitive multi-input
+topologies at the cost of buffering (capacities are not enforced in this
+mode, since strict edge order may require holding later edges' input
+arbitrarily long).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue as queue_mod
+import time
+import traceback
+from collections import defaultdict, deque
+from time import perf_counter
+from typing import Any, Iterator, Mapping
+
+import multiprocessing as mp
+
+from repro.dsps.operators import Operator, Sink
+from repro.dsps.queues import OutputBuffer, QueueStats
+from repro.dsps.tuples import StreamTuple
+from repro.errors import ExecutionError, TopologyError
+from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry
+from repro.runtime.backends import ExecutorBackend, publish_engine_metrics
+from repro.runtime.lowering import RuntimeSpec, TaskRuntime, instantiate_task
+from repro.runtime.results import RunResult, TaskStats
+
+#: Default bound, in jumbo batches, of each worker's inbox queue.
+DEFAULT_INBOX_BATCHES = 64
+
+#: Events a spout generates per scheduling quantum.
+_SPOUT_CHUNK = 256
+
+#: Batches an operator processes per scheduling quantum.
+_PROCESS_QUANTUM = 8
+
+#: Sleep while no local progress is possible (seconds).
+_IDLE_SLEEP_S = 0.0002
+
+
+def _mp_context() -> mp.context.BaseContext:
+    """Prefer ``fork`` (fast, inherits the lowered spec) over ``spawn``."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+class ProcessPoolBackend(ExecutorBackend):
+    """Execute a lowered spec on a pool of worker processes.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker process count.  Defaults to one worker per placement
+        socket when the spec is placed on more than one socket, else
+        ``min(4, cpu_count)``.
+    ordered:
+        Process each task's input edges in strict declaration order
+        (see module docstring).  Default False (arrival order).
+    inbox_batches:
+        Bound, in jumbo batches, of each worker's inbox.
+    timeout_s:
+        Parent-side limit on waiting for any single worker result.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        *,
+        ordered: bool = False,
+        inbox_batches: int = DEFAULT_INBOX_BATCHES,
+        timeout_s: float = 300.0,
+    ) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ExecutionError("n_workers must be >= 1")
+        if inbox_batches < 1:
+            raise ExecutionError("inbox_batches must be >= 1")
+        self.n_workers = n_workers
+        self.ordered = ordered
+        self.inbox_batches = inbox_batches
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    # Parent side
+    # ------------------------------------------------------------------
+    def _assign(self, spec: RuntimeSpec) -> tuple[int, dict[int, int]]:
+        """Partition task ids over workers, grouping by plan socket."""
+        groups = spec.socket_groups()
+        sockets = sorted(groups)
+        n = self.n_workers
+        if n is None:
+            n = len(sockets) if len(sockets) > 1 else min(4, os.cpu_count() or 1)
+        n = max(1, n)
+        owner: dict[int, int] = {}
+        if len(sockets) >= n:
+            # One worker per socket (wrapping when sockets > workers) keeps
+            # same-socket tasks colocated, so their edges stay in-process.
+            for index, socket in enumerate(sockets):
+                for task_id in groups[socket]:
+                    owner[task_id] = index % n
+        else:
+            # Fewer socket groups than workers: spread tasks round-robin so
+            # every worker gets a share of the pipeline.
+            position = 0
+            for socket in sockets:
+                for task_id in groups[socket]:
+                    owner[task_id] = position % n
+                    position += 1
+        return n, owner
+
+    def execute(
+        self,
+        spec: RuntimeSpec,
+        max_events: int,
+        registry: MetricsRegistry | None = None,
+    ) -> RunResult:
+        if max_events < 0:
+            raise TopologyError("max_events must be >= 0")
+        registry = registry if registry is not None else NULL_REGISTRY
+        n_workers, owner = self._assign(spec)
+        ctx = _mp_context()
+        inboxes = [ctx.Queue(maxsize=self.inbox_batches) for _ in range(n_workers)]
+        results: Any = ctx.Queue()
+        workers = [
+            ctx.Process(
+                target=_worker_main,
+                args=(
+                    worker_id,
+                    spec,
+                    owner,
+                    max_events,
+                    inboxes,
+                    results,
+                    self.ordered,
+                ),
+                daemon=True,
+            )
+            for worker_id in range(n_workers)
+        ]
+        for process in workers:
+            process.start()
+        outcomes: list[tuple] = []
+        try:
+            for _ in range(n_workers):
+                try:
+                    outcome = results.get(timeout=self.timeout_s)
+                except queue_mod.Empty:
+                    raise ExecutionError(
+                        f"process backend timed out after {self.timeout_s}s "
+                        f"waiting for worker results"
+                    ) from None
+                if outcome[0] == "error":
+                    raise ExecutionError(
+                        f"worker {outcome[1]} failed:\n{outcome[2]}"
+                    )
+                outcomes.append(outcome)
+        finally:
+            for process in workers:
+                if process.is_alive():
+                    process.terminate()
+            for process in workers:
+                process.join(timeout=5.0)
+            for inbox in inboxes:
+                inbox.cancel_join_thread()
+            results.cancel_join_thread()
+        return self._merge(spec, registry, n_workers, outcomes)
+
+    def _merge(
+        self,
+        spec: RuntimeSpec,
+        registry: MetricsRegistry,
+        n_workers: int,
+        outcomes: list[tuple],
+    ) -> RunResult:
+        events = 0
+        task_stats: dict[int, TaskStats] = {}
+        sinks_by_task: dict[int, Sink] = {}
+        edge_stats: dict[tuple[int, int], QueueStats] = {}
+        worker_metrics: dict[int, dict[str, float]] = {}
+        for _, worker_id, worker_events, stats, sinks, edges, metrics in outcomes:
+            events += worker_events
+            task_stats.update(stats)
+            sinks_by_task.update(sinks)
+            edge_stats.update(edges)
+            worker_metrics[worker_id] = metrics
+        sinks: dict[str, list[Sink]] = defaultdict(list)
+        for rt in spec.tasks:
+            if rt.task_id in sinks_by_task:
+                sinks[rt.component].append(sinks_by_task[rt.task_id])
+        result = RunResult(
+            topology_name=spec.topology.name,
+            events_ingested=events,
+            task_stats=task_stats,
+            sinks=dict(sinks),
+        )
+        if registry.enabled:
+            publish_engine_metrics(registry, spec, result, edge_stats)
+            registry.gauge("runtime.run.workers").set(n_workers)
+            total_pickled = 0.0
+            for worker_id, metrics in sorted(worker_metrics.items()):
+                prefix = f"runtime.worker.{worker_id}"
+                registry.gauge(f"{prefix}.busy_fraction").set(
+                    metrics.get("busy_fraction", 0.0)
+                )
+                registry.gauge(f"{prefix}.blocked_send_ns").set(
+                    metrics.get("blocked_send_ns", 0.0)
+                )
+                registry.counter(f"{prefix}.send_blocks").inc(
+                    int(metrics.get("send_blocks", 0))
+                )
+                registry.counter(f"{prefix}.pickled_bytes_out").inc(
+                    int(metrics.get("pickled_bytes_out", 0))
+                )
+                registry.counter(f"{prefix}.remote_batches_out").inc(
+                    int(metrics.get("remote_batches_out", 0))
+                )
+                registry.counter(f"{prefix}.overflow_admissions").inc(
+                    int(metrics.get("overflow_admissions", 0))
+                )
+                registry.counter(f"{prefix}.spout_throttles").inc(
+                    int(metrics.get("spout_throttles", 0))
+                )
+                total_pickled += metrics.get("pickled_bytes_out", 0.0)
+            registry.counter("runtime.run.pickled_bytes").inc(int(total_pickled))
+        return result
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _worker_main(
+    worker_id: int,
+    spec: RuntimeSpec,
+    owner: Mapping[int, int],
+    max_events: int,
+    inboxes: list,
+    results: Any,
+    ordered: bool,
+) -> None:
+    try:
+        worker = _Worker(worker_id, spec, owner, max_events, inboxes, ordered)
+        results.put(worker.run())
+    except BaseException:
+        results.put(("error", worker_id, traceback.format_exc()))
+
+
+class _Worker:
+    """One worker process: runs its task partition to completion."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        spec: RuntimeSpec,
+        owner: Mapping[int, int],
+        max_events: int,
+        inboxes: list,
+        ordered: bool,
+    ) -> None:
+        self.me = worker_id
+        self.spec = spec
+        self.owner = dict(owner)
+        self.inboxes = inboxes
+        self.inbox = inboxes[worker_id]
+        self.ordered = ordered
+        self.mine: list[TaskRuntime] = [
+            rt for rt in spec.tasks if self.owner[rt.task_id] == worker_id
+        ]
+        self.instances = {
+            rt.task_id: instantiate_task(spec, rt) for rt in self.mine
+        }
+        self.stats = {
+            rt.task_id: TaskStats(task_id=rt.task_id, component=rt.component)
+            for rt in self.mine
+        }
+        self.buffers = {
+            (edge.producer, edge.consumer): OutputBuffer(
+                edge.producer, edge.consumer, spec.batch_size
+            )
+            for rt in self.mine
+            for edge in rt.out_edges
+        }
+        self.counters: dict[tuple[int, str], int] = defaultdict(int)
+        # Inbound bookkeeping: one stats block and backlog per in-edge of a
+        # local task.  Arrival mode queues (edge, tuples) per consumer in
+        # arrival order; ordered mode queues per edge.
+        self.edge_stats: dict[tuple[int, int], QueueStats] = {}
+        self.edge_depth: dict[tuple[int, int], int] = {}
+        self.edge_backlog: dict[tuple[int, int], deque] = {}
+        self.arrival: dict[int, deque] = {}
+        for rt in self.mine:
+            self.arrival[rt.task_id] = deque()
+            for edge in rt.in_edges:
+                key = (edge.producer, edge.consumer)
+                self.edge_stats[key] = QueueStats()
+                self.edge_depth[key] = 0
+                self.edge_backlog[key] = deque()
+        self.eof: set[tuple[int, int]] = set()
+        self.completed: set[int] = set()
+        self.events = 0
+        self.max_events = max_events
+        self.held: tuple | None = None  # received message awaiting admission
+        self.spout_iters: dict[int, Iterator] = {
+            rt.task_id: self.instances[rt.task_id].next_batch(max_events)
+            for rt in self.mine
+            if rt.is_spout
+        }
+        self.spout_produced: dict[int, int] = {t: 0 for t in self.spout_iters}
+        self.metrics: dict[str, float] = defaultdict(float)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> tuple:
+        started = perf_counter()
+        idle_s = 0.0
+        while len(self.completed) < len(self.mine):
+            progress = self._receive(limit=64, soft=False)
+            progress += self._step_spouts()
+            progress += self._step_process(_PROCESS_QUANTUM)
+            progress += self._complete_ready()
+            if not progress:
+                time.sleep(_IDLE_SLEEP_S)
+                idle_s += _IDLE_SLEEP_S
+        wall_s = max(perf_counter() - started, 1e-9)
+        self.metrics["busy_fraction"] = max(0.0, 1.0 - idle_s / wall_s)
+        self.metrics["wall_ns"] = wall_s * 1e9
+        sinks = {
+            rt.task_id: self.instances[rt.task_id]
+            for rt in self.mine
+            if isinstance(self.instances[rt.task_id], Sink)
+        }
+        # Plain dict for pickling; defaultdict factory is module-level safe
+        # anyway, but the result payload should be inert.
+        return (
+            "ok",
+            self.me,
+            self.events,
+            self.stats,
+            sinks,
+            self.edge_stats,
+            dict(self.metrics),
+        )
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def _admit(self, producer: int, consumer: int, tuples: list[StreamTuple], soft: bool) -> bool:
+        """Admit a received batch into the consumer's backlog.
+
+        Returns False when hard admission is refused (over capacity); the
+        caller must hold the message and retry later.
+        """
+        key = (producer, consumer)
+        capacity = self.spec.queue_capacity[key]
+        if capacity is not None and not self.ordered:
+            if self.edge_depth[key] + len(tuples) > capacity:
+                if not soft:
+                    return False
+                self.metrics["overflow_admissions"] += 1
+        self._enqueue_backlog(key, tuples)
+        return True
+
+    def _enqueue_backlog(self, key: tuple[int, int], tuples: list[StreamTuple]) -> None:
+        stats = self.edge_stats[key]
+        stats.enqueued_batches += 1
+        stats.enqueued_tuples += len(tuples)
+        self.edge_depth[key] += len(tuples)
+        stats.max_depth_tuples = max(stats.max_depth_tuples, self.edge_depth[key])
+        if self.ordered:
+            self.edge_backlog[key].append(tuples)
+        else:
+            self.arrival[key[1]].append((key, tuples))
+
+    def _receive(self, limit: int, soft: bool) -> int:
+        """Drain up to ``limit`` inbox messages; returns how many landed.
+
+        ``soft=False`` (main loop) refuses over-capacity batches, holding
+        the refused message so the inbox backs up and remote producers
+        block — per-edge backpressure.  ``soft=True`` (used while this
+        worker is itself blocked on a send) admits everything to keep the
+        worker graph deadlock-free.
+        """
+        received = 0
+        for _ in range(limit):
+            if self.held is not None:
+                message = self.held
+                self.held = None
+            else:
+                try:
+                    message = self.inbox.get_nowait()
+                except queue_mod.Empty:
+                    break
+            kind = message[0]
+            if kind == "eof":
+                self.eof.add((message[1], message[2]))
+                received += 1
+                continue
+            _, producer, consumer, payload = message
+            tuples = pickle.loads(payload)
+            if self._admit(producer, consumer, tuples, soft):
+                received += 1
+            else:
+                self.held = ("batch", producer, consumer, payload)
+                break
+        return received
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def _channel_full(self, producer: int, consumer: int) -> bool:
+        if self.owner[consumer] == self.me:
+            capacity = self.spec.queue_capacity[(producer, consumer)]
+            if capacity is None or self.ordered:
+                return False
+            return self.edge_depth[(producer, consumer)] >= capacity
+        try:
+            return self.inboxes[self.owner[consumer]].full()
+        except NotImplementedError:  # pragma: no cover - platform specific
+            return False
+
+    def _dispatch(self, producer: int, consumer: int, tuples: list[StreamTuple]) -> None:
+        if not tuples:
+            return
+        if self.owner[consumer] == self.me:
+            self._deliver_local(producer, consumer, tuples)
+            return
+        payload = pickle.dumps(tuples, protocol=pickle.HIGHEST_PROTOCOL)
+        self.metrics["pickled_bytes_out"] += len(payload)
+        self.metrics["remote_batches_out"] += 1
+        self._blocking_put(
+            self.owner[consumer], ("batch", producer, consumer, payload)
+        )
+
+    def _deliver_local(self, producer: int, consumer: int, tuples: list[StreamTuple]) -> None:
+        key = (producer, consumer)
+        capacity = self.spec.queue_capacity[key]
+        if capacity is not None and not self.ordered:
+            # Hard local bound: make room by processing the consumer's
+            # backlog in place (always possible — head batches only flow
+            # downstream, and the graph is acyclic).
+            blocked_from = None
+            while (
+                self.edge_depth[key] + len(tuples) > capacity
+                and self._process_one(consumer)
+            ):
+                if blocked_from is None:
+                    blocked_from = perf_counter()
+                    self.edge_stats[key].blocked_batches += 1
+            if blocked_from is not None:
+                self.edge_stats[key].blocked_ns += (
+                    perf_counter() - blocked_from
+                ) * 1e9
+        self._enqueue_backlog(key, tuples)
+
+    def _blocking_put(self, target_worker: int, message: tuple) -> None:
+        inbox = self.inboxes[target_worker]
+        try:
+            inbox.put_nowait(message)
+            return
+        except queue_mod.Full:
+            pass
+        self.metrics["send_blocks"] += 1
+        blocked_from = perf_counter()
+        while True:
+            try:
+                inbox.put_nowait(message)
+                break
+            except queue_mod.Full:
+                # Keep draining our own inbox (softly: never refuse) so a
+                # ring of mutually-blocked workers cannot deadlock.
+                if not self._receive(limit=16, soft=True):
+                    time.sleep(_IDLE_SLEEP_S)
+        self.metrics["blocked_send_ns"] += (perf_counter() - blocked_from) * 1e9
+
+    def _send_eof(self, producer: int, consumer: int) -> None:
+        if self.owner[consumer] == self.me:
+            self.eof.add((producer, consumer))
+        else:
+            self._blocking_put(self.owner[consumer], ("eof", producer, consumer))
+
+    # ------------------------------------------------------------------
+    # Routing (same counter/grouping discipline as the inline backend)
+    # ------------------------------------------------------------------
+    def _route(self, rt: TaskRuntime, item: StreamTuple) -> None:
+        for route in rt.routes:
+            if route.stream != item.stream:
+                continue
+            key = (rt.task_id, route.counter_key)
+            indices = route.grouping.route(
+                item, len(route.consumers), self.counters[key]
+            )
+            self.counters[key] += 1
+            for index in indices:
+                consumer = route.consumers[index]
+                sealed = self.buffers[(rt.task_id, consumer)].append(item)
+                if sealed is not None:
+                    self._dispatch(rt.task_id, consumer, sealed.tuples)
+
+    def _flush_task(self, rt: TaskRuntime) -> None:
+        for edge in rt.out_edges:
+            sealed = self.buffers[(edge.producer, edge.consumer)].flush()
+            if sealed is not None:
+                self._dispatch(edge.producer, edge.consumer, sealed.tuples)
+        for edge in rt.out_edges:
+            self._send_eof(edge.producer, edge.consumer)
+        self.completed.add(rt.task_id)
+
+    # ------------------------------------------------------------------
+    # Spouts
+    # ------------------------------------------------------------------
+    def _step_spouts(self) -> int:
+        progress = 0
+        for rt in self.mine:
+            if not rt.is_spout or rt.task_id in self.completed:
+                continue
+            if any(
+                self._channel_full(edge.producer, edge.consumer)
+                for edge in rt.out_edges
+            ):
+                # Backpressure reached the source: pause ingestion until
+                # downstream drains.
+                self.metrics["spout_throttles"] += 1
+                continue
+            iterator = self.spout_iters[rt.task_id]
+            stats = self.stats[rt.task_id]
+            produced = self.spout_produced[rt.task_id]
+            exhausted = False
+            for _ in range(_SPOUT_CHUNK):
+                values = next(iterator, None)
+                if values is None:
+                    exhausted = True
+                    break
+                item = StreamTuple(
+                    values=values,
+                    source_task=rt.task_id,
+                    event_time_ns=float(produced),
+                )
+                stats.record_out(item.stream, item.payload_size_bytes)
+                self._route(rt, item)
+                produced += 1
+                progress += 1
+            self.spout_produced[rt.task_id] = produced
+            if exhausted:
+                self.events += produced
+                self._flush_task(rt)
+                progress += 1
+        return progress
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+    def _next_batch(self, rt: TaskRuntime) -> tuple[tuple[int, int], list[StreamTuple]] | None:
+        if self.ordered:
+            # Strict edge order: only the earliest edge that is still live
+            # may be processed; if it has no data yet, wait.
+            for edge in rt.in_edges:
+                key = (edge.producer, edge.consumer)
+                backlog = self.edge_backlog[key]
+                if backlog:
+                    return key, backlog.popleft()
+                if key not in self.eof:
+                    return None
+            return None
+        fifo = self.arrival[rt.task_id]
+        if not fifo:
+            return None
+        return fifo.popleft()
+
+    def _process_one(self, consumer: int) -> bool:
+        """Process one backlog batch of task ``consumer``; False when none."""
+        rt = self.spec.runtime_of(consumer)
+        entry = self._next_batch(rt)
+        if entry is None:
+            return False
+        key, tuples = entry
+        self.edge_depth[key] -= len(tuples)
+        self.edge_stats[key].dequeued_tuples += len(tuples)
+        operator = self.instances[consumer]
+        assert isinstance(operator, Operator)
+        stats = self.stats[consumer]
+        for item in tuples:
+            stats.tuples_in += 1
+            for stream, values in operator.process(item):
+                out = item.derive(values, stream=stream, source_task=consumer)
+                stats.record_out(stream, out.payload_size_bytes)
+                self._route(rt, out)
+        return True
+
+    def _step_process(self, quantum: int) -> int:
+        progress = 0
+        for rt in self.mine:
+            if rt.is_spout or rt.task_id in self.completed:
+                continue
+            for _ in range(quantum):
+                if not self._process_one(rt.task_id):
+                    break
+                progress += 1
+        return progress
+
+    def _complete_ready(self) -> int:
+        progress = 0
+        for rt in self.mine:
+            if rt.is_spout or rt.task_id in self.completed:
+                continue
+            live = False
+            for edge in rt.in_edges:
+                key = (edge.producer, edge.consumer)
+                if key not in self.eof or self.edge_depth[key] > 0:
+                    live = True
+                    break
+            if live:
+                continue
+            operator = self.instances[rt.task_id]
+            assert isinstance(operator, Operator)
+            stats = self.stats[rt.task_id]
+            for stream, values in operator.flush():
+                out = StreamTuple(
+                    values=tuple(values), stream=stream, source_task=rt.task_id
+                )
+                stats.record_out(stream, out.payload_size_bytes)
+                self._route(rt, out)
+            self._flush_task(rt)
+            progress += 1
+        return progress

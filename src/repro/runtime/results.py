@@ -1,0 +1,103 @@
+"""Run results shared by every executor backend.
+
+:class:`TaskStats` and :class:`RunResult` used to live inside the
+functional engine; they moved here when the runtime layer was extracted so
+that every backend (inline, process pool) produces the same result shape.
+``repro.dsps.engine`` re-exports both names for backward compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dsps.operators import Sink
+
+
+@dataclass
+class TaskStats:
+    """Per-task functional counters collected during a run."""
+
+    task_id: int
+    component: str
+    tuples_in: int = 0
+    tuples_out: int = 0
+    out_by_stream: dict[str, int] = field(default_factory=dict)
+    bytes_out_by_stream: dict[str, int] = field(default_factory=dict)
+
+    def record_out(self, stream: str, size: int) -> None:
+        self.tuples_out += 1
+        self.out_by_stream[stream] = self.out_by_stream.get(stream, 0) + 1
+        self.bytes_out_by_stream[stream] = (
+            self.bytes_out_by_stream.get(stream, 0) + size
+        )
+
+    def merge(self, other: "TaskStats") -> None:
+        """Fold another replica of the same task's counters into this one."""
+        self.tuples_in += other.tuples_in
+        self.tuples_out += other.tuples_out
+        for stream, count in other.out_by_stream.items():
+            self.out_by_stream[stream] = self.out_by_stream.get(stream, 0) + count
+        for stream, size in other.bytes_out_by_stream.items():
+            self.bytes_out_by_stream[stream] = (
+                self.bytes_out_by_stream.get(stream, 0) + size
+            )
+
+
+@dataclass
+class RunResult:
+    """Outcome of one functional engine run."""
+
+    topology_name: str
+    events_ingested: int
+    task_stats: dict[int, TaskStats]
+    sinks: dict[str, list[Sink]]
+
+    def component_in(self, component: str) -> int:
+        """Total tuples consumed by all replicas of ``component``."""
+        return sum(
+            s.tuples_in for s in self.task_stats.values() if s.component == component
+        )
+
+    def component_out(self, component: str, stream: str | None = None) -> int:
+        """Total tuples emitted by ``component`` (optionally one stream)."""
+        total = 0
+        for stats in self.task_stats.values():
+            if stats.component != component:
+                continue
+            if stream is None:
+                total += stats.tuples_out
+            else:
+                total += stats.out_by_stream.get(stream, 0)
+        return total
+
+    def selectivity(self, component: str, stream: str | None = None) -> float:
+        """Measured output/input ratio of ``component``.
+
+        For spouts the denominator is the number of ingested events.
+        """
+        consumed = self.component_in(component)
+        if consumed == 0:
+            consumed = self.events_ingested
+        if consumed == 0:
+            return 0.0
+        return self.component_out(component, stream) / consumed
+
+    def mean_tuple_bytes(self, component: str, stream: str | None = None) -> float:
+        """Measured mean output payload size of ``component`` in bytes."""
+        tuples = 0
+        total_bytes = 0
+        for stats in self.task_stats.values():
+            if stats.component != component:
+                continue
+            for name, count in stats.out_by_stream.items():
+                if stream is not None and name != stream:
+                    continue
+                tuples += count
+                total_bytes += stats.bytes_out_by_stream.get(name, 0)
+        if tuples == 0:
+            return 0.0
+        return total_bytes / tuples
+
+    def sink_received(self) -> int:
+        """Total tuples received across every sink replica."""
+        return sum(s.received for sinks in self.sinks.values() for s in sinks)

@@ -34,10 +34,10 @@ from dataclasses import dataclass, field
 from repro.core.model import BRISKSTREAM
 from repro.core.plan import ExecutionPlan
 from repro.core.profiles import ProfileSet, SystemProfile
-from repro.dsps.streams import BroadcastGrouping, GlobalGrouping
 from repro.errors import SimulationError
 from repro.hardware.machine import MachineSpec
 from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry
+from repro.runtime.lowering import lower_plan
 from repro.simulation.prefetch import DEFAULT_PREFETCH, PrefetchModel
 
 _EMIT, _COMPLETE = 0, 1
@@ -319,75 +319,87 @@ class DiscreteEventSimulator:
     # Construction
     # ------------------------------------------------------------------
     def _build(self, plan: ExecutionPlan, ingress_rate: float) -> dict[int, _Task]:
-        graph = plan.graph
+        # The structural expansion (task table, per-edge queues with
+        # capacities, routing fan-outs with their modes) comes from the same
+        # lowering live backends consume; this method only decorates it with
+        # the performance model's timings.  Iteration orders below follow
+        # the spec's graph/edge/route orders, which the lowering fixes, so
+        # RNG draw sequences are reproducible.
+        spec = lower_plan(
+            plan,
+            batch_size=self.system.batch_size,
+            queue_capacity=self.queue_capacity,
+        )
         machine = self.machine
         system = self.system
-        sink_components = set(graph.topology.sinks)
-        spout_components = set(graph.topology.spouts)
+        runtimes = {rt.task_id: rt for rt in spec.tasks}
         tasks: dict[int, _Task] = {}
         spout_counts = {
-            name: len(graph.tasks_of(name)) for name in spout_components
+            name: len(spec.graph.tasks_of(name)) for name in spec.topology.spouts
         }
         interference = system.interference_factor(
             len(set(plan.placement.values()))
         )
-        for task in graph.tasks:
-            profile = self.profiles[task.component]
+        for task in spec.graph.tasks:
+            rt = runtimes[task.task_id]
+            profile = self.profiles[rt.component]
             sim = _Task()
-            sim.task_id = task.task_id
-            sim.component = task.component
-            sim.is_spout = task.component in spout_components
-            sim.is_sink = task.component in sink_components
+            sim.task_id = rt.task_id
+            sim.component = rt.component
+            sim.is_spout = rt.is_spout
+            sim.is_sink = rt.is_sink
             sim.te_ns = system.execute_ns(machine.cycles_to_ns(profile.te_cycles))
             sim.sigma = (
                 math.sqrt(math.log(1.0 + profile.te_cv**2)) if profile.te_cv > 0 else 0.0
             )
             sim.overhead_ns = system.overhead_ns(0.0, 0.0, profile.total_selectivity)
-            if len(graph.topology.incoming(task.component)) > 1:
+            if len(spec.topology.incoming(rt.component)) > 1:
                 sim.overhead_ns += system.multi_input_penalty_ns
             sim.overhead_ns *= interference
             if sim.is_spout:
-                share = ingress_rate / spout_counts[task.component]
+                share = ingress_rate / spout_counts[rt.component]
                 sim.spout_interval = 1e9 / share
             if self._enabled:
-                prefix = f"des.{task.component}.{task.task_id}"
+                prefix = f"des.{rt.component}.{rt.task_id}"
                 sim.service_hist = self.registry.histogram(f"{prefix}.service_ns")
                 sim.wait_hist = self.registry.histogram(f"{prefix}.wait_ns")
-            tasks[task.task_id] = sim
+            tasks[rt.task_id] = sim
 
-        for edge in graph.edges:
-            producer = graph.task(edge.producer)
+        for edge in spec.edges:
+            producer_rt = runtimes[edge.producer]
+            consumer_rt = runtimes[edge.consumer]
             consumer_task = tasks[edge.consumer]
-            payload = self.profiles.edge_payload_bytes(producer.component, edge.stream)
+            payload = self.profiles.edge_payload_bytes(
+                producer_rt.component, edge.stream
+            )
             wire = system.wire_bytes(payload)
-            p_sock = plan.placement[edge.producer]
-            c_sock = plan.placement[edge.consumer]
             fetch_est = (
                 0.0
-                if p_sock == c_sock
-                else machine.cache_lines(wire) * machine.latency_ns(p_sock, c_sock)
+                if producer_rt.socket == consumer_rt.socket
+                else machine.cache_lines(wire)
+                * machine.latency_ns(producer_rt.socket, consumer_rt.socket)
             )
             fetch = self.prefetch.effective_fetch_ns(fetch_est, consumer_task.te_ns)
-            queue = _Queue(self.queue_capacity, edge.producer, fetch)
+            capacity = spec.queue_capacity[(edge.producer, edge.consumer)]
+            assert capacity is not None  # uniform bound passed to the lowering
+            queue = _Queue(capacity, edge.producer, fetch)
             if self._enabled:
                 queue.push_times = deque()
             consumer_task.in_queues.append(queue)
             tasks[edge.producer].buffers[edge.consumer] = []
 
-        # Routing tables: one entry per (logical edge) on the producer side.
-        for name in graph.topology.components:
-            for edge in graph.topology.outgoing(name):
-                consumers = [t.task_id for t in graph.tasks_of(edge.consumer)]
-                profile = self.profiles[name]
-                selectivity = profile.stream_selectivity(edge.stream)
-                if isinstance(edge.grouping, BroadcastGrouping):
-                    mode = "all"
-                elif isinstance(edge.grouping, GlobalGrouping):
-                    mode = "first"
-                else:
-                    mode = "pick"
-                for task in graph.tasks_of(name):
-                    tasks[task.task_id].routes.append((selectivity, consumers, mode))
+        # Routing tables: one entry per logical edge on the producer side,
+        # in the spec's route order.
+        for rt in spec.tasks:
+            profile = self.profiles[rt.component]
+            for route in rt.routes:
+                tasks[rt.task_id].routes.append(
+                    (
+                        profile.stream_selectivity(route.stream),
+                        list(route.consumers),
+                        route.mode,
+                    )
+                )
         return tasks
 
     # ------------------------------------------------------------------

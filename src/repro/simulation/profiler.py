@@ -14,6 +14,7 @@ hand it to the model — runs end to end.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -67,7 +68,11 @@ class OperatorProfiler:
         if samples < 2:
             raise ProfilingError("need at least two samples")
         profile = self.profiles[component]
-        rng = np.random.default_rng((self.seed, hash(component) & 0xFFFF))
+        # crc32, not builtin hash(): str hashing is salted per interpreter
+        # (PYTHONHASHSEED), which would make "same seed, same samples" only
+        # hold within one process.
+        component_digest = zlib.crc32(component.encode("utf-8")) & 0xFFFF
+        rng = np.random.default_rng((self.seed, component_digest))
         cycles = _lognormal_around(rng, profile.te_cycles, profile.te_cv, samples)
         return OperatorSamples(component=component, cycles=cycles)
 

@@ -48,7 +48,30 @@ class TestParser:
         assert main(["run", "wc", "--events", "200"]) == 0
         out = capsys.readouterr().out
         assert "Engine run" in out
-        assert "sink received" in out
+
+    def test_run_bounded_queues(self, capsys):
+        assert main(["run", "wc", "--events", "200", "--queue-capacity", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "sink received: 2000 tuples" in out
+
+    def test_run_process_backend(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "wc",
+                    "--events",
+                    "200",
+                    "--backend",
+                    "process",
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sink received: 2000 tuples" in out
 
     def test_run_emits_metrics_report(self, tmp_path, capsys):
         target = tmp_path / "m.json"

@@ -1,5 +1,9 @@
 """Unit tests for the operator profiler and round-trip measurements."""
 
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.core import BRISKSTREAM, PerformanceModel
@@ -14,6 +18,46 @@ def setup():
     topology = build_pipeline()
     profiles = pipeline_profiles(topology)
     return topology, profiles
+
+
+class TestSeedingStability:
+    """Profiling draws must not depend on the interpreter's hash salt."""
+
+    _SNIPPET = (
+        "import json\n"
+        "from tests.conftest import build_pipeline, pipeline_profiles\n"
+        "from repro.simulation import OperatorProfiler\n"
+        "profiles = pipeline_profiles(build_pipeline())\n"
+        "samples = OperatorProfiler(profiles, seed=1).profile('fan', samples=8)\n"
+        "print(json.dumps([float(c) for c in samples.cycles]))\n"
+    )
+
+    def _draw_in_subprocess(self, hash_seed: str) -> str:
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hash_seed
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", self._SNIPPET],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        return proc.stdout.strip()
+
+    def test_samples_stable_across_hash_seeds(self, setup):
+        # Before the crc32-based component digest, str hashing made these
+        # draws differ between interpreters with different hash salts.
+        assert self._draw_in_subprocess("0") == self._draw_in_subprocess("12345")
+
+    def test_samples_per_component_differ(self, setup):
+        _, profiles = setup
+        profiler = OperatorProfiler(profiles, seed=1)
+        fan = profiler.profile("fan", samples=16)
+        stage = profiler.profile("stage", samples=16)
+        assert list(fan.cycles) != list(stage.cycles)
 
 
 class TestProfiler:
