@@ -1,0 +1,117 @@
+"""Optimizer speed: incremental B&B vs the legacy batch-evaluation search.
+
+Times the placement search with the incremental evaluator + transposition
+cache (the default) against the legacy full-``evaluate``-per-probe path
+(``use_incremental=False``) on Server A and Server B topologies for all
+four applications.  The figure of merit is *nodes evaluated per second*
+(``stats.evaluations / runtime_s``): both paths explore the same search
+tree, so the ratio isolates evaluation cost.
+
+In full mode the benchmark asserts the headline ≥3x speedup on the
+largest application (Linear Road); quick mode (``REPRO_BENCH_SCALE=quick``)
+still produces the schema-valid JSON artefact but skips the assertion.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.core import PerformanceModel, PlacementOptimizer
+from repro.dsps.graph import ExecutionGraph
+from repro.metrics import format_table
+
+from support import QUICK, bundle, machine, write_result
+
+APPS = ("wc", "fd", "sd", "lr")
+SERVERS = ("A", "B")
+
+#: Replicas per component — Linear Road (the largest topology) gets the
+#: deepest graph; quick mode shrinks everything to a smoke run.
+REPLICATION = {"wc": 4, "fd": 4, "sd": 4, "lr": 8}
+RATE = {"wc": 100_000.0, "fd": 100_000.0, "sd": 100_000.0, "lr": 150_000.0}
+
+
+def _search(model, rate, graph, use_incremental):
+    placer = PlacementOptimizer(model, rate, use_incremental=use_incremental)
+    started = perf_counter()
+    result = placer.optimize(graph)
+    elapsed = max(perf_counter() - started, 1e-9)
+    return result, elapsed
+
+
+def run_experiment():
+    rows = []
+    for app in APPS:
+        topology, profiles = bundle(app)
+        replication = 2 if QUICK else REPLICATION[app]
+        graph = ExecutionGraph(
+            topology, {n: replication for n in topology.components}
+        )
+        for server in SERVERS:
+            mach = machine(server, 8)
+            model = PerformanceModel(profiles, mach)
+            rate = RATE[app]
+            legacy, legacy_s = _search(model, rate, graph, False)
+            fast, fast_s = _search(model, rate, graph, True)
+            legacy_nps = legacy.stats.evaluations / legacy_s
+            fast_nps = fast.stats.evaluations / fast_s
+            plans_match = (
+                legacy.plan.placement == fast.plan.placement
+                if legacy.plan is not None and fast.plan is not None
+                else legacy.plan is fast.plan
+            )
+            rows.append(
+                {
+                    "app": app,
+                    "server": server,
+                    "tasks": graph.n_tasks,
+                    "evaluations": fast.stats.evaluations,
+                    "legacy_runtime_s": round(legacy_s, 4),
+                    "incremental_runtime_s": round(fast_s, 4),
+                    "legacy_nodes_per_s": round(legacy_nps, 1),
+                    "incremental_nodes_per_s": round(fast_nps, 1),
+                    "speedup": round(fast_nps / legacy_nps, 3),
+                    "cache_hits": fast.stats.cache_hits,
+                    "incremental_evals": fast.stats.incremental_evals,
+                    "full_evals": fast.stats.full_evals,
+                    "throughput_match": fast.throughput == legacy.throughput,
+                    "plans_match": plans_match,
+                }
+            )
+    return rows
+
+
+def test_optimizer_speed():
+    rows = run_experiment()
+    table = format_table(
+        ["app", "server", "tasks", "legacy n/s", "incremental n/s", "speedup"],
+        [
+            [
+                r["app"],
+                r["server"],
+                r["tasks"],
+                r["legacy_nodes_per_s"],
+                r["incremental_nodes_per_s"],
+                f"{r['speedup']:.2f}x",
+            ]
+            for r in rows
+        ],
+        title="B&B node-evaluation throughput — legacy vs incremental",
+    )
+    write_result(
+        "BENCH_optimizer",
+        table,
+        data={"rows": rows, "metric": "nodes_evaluated_per_second"},
+        server="B",
+        sockets=8,
+    )
+    # Both paths must agree on the outcome everywhere, at any scale.
+    for r in rows:
+        assert r["throughput_match"], f"{r['app']}/{r['server']} value diverged"
+    if QUICK:
+        return  # smoke run: artefact only, no performance bar
+    lr_speedups = [r["speedup"] for r in rows if r["app"] == "lr"]
+    assert max(lr_speedups) >= 3.0, (
+        f"incremental evaluator must be >=3x on the largest app; "
+        f"got {lr_speedups}"
+    )

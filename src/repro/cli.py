@@ -61,6 +61,7 @@ def _optimize(args: argparse.Namespace, registry: MetricsRegistry | None = None)
         tf_mode=TfMode(args.tf_mode),
         compress_ratio=args.compress_ratio,
         registry=registry,
+        opt_workers=args.opt_workers,
     ).optimize()
     print(plan.describe())
     return plan, rate, profiles, machine
@@ -256,6 +257,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="relative (RLAS) / worst (fix L) / zero (fix U)",
         )
         p.add_argument("--compress-ratio", type=int, default=5)
+        p.add_argument(
+            "--opt-workers",
+            type=int,
+            default=1,
+            help="parallel B&B search processes (1 = deterministic sequential)",
+        )
         p.add_argument(
             "--emit-metrics",
             metavar="PATH",

@@ -39,6 +39,7 @@ from repro.core.constraints import (
 from repro.core.model import (
     BRISKSTREAM,
     EdgeFlow,
+    IncrementalEvaluator,
     ModelResult,
     PerformanceModel,
     TaskRates,
@@ -81,6 +82,7 @@ __all__ = [
     "resource_report",
     "BRISKSTREAM",
     "EdgeFlow",
+    "IncrementalEvaluator",
     "ModelResult",
     "PerformanceModel",
     "TaskRates",

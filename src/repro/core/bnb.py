@@ -15,29 +15,40 @@ The paper's three branching heuristics appear as follows:
    rate, are never enumerated.
 2. **Best-fit & redundancy elimination** — producer-first ordering makes
    every task's output rate fully determined at placement time, so the
-   best-fit rule (max output rate, ties broken towards collocation and
-   then the least remaining CPU) ranks candidates at every step; only the
-   top ``branch_width`` are explored.  Identical sub-problems are dropped
-   via a visited set over placement signatures *canonicalized up to
-   permutations of interchangeable replicas*, and interchangeable sockets
-   (same occupants, same NUMA relation to every used socket) are branched
-   only once.
+   best-fit rule (max output rate; ties broken towards collocation, then
+   the least remaining CPU, then the lowest socket id — a total order, so
+   every search ranks identically) ranks candidates at every step; only
+   the top ``branch_width`` are explored.  Identical sub-problems are
+   dropped via a visited set over placement signatures *canonicalized up
+   to permutations of interchangeable replicas*, and interchangeable
+   sockets (same occupants, same NUMA relation to every used socket) are
+   branched only once.
 3. **Graph compression** is handled upstream by building the execution
    graph with ``group_size > 1`` (see :mod:`repro.core.compression`).
 
-Every candidate child is evaluated exactly once: the (bounding) model run
-that establishes feasibility also yields the child's bound, and complete
-feasible children update the incumbent immediately instead of being pushed
-back on the stack.
+Evaluation cost, the innermost loop of the search, is paid three ways
+(see docs/optimizer.md):
+
+* an :class:`~repro.core.model.IncrementalEvaluator` re-propagates only
+  the topological suffix a single placement step can affect, instead of
+  re-running the full model per candidate;
+* a **transposition cache** keyed by the canonical placement signature
+  reuses the evaluation of previously seen (equivalent) sub-problems;
+* an optional **multi-worker search** (``workers=N``, stdlib
+  ``multiprocessing``) partitions the root frontier over processes that
+  share the incumbent bound through a ``multiprocessing.Value``.  The
+  default ``workers=1`` search is strictly sequential and returns
+  bit-identical plans and statistics to the pre-incremental solver.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 from dataclasses import dataclass
 
-from repro.core.constraints import ResourceReport, resource_report
-from repro.core.model import ModelResult, PerformanceModel
+from repro.core.constraints import resource_report
+from repro.core.model import IncrementalEvaluator, ModelResult, PerformanceModel
 from repro.core.plan import ExecutionPlan, empty_plan
 from repro.dsps.graph import ExecutionGraph
 from repro.errors import PlanError
@@ -54,15 +65,34 @@ class SearchStats:
     evaluations: int = 0
     solutions_found: int = 0
     best_fit_commits: int = 0
+    cache_hits: int = 0
+    incremental_evals: int = 0
+    full_evals: int = 0
+    workers: int = 1
     runtime_s: float = 0.0
     time_to_best_s: float = 0.0
     optimal: bool = True
+
+    def merge_counters(self, other: "SearchStats") -> None:
+        """Fold a worker's counters into this (aggregate) record."""
+        self.nodes_expanded += other.nodes_expanded
+        self.nodes_pruned += other.nodes_pruned
+        self.nodes_deduplicated += other.nodes_deduplicated
+        self.children_generated += other.children_generated
+        self.evaluations += other.evaluations
+        self.solutions_found += other.solutions_found
+        self.best_fit_commits += other.best_fit_commits
+        self.cache_hits += other.cache_hits
+        self.incremental_evals += other.incremental_evals
+        self.full_evals += other.full_evals
+        self.optimal = self.optimal and other.optimal
 
     def publish(self, registry, prefix: str = "rlas.bnb") -> None:
         """Accumulate this search's counts into a metrics registry.
 
         Counters add up across searches (one scaling run performs many);
-        the time gauges reflect the most recent search.
+        the time gauges reflect the most recent search.  The evaluator's
+        delta/full split is published under the model's namespace.
         """
         registry.counter(f"{prefix}.searches").inc()
         registry.counter(f"{prefix}.nodes_expanded").inc(self.nodes_expanded)
@@ -71,6 +101,9 @@ class SearchStats:
         registry.counter(f"{prefix}.children_generated").inc(self.children_generated)
         registry.counter(f"{prefix}.plans_evaluated").inc(self.evaluations)
         registry.counter(f"{prefix}.solutions_found").inc(self.solutions_found)
+        registry.counter(f"{prefix}.cache_hits").inc(self.cache_hits)
+        registry.counter("rlas.model.incremental_evals").inc(self.incremental_evals)
+        registry.counter("rlas.model.full_evals").inc(self.full_evals)
         registry.gauge(f"{prefix}.runtime_s").set(self.runtime_s)
         registry.gauge(f"{prefix}.time_to_best_s").set(self.time_to_best_s)
         registry.histogram(f"{prefix}.search_runtime_s").observe(self.runtime_s)
@@ -101,6 +134,10 @@ class _Node:
     bound: float
     rank: int
     plan: ExecutionPlan
+    #: Per-socket replica load / canonical class counts of ``plan``,
+    #: threaded through the search so nodes need no O(placed) rebuild.
+    load: dict | None = None
+    counts: dict | None = None
 
 
 @dataclass
@@ -108,12 +145,67 @@ class _Child:
     """A freshly branched placement with its one-time evaluation."""
 
     plan: ExecutionPlan
-    result: ModelResult
-    report: ResourceReport
+    signature: frozenset
+    bound: float
+    feasible: bool
+    result: ModelResult | None = None  # populated on the batch path only
+    load: dict | None = None
+    counts: dict | None = None
 
-    @property
-    def bound(self) -> float:
-        return self.result.throughput
+
+def _search_worker(payload, shared_bound, queue, index: int) -> None:
+    """Entry point of one parallel search process.
+
+    Runs a strictly sequential search over its share of the root frontier,
+    pruning against (and publishing into) the shared incumbent bound, and
+    reports ``(index, best placement or None, best value, stats)``.
+    """
+    (
+        model,
+        graph,
+        ingress_rate,
+        branch_width,
+        use_incremental,
+        nodes,
+        node_budget,
+        no_solution_budget,
+    ) = payload
+    try:
+        solver = PlacementOptimizer(
+            model,
+            ingress_rate,
+            max_nodes=node_budget,
+            branch_width=branch_width,
+            use_incremental=use_incremental,
+        )
+        solver._prepare(graph)
+        stats = solver._stats = SearchStats()
+        stack = [
+            _Node(
+                bound=bound,
+                rank=rank,
+                plan=ExecutionPlan(graph=graph, placement=placement),
+            )
+            for bound, rank, placement in nodes
+        ]
+        best_plan, best_value, _best_result = solver._search(
+            stack,
+            set(),
+            None,
+            0.0,
+            None,
+            stats,
+            time.perf_counter(),
+            node_budget,
+            no_solution_budget,
+            shared_bound=shared_bound,
+            materialize=False,
+        )[:3]
+        solver._collect_eval_counters(stats)
+        placement = dict(best_plan.placement) if best_plan is not None else None
+        queue.put((index, placement, best_value, stats, None))
+    except Exception as exc:  # surface worker failures to the parent
+        queue.put((index, None, 0.0, SearchStats(), repr(exc)))
 
 
 class PlacementOptimizer:
@@ -125,6 +217,8 @@ class PlacementOptimizer:
         ingress_rate: float,
         max_nodes: int | None = None,
         branch_width: int = 2,
+        workers: int = 1,
+        use_incremental: bool = True,
     ) -> None:
         """
         Parameters
@@ -143,19 +237,41 @@ class PlacementOptimizer:
         branch_width:
             Candidate sockets explored per task placement (1 = pure
             greedy best-fit; larger values trade runtime for optimality).
+        workers:
+            Search processes.  ``1`` (default) is strictly sequential and
+            deterministic; ``N > 1`` partitions the root frontier over
+            ``N`` processes sharing the incumbent bound (each worker gets
+            the full node budget, so a parallel search explores at least
+            as much of the tree).  Requires a POSIX ``fork`` start method;
+            falls back to the sequential search where unavailable.
+        use_incremental:
+            Evaluate candidates with the delta-propagating
+            :class:`~repro.core.model.IncrementalEvaluator` plus the
+            transposition cache (default).  ``False`` re-runs the full
+            batch model per candidate — the pre-optimization path, kept
+            for differential testing and the optimizer benchmark.
         """
         if ingress_rate <= 0:
             raise PlanError("ingress rate must be positive")
         if branch_width < 1:
             raise PlanError("branch width must be >= 1")
+        if workers < 1:
+            raise PlanError("workers must be >= 1")
         self.model = model
         self.machine = model.machine
         self.profiles = model.profiles
         self.ingress_rate = ingress_rate
         self.max_nodes = max_nodes
         self.branch_width = branch_width
+        self.workers = workers
+        self.use_incremental = use_incremental
         self._topo_tasks: list = []
         self._task_classes: dict[int, tuple] = {}
+        self._class_of: list[tuple] = []
+        self._weight_of: list[int] = []
+        self._rounded_latency: list[list[float]] = []
+        self._evaluator: IncrementalEvaluator | None = None
+        self._tt_cache: dict[frozenset, tuple] = {}
         self._stats = SearchStats()
 
     # ------------------------------------------------------------------
@@ -171,7 +287,7 @@ class PlacementOptimizer:
         ``initial_plan`` optionally seeds the incumbent (e.g. a first-fit
         plan) so pruning can start early (Appendix D discussion).
         """
-        stats = self._stats = SearchStats()
+        stats = self._stats = SearchStats(workers=self.workers)
         start = time.perf_counter()
         node_budget = (
             self.max_nodes
@@ -184,63 +300,45 @@ class PlacementOptimizer:
         # will not rescue it either.
         no_solution_budget = max(256, 6 * graph.n_tasks)
 
-        self._topo_tasks = graph.topological_task_order()
-        self._task_classes = self._equivalence_classes(graph)
+        self._prepare(graph)
         best_plan: ExecutionPlan | None = None
         best_value = 0.0
         best_result: ModelResult | None = None
 
         if initial_plan is not None and initial_plan.is_complete:
-            child = self._evaluate(initial_plan)
-            if child.report.is_feasible:
-                best_plan = initial_plan
-                best_value = child.bound
-                best_result = child.result
+            seeded = self._seed_incumbent(initial_plan)
+            if seeded is not None:
+                best_plan, best_value, best_result = seeded
                 stats.solutions_found += 1
                 stats.time_to_best_s = time.perf_counter() - start
 
-        root = empty_plan(graph)
-        stack: list[_Node] = [_Node(bound=float("inf"), rank=0, plan=root)]
-        visited: set[frozenset[tuple[int, int]]] = set()
+        root = _Node(bound=float("inf"), rank=0, plan=empty_plan(graph))
+        if self.workers > 1 and self._fork_context() is not None:
+            best_plan, best_value, best_result = self._search_parallel(
+                graph,
+                root,
+                best_plan,
+                best_value,
+                best_result,
+                stats,
+                start,
+                node_budget,
+                no_solution_budget,
+            )
+        else:
+            best_plan, best_value, best_result = self._search(
+                [root],
+                set(),
+                best_plan,
+                best_value,
+                best_result,
+                stats,
+                start,
+                node_budget,
+                no_solution_budget,
+            )[:3]
 
-        while stack:
-            if stats.nodes_expanded >= node_budget or (
-                best_plan is None and stats.nodes_expanded >= no_solution_budget
-            ):
-                stats.optimal = False
-                break
-            node = stack.pop()
-            if best_plan is not None and node.bound <= best_value:
-                stats.nodes_pruned += 1
-                continue
-            stats.nodes_expanded += 1
-            live: list[_Node] = []
-            for rank, child in enumerate(self._branch(node.plan)):
-                signature = self._canonical_signature(child.plan)
-                if signature in visited:
-                    stats.nodes_deduplicated += 1
-                    continue
-                visited.add(signature)
-                if best_plan is not None and child.bound <= best_value:
-                    stats.nodes_pruned += 1
-                    continue
-                if child.plan.is_complete:
-                    # Bounding and full evaluation coincide on complete
-                    # plans, so this child is already a valued solution.
-                    if child.report.is_feasible and child.bound > best_value:
-                        best_plan = child.plan
-                        best_value = child.bound
-                        best_result = child.result
-                        stats.solutions_found += 1
-                        stats.time_to_best_s = time.perf_counter() - start
-                    continue
-                live.append(_Node(bound=child.bound, rank=rank, plan=child.plan))
-                stats.children_generated += 1
-            # LIFO stack: push so the most promising pops first — highest
-            # bound last; on tied bounds, the best-fit-ranked child last.
-            live.sort(key=lambda n: (n.bound, -n.rank))
-            stack.extend(live)
-
+        self._collect_eval_counters(stats)
         stats.runtime_s = time.perf_counter() - start
         if best_plan is None:
             return PlacementResult(
@@ -258,19 +356,258 @@ class PlacementOptimizer:
         )
 
     # ------------------------------------------------------------------
+    # Search core (shared by the sequential path and every worker)
+    # ------------------------------------------------------------------
+    def _prepare(self, graph: ExecutionGraph) -> None:
+        """Bind per-search state: topo order, task classes, evaluator."""
+        self._topo_tasks = graph.topological_task_order()
+        self._task_classes = self._equivalence_classes(graph)
+        self._class_of = [self._task_classes[t.task_id] for t in graph.tasks]
+        self._weight_of = [t.weight for t in graph.tasks]
+        machine = self.machine
+        self._rounded_latency = [
+            [round(machine.latency_ns(i, j), 3) for j in machine.sockets]
+            for i in machine.sockets
+        ]
+        self._tt_cache = {}
+        self._evaluator = (
+            self.model.evaluator(graph, self.ingress_rate)
+            if self.use_incremental
+            else None
+        )
+
+    def _search(
+        self,
+        stack: list[_Node],
+        visited: set[frozenset],
+        best_plan: ExecutionPlan | None,
+        best_value: float,
+        best_result: ModelResult | None,
+        stats: SearchStats,
+        start: float,
+        node_budget: int,
+        no_solution_budget: int,
+        shared_bound=None,
+        frontier_limit: int | None = None,
+        materialize: bool = True,
+    ) -> tuple[ExecutionPlan | None, float, ModelResult | None, list[_Node]]:
+        """Run the DFS main loop; returns the incumbent and leftover stack.
+
+        ``shared_bound`` (a ``multiprocessing.Value``) lets parallel
+        workers prune against the best value any sibling has found.
+        ``frontier_limit`` stops the loop once the stack holds that many
+        live nodes (used to build the root frontier for partitioning).
+        ``materialize=False`` skips building full ``ModelResult`` objects
+        for incumbents (workers return placements; the parent
+        re-materializes once).
+        """
+        while stack:
+            if frontier_limit is not None and len(stack) >= frontier_limit:
+                break
+            if stats.nodes_expanded >= node_budget or (
+                best_plan is None and stats.nodes_expanded >= no_solution_budget
+            ):
+                stats.optimal = False
+                break
+            node = stack.pop()
+            incumbent = best_value if best_plan is not None else None
+            if shared_bound is not None:
+                shared = shared_bound.value
+                if shared > 0.0 and (incumbent is None or shared > incumbent):
+                    incumbent = shared
+            if incumbent is not None and node.bound <= incumbent:
+                stats.nodes_pruned += 1
+                continue
+            stats.nodes_expanded += 1
+            live: list[_Node] = []
+            for rank, child in enumerate(self._branch(node)):
+                if child.signature in visited:
+                    stats.nodes_deduplicated += 1
+                    continue
+                visited.add(child.signature)
+                if incumbent is not None and child.bound <= incumbent:
+                    stats.nodes_pruned += 1
+                    continue
+                if child.plan.is_complete:
+                    # Bounding and full evaluation coincide on complete
+                    # plans, so this child is already a valued solution.
+                    if child.feasible and child.bound > best_value:
+                        best_plan = child.plan
+                        best_value = child.bound
+                        if child.result is not None:
+                            best_result = child.result
+                        elif materialize:
+                            best_result = self._materialize(child.plan)
+                        else:
+                            best_result = None
+                        stats.solutions_found += 1
+                        stats.time_to_best_s = time.perf_counter() - start
+                        if shared_bound is not None:
+                            with shared_bound.get_lock():
+                                if best_value > shared_bound.value:
+                                    shared_bound.value = best_value
+                        if incumbent is None or best_value > incumbent:
+                            incumbent = best_value
+                    continue
+                live.append(
+                    _Node(
+                        bound=child.bound,
+                        rank=rank,
+                        plan=child.plan,
+                        load=child.load,
+                        counts=child.counts,
+                    )
+                )
+                stats.children_generated += 1
+            # LIFO stack: push so the most promising pops first — highest
+            # bound last; on tied bounds, the best-fit-ranked child last.
+            live.sort(key=lambda n: (n.bound, -n.rank))
+            stack.extend(live)
+        return best_plan, best_value, best_result, stack
+
+    def _search_parallel(
+        self,
+        graph: ExecutionGraph,
+        root: _Node,
+        best_plan: ExecutionPlan | None,
+        best_value: float,
+        best_result: ModelResult | None,
+        stats: SearchStats,
+        start: float,
+        node_budget: int,
+        no_solution_budget: int,
+    ) -> tuple[ExecutionPlan | None, float, ModelResult | None]:
+        """Partition the root frontier over ``workers`` processes.
+
+        The parent expands the tree sequentially until the stack holds a
+        few subtrees per worker, deals them out round-robin from the most
+        promising down, and merges the workers' incumbents (ties break to
+        the lowest worker index).  Workers share the incumbent bound via a
+        ``multiprocessing.Value`` so one worker's solution prunes the
+        others' subtrees.
+        """
+        frontier_target = max(self.workers * 4, self.workers + 1)
+        best_plan, best_value, best_result, frontier = self._search(
+            [root],
+            set(),
+            best_plan,
+            best_value,
+            best_result,
+            stats,
+            start,
+            node_budget,
+            no_solution_budget,
+            frontier_limit=frontier_target,
+        )
+        if not frontier:
+            return best_plan, best_value, best_result  # solved while seeding
+
+        ctx = self._fork_context()
+        n_workers = min(self.workers, len(frontier))
+        groups: list[list[_Node]] = [[] for _ in range(n_workers)]
+        # The stack pops from the end: deal from the most promising node
+        # down so every worker receives a comparable mix of subtrees.
+        for position, node in enumerate(reversed(frontier)):
+            groups[position % n_workers].append(node)
+
+        shared_bound = ctx.Value("d", best_value if best_plan is not None else 0.0)
+        queue = ctx.SimpleQueue()
+        processes = []
+        for index, group in enumerate(groups):
+            nodes = [
+                (node.bound, node.rank, dict(node.plan.placement))
+                for node in reversed(group)  # reversed: best pops first
+            ]
+            payload = (
+                self.model,
+                graph,
+                self.ingress_rate,
+                self.branch_width,
+                self.use_incremental,
+                nodes,
+                node_budget,
+                no_solution_budget,
+            )
+            process = ctx.Process(
+                target=_search_worker,
+                args=(payload, shared_bound, queue, index),
+                daemon=True,
+            )
+            process.start()
+            processes.append(process)
+
+        outcomes = sorted(queue.get() for _ in processes)
+        for process in processes:
+            process.join()
+        failures = [error for *_ignored, error in outcomes if error is not None]
+        if failures and all(error is not None for *_ignored, error in outcomes):
+            raise PlanError(f"all placement search workers failed: {failures[0]}")
+        for _index, placement, value, worker_stats, error in outcomes:
+            if error is not None:
+                continue
+            stats.merge_counters(worker_stats)
+            if placement is not None and value > best_value:
+                best_plan = ExecutionPlan(graph=graph, placement=placement)
+                best_value = value
+                best_result = None
+                stats.time_to_best_s = time.perf_counter() - start
+        if best_plan is not None and best_result is None:
+            best_result = self._materialize(best_plan)
+        return best_plan, best_value, best_result
+
+    @staticmethod
+    def _fork_context():
+        """The ``fork`` multiprocessing context, or None where unsupported.
+
+        Forked workers inherit the graph/model without pickling, which
+        keeps lambdas-in-operators (common in tests and notebooks) legal.
+        """
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return None
+        return multiprocessing.get_context("fork")
+
+    # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
-    def _evaluate(self, plan: ExecutionPlan) -> _Child:
-        """One bounding-model evaluation + resource report for ``plan``."""
+    def _seed_incumbent(
+        self, plan: ExecutionPlan
+    ) -> tuple[ExecutionPlan, float, ModelResult] | None:
+        """Evaluate a complete seed plan; None when it is infeasible."""
         self._stats.evaluations += 1
+        evaluator = self._evaluator
+        if evaluator is not None:
+            evaluator.reset(plan.placement)
+            if not evaluator.check().feasible:
+                return None
+            return plan, evaluator.throughput, evaluator.result()
         result = self.model.evaluate(plan, self.ingress_rate, bounding=True)
         report = resource_report(plan, result, self.machine, self.profiles)
-        return _Child(plan=plan, result=result, report=report)
+        if not report.is_feasible:
+            return None
+        return plan, result.throughput, result
+
+    def _materialize(self, plan: ExecutionPlan) -> ModelResult:
+        """Full :class:`ModelResult` of a plan (incumbent bookkeeping).
+
+        Off the hot path: called only when a new best solution is found.
+        """
+        evaluator = self._evaluator
+        if evaluator is not None:
+            evaluator.reset(plan.placement)
+            return evaluator.result()
+        return self.model.evaluate(plan, self.ingress_rate, bounding=True)
+
+    def _collect_eval_counters(self, stats: SearchStats) -> None:
+        """Copy the evaluator's delta/full split into the search stats."""
+        evaluator = self._evaluator
+        if evaluator is not None:
+            stats.incremental_evals = evaluator.incremental_evals
+            stats.full_evals = evaluator.full_evals
 
     # ------------------------------------------------------------------
     # Branching
     # ------------------------------------------------------------------
-    def _branch(self, plan: ExecutionPlan) -> list[_Child]:
+    def _branch(self, node: _Node) -> list[_Child]:
         """Expand a live node: place the next task in topological order.
 
         Placing tasks producer-first means every task's output rate is
@@ -283,57 +620,220 @@ class PlacementOptimizer:
         than a greedy line: the top-k candidate sockets are explored, and
         the bounding function prunes the rest.
         """
+        plan = node.plan
         task_id = self._next_task(plan)
         if task_id is None:
             return []
-        return self._place_task(plan, task_id)
+        return self._place_task(plan, task_id, node.load, node.counts)
 
     def _next_task(self, plan: ExecutionPlan) -> int | None:
-        """First unplaced task in topological order."""
-        for task in self._topo_tasks:
-            if task.task_id not in plan.placement:
-                return task.task_id
-        return None
+        """First unplaced task in topological order.
 
-    def _place_task(self, plan: ExecutionPlan, task_id: int) -> list[_Child]:
+        Search plans always place a prefix of the topological order (the
+        root is empty and every branch extends by ``_next_task``), so the
+        next task is simply the one at index ``len(placement)``.
+        """
+        depth = len(plan.placement)
+        if depth >= len(self._topo_tasks):
+            return None
+        return self._topo_tasks[depth].task_id
+
+    def _place_task(
+        self,
+        plan: ExecutionPlan,
+        task_id: int,
+        load: dict | None = None,
+        counts: dict | None = None,
+    ) -> list[_Child]:
         """Branch one task over its best candidate sockets.
 
         Candidates are ranked best-fit style: maximize the task's output
-        rate, break ties towards the socket with the least remaining CPU
-        (pack tight, keep whole sockets free for downstream operators).
-        Only the effective branch width's best candidates become children.
-        Sockets whose core budget the task cannot fit are skipped without
-        a model evaluation (the dominant case late in a packed search).
+        rate, break ties towards collocation (low ``Tf``), then the socket
+        with the least remaining CPU (pack tight, keep whole sockets free
+        for downstream operators), then the lowest socket id.  Only the
+        effective branch width's best candidates become children.  Sockets
+        whose core budget the task cannot fit are skipped without a model
+        evaluation (the dominant case late in a packed search).
         """
-        graph = plan.graph
-        weight = graph.task(task_id).weight
-        load: dict[int, int] = {}
-        for placed_id, socket in plan.placement.items():
-            load[socket] = load.get(socket, 0) + graph.task(placed_id).weight
-        feasible: list[tuple[float, float, float, _Child]] = []
+        weight_of = self._weight_of
+        weight = weight_of[task_id]
+        class_of = self._class_of
+        if load is None or counts is None:
+            load = {}
+            counts = {}
+            for placed_id, socket in plan.placement.items():
+                load[socket] = load.get(socket, 0) + weight_of[placed_id]
+                key = (class_of[placed_id], socket)
+                counts[key] = counts.get(key, 0) + 1
+        probe = (
+            self._probe_incremental
+            if self._evaluator is not None
+            else self._probe_batch
+        )
+        feasible = probe(plan, task_id, weight, load, counts)
+        if not feasible:
+            return []
+        # Best fit: max output rate; among equals prefer collocation (low
+        # Tf), then the socket with the least remaining CPU (pack tight),
+        # then the lowest socket id — a total, deterministic order.
+        feasible.sort(key=lambda entry: (-entry[0], entry[1], entry[2], entry[3]))
+        self._stats.best_fit_commits += 1
+        task_class = class_of[task_id]
+        chosen: list[_Child] = []
+        for _, _, _, socket, child in feasible[: self.branch_width]:
+            child_load = dict(load)
+            child_load[socket] = child_load.get(socket, 0) + weight
+            child_counts = dict(counts)
+            key = (task_class, socket)
+            child_counts[key] = child_counts.get(key, 0) + 1
+            child.load = child_load
+            child.counts = child_counts
+            chosen.append(child)
+        return chosen
+
+    @staticmethod
+    def _child_signature(
+        base_counts: dict[tuple, int], task_class: tuple, socket: int
+    ) -> frozenset:
+        """Signature of parent + one placement, without a full recount.
+
+        Equals ``_canonical_signature`` of the child plan: bump the one
+        ``(class, socket)`` count, freeze, restore.
+        """
+        key = (task_class, socket)
+        previous = base_counts.get(key)
+        base_counts[key] = (previous or 0) + 1
+        signature = frozenset(base_counts.items())
+        if previous is None:
+            del base_counts[key]
+        else:
+            base_counts[key] = previous
+        return signature
+
+    def _probe_incremental(
+        self,
+        plan: ExecutionPlan,
+        task_id: int,
+        weight: int,
+        load: dict[int, int],
+        base_counts: dict[tuple, int],
+    ) -> list[tuple[float, float, float, int, _Child]]:
+        """Evaluate candidate sockets through apply/undo + the cache."""
+        machine = self.machine
+        stats = self._stats
+        cache = self._tt_cache
+        evaluator = self._evaluator
+        evaluator.reset(plan.placement)
+        task_class = self._class_of[task_id]
+        feasible: list[tuple[float, float, float, int, _Child]] = []
         for socket in self._candidate_sockets(plan):
-            if load.get(socket, 0) + weight > self.machine.cores_per_socket:
+            if load.get(socket, 0) + weight > machine.cores_per_socket:
                 continue
-            child = self._evaluate(plan.assign({task_id: socket}))
-            if not child.report.is_feasible:
+            child_plan = plan.assign({task_id: socket})
+            signature = self._child_signature(base_counts, task_class, socket)
+            stats.evaluations += 1
+            cached = cache.get(signature)
+            if cached is not None:
+                stats.cache_hits += 1
+                ok, bound, out_rate, tf_ns, remaining_cpu = cached
+                if not ok:
+                    continue
+                feasible.append(
+                    (
+                        out_rate,
+                        tf_ns,
+                        remaining_cpu,
+                        socket,
+                        _Child(
+                            plan=child_plan,
+                            signature=signature,
+                            bound=bound,
+                            feasible=True,
+                        ),
+                    )
+                )
                 continue
-            own = child.result.rates[task_id]
+            evaluator.apply(task_id, socket)
+            check = evaluator.check()
+            if not check.feasible:
+                cache[signature] = (False, 0.0, 0.0, 0.0, 0.0)
+                evaluator.undo()
+                continue
+            out_rate, tf_ns, processed, t_ns = evaluator.task_values(task_id)
             # Remaining CPU of the socket *before* this task landed on it:
             # a remote placement inflates the task's own demand via Tf,
             # which must not make the socket look more packed.
             remaining_cpu = (
-                self.machine.cpu_capacity
-                - child.report.usage(socket).cpu_ns_per_s
+                machine.cpu_capacity - check.cpu[socket] + processed * t_ns
+            )
+            bound = evaluator.throughput
+            cache[signature] = (True, bound, out_rate, tf_ns, remaining_cpu)
+            feasible.append(
+                (
+                    out_rate,
+                    tf_ns,
+                    remaining_cpu,
+                    socket,
+                    _Child(
+                        plan=child_plan,
+                        signature=signature,
+                        bound=bound,
+                        feasible=True,
+                    ),
+                )
+            )
+            evaluator.undo()
+        return feasible
+
+    def _probe_batch(
+        self,
+        plan: ExecutionPlan,
+        task_id: int,
+        weight: int,
+        load: dict[int, int],
+        base_counts: dict[tuple, int],
+    ) -> list[tuple[float, float, float, int, _Child]]:
+        """Evaluate candidate sockets with one full model run each.
+
+        The pre-incremental path, kept for differential testing and the
+        old-vs-new optimizer benchmark.
+        """
+        machine = self.machine
+        task_class = self._class_of[task_id]
+        feasible: list[tuple[float, float, float, int, _Child]] = []
+        for socket in self._candidate_sockets(plan):
+            if load.get(socket, 0) + weight > machine.cores_per_socket:
+                continue
+            child_plan = plan.assign({task_id: socket})
+            self._stats.evaluations += 1
+            result = self.model.evaluate(child_plan, self.ingress_rate, bounding=True)
+            report = resource_report(child_plan, result, machine, self.profiles)
+            if not report.is_feasible:
+                continue
+            own = result.rates[task_id]
+            remaining_cpu = (
+                machine.cpu_capacity
+                - report.usage(socket).cpu_ns_per_s
                 + own.processed_rate * own.t_ns
             )
-            feasible.append((own.output_rate, own.tf_ns, remaining_cpu, child))
-        if not feasible:
-            return []
-        # Best fit: max output rate; among equals prefer collocation (low
-        # Tf), then the socket with the least remaining CPU (pack tight).
-        feasible.sort(key=lambda entry: (-entry[0], entry[1], entry[2]))
-        self._stats.best_fit_commits += 1
-        return [child for _, _, _, child in feasible[: self.branch_width]]
+            feasible.append(
+                (
+                    own.output_rate,
+                    own.tf_ns,
+                    remaining_cpu,
+                    socket,
+                    _Child(
+                        plan=child_plan,
+                        signature=self._child_signature(
+                            base_counts, task_class, socket
+                        ),
+                        bound=result.throughput,
+                        feasible=True,
+                        result=result,
+                    ),
+                )
+            )
+        return feasible
 
     def _candidate_sockets(
         self, plan: ExecutionPlan, extra_used: tuple[int, ...] = ()
@@ -346,15 +846,18 @@ class PlacementOptimizer:
         "S1 is identical to S0 at this point" observation).
         """
         used = sorted(plan.used_sockets() | set(extra_used))
-        occupants: dict[int, tuple[int, ...]] = {}
+        grouped: dict[int, list[int]] = {}
         for task_id, socket in plan.placement.items():
-            occupants[socket] = tuple(sorted(occupants.get(socket, ()) + (task_id,)))
+            grouped.setdefault(socket, []).append(task_id)
+        occupants = {
+            socket: tuple(sorted(members)) for socket, members in grouped.items()
+        }
         signatures: dict[tuple, int] = {}
+        latency = self._rounded_latency
         for socket in self.machine.sockets:
             load = occupants.get(socket, ())
-            relation = tuple(
-                round(self.machine.latency_ns(socket, u), 3) for u in used
-            )
+            row = latency[socket]
+            relation = tuple(row[u] for u in used)
             signature = (load, relation)
             if signature not in signatures:
                 signatures[signature] = socket
@@ -392,7 +895,8 @@ class PlacementOptimizer:
     def _canonical_signature(self, plan: ExecutionPlan) -> frozenset:
         """Placement identity up to permutations of interchangeable tasks."""
         counts: dict[tuple, int] = {}
+        class_of = self._class_of
         for task_id, socket in plan.placement.items():
-            key = (self._task_classes[task_id], socket)
+            key = (class_of[task_id], socket)
             counts[key] = counts.get(key, 0) + 1
         return frozenset(counts.items())

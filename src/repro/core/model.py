@@ -215,6 +215,8 @@ class _CompiledGraph:
         system: SystemProfile,
     ) -> None:
         self.graph = graph
+        self._consumers: dict[int, tuple[int, ...]] = {}
+        self._closures: dict[int, tuple[int, ...]] = {}
         topology = graph.topology
         spout_weights = {
             name: sum(t.weight for t in graph.tasks_of(name))
@@ -261,6 +263,7 @@ class _CompiledGraph:
             ct.is_sink = task.component in sink_components
             self.tasks.append(ct)
             by_id[task.task_id] = ct
+        consumers: dict[int, set[int]] = {}
         for edge in graph.edges:
             producer = graph.task(edge.producer)
             payload = profiles.edge_payload_bytes(producer.component, edge.stream)
@@ -275,6 +278,33 @@ class _CompiledGraph:
                     cache_lines=machine.cache_lines(wire),
                 )
             )
+            consumers.setdefault(edge.producer, set()).add(edge.consumer)
+        self._consumers = {
+            producer: tuple(sorted(seen)) for producer, seen in consumers.items()
+        }
+
+    def downstream_closure(self, task_id: int) -> tuple[int, ...]:
+        """Task ids whose model state can depend on ``task_id``'s placement.
+
+        The model is a single forward pass over the DAG, so a placement
+        change of one task can only alter the task itself (its ``Tf``) and
+        everything reachable through its out-edges (rates *and* the ``Tf``
+        its consumers pay to fetch from it).  Cached per task: the closures
+        are the incremental evaluator's dependency sets.
+        """
+        cached = self._closures.get(task_id)
+        if cached is None:
+            seen: set[int] = set()
+            stack = [task_id]
+            while stack:
+                current = stack.pop()
+                if current in seen:
+                    continue
+                seen.add(current)
+                stack.extend(self._consumers.get(current, ()))
+            cached = tuple(sorted(seen))
+            self._closures[task_id] = cached
+        return cached
 
 
 class PerformanceModel:
@@ -317,6 +347,26 @@ class PerformanceModel:
                 self._compiled.clear()
             self._compiled[id(graph)] = compiled
         return compiled
+
+    def __getstate__(self) -> dict:
+        # The compiled-graph cache is keyed by object identity, which does
+        # not survive pickling (multi-worker search ships models to worker
+        # processes); workers recompile lazily.
+        state = self.__dict__.copy()
+        state["_compiled"] = {}
+        return state
+
+    def evaluator(
+        self, graph: ExecutionGraph, ingress_rate: float
+    ) -> "IncrementalEvaluator":
+        """An :class:`IncrementalEvaluator` bound to ``graph`` and ``I``.
+
+        Compiles the graph once (shared with :meth:`evaluate` through the
+        compilation cache) and returns a stateful evaluator supporting
+        ``apply``/``undo``/``reset`` with delta re-propagation — the B&B
+        search's fast path.
+        """
+        return IncrementalEvaluator(self, graph, ingress_rate)
 
     # ------------------------------------------------------------------
     # Public API
@@ -475,3 +525,427 @@ class PerformanceModel:
         if producer_socket == consumer_socket:
             return 0.0
         return lines * self.machine.latency_ns(producer_socket, consumer_socket)
+
+
+#: Fraction of the graph a delta's dependency closure may cover before the
+#: incremental evaluator falls back to a full re-propagation (recomputing
+#: everything is then no slower than the delta bookkeeping, and trivially
+#: exact).
+_FULL_EVAL_FRACTION = 0.6
+
+
+class Feasibility:
+    """Outcome of one constraint check (Eqs. 3-5) over evaluator state."""
+
+    __slots__ = ("feasible", "cpu")
+
+    def __init__(self, feasible: bool, cpu: list[float]) -> None:
+        self.feasible = feasible
+        #: Per-socket CPU demand (ns of work per second), Eq. 3's left side.
+        self.cpu = cpu
+
+
+class IncrementalEvaluator:
+    """Delta re-evaluation of plans over one execution graph.
+
+    The batch :meth:`PerformanceModel.evaluate` is a single forward pass in
+    topological task order, so the only state a placement change of task
+    ``x`` can touch is ``x`` itself plus its downstream closure (rates
+    propagate forward; the consumers' ``Tf`` references ``x``'s socket).
+    This evaluator keeps the full per-task state of the last evaluated
+    placement and, on :meth:`apply`/:meth:`reset`, re-propagates only the
+    affected topological suffix — bit-identical to the batch pass, because
+    every per-task computation performs the same float operations in the
+    same order on the same inputs.
+
+    Fallback: when a delta touches a spout (its closure is essentially the
+    whole graph) or the closure covers most tasks, the evaluator performs a
+    full re-propagation instead (counted in :attr:`full_evals`); results
+    are identical either way.
+
+    Not thread-safe; B&B owns one evaluator per search.
+    """
+
+    def __init__(
+        self, model: PerformanceModel, graph: ExecutionGraph, ingress_rate: float
+    ) -> None:
+        if ingress_rate <= 0:
+            raise PlanError("ingress rate must be positive")
+        self._model = model
+        self._graph = graph
+        self._compiled = model._compile(graph)
+        self._ingress = ingress_rate
+        machine = model.machine
+        self._machine = machine
+        self._latency = model._latency
+        self._worst = model._worst_latency
+        self._zero_tf = model.tf_mode is TfMode.ZERO
+        self._worst_tf = model.tf_mode is TfMode.WORST
+        tasks = self._compiled.tasks
+        self._tasks = tasks
+        n = len(tasks)
+        self._n = n
+        ns = machine.n_sockets
+        self._n_sockets = ns
+        self._bandwidth = [
+            [machine.bandwidth(i, j) if i != j else 0.0 for j in range(ns)]
+            for i in range(ns)
+        ]
+        # evaluate() walks compiled tasks in topological order, which is
+        # also dense task-id order (ExecutionGraph assigns ids that way);
+        # the state arrays below are indexed by task id and rely on it.
+        self._sinks = [ct.task_id for ct in tasks if ct.is_sink]
+        self._socket: list[int | None] = [None] * n
+        self._input_rate = [0.0] * n
+        self._tf = [0.0] * n
+        self._overhead = [0.0] * n
+        self._t = [0.0] * n
+        self._capacity = [0.0] * n
+        self._processed = [0.0] * n
+        self._oversupplied = [False] * n
+        self._out: list[dict[str, float]] = [{} for _ in range(n)]
+        self._icx: list[list[tuple[int, int, float]]] = [[] for _ in range(n)]
+        self._throughput = 0.0
+        self._undo: list[tuple] = []
+        #: Delta re-propagations performed (the fast path).
+        self.incremental_evals = 0
+        #: Full re-propagations performed (construction, resets, fallbacks).
+        self.full_evals = 0
+        self.full_evals += 1
+        self._recompute(range(n), set(range(n)))
+
+    # ------------------------------------------------------------------
+    # State transitions
+    # ------------------------------------------------------------------
+    @property
+    def throughput(self) -> float:
+        """Summed sink output rate ``R`` of the current placement."""
+        return self._throughput
+
+    def placement(self) -> dict[int, int]:
+        """Copy of the current (possibly partial) placement."""
+        return {i: s for i, s in enumerate(self._socket) if s is not None}
+
+    def apply(self, task_id: int, socket: int | None) -> None:
+        """Place (or move, or with ``None`` unplace) one task.
+
+        Saves an undo record; re-propagates the task's dependency closure.
+        """
+        if not 0 <= task_id < self._n:
+            raise PlanError(f"unknown task id {task_id}")
+        affected = self._compiled.downstream_closure(task_id)
+        prev_socket = self._socket[task_id]
+        prev_throughput = self._throughput
+        self._socket[task_id] = socket
+        written = self._run_delta((task_id,), affected, collect=True)
+        self._undo.append((task_id, prev_socket, prev_throughput, written))
+
+    def undo(self) -> None:
+        """Revert the most recent :meth:`apply` (LIFO)."""
+        if not self._undo:
+            raise PlanError("nothing to undo")
+        task_id, prev_socket, prev_throughput, states = self._undo.pop()
+        self._socket[task_id] = prev_socket
+        for i, state in states:
+            (
+                self._input_rate[i],
+                self._tf[i],
+                self._overhead[i],
+                self._t[i],
+                self._capacity[i],
+                self._processed[i],
+                self._oversupplied[i],
+                self._out[i],
+                self._icx[i],
+            ) = state
+        self._throughput = prev_throughput
+
+    def reset(self, placement: Mapping[int, int]) -> None:
+        """Synchronize to ``placement``, re-propagating only the diff.
+
+        Clears the undo history (a reset is a jump, not a step).
+        """
+        changed = []
+        socket_of = self._socket
+        for i in range(self._n):
+            new = placement.get(i)
+            if socket_of[i] != new:
+                socket_of[i] = new
+                changed.append(i)
+        self._undo.clear()
+        if not changed:
+            return
+        if len(changed) == 1:
+            affected = self._compiled.downstream_closure(changed[0])
+        else:
+            seen: set[int] = set()
+            for i in changed:
+                seen.update(self._compiled.downstream_closure(i))
+            affected = tuple(sorted(seen))
+        self._run_delta(changed, affected)
+
+    def _run_delta(
+        self,
+        changed: tuple[int, ...] | list[int],
+        affected: tuple[int, ...],
+        collect: bool = False,
+    ) -> list[tuple] | None:
+        tasks = self._tasks
+        touches_spout = any(tasks[i].spout_share > 0.0 for i in changed)
+        if touches_spout or len(affected) >= _FULL_EVAL_FRACTION * self._n:
+            self.full_evals += 1
+            return self._recompute(range(self._n), set(changed), collect)
+        self.incremental_evals += 1
+        return self._recompute(affected, set(changed), collect)
+
+    # ------------------------------------------------------------------
+    # The forward pass (mirrors PerformanceModel.evaluate exactly)
+    # ------------------------------------------------------------------
+    def _recompute(
+        self, indices, changed: set[int], collect: bool = False
+    ) -> list[tuple] | None:
+        """Re-run the model's per-task pass over ``indices`` (ascending).
+
+        The loop body must stay operation-for-operation identical to the
+        batch pass in :meth:`PerformanceModel.evaluate`; the randomized
+        equivalence tests enforce this bit-for-bit.
+
+        ``changed`` holds the task ids whose socket just changed.  A task
+        outside it whose producers all kept their socket *and* their exact
+        output rates is skipped: its row is a pure function of those
+        inputs, so recomputing it would write back the identical bits.
+        Propagation therefore stops at the frontier where values stop
+        changing — in branch-and-bound probes (downstream tasks unplaced,
+        fetch relaxed to zero) that is typically the direct consumers.
+
+        With ``collect`` the previous state of every overwritten row is
+        returned for :meth:`undo`.
+        """
+        tasks = self._tasks
+        socket_of = self._socket
+        out = self._out
+        latency = self._latency
+        zero_tf = self._zero_tf
+        worst_tf = self._worst_tf
+        worst = self._worst
+        ingress = self._ingress
+        input_rate_arr = self._input_rate
+        tf_arr = self._tf
+        overhead_arr = self._overhead
+        t_arr = self._t
+        capacity_arr = self._capacity
+        processed_arr = self._processed
+        oversupplied_arr = self._oversupplied
+        icx_arr = self._icx
+        out_changed: set[int] = set()
+        written: list[tuple] | None = [] if collect else None
+        for i in indices:
+            ct = tasks[i]
+            if i not in changed:
+                for edge in ct.in_edges:
+                    producer = edge.producer
+                    if producer in changed or producer in out_changed:
+                        break
+                else:
+                    continue
+            socket = socket_of[i]
+            contribs: list[tuple[int, int, float]] = []
+            if not ct.in_edges:
+                input_rate = ingress * ct.spout_share
+                tf_ns = 0.0
+                in_bytes = 0.0
+            else:
+                total_rate = 0.0
+                weighted_tf = 0.0
+                weighted_bytes = 0.0
+                for edge in ct.in_edges:
+                    producer_out = out[edge.producer].get(edge.stream)
+                    if not producer_out:
+                        continue
+                    rate = producer_out * edge.share
+                    producer_socket = socket_of[edge.producer]
+                    if zero_tf:
+                        fetch = 0.0
+                    elif worst_tf:
+                        fetch = edge.cache_lines * worst
+                    elif producer_socket is None or socket is None:
+                        fetch = 0.0  # bounding relaxation: assume collocated
+                    elif producer_socket == socket:
+                        fetch = 0.0
+                    else:
+                        fetch = edge.cache_lines * latency[producer_socket][socket]
+                    total_rate += rate
+                    weighted_tf += rate * fetch
+                    weighted_bytes += rate * edge.wire_bytes
+                    if (
+                        producer_socket is not None
+                        and socket is not None
+                        and producer_socket != socket
+                    ):
+                        contribs.append(
+                            (producer_socket, socket, rate * edge.wire_bytes)
+                        )
+                if total_rate > 0.0:
+                    input_rate = total_rate
+                    tf_ns = weighted_tf / total_rate
+                    in_bytes = weighted_bytes / total_rate
+                else:
+                    input_rate = tf_ns = in_bytes = 0.0
+            overhead_ns = ct.base_overhead_ns + ct.serde_per_in_byte * in_bytes
+            t_ns = ct.te_ns + overhead_ns + tf_ns
+            capacity = ct.weight * NS_PER_SECOND / t_ns if t_ns > 0 else float("inf")
+            processed = input_rate if input_rate <= capacity else capacity
+            prev_out = out[i]
+            if collect:
+                written.append(
+                    (
+                        i,
+                        (
+                            input_rate_arr[i],
+                            tf_arr[i],
+                            overhead_arr[i],
+                            t_arr[i],
+                            capacity_arr[i],
+                            processed_arr[i],
+                            oversupplied_arr[i],
+                            prev_out,
+                            icx_arr[i],
+                        ),
+                    )
+                )
+            input_rate_arr[i] = input_rate
+            tf_arr[i] = tf_ns
+            overhead_arr[i] = overhead_ns
+            t_arr[i] = t_ns
+            capacity_arr[i] = capacity
+            processed_arr[i] = processed
+            oversupplied_arr[i] = input_rate > capacity * (1.0 + _OVERSUPPLY_TOLERANCE)
+            new_out = {stream: processed * sel for stream, sel in ct.selectivity}
+            out[i] = new_out
+            icx_arr[i] = contribs
+            if new_out != prev_out:
+                out_changed.add(i)
+        # Left-fold over sinks in topological order: the same grouping of
+        # additions the batch pass performs while walking all tasks.
+        throughput = 0.0
+        for i in self._sinks:
+            throughput += processed_arr[i]
+        self._throughput = throughput
+        return written
+
+    # ------------------------------------------------------------------
+    # Readouts
+    # ------------------------------------------------------------------
+    def task_values(self, task_id: int) -> tuple[float, float, float, float]:
+        """``(output_rate, tf_ns, processed_rate, t_ns)`` of one task.
+
+        The best-fit ranking inputs, without materializing a
+        :class:`TaskRates`.
+        """
+        ct = self._tasks[task_id]
+        out = self._out[task_id]
+        if ct.is_sink and not out:
+            output_rate = self._processed[task_id]
+        else:
+            output_rate = float(sum(out.values()))
+        return (
+            output_rate,
+            self._tf[task_id],
+            self._processed[task_id],
+            self._t[task_id],
+        )
+
+    def check(self) -> Feasibility:
+        """Constraint check of the current placement (Eqs. 3-5 + cores).
+
+        Unplaced tasks contribute no demand — B&B's relaxed sub-problem.
+        Socket folds run in task-id order, matching the order
+        :func:`repro.core.constraints.resource_report` sees for plans built
+        producer-first.
+        """
+        machine = self._machine
+        ns = self._n_sockets
+        cpu = [0.0] * ns
+        mem = [0.0] * ns
+        replicas = [0] * ns
+        socket_of = self._socket
+        tasks = self._tasks
+        processed = self._processed
+        t = self._t
+        for i in range(self._n):
+            s = socket_of[i]
+            if s is None:
+                continue
+            cpu[s] += processed[i] * t[i]
+            mem[s] += processed[i] * tasks[i].memory_bytes
+            replicas[s] += tasks[i].weight
+        feasible = True
+        cpu_capacity = machine.cpu_capacity
+        local_bandwidth = machine.local_bandwidth
+        cores = machine.cores_per_socket
+        for s in range(ns):
+            if (
+                cpu[s] > cpu_capacity
+                or mem[s] > local_bandwidth
+                or replicas[s] > cores
+            ):
+                feasible = False
+                break
+        if feasible and ns > 1 and any(self._icx):
+            matrix = self._interconnect_matrix()
+            bandwidth = self._bandwidth
+            for i in range(ns):
+                row = matrix[i]
+                limit = bandwidth[i]
+                for j in range(ns):
+                    if i != j and row[j] > 0 and row[j] > limit[j]:
+                        feasible = False
+                        break
+                if not feasible:
+                    break
+        return Feasibility(feasible, cpu)
+
+    def _interconnect_matrix(self) -> list[list[float]]:
+        ns = self._n_sockets
+        matrix = [[0.0] * ns for _ in range(ns)]
+        for contribs in self._icx:
+            for i, j, value in contribs:
+                matrix[i][j] += value
+        return matrix
+
+    def result(self) -> ModelResult:
+        """Materialize the full :class:`ModelResult` of the current state.
+
+        Bit-identical to ``model.evaluate(plan, I, bounding=True)`` on the
+        equivalent plan (and to the unbounded call when it is complete).
+        """
+        ns = self._n_sockets
+        interconnect = np.zeros((ns, ns), dtype=np.float64)
+        for contribs in self._icx:
+            for i, j, value in contribs:
+                interconnect[i, j] += value
+        rates: dict[int, TaskRates] = {}
+        for i in range(self._n):
+            ct = self._tasks[i]
+            task_out = self._out[i]
+            if ct.is_sink and not task_out:
+                task_out = {"__sink__": self._processed[i]}
+            rates[i] = TaskRates(
+                task_id=i,
+                component=ct.component,
+                weight=ct.weight,
+                input_rate=self._input_rate[i],
+                capacity=self._capacity[i],
+                processed_rate=self._processed[i],
+                output_rates=task_out,
+                te_ns=ct.te_ns,
+                overhead_ns=self._overhead[i],
+                tf_ns=self._tf[i],
+                oversupplied=self._oversupplied[i],
+            )
+        return ModelResult(
+            throughput=self._throughput,
+            rates=rates,
+            interconnect_bytes=interconnect,
+            flows=[],
+        )

@@ -146,6 +146,7 @@ class ScalingOptimizer:
         refine_passes: int = 1,
         refine_top_k: int = 12,
         registry: MetricsRegistry | None = None,
+        workers: int = 1,
     ) -> None:
         """
         Parameters
@@ -174,6 +175,10 @@ class ScalingOptimizer:
         registry:
             Metrics sink for search statistics (B&B node counts, scaling
             iterations, time-to-best); defaults to the no-op registry.
+        workers:
+            Parallel B&B search processes per placement optimization
+            (``1`` = deterministic sequential search; see
+            :class:`~repro.core.bnb.PlacementOptimizer`).
         """
         if compress_ratio < 1:
             raise PlanError("compress ratio must be >= 1")
@@ -191,6 +196,10 @@ class ScalingOptimizer:
         self.refine_passes = refine_passes
         self.refine_top_k = refine_top_k
         self.registry = registry if registry is not None else NULL_REGISTRY
+        self.workers = workers
+        #: Distinct execution graphs built (memoized); regression-tested.
+        self._graph_builds = 0
+        self._graph_cache: dict[tuple[frozenset, int], ExecutionGraph] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -220,7 +229,10 @@ class ScalingOptimizer:
             or {name: 1 for name in self.topology.components}
         )
         placer = PlacementOptimizer(
-            self.model, self.ingress_rate, max_nodes=self.max_nodes
+            self.model,
+            self.ingress_rate,
+            max_nodes=self.max_nodes,
+            workers=self.workers,
         )
 
         best: ScalingResult | None = None
@@ -388,10 +400,28 @@ class ScalingOptimizer:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _build_graph(self, replication: dict[str, int]) -> ExecutionGraph:
-        return ExecutionGraph(
-            self.topology, replication, group_size=self.compress_ratio
-        )
+    def _build_graph(
+        self, replication: dict[str, int], group_size: int | None = None
+    ) -> ExecutionGraph:
+        """Build (or reuse) the execution graph of one replication config.
+
+        The scaling loop and the rebalance endgame repeatedly request
+        graphs for replication dicts they have already tried (fixed
+        points, re-probes of the incumbent, fallback retries), and the
+        incremental evaluator's compiled state is cached per graph
+        *object* — so memoizing on the frozen replication signature both
+        skips redundant graph expansion and lets every reuse hit the
+        model's compile cache.
+        """
+        size = self.compress_ratio if group_size is None else group_size
+        key = (frozenset(replication.items()), size)
+        graph = self._graph_cache.get(key)
+        if graph is None:
+            graph = ExecutionGraph(self.topology, dict(replication), group_size=size)
+            self._graph_cache[key] = graph
+            self._graph_builds += 1
+            self.registry.counter("rlas.scaling.graph_builds").inc()
+        return graph
 
     def _refine(self, result: PlacementResult) -> PlacementResult:
         """Polish a feasible placement with the local-search pass."""
@@ -429,8 +459,8 @@ class ScalingOptimizer:
         """
         result = placer.optimize(graph)
         if result.plan is None and self.compress_ratio > 1:
-            finer = ExecutionGraph(
-                self.topology, replication, group_size=max(1, self.compress_ratio // 2)
+            finer = self._build_graph(
+                replication, group_size=max(1, self.compress_ratio // 2)
             )
             result = placer.optimize(finer)
         return result

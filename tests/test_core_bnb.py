@@ -128,3 +128,108 @@ class TestNumaAwareness:
             PerformanceModel(profiles, tiny_machine, tf_mode=TfMode.ZERO), 1e7
         ).optimize(graph)
         assert zero.throughput >= relative.throughput * (1 - 1e-9)
+
+
+def _counter_tuple(stats):
+    return (
+        stats.nodes_expanded,
+        stats.nodes_pruned,
+        stats.nodes_deduplicated,
+        stats.children_generated,
+        stats.evaluations,
+        stats.solutions_found,
+        stats.best_fit_commits,
+    )
+
+
+class TestIncrementalParity:
+    """The incremental probe path must be bit-identical to the legacy
+    batch-evaluation path: same plans, same throughput, same search tree."""
+
+    @pytest.mark.parametrize("replication", [1, 2, 3])
+    @pytest.mark.parametrize("rate", [1e5, 1e7])
+    def test_plans_and_stats_match_legacy(self, model, topology, replication, rate):
+        graph = ExecutionGraph(
+            topology, {n: replication for n in topology.components}
+        )
+        legacy = PlacementOptimizer(model, rate, use_incremental=False).optimize(
+            graph
+        )
+        fast = PlacementOptimizer(model, rate, use_incremental=True).optimize(
+            graph
+        )
+        if legacy.plan is None:
+            assert fast.plan is None
+        else:
+            assert fast.plan.placement == legacy.plan.placement
+        assert fast.throughput == legacy.throughput
+        assert _counter_tuple(fast.stats) == _counter_tuple(legacy.stats)
+
+    def test_incremental_counters_populated(self, model, topology):
+        graph = ExecutionGraph(topology, {n: 2 for n in topology.components})
+        result = PlacementOptimizer(model, 1e7).optimize(graph)
+        assert result.stats.cache_hits >= 0
+        assert result.stats.incremental_evals > 0
+        # legacy path never touches the evaluator counters
+        legacy = PlacementOptimizer(model, 1e7, use_incremental=False).optimize(
+            graph
+        )
+        assert legacy.stats.incremental_evals == 0
+        assert legacy.stats.full_evals == 0
+
+    def test_stats_publish_new_metric_names(self, model, topology):
+        from repro.metrics import MetricsRegistry
+
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        result = PlacementOptimizer(model, 1e6).optimize(graph)
+        registry = MetricsRegistry()
+        result.stats.publish(registry)
+        names = set(registry.names())
+        assert "rlas.bnb.cache_hits" in names
+        assert "rlas.model.incremental_evals" in names
+        assert "rlas.model.full_evals" in names
+
+
+class TestParallelSearch:
+    def test_workers_match_sequential_throughput(self, model, topology):
+        graph = ExecutionGraph(topology, {n: 2 for n in topology.components})
+        sequential = PlacementOptimizer(model, 1e7).optimize(graph)
+        parallel = PlacementOptimizer(model, 1e7, workers=3).optimize(graph)
+        assert parallel.plan is not None
+        assert parallel.throughput == sequential.throughput
+        assert parallel.stats.workers == 3
+
+    def test_single_worker_is_default_and_deterministic(self, model, topology):
+        graph = ExecutionGraph(topology, {n: 2 for n in topology.components})
+        first = PlacementOptimizer(model, 1e7).optimize(graph)
+        second = PlacementOptimizer(model, 1e7).optimize(graph)
+        assert first.plan.placement == second.plan.placement
+        assert _counter_tuple(first.stats) == _counter_tuple(second.stats)
+        assert first.stats.workers == 1
+
+    def test_invalid_workers_rejected(self, model):
+        with pytest.raises(PlanError):
+            PlacementOptimizer(model, 1e6, workers=0)
+
+
+class TestDeterministicTieBreak:
+    def test_symmetric_machine_uses_lowest_socket(self, model, topology):
+        """All sockets look identical to the first task: candidate
+        deduplication plus the (rate, collocation, remaining-cpu,
+        socket-id) ranking must deterministically pick socket 0."""
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        result = PlacementOptimizer(model, 1e5).optimize(graph)
+        assert result.plan.used_sockets() == {0}
+
+    def test_spread_plan_prefers_low_socket_ids(self, model, topology, tiny_machine):
+        """When forced off-socket on a symmetric machine, equivalent
+        sockets must be chosen in ascending id order (satellite: stable
+        best-fit ranking)."""
+        graph = ExecutionGraph(topology, {n: 3 for n in topology.components})
+        result = PlacementOptimizer(model, 1e7).optimize(graph)
+        used = sorted(result.plan.used_sockets())
+        # low ids first: using socket k implies sockets of strictly lower
+        # id within the same tray are used too
+        tray0 = [s for s in used if tiny_machine.topology.tray_of(s) == 0]
+        if tray0:
+            assert tray0 == list(range(len(tray0)))

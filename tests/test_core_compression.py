@@ -94,3 +94,48 @@ class TestSummary:
         assert summary["replicas"] == 15
         assert summary["max_group"] == 5
         assert summary["tasks"] == graph.n_tasks
+
+
+class TestRoundTrip:
+    def test_compress_place_expand_round_trip(self, topology, tiny_machine):
+        """compress (r>1) -> optimize placement -> expand preserves the
+        replica population and the modeled throughput."""
+        from repro.core import PlacementOptimizer
+
+        profiles = pipeline_profiles(topology)
+        model = PerformanceModel(profiles, tiny_machine)
+        graph = ExecutionGraph(
+            topology, {"spout": 1, "stage": 2, "fan": 6, "sink": 2}
+        )
+        compressed = compress_graph(graph, 3)
+        assert any(t.weight > 1 for t in compressed.tasks)
+        placed = PlacementOptimizer(model, 1e6).optimize(compressed)
+        assert placed.plan is not None
+        expanded = expand_plan(placed.plan)
+        assert expanded.is_complete
+        assert expanded.graph.total_replicas == graph.total_replicas
+        per_component = {
+            name: len(expanded.graph.tasks_of(name))
+            for name in topology.components
+        }
+        assert per_component == {"spout": 1, "stage": 2, "fan": 6, "sink": 2}
+        r_compressed = model.evaluate(placed.plan, 1e6).throughput
+        r_expanded = model.evaluate(expanded, 1e6).throughput
+        assert r_expanded == pytest.approx(r_compressed, rel=1e-9)
+
+    def test_round_trip_with_uneven_groups(self, topology, tiny_machine):
+        """Replica counts not divisible by the ratio leave a remainder
+        group whose weight the expansion must reproduce exactly."""
+        profiles = pipeline_profiles(topology)
+        model = PerformanceModel(profiles, tiny_machine)
+        graph = ExecutionGraph(
+            topology, {"spout": 1, "stage": 3, "fan": 7, "sink": 2}
+        )
+        compressed = compress_graph(graph, 4)
+        plan = collocated_plan(compressed)
+        expanded = expand_plan(plan)
+        assert expanded.graph.total_replicas == 13
+        assert all(t.weight == 1 for t in expanded.graph.tasks)
+        assert model.evaluate(expanded, 1e6).throughput == pytest.approx(
+            model.evaluate(plan, 1e6).throughput, rel=1e-9
+        )

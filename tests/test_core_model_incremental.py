@@ -1,0 +1,189 @@
+"""Differential tests: IncrementalEvaluator vs batch ``evaluate``.
+
+The incremental evaluator must be *bit-identical* to the batch model under
+every apply/undo/reset sequence — the B&B search relies on this to prune
+with exact bounds.  These tests replay long randomized placement histories
+on all four benchmark applications and compare every ``ModelResult`` field
+after every step.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import PerformanceModel, empty_plan
+from repro.core.constraints import resource_report
+from repro.dsps import ExecutionGraph
+from repro.hardware import server_a
+
+from tests.conftest import build_pipeline, pipeline_profiles
+
+APPS = ("wc", "fd", "sd", "lr")
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return server_a(4)
+
+
+def _bundle(app: str):
+    from repro.apps import load_application
+
+    return load_application(app)
+
+
+def _exact_match(result_a, result_b, machine):
+    """Assert two ModelResults are bitwise identical."""
+    assert result_a.throughput == result_b.throughput
+    assert result_a.bottlenecks == result_b.bottlenecks
+    assert set(result_a.rates) == set(result_b.rates)
+    for task_id, a in result_a.rates.items():
+        b = result_b.rates[task_id]
+        assert (
+            a.input_rate,
+            a.capacity,
+            a.processed_rate,
+            a.te_ns,
+            a.overhead_ns,
+            a.tf_ns,
+            a.oversupplied,
+            a.output_rate,
+            dict(a.output_rates),
+        ) == (
+            b.input_rate,
+            b.capacity,
+            b.processed_rate,
+            b.te_ns,
+            b.overhead_ns,
+            b.tf_ns,
+            b.oversupplied,
+            b.output_rate,
+            dict(b.output_rates),
+        ), f"task {task_id} diverged"
+    assert (result_a.interconnect_bytes == result_b.interconnect_bytes).all()
+
+
+class TestRandomizedEquivalence:
+    """≥200 randomized apply/undo sequences across the four apps."""
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_apply_undo_reset_matches_batch(self, app, machine):
+        topology, profiles = _bundle(app)
+        model = PerformanceModel(profiles, machine)
+        graph = ExecutionGraph(topology, {n: 2 for n in topology.components})
+        rate = 50_000.0
+        evaluator = model.evaluator(graph, rate)
+        rng = random.Random(hash(app) & 0xFFFF)
+        sockets = list(machine.sockets)
+        task_ids = [t.task_id for t in graph.tasks]
+        placement: dict[int, int] = {}
+        undo_depth = 0
+
+        def check():
+            plan = empty_plan(graph).assign(placement)
+            batch = model.evaluate(plan, rate, bounding=True)
+            _exact_match(evaluator.result(), batch, machine)
+            report = resource_report(plan, batch, machine, model.profiles)
+            assert evaluator.check().feasible == report.is_feasible
+
+        check()  # empty placement
+        for step in range(80):
+            action = rng.random()
+            if action < 0.45 or undo_depth == 0:
+                # (re)place a random task via apply
+                task_id = rng.choice(task_ids)
+                socket = rng.choice(sockets + [None])
+                evaluator.apply(task_id, socket)
+                if socket is None:
+                    placement.pop(task_id, None)
+                else:
+                    placement[task_id] = socket
+                undo_depth += 1
+            elif action < 0.85:
+                evaluator.undo()
+                undo_depth -= 1
+                # rebuild the shadow placement from the evaluator's truth
+                placement = evaluator.placement()
+            else:
+                # jump to an unrelated random placement
+                placement = {
+                    tid: rng.choice(sockets)
+                    for tid in task_ids
+                    if rng.random() < 0.7
+                }
+                evaluator.reset(placement)
+                undo_depth = 0
+            check()
+
+    def test_complete_plan_matches_unbounded_evaluate(self, machine):
+        """On a complete plan the evaluator equals plain ``evaluate``."""
+        topology, profiles = _bundle("wc")
+        model = PerformanceModel(profiles, machine)
+        graph = ExecutionGraph(topology, {n: 2 for n in topology.components})
+        rng = random.Random(7)
+        evaluator = model.evaluator(graph, 80_000.0)
+        for _ in range(20):
+            placement = {
+                t.task_id: rng.choice(list(machine.sockets)) for t in graph.tasks
+            }
+            evaluator.reset(placement)
+            plan = empty_plan(graph).assign(placement)
+            batch = model.evaluate(plan, 80_000.0)
+            _exact_match(evaluator.result(), batch, machine)
+
+    def test_undo_restores_exact_state(self, machine):
+        topology, profiles = _bundle("sd")
+        model = PerformanceModel(profiles, machine)
+        graph = ExecutionGraph(topology, {n: 2 for n in topology.components})
+        evaluator = model.evaluator(graph, 60_000.0)
+        rng = random.Random(11)
+        baseline = {
+            t.task_id: rng.choice(list(machine.sockets)) for t in graph.tasks
+        }
+        evaluator.reset(baseline)
+        before = evaluator.result()
+        for _ in range(50):
+            task_id = rng.choice(list(baseline))
+            evaluator.apply(task_id, rng.choice(list(machine.sockets)))
+            evaluator.undo()
+        _exact_match(evaluator.result(), before, machine)
+
+    def test_counters_track_evaluation_modes(self, machine):
+        topology = build_pipeline()
+        profiles = pipeline_profiles(topology)
+        model = PerformanceModel(profiles, machine)
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        evaluator = model.evaluator(graph, 1e5)
+        start_full = evaluator.full_evals
+        # Moving the spout forces a full re-evaluation.
+        spout_id = graph.tasks_of("spout")[0].task_id
+        evaluator.apply(spout_id, 1)
+        assert evaluator.full_evals == start_full + 1
+        # Moving the sink is a pure downstream delta.
+        start_incremental = evaluator.incremental_evals
+        sink_id = graph.tasks_of("sink")[0].task_id
+        evaluator.apply(sink_id, 1)
+        assert evaluator.incremental_evals == start_incremental + 1
+
+
+class TestEvaluatorFactory:
+    def test_rejects_nonpositive_rate(self, machine):
+        topology = build_pipeline()
+        model = PerformanceModel(pipeline_profiles(topology), machine)
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        from repro.errors import PlanError
+
+        with pytest.raises(PlanError):
+            model.evaluator(graph, 0.0)
+
+    def test_undo_on_empty_stack_raises(self, machine):
+        topology = build_pipeline()
+        model = PerformanceModel(pipeline_profiles(topology), machine)
+        graph = ExecutionGraph(topology, {n: 1 for n in topology.components})
+        evaluator = model.evaluator(graph, 1e5)
+        from repro.errors import PlanError
+
+        with pytest.raises(PlanError):
+            evaluator.undo()

@@ -75,3 +75,24 @@ class TestRefinement:
         _, _, stats = refine_plan(bad, model, 1e7, max_passes=0)
         assert stats.passes == 0
         assert stats.moves_accepted == 0
+
+
+class TestNeverWorsens:
+    def test_randomized_starts_never_degrade(self, setup, tiny_machine):
+        """Refinement must never worsen the modeled throughput, whatever
+        (complete, core-feasible) plan it starts from."""
+        import random
+
+        topology, model = setup
+        graph = ExecutionGraph(topology, {n: 2 for n in topology.components})
+        rng = random.Random(23)
+        for _ in range(12):
+            placement = {
+                t.task_id: rng.randrange(tiny_machine.n_sockets)
+                for t in graph.tasks
+            }
+            plan = ExecutionPlan(graph=graph, placement=placement)
+            before = model.evaluate(plan, 1e7).throughput
+            _, result, stats = refine_plan(plan, model, 1e7)
+            assert result.throughput >= before * (1 - 1e-12)
+            assert stats.final_throughput >= stats.initial_throughput

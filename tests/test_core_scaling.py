@@ -132,3 +132,38 @@ class TestSuggestInitialReplication:
         topology, model = setup
         suggestion = suggest_initial_replication(topology, model, 1e7, 64)
         assert suggestion["fan"] >= suggestion["spout"]
+
+
+class TestGraphMemoization:
+    def test_repeated_replication_reuses_graph(self, setup):
+        topology, model = setup
+        optimizer = ScalingOptimizer(topology, model, 1e6)
+        replication = {n: 2 for n in topology.components}
+        first = optimizer._build_graph(replication)
+        builds = optimizer._graph_builds
+        second = optimizer._build_graph(dict(replication))  # equal, new dict
+        assert second is first
+        assert optimizer._graph_builds == builds  # cache hit: no new build
+        third = optimizer._build_graph({n: 3 for n in topology.components})
+        assert third is not first
+        assert optimizer._graph_builds == builds + 1
+
+    def test_group_size_is_part_of_the_key(self, setup):
+        topology, model = setup
+        optimizer = ScalingOptimizer(topology, model, 1e6, compress_ratio=4)
+        replication = {n: 4 for n in topology.components}
+        coarse = optimizer._build_graph(replication)
+        fine = optimizer._build_graph(replication, group_size=2)
+        assert coarse is not fine
+        assert optimizer._build_graph(replication) is coarse
+
+    def test_optimize_builds_once_per_distinct_replication(self, setup):
+        topology, model = setup
+        optimizer = ScalingOptimizer(topology, model, 1e6)
+        result = optimizer.optimize()
+        distinct = len({
+            frozenset(i.replication.items()) for i in result.iterations
+        })
+        # one build per distinct (replication, group-size); the fallback
+        # finer-granularity pass may add at most one more per replication
+        assert optimizer._graph_builds <= 2 * max(distinct, 1) + 2

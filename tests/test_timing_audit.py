@@ -1,0 +1,53 @@
+"""Timing-source audit: durations use the monotonic clock.
+
+``time.time()`` can jump (NTP adjustments, DST); every elapsed-time
+measurement in the source tree must use ``time.perf_counter()``.  The one
+sanctioned exception is the wall-clock *timestamp* stamped into exported
+metric reports (``metrics/export.py``), which genuinely wants epoch time.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: Files allowed to call ``time.time()`` — wall-clock timestamps only.
+WALL_CLOCK_ALLOWED = {"repro/metrics/export.py"}
+
+
+def _python_sources():
+    return [p for p in SRC.rglob("*.py") if "__pycache__" not in p.parts]
+
+
+def test_time_time_only_in_export():
+    pattern = re.compile(r"\btime\.time\(")
+    offenders = []
+    for path in _python_sources():
+        rel = path.relative_to(SRC).as_posix()
+        if pattern.search(path.read_text()) and rel not in WALL_CLOCK_ALLOWED:
+            offenders.append(rel)
+    assert not offenders, (
+        f"duration measurements must use time.perf_counter(); "
+        f"time.time() found in {offenders}"
+    )
+
+
+def test_export_keeps_wall_clock_timestamp():
+    """The report timestamp must stay wall-clock — perf_counter has an
+    arbitrary epoch and would make ``generated_unix`` meaningless."""
+    export = (SRC / "repro" / "metrics" / "export.py").read_text()
+    assert "time.time()" in export
+
+
+def test_no_bare_clock_imports():
+    """``from time import time`` would dodge the audit above."""
+    pattern = re.compile(r"from\s+time\s+import\s+([^\n]*)")
+    offenders = []
+    for path in _python_sources():
+        for match in pattern.finditer(path.read_text()):
+            names = [n.strip() for n in match.group(1).split(",")]
+            if any(n == "time" or n.startswith("time as") for n in names):
+                offenders.append(path.relative_to(SRC).as_posix())
+    assert not offenders, f"import time and qualify calls: {offenders}"
