@@ -19,8 +19,15 @@ from repro.apps import APP_NAMES, load_application
 from repro.core import PerformanceModel, RLASOptimizer, TfMode
 from repro.core.scaling import saturation_ingress
 from repro.dsps.engine import LocalEngine
+from repro.errors import ExecutionError
 from repro.hardware import server_a, server_b
 from repro.metrics import MetricsRegistry, build_report, format_table, write_report
+from repro.runtime import (
+    RECOVERY_POLICIES,
+    DegradeContext,
+    FaultPlan,
+    ProcessPoolBackend,
+)
 from repro.simulation import DiscreteEventSimulator, FlowSimulator
 
 _SERVERS = {"A": server_a, "B": server_b}
@@ -40,10 +47,13 @@ def _emit(
     kind: str,
     registry: MetricsRegistry | None,
     meta: dict,
+    data: dict | None = None,
 ) -> None:
     if registry is None or not args.emit_metrics:
         return
-    report = build_report(kind=kind, name=args.app, registry=registry, meta=meta)
+    report = build_report(
+        kind=kind, name=args.app, registry=registry, meta=meta, data=data
+    )
     path = write_report(args.emit_metrics, report)
     print(f"metrics report written to {path}")
 
@@ -90,19 +100,97 @@ def cmd_machines(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_backend(args: argparse.Namespace):
+    """Resolve cmd_run's backend, applying the watchdog override."""
+    if args.backend == "process" and args.watchdog_timeout is not None:
+        return ProcessPoolBackend(
+            n_workers=args.workers,
+            heartbeat_timeout_s=args.watchdog_timeout,
+        )
+    return args.backend
+
+
+def _recovery_data(recovery, fault_summary) -> dict:
+    """Report payload for a (possibly absent) recovery outcome."""
+    data: dict = {}
+    if recovery is not None:
+        data["recovery"] = recovery.to_dict()
+    if fault_summary:
+        data["fault_summary"] = dict(fault_summary)
+    return data
+
+
+def _print_recovery(recovery) -> None:
+    if recovery is None:
+        return
+    print(
+        f"recovery [{recovery.policy}]: attempts={recovery.attempts} "
+        f"restarts={recovery.restarts} replans={recovery.replans} "
+        f"duplicate_deliveries={recovery.duplicate_deliveries} "
+        f"completed={recovery.completed}"
+    )
+    for event in recovery.events:
+        line = f"  t+{event.elapsed_s:8.3f}s  attempt {event.attempt}: {event.kind}"
+        if event.error:
+            line += f" ({event.error})"
+        if event.detail:
+            line += f" — {event.detail}"
+        print(line)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Execute an application on the functional engine, fully instrumented."""
-    topology, _profiles = load_application(args.app)
+    topology, profiles = load_application(args.app)
     registry = MetricsRegistry()
+    fault_plan = (
+        FaultPlan.from_cli(args.inject_faults) if args.inject_faults else None
+    )
+    degrade = None
+    if args.recovery_policy == "degrade":
+        machine = _SERVERS[args.server](args.sockets)
+        degrade = DegradeContext(profiles=profiles, machine=machine)
     engine = LocalEngine(
         topology,
         batch_size=args.batch_size,
         registry=registry,
-        backend=args.backend,
+        backend=_run_backend(args),
         queue_capacity=args.queue_capacity,
         n_workers=args.workers,
+        fault_plan=fault_plan,
+        recovery_policy=args.recovery_policy,
+        max_restarts=args.max_restarts,
+        degrade=degrade,
     )
-    result = engine.run(args.events)
+    try:
+        result = engine.run(args.events)
+    except ExecutionError as exc:
+        print(f"run failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        _print_recovery(exc.recovery)
+        partial = exc.partial_result
+        if partial is not None:
+            print(
+                f"partial progress: {partial.events_ingested} events ingested, "
+                f"{partial.sink_received()} tuples at sinks"
+            )
+        _emit(
+            args,
+            "engine-run",
+            registry,
+            meta={
+                "app": args.app,
+                "events": args.events,
+                "batch_size": args.batch_size,
+                "backend": args.backend,
+                "topology": topology.name,
+                "failed": True,
+                "error": type(exc).__name__,
+            },
+            data=_recovery_data(
+                exc.recovery,
+                partial.fault_summary if partial is not None else None,
+            ),
+        )
+        return 1
     rows = []
     for name in topology.topological_order():
         rows.append(
@@ -123,6 +211,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
     )
     print(f"sink received: {result.sink_received()} tuples")
+    _print_recovery(result.recovery)
     _emit(
         args,
         "engine-run",
@@ -134,6 +223,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             "backend": args.backend,
             "topology": topology.name,
         },
+        data=_recovery_data(result.recovery, result.fault_summary),
     )
     return 0
 
@@ -236,6 +326,46 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="bound every communication queue to N tuples (backpressure)",
+    )
+    run.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "deterministic chaos: key=value pairs, e.g. "
+            "'seed=7,kinds=crash|stall,n=2,at=100' (see docs/robustness.md)"
+        ),
+    )
+    run.add_argument(
+        "--recovery-policy",
+        choices=RECOVERY_POLICIES,
+        default=None,
+        help="supervise the run: fail-fast, retry or degrade",
+    )
+    run.add_argument(
+        "--max-restarts",
+        type=int,
+        default=3,
+        help="restart bound for retry/degrade recovery",
+    )
+    run.add_argument(
+        "--watchdog-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="heartbeat watchdog timeout for --backend process (seconds)",
+    )
+    run.add_argument(
+        "--server",
+        choices=("A", "B"),
+        default="A",
+        help="machine model the degrade policy replans against",
+    )
+    run.add_argument(
+        "--sockets",
+        type=int,
+        default=4,
+        help="socket count of the degrade machine model",
     )
     run.add_argument(
         "--emit-metrics",

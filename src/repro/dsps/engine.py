@@ -25,12 +25,45 @@ from typing import Mapping
 
 from repro.dsps.graph import ExecutionGraph
 from repro.dsps.topology import Topology
+from repro.errors import ExecutionError
 from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry
 from repro.runtime.backends import ExecutorBackend, resolve_backend
+from repro.runtime.faults import FaultPlan
 from repro.runtime.lowering import RuntimeSpec, lower_graph, lower_plan
 from repro.runtime.results import RunResult, TaskStats
+from repro.runtime.supervisor import DegradeContext, Supervisor
 
 __all__ = ["LocalEngine", "RunResult", "TaskStats"]
+
+
+def _validate_queue_bounds(
+    queue_capacity: int | None, queue_budget: int | None
+) -> None:
+    if queue_capacity is not None and queue_capacity <= 0:
+        raise ExecutionError(
+            f"queue_capacity must be positive, got {queue_capacity}"
+        )
+    if queue_budget is not None and queue_budget <= 0:
+        raise ExecutionError(f"queue_budget must be positive, got {queue_budget}")
+
+
+def _supervise(
+    backend: ExecutorBackend,
+    fault_plan: FaultPlan | None,
+    recovery_policy: str | None,
+    max_restarts: int,
+    degrade: DegradeContext | None,
+) -> ExecutorBackend:
+    """Wrap ``backend`` in a Supervisor when fault tolerance is requested."""
+    if fault_plan is None and recovery_policy is None:
+        return backend
+    return Supervisor(
+        backend,
+        policy=recovery_policy or "fail-fast",
+        fault_plan=fault_plan,
+        max_restarts=max_restarts,
+        degrade=degrade,
+    )
 
 
 class LocalEngine:
@@ -47,6 +80,10 @@ class LocalEngine:
         queue_capacity: int | None = None,
         queue_budget: int | None = None,
         n_workers: int | None = None,
+        fault_plan: FaultPlan | None = None,
+        recovery_policy: str | None = None,
+        max_restarts: int = 3,
+        degrade: DegradeContext | None = None,
     ) -> None:
         """
         Parameters
@@ -77,7 +114,19 @@ class LocalEngine:
         n_workers:
             Worker-process count when ``backend="process"`` is given by
             name; ignored otherwise.
+        fault_plan:
+            Optional :class:`~repro.runtime.faults.FaultPlan` — chaos
+            runs; implies supervised execution.
+        recovery_policy:
+            Optional policy (``fail-fast``/``retry``/``degrade``) — wraps
+            the backend in a :class:`~repro.runtime.supervisor.Supervisor`.
+        max_restarts:
+            Restart bound for ``retry``/``degrade`` recovery.
+        degrade:
+            :class:`~repro.runtime.supervisor.DegradeContext`; required
+            when ``recovery_policy="degrade"``.
         """
+        _validate_queue_bounds(queue_capacity, queue_budget)
         self.topology = topology
         if replication is None:
             replication = {
@@ -94,7 +143,13 @@ class LocalEngine:
             queue_capacity=queue_capacity,
             queue_budget=queue_budget,
         )
-        self.backend = resolve_backend(backend, n_workers=n_workers)
+        self.backend = _supervise(
+            resolve_backend(backend, n_workers=n_workers),
+            fault_plan,
+            recovery_policy,
+            max_restarts,
+            degrade,
+        )
 
     @classmethod
     def from_plan(
@@ -107,6 +162,10 @@ class LocalEngine:
         queue_capacity: int | None = None,
         queue_budget: int | None = None,
         n_workers: int | None = None,
+        fault_plan: FaultPlan | None = None,
+        recovery_policy: str | None = None,
+        max_restarts: int = 3,
+        degrade: DegradeContext | None = None,
     ) -> "LocalEngine":
         """Build an engine from a complete :class:`~repro.core.plan.ExecutionPlan`.
 
@@ -114,6 +173,7 @@ class LocalEngine:
         from the plan's queue budget, and tasks carry their socket
         placement (which the process backend uses to group workers).
         """
+        _validate_queue_bounds(queue_capacity, queue_budget)
         spec = lower_plan(
             plan,
             batch_size=batch_size,
@@ -126,7 +186,13 @@ class LocalEngine:
         engine.batch_size = batch_size
         engine.registry = registry if registry is not None else NULL_REGISTRY
         engine.spec = spec
-        engine.backend = resolve_backend(backend, n_workers=n_workers)
+        engine.backend = _supervise(
+            resolve_backend(backend, n_workers=n_workers),
+            fault_plan,
+            recovery_policy,
+            max_restarts,
+            degrade,
+        )
         return engine
 
     def run(self, max_events: int) -> RunResult:

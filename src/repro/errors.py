@@ -36,7 +36,52 @@ class SimulationError(ReproError):
 
 
 class ExecutionError(ReproError):
-    """A runtime backend failed while executing a lowered plan."""
+    """A runtime backend failed while executing a lowered plan.
+
+    Runtime failures optionally carry context the supervisor layer uses
+    for recovery decisions and partial-progress reporting:
+
+    ``partial_result``
+        A :class:`~repro.runtime.results.RunResult` describing whatever
+        progress the run had made when it failed (events ingested, task
+        counters, surviving sink state), or ``None`` when nothing is
+        recoverable.
+    ``failed_workers`` / ``failed_sockets``
+        Worker ids / plan sockets implicated in the failure (empty when
+        unknown).  The ``degrade`` recovery policy drops these sockets
+        from the machine model before re-running placement.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        partial_result=None,
+        failed_workers: tuple[int, ...] = (),
+        failed_sockets: tuple[int, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.partial_result = partial_result
+        self.failed_workers = tuple(failed_workers)
+        self.failed_sockets = tuple(failed_sockets)
+        #: Attached by the supervisor when recovery was attempted.
+        self.recovery = None
+
+
+class WorkerCrashError(ExecutionError):
+    """A worker process died (or a simulated crash fault fired)."""
+
+
+class StallError(ExecutionError):
+    """A task or worker stopped making progress within the watchdog window."""
+
+
+class QueueDeadlockError(ExecutionError):
+    """A blocked queue operation exceeded its timeout without draining."""
+
+
+class InjectedFaultError(ExecutionError):
+    """A configured fault-injection point fired (chaos testing)."""
 
 
 class MetricsError(ReproError):

@@ -8,13 +8,26 @@ backends themselves (:mod:`repro.runtime.backends`,
 (:class:`repro.dsps.engine.LocalEngine`) and the discrete-event simulator
 both build on the same lowering, so live runs and simulated runs share
 queue topology, routing and iteration orders by construction.
+
+The fault-tolerance layer (:mod:`repro.runtime.faults`,
+:mod:`repro.runtime.supervisor`) adds deterministic fault injection and
+supervised recovery (``fail-fast``/``retry``/``degrade``) on top of any
+backend; see docs/robustness.md.
 """
 
 from repro.runtime.backends import (
+    BACKEND_NAMES,
     ExecutorBackend,
     InlineBackend,
     publish_engine_metrics,
     resolve_backend,
+)
+from repro.runtime.faults import (
+    FAULT_KINDS,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    merge_fault_summaries,
 )
 from repro.runtime.lowering import (
     DEFAULT_QUEUE_BUDGET,
@@ -27,22 +40,43 @@ from repro.runtime.lowering import (
     lower_plan,
 )
 from repro.runtime.process_pool import ProcessPoolBackend
-from repro.runtime.results import RunResult, TaskStats
+from repro.runtime.results import (
+    RecoveryEvent,
+    RecoveryReport,
+    RunResult,
+    TaskStats,
+)
+from repro.runtime.supervisor import (
+    RECOVERY_POLICIES,
+    DegradeContext,
+    Supervisor,
+)
 
 __all__ = [
+    "BACKEND_NAMES",
     "DEFAULT_QUEUE_BUDGET",
+    "DegradeContext",
     "ExecutorBackend",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
     "InlineBackend",
     "ProcessPoolBackend",
+    "RECOVERY_POLICIES",
+    "RecoveryEvent",
+    "RecoveryReport",
     "RouteSpec",
     "RunResult",
     "RuntimeSpec",
+    "Supervisor",
     "TaskRuntime",
     "TaskStats",
     "instantiate_task",
     "instantiate_tasks",
     "lower_graph",
     "lower_plan",
+    "merge_fault_summaries",
     "publish_engine_metrics",
     "resolve_backend",
 ]

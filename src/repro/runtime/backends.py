@@ -26,15 +26,28 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections import defaultdict
 from time import perf_counter
-from typing import Iterator, Mapping
+from typing import TYPE_CHECKING, Iterator, Mapping
 
 from repro.dsps.operators import Operator, Sink
 from repro.dsps.queues import CommunicationQueue, OutputBuffer, QueueStats
 from repro.dsps.tuples import JumboTuple, StreamTuple
-from repro.errors import ExecutionError, TopologyError
+from repro.errors import (
+    ExecutionError,
+    InjectedFaultError,
+    QueueDeadlockError,
+    StallError,
+    TopologyError,
+    WorkerCrashError,
+)
 from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry
 from repro.runtime.lowering import RuntimeSpec, TaskRuntime, instantiate_tasks
 from repro.runtime.results import RunResult, TaskStats
+
+if TYPE_CHECKING:
+    from repro.runtime.faults import FaultInjector
+
+#: Backend names :func:`resolve_backend` accepts.
+BACKEND_NAMES = ("inline", "process")
 
 
 class ExecutorBackend(ABC):
@@ -49,9 +62,16 @@ class ExecutorBackend(ABC):
         spec: RuntimeSpec,
         max_events: int,
         registry: MetricsRegistry | None = None,
+        *,
+        injector: "FaultInjector | None" = None,
     ) -> RunResult:
         """Ingest up to ``max_events`` events per spout task and run to
-        completion, returning per-task statistics and live sink state."""
+        completion, returning per-task statistics and live sink state.
+
+        ``injector`` optionally arms deterministic fault injection (see
+        :mod:`repro.runtime.faults`); backends without fault support must
+        reject a non-None injector rather than silently ignore it.
+        """
 
 
 def resolve_backend(
@@ -65,6 +85,8 @@ def resolve_backend(
     ``n_workers``/``ordered`` only apply when constructing the process
     backend from its name.
     """
+    if n_workers is not None and n_workers < 1:
+        raise ExecutionError(f"n_workers must be >= 1, got {n_workers}")
     if isinstance(backend, ExecutorBackend):
         return backend
     if backend == "inline":
@@ -73,7 +95,9 @@ def resolve_backend(
         from repro.runtime.process_pool import ProcessPoolBackend
 
         return ProcessPoolBackend(n_workers=n_workers, ordered=ordered)
-    raise ExecutionError(f"unknown backend {backend!r}; expected inline or process")
+    raise ExecutionError(
+        f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}"
+    )
 
 
 def publish_engine_metrics(
@@ -127,22 +151,29 @@ class InlineBackend(ExecutorBackend):
         spec: RuntimeSpec,
         max_events: int,
         registry: MetricsRegistry | None = None,
+        *,
+        injector: "FaultInjector | None" = None,
     ) -> RunResult:
         if max_events < 0:
             raise TopologyError("max_events must be >= 0")
         registry = registry if registry is not None else NULL_REGISTRY
-        return _InlineRun(spec, max_events, registry).execute()
+        return _InlineRun(spec, max_events, registry, injector).execute()
 
 
 class _InlineRun:
     """Mutable state of one inline execution (one object per ``run()``)."""
 
     def __init__(
-        self, spec: RuntimeSpec, max_events: int, registry: MetricsRegistry
+        self,
+        spec: RuntimeSpec,
+        max_events: int,
+        registry: MetricsRegistry,
+        injector: "FaultInjector | None" = None,
     ) -> None:
         self.spec = spec
         self.max_events = max_events
         self.registry = registry
+        self.injector = injector
         self.instrumented = registry.enabled
         self.instances = instantiate_tasks(spec)
         self.stats = {
@@ -168,6 +199,17 @@ class _InlineRun:
     # Scheduler
     # ------------------------------------------------------------------
     def execute(self) -> RunResult:
+        try:
+            return self._execute()
+        except ExecutionError as exc:
+            # Attach partial progress so failed runs stay observable: the
+            # supervisor turns this into a partial run report and into
+            # duplicate-delivery accounting for at-least-once replays.
+            if exc.partial_result is None:
+                exc.partial_result = self._snapshot(partial=True)
+            raise
+
+    def _execute(self) -> RunResult:
         wall: dict[int, float] = defaultdict(float)
         active: list[tuple[int, Iterator[None]]] = [
             (
@@ -193,22 +235,22 @@ class _InlineRun:
                     for (p, c), q in self.queues.items()
                     if q.is_full
                 ]
-                raise ExecutionError(
+                stalled = sorted(self.injector.stalled) if self.injector else []
+                message = (
                     "inline scheduler stalled: no task can make progress "
-                    f"(full queues: {blocked or 'none'})"
+                    f"(full queues: {blocked or 'none'}"
+                    + (f", stalled tasks: {stalled}" if stalled else "")
+                    + ")"
+                )
+                # Full queues mean a blocked producer ring (deadlock
+                # shape); otherwise a task simply stopped consuming.
+                error_cls = QueueDeadlockError if blocked else StallError
+                raise error_cls(
+                    message,
+                    failed_sockets=self._sockets_of(stalled),
                 )
 
-        sinks: dict[str, list[Sink]] = defaultdict(list)
-        for rt in self.spec.tasks:
-            instance = self.instances[rt.task_id]
-            if isinstance(instance, Sink):
-                sinks[rt.component].append(instance)
-        result = RunResult(
-            topology_name=self.spec.topology.name,
-            events_ingested=self.events,
-            task_stats=self.stats,
-            sinks=dict(sinks),
-        )
+        result = self._snapshot(partial=False)
         if self.instrumented:
             for rt in self.spec.tasks:
                 self.registry.gauge(
@@ -221,6 +263,56 @@ class _InlineRun:
                 {key: q.stats for key, q in self.queues.items()},
             )
         return result
+
+    def _snapshot(self, partial: bool) -> RunResult:
+        """Current run state as a result (complete or mid-failure)."""
+        sinks: dict[str, list[Sink]] = defaultdict(list)
+        for rt in self.spec.tasks:
+            instance = self.instances[rt.task_id]
+            if isinstance(instance, Sink):
+                sinks[rt.component].append(instance)
+        return RunResult(
+            topology_name=self.spec.topology.name,
+            events_ingested=self.events,
+            task_stats=self.stats,
+            sinks=dict(sinks),
+            fault_summary=self.injector.summary() if self.injector else None,
+            partial=partial,
+        )
+
+    def _sockets_of(self, task_ids) -> tuple[int, ...]:
+        sockets = {
+            rt.socket if rt.socket is not None else 0
+            for rt in self.spec.tasks
+            if rt.task_id in set(task_ids)
+        }
+        return tuple(sorted(sockets))
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def _fault_tick(self, rt: TaskRuntime) -> None:
+        """Count one tuple at ``rt``; act on a fired crash/raise fault.
+
+        ``stall`` and ``drop`` faults only flip injector state here; the
+        task loops and :meth:`_enqueue` honor them at their call sites.
+        """
+        fault = self.injector.tick(rt.task_id)
+        if fault is None:
+            return
+        socket = rt.socket if rt.socket is not None else 0
+        if fault.kind == "crash":
+            # Single-process simulation of a worker loss: the typed error
+            # the process backend's watchdog would raise, minus the pid.
+            raise WorkerCrashError(
+                f"injected crash: {fault.describe()}",
+                failed_sockets=(socket,),
+            )
+        if fault.kind == "raise":
+            raise InjectedFaultError(
+                f"injected operator failure: {fault.describe()}",
+                failed_sockets=(socket,),
+            )
 
     # ------------------------------------------------------------------
     # Task loops (generators: ``yield`` = cannot progress right now)
@@ -238,6 +330,11 @@ class _InlineRun:
         histogram = self._histogram(rt)
         produced = 0
         for values in spout.next_batch(self.max_events):
+            if self.injector is not None:
+                self._fault_tick(rt)
+                if self.injector.is_stalled(rt.task_id):
+                    while True:  # simulated stall: never produce again
+                        yield
             started = perf_counter() if histogram is not None else 0.0
             item = StreamTuple(
                 values=values,
@@ -264,6 +361,11 @@ class _InlineRun:
             self.queues[(edge.producer, edge.consumer)] for edge in rt.in_edges
         ]
         while True:
+            if self.injector is not None and self.injector.is_stalled(rt.task_id):
+                # Simulated stall: stop consuming forever.  The scheduler's
+                # no-progress watchdog converts this into a StallError.
+                yield
+                continue
             progressed = False
             for queue in in_queues:
                 while True:
@@ -274,6 +376,14 @@ class _InlineRun:
                     self.ticks += 1
                     for item in items:
                         stats.tuples_in += 1
+                        if self.injector is not None:
+                            self._fault_tick(rt)
+                            if self.injector.is_stalled(rt.task_id):
+                                # Simulated stall mid-batch: stop right here
+                                # and never progress again; the scheduler's
+                                # no-progress watchdog raises StallError.
+                                while True:
+                                    yield
                         if histogram is None:
                             emitted = operator.process(item)
                         else:
@@ -323,6 +433,14 @@ class _InlineRun:
                     yield from self._enqueue(rt.task_id, consumer, sealed)
 
     def _enqueue(self, producer: int, consumer: int, batch: JumboTuple) -> Iterator[None]:
+        if self.injector is not None and self.injector.take_drop(
+            producer, len(batch)
+        ):
+            # Injected message loss: the sealed batch vanishes.  The run
+            # still completes (EOF is membership-based, not count-based);
+            # the supervisor detects the loss from the fault summary.
+            self.ticks += 1
+            return
         queue = self.queues[(producer, consumer)]
         if not queue.has_space(len(batch)):
             # Blocking-producer backpressure: suspend until the consumer

@@ -31,6 +31,32 @@ which reproduces inline results for order-sensitive multi-input
 topologies at the cost of buffering (capacities are not enforced in this
 mode, since strict edge order may require holding later edges' input
 arbitrarily long).
+
+Liveness
+--------
+Every worker stamps a shared heartbeat slot once per scheduling loop, and
+the parent writes observed exit codes into a shared status array.  Three
+watchdogs turn what used to be silent hangs into typed, bounded errors
+(see docs/robustness.md):
+
+* the **parent watchdog** polls worker results, converting a dead worker
+  into :class:`~repro.errors.WorkerCrashError` and a stale-but-alive
+  worker (or an exhausted overall budget) into
+  :class:`~repro.errors.StallError`, always with a partial
+  :class:`~repro.runtime.results.RunResult` merged from the workers that
+  did finish;
+* a **blocked send** (:meth:`_Worker._blocking_put`) raises
+  :class:`~repro.errors.WorkerCrashError` as soon as the parent marks the
+  destination worker dead, and :class:`~repro.errors.QueueDeadlockError`
+  when the send exceeds ``send_timeout_s`` with the peer still alive;
+* an **idle worker** whose upstream producers' workers died raises
+  :class:`~repro.errors.WorkerCrashError` instead of waiting forever for
+  EOF markers that will never arrive.
+
+Fault injection (:mod:`repro.runtime.faults`) threads through the same
+paths: each worker arms an injector over its own task partition, so a
+``crash`` fault genuinely kills the hosting process (``os._exit``) and
+the watchdogs above are what detect it.
 """
 
 from __future__ import annotations
@@ -41,19 +67,30 @@ import queue as queue_mod
 import time
 import traceback
 from collections import defaultdict, deque
-from time import perf_counter
-from typing import Any, Iterator, Mapping
+from time import monotonic, perf_counter
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
 import multiprocessing as mp
 
 from repro.dsps.operators import Operator, Sink
 from repro.dsps.queues import OutputBuffer, QueueStats
 from repro.dsps.tuples import StreamTuple
-from repro.errors import ExecutionError, TopologyError
+from repro.errors import (
+    ExecutionError,
+    InjectedFaultError,
+    QueueDeadlockError,
+    StallError,
+    TopologyError,
+    WorkerCrashError,
+)
 from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry
 from repro.runtime.backends import ExecutorBackend, publish_engine_metrics
+from repro.runtime.faults import FaultInjector, merge_fault_summaries
 from repro.runtime.lowering import RuntimeSpec, TaskRuntime, instantiate_task
 from repro.runtime.results import RunResult, TaskStats
+
+if TYPE_CHECKING:
+    from repro.runtime.faults import Fault
 
 #: Default bound, in jumbo batches, of each worker's inbox queue.
 DEFAULT_INBOX_BATCHES = 64
@@ -66,6 +103,28 @@ _PROCESS_QUANTUM = 8
 
 #: Sleep while no local progress is possible (seconds).
 _IDLE_SLEEP_S = 0.0002
+
+#: Parent watchdog poll interval while waiting for worker results (s).
+_POLL_INTERVAL_S = 0.05
+
+#: Grace window for late result messages from a worker seen dead (s).
+_DEATH_GRACE_S = 0.5
+
+#: Exit code an injected ``crash`` fault dies with (distinguishable from
+#: interpreter crashes in the parent's diagnostics).
+CRASH_EXIT_CODE = 70
+
+#: Sentinel in the shared status array: worker still running.
+_STATUS_RUNNING = -1000
+
+#: Worker-side error kinds mapped back to typed exceptions in the parent.
+_ERROR_CLASSES = {
+    "WorkerCrashError": WorkerCrashError,
+    "StallError": StallError,
+    "QueueDeadlockError": QueueDeadlockError,
+    "InjectedFaultError": InjectedFaultError,
+    "ExecutionError": ExecutionError,
+}
 
 
 def _mp_context() -> mp.context.BaseContext:
@@ -89,7 +148,17 @@ class ProcessPoolBackend(ExecutorBackend):
     inbox_batches:
         Bound, in jumbo batches, of each worker's inbox.
     timeout_s:
-        Parent-side limit on waiting for any single worker result.
+        Parent-side bound on the whole execution; exceeding it raises
+        :class:`~repro.errors.StallError` (never a silent hang).
+    heartbeat_timeout_s:
+        A worker whose heartbeat is older than this is considered stalled
+        (parent side) or dead (peer side, combined with the status
+        array).  Workers heartbeat once per scheduling loop, so normal
+        operation refreshes it every few milliseconds.
+    send_timeout_s:
+        Worker-side bound on one blocked remote send; exceeding it with
+        the peer still alive raises
+        :class:`~repro.errors.QueueDeadlockError`.
     """
 
     name = "process"
@@ -101,15 +170,29 @@ class ProcessPoolBackend(ExecutorBackend):
         ordered: bool = False,
         inbox_batches: int = DEFAULT_INBOX_BATCHES,
         timeout_s: float = 300.0,
+        heartbeat_timeout_s: float = 10.0,
+        send_timeout_s: float = 30.0,
     ) -> None:
         if n_workers is not None and n_workers < 1:
-            raise ExecutionError("n_workers must be >= 1")
+            raise ExecutionError(f"n_workers must be >= 1, got {n_workers}")
         if inbox_batches < 1:
-            raise ExecutionError("inbox_batches must be >= 1")
+            raise ExecutionError(f"inbox_batches must be >= 1, got {inbox_batches}")
+        if timeout_s <= 0:
+            raise ExecutionError(f"timeout_s must be positive, got {timeout_s}")
+        if heartbeat_timeout_s <= 0:
+            raise ExecutionError(
+                f"heartbeat_timeout_s must be positive, got {heartbeat_timeout_s}"
+            )
+        if send_timeout_s <= 0:
+            raise ExecutionError(
+                f"send_timeout_s must be positive, got {send_timeout_s}"
+            )
         self.n_workers = n_workers
         self.ordered = ordered
         self.inbox_batches = inbox_batches
         self.timeout_s = timeout_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.send_timeout_s = send_timeout_s
 
     # ------------------------------------------------------------------
     # Parent side
@@ -139,19 +222,39 @@ class ProcessPoolBackend(ExecutorBackend):
                     position += 1
         return n, owner
 
+    def _sockets_of_workers(
+        self, spec: RuntimeSpec, owner: Mapping[int, int]
+    ) -> dict[int, tuple[int, ...]]:
+        """Plan sockets hosted by each worker (for failure attribution)."""
+        sockets: dict[int, set[int]] = defaultdict(set)
+        for rt in spec.tasks:
+            sockets[owner[rt.task_id]].add(rt.socket if rt.socket is not None else 0)
+        return {wid: tuple(sorted(s)) for wid, s in sockets.items()}
+
     def execute(
         self,
         spec: RuntimeSpec,
         max_events: int,
         registry: MetricsRegistry | None = None,
+        *,
+        injector: "FaultInjector | None" = None,
     ) -> RunResult:
         if max_events < 0:
             raise TopologyError("max_events must be >= 0")
         registry = registry if registry is not None else NULL_REGISTRY
         n_workers, owner = self._assign(spec)
+        worker_sockets = self._sockets_of_workers(spec, owner)
+        schedule: tuple["Fault", ...] = injector.schedule if injector else ()
+        attempt = injector.attempt if injector else 0
         ctx = _mp_context()
         inboxes = [ctx.Queue(maxsize=self.inbox_batches) for _ in range(n_workers)]
         results: Any = ctx.Queue()
+        # Shared liveness state: heartbeat timestamps (monotonic seconds,
+        # stamped by each worker once per loop) and exit-status slots the
+        # parent fills in as soon as it observes a death, so blocked peers
+        # can distinguish "dead" from "slow".
+        heartbeats = ctx.Array("d", [monotonic()] * n_workers, lock=False)
+        status = ctx.Array("i", [_STATUS_RUNNING] * n_workers, lock=False)
         workers = [
             ctx.Process(
                 target=_worker_main,
@@ -163,6 +266,12 @@ class ProcessPoolBackend(ExecutorBackend):
                     inboxes,
                     results,
                     self.ordered,
+                    heartbeats,
+                    status,
+                    self.heartbeat_timeout_s,
+                    self.send_timeout_s,
+                    schedule,
+                    attempt,
                 ),
                 daemon=True,
             )
@@ -172,19 +281,9 @@ class ProcessPoolBackend(ExecutorBackend):
             process.start()
         outcomes: list[tuple] = []
         try:
-            for _ in range(n_workers):
-                try:
-                    outcome = results.get(timeout=self.timeout_s)
-                except queue_mod.Empty:
-                    raise ExecutionError(
-                        f"process backend timed out after {self.timeout_s}s "
-                        f"waiting for worker results"
-                    ) from None
-                if outcome[0] == "error":
-                    raise ExecutionError(
-                        f"worker {outcome[1]} failed:\n{outcome[2]}"
-                    )
-                outcomes.append(outcome)
+            self._await_outcomes(
+                workers, results, heartbeats, status, worker_sockets, outcomes
+            )
         finally:
             for process in workers:
                 if process.is_alive():
@@ -196,9 +295,119 @@ class ProcessPoolBackend(ExecutorBackend):
             results.cancel_join_thread()
         return self._merge(spec, registry, n_workers, outcomes)
 
+    def _await_outcomes(
+        self,
+        workers: list,
+        results: Any,
+        heartbeats: Any,
+        status: Any,
+        worker_sockets: Mapping[int, tuple[int, ...]],
+        outcomes: list[tuple],
+    ) -> None:
+        """Collect one outcome per worker under the parent watchdog.
+
+        Successful outcomes accumulate into ``outcomes`` (also on
+        failure, so the caller can merge partial progress).  Raises a
+        typed :class:`ExecutionError` subclass on any worker failure,
+        stall or timeout — this method never blocks unboundedly.
+        """
+        deadline = monotonic() + self.timeout_s
+        pending = set(range(len(workers)))
+
+        def drain(timeout: float) -> bool:
+            try:
+                outcome = results.get(timeout=timeout)
+            except queue_mod.Empty:
+                return False
+            if outcome[0] == "error":
+                _, worker_id, error_kind, message, trace = outcome
+                error_cls = _ERROR_CLASSES.get(error_kind, ExecutionError)
+                raise error_cls(
+                    f"worker {worker_id} failed: {message}\n{trace}",
+                    partial_result=self._partial(outcomes),
+                    failed_workers=(worker_id,),
+                    failed_sockets=worker_sockets.get(worker_id, ()),
+                )
+            outcomes.append(outcome)
+            pending.discard(outcome[1])
+            return True
+
+        while pending:
+            if drain(_POLL_INTERVAL_S):
+                continue
+            now = monotonic()
+            dead = [
+                wid
+                for wid in sorted(pending)
+                if not workers[wid].is_alive()
+            ]
+            if dead:
+                # Publish the deaths so blocked peers stop waiting, then
+                # give the result queue a grace window: a worker that
+                # exited cleanly may still have its outcome in flight.
+                for wid in dead:
+                    status[wid] = workers[wid].exitcode or 0
+                grace = monotonic() + _DEATH_GRACE_S
+                while monotonic() < grace and pending & set(dead):
+                    drain(_POLL_INTERVAL_S)
+                lost = sorted(pending & set(dead))
+                if lost:
+                    codes = {wid: workers[wid].exitcode for wid in lost}
+                    sockets = tuple(
+                        sorted(
+                            s
+                            for wid in lost
+                            for s in worker_sockets.get(wid, ())
+                        )
+                    )
+                    raise WorkerCrashError(
+                        f"worker(s) {lost} died without reporting a result "
+                        f"(exit codes {codes})",
+                        partial_result=self._partial(outcomes),
+                        failed_workers=tuple(lost),
+                        failed_sockets=sockets,
+                    )
+                continue
+            stale = [
+                wid
+                for wid in sorted(pending)
+                if now - heartbeats[wid] > self.heartbeat_timeout_s
+            ]
+            if stale:
+                ages = {wid: round(now - heartbeats[wid], 2) for wid in stale}
+                sockets = tuple(
+                    sorted(
+                        s for wid in stale for s in worker_sockets.get(wid, ())
+                    )
+                )
+                raise StallError(
+                    f"worker(s) {stale} stopped heartbeating "
+                    f"(last heartbeat {ages} s ago, "
+                    f"watchdog {self.heartbeat_timeout_s}s)",
+                    partial_result=self._partial(outcomes),
+                    failed_workers=tuple(stale),
+                    failed_sockets=sockets,
+                )
+            if now > deadline:
+                raise StallError(
+                    f"process backend timed out after {self.timeout_s}s "
+                    f"waiting for worker results (workers {sorted(pending)} "
+                    "still running)",
+                    partial_result=self._partial(outcomes),
+                    failed_workers=tuple(sorted(pending)),
+                )
+
+    def _partial(self, outcomes: list[tuple]) -> RunResult | None:
+        """Merge the outcomes received so far into a partial result."""
+        if not outcomes:
+            return None
+        result = self._merge(None, NULL_REGISTRY, len(outcomes), outcomes)
+        result.partial = True
+        return result
+
     def _merge(
         self,
-        spec: RuntimeSpec,
+        spec: RuntimeSpec | None,
         registry: MetricsRegistry,
         n_workers: int,
         outcomes: list[tuple],
@@ -208,23 +417,43 @@ class ProcessPoolBackend(ExecutorBackend):
         sinks_by_task: dict[int, Sink] = {}
         edge_stats: dict[tuple[int, int], QueueStats] = {}
         worker_metrics: dict[int, dict[str, float]] = {}
+        fault_summaries: list[dict[str, float]] = []
         for _, worker_id, worker_events, stats, sinks, edges, metrics in outcomes:
             events += worker_events
             task_stats.update(stats)
             sinks_by_task.update(sinks)
             edge_stats.update(edges)
             worker_metrics[worker_id] = metrics
+            summary = metrics.get("fault_summary")
+            if summary:
+                fault_summaries.append(summary)
         sinks: dict[str, list[Sink]] = defaultdict(list)
-        for rt in spec.tasks:
-            if rt.task_id in sinks_by_task:
-                sinks[rt.component].append(sinks_by_task[rt.task_id])
+        if spec is not None:
+            for rt in spec.tasks:
+                if rt.task_id in sinks_by_task:
+                    sinks[rt.component].append(sinks_by_task[rt.task_id])
+            topology_name = spec.topology.name
+        else:
+            # Partial merge (failure path): no spec ordering available;
+            # group surviving sinks by their task's component label.
+            for task_id, sink in sinks_by_task.items():
+                component = task_stats[task_id].component
+                sinks[component].append(sink)
+            topology_name = next(
+                (s.component for s in task_stats.values()), "partial"
+            )
         result = RunResult(
-            topology_name=spec.topology.name,
+            topology_name=topology_name,
             events_ingested=events,
             task_stats=task_stats,
             sinks=dict(sinks),
+            fault_summary=(
+                merge_fault_summaries(*fault_summaries)
+                if fault_summaries
+                else None
+            ),
         )
-        if registry.enabled:
+        if spec is not None and registry.enabled:
             publish_engine_metrics(registry, spec, result, edge_stats)
             registry.gauge("runtime.run.workers").set(n_workers)
             total_pickled = 0.0
@@ -267,12 +496,49 @@ def _worker_main(
     inboxes: list,
     results: Any,
     ordered: bool,
+    heartbeats: Any,
+    status: Any,
+    heartbeat_timeout_s: float,
+    send_timeout_s: float,
+    schedule: tuple,
+    attempt: int,
 ) -> None:
     try:
-        worker = _Worker(worker_id, spec, owner, max_events, inboxes, ordered)
+        worker = _Worker(
+            worker_id,
+            spec,
+            owner,
+            max_events,
+            inboxes,
+            ordered,
+            heartbeats=heartbeats,
+            status=status,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+            send_timeout_s=send_timeout_s,
+            schedule=schedule,
+            attempt=attempt,
+        )
         results.put(worker.run())
-    except BaseException:
-        results.put(("error", worker_id, traceback.format_exc()))
+    except ExecutionError as exc:
+        results.put(
+            (
+                "error",
+                worker_id,
+                type(exc).__name__,
+                str(exc),
+                traceback.format_exc(),
+            )
+        )
+    except BaseException as exc:
+        results.put(
+            (
+                "error",
+                worker_id,
+                "ExecutionError",
+                repr(exc),
+                traceback.format_exc(),
+            )
+        )
 
 
 class _Worker:
@@ -286,16 +552,36 @@ class _Worker:
         max_events: int,
         inboxes: list,
         ordered: bool,
+        *,
+        heartbeats: Any = None,
+        status: Any = None,
+        heartbeat_timeout_s: float = 10.0,
+        send_timeout_s: float = 30.0,
+        schedule: tuple = (),
+        attempt: int = 0,
     ) -> None:
         self.me = worker_id
         self.spec = spec
         self.owner = dict(owner)
         self.inboxes = inboxes
-        self.inbox = inboxes[worker_id]
+        self.inbox = inboxes[worker_id] if inboxes else None
         self.ordered = ordered
+        self.heartbeats = heartbeats
+        self.status = status
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.send_timeout_s = send_timeout_s
         self.mine: list[TaskRuntime] = [
             rt for rt in spec.tasks if self.owner[rt.task_id] == worker_id
         ]
+        self.injector = (
+            FaultInjector(
+                tuple(schedule),
+                attempt,
+                tasks={rt.task_id for rt in self.mine},
+            )
+            if schedule
+            else None
+        )
         self.instances = {
             rt.task_id: instantiate_task(spec, rt) for rt in self.mine
         }
@@ -336,7 +622,59 @@ class _Worker:
             if rt.is_spout
         }
         self.spout_produced: dict[int, int] = {t: 0 for t in self.spout_iters}
-        self.metrics: dict[str, float] = defaultdict(float)
+        self.metrics: dict[str, Any] = defaultdict(float)
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+    def _beat(self) -> None:
+        if self.heartbeats is not None:
+            self.heartbeats[self.me] = monotonic()
+
+    def _peer_dead(self, worker: int) -> bool:
+        """True once the parent has recorded ``worker``'s exit."""
+        return self.status is not None and self.status[worker] != _STATUS_RUNNING
+
+    def _check_dead_producers(self) -> None:
+        """Raise if an idle wait depends on EOFs from a dead worker."""
+        if self.status is None:
+            return
+        for rt in self.mine:
+            if rt.task_id in self.completed:
+                continue
+            for edge in rt.in_edges:
+                key = (edge.producer, edge.consumer)
+                peer = self.owner[edge.producer]
+                if key in self.eof or peer == self.me:
+                    continue
+                if self._peer_dead(peer):
+                    raise WorkerCrashError(
+                        f"worker {self.me}: upstream worker {peer} died "
+                        f"before finishing edge {edge.producer}->"
+                        f"{edge.consumer}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def _fault_tick(self, task_id: int) -> None:
+        fault = self.injector.tick(task_id)
+        if fault is None:
+            return
+        if fault.kind == "crash":
+            # A real worker loss: die hard, without flushing buffers or
+            # posting a result.  The parent watchdog attributes it.
+            os._exit(CRASH_EXIT_CODE)
+        if fault.kind == "raise":
+            raise InjectedFaultError(
+                f"injected operator failure: {fault.describe()}"
+            )
+        if fault.kind == "stall":
+            # Stop heartbeating and stop working: the parent watchdog
+            # converts this into a StallError within its timeout.
+            self.metrics["stalled"] = 1.0
+            while True:
+                time.sleep(_IDLE_SLEEP_S * 50)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -344,22 +682,36 @@ class _Worker:
     def run(self) -> tuple:
         started = perf_counter()
         idle_s = 0.0
+        idle_since: float | None = None
         while len(self.completed) < len(self.mine):
+            self._beat()
             progress = self._receive(limit=64, soft=False)
             progress += self._step_spouts()
             progress += self._step_process(_PROCESS_QUANTUM)
             progress += self._complete_ready()
             if not progress:
+                now = monotonic()
+                if idle_since is None:
+                    idle_since = now
+                elif now - idle_since > self.heartbeat_timeout_s:
+                    # Long idle: are we waiting on a dead upstream worker?
+                    self._check_dead_producers()
+                    idle_since = now
                 time.sleep(_IDLE_SLEEP_S)
                 idle_s += _IDLE_SLEEP_S
+            else:
+                idle_since = None
         wall_s = max(perf_counter() - started, 1e-9)
         self.metrics["busy_fraction"] = max(0.0, 1.0 - idle_s / wall_s)
         self.metrics["wall_ns"] = wall_s * 1e9
+        if self.injector is not None:
+            self.metrics["fault_summary"] = self.injector.summary()
         sinks = {
             rt.task_id: self.instances[rt.task_id]
             for rt in self.mine
             if isinstance(self.instances[rt.task_id], Sink)
         }
+        self._beat()
         # Plain dict for pickling; defaultdict factory is module-level safe
         # anyway, but the result payload should be inert.
         return (
@@ -409,7 +761,9 @@ class _Worker:
         the refused message so the inbox backs up and remote producers
         block — per-edge backpressure.  ``soft=True`` (used while this
         worker is itself blocked on a send) admits everything to keep the
-        worker graph deadlock-free.
+        worker graph deadlock-free.  Never blocks: inbox reads are
+        non-blocking polls, so a dead producer cannot hang this path (the
+        main loop's dead-producer check bounds the resulting idle wait).
         """
         received = 0
         for _ in range(limit):
@@ -452,6 +806,11 @@ class _Worker:
     def _dispatch(self, producer: int, consumer: int, tuples: list[StreamTuple]) -> None:
         if not tuples:
             return
+        if self.injector is not None and self.injector.take_drop(
+            producer, len(tuples)
+        ):
+            # Injected message loss: the batch vanishes before delivery.
+            return
         if self.owner[consumer] == self.me:
             self._deliver_local(producer, consumer, tuples)
             return
@@ -484,6 +843,16 @@ class _Worker:
         self._enqueue_backlog(key, tuples)
 
     def _blocking_put(self, target_worker: int, message: tuple) -> None:
+        """Send to a peer inbox, blocking with bounded patience.
+
+        While blocked the worker keeps heartbeating and draining its own
+        inbox (softly: never refuse) so a ring of mutually-blocked
+        workers cannot deadlock.  The wait is bounded two ways: a peer
+        the parent has marked dead raises
+        :class:`~repro.errors.WorkerCrashError` immediately, and a peer
+        that is alive but not draining for ``send_timeout_s`` raises
+        :class:`~repro.errors.QueueDeadlockError`.
+        """
         inbox = self.inboxes[target_worker]
         try:
             inbox.put_nowait(message)
@@ -492,13 +861,24 @@ class _Worker:
             pass
         self.metrics["send_blocks"] += 1
         blocked_from = perf_counter()
+        deadline = monotonic() + self.send_timeout_s
         while True:
             try:
                 inbox.put_nowait(message)
                 break
             except queue_mod.Full:
-                # Keep draining our own inbox (softly: never refuse) so a
-                # ring of mutually-blocked workers cannot deadlock.
+                self._beat()
+                if self._peer_dead(target_worker):
+                    raise WorkerCrashError(
+                        f"worker {self.me}: peer worker {target_worker} died "
+                        "with its inbox full; message undeliverable"
+                    ) from None
+                if monotonic() > deadline:
+                    raise QueueDeadlockError(
+                        f"worker {self.me}: send to worker {target_worker} "
+                        f"blocked for over {self.send_timeout_s}s "
+                        "(peer alive but not draining)"
+                    ) from None
                 if not self._receive(limit=16, soft=True):
                     time.sleep(_IDLE_SLEEP_S)
         self.metrics["blocked_send_ns"] += (perf_counter() - blocked_from) * 1e9
@@ -561,6 +941,8 @@ class _Worker:
                 if values is None:
                     exhausted = True
                     break
+                if self.injector is not None:
+                    self._fault_tick(rt.task_id)
                 item = StreamTuple(
                     values=values,
                     source_task=rt.task_id,
@@ -611,6 +993,8 @@ class _Worker:
         stats = self.stats[consumer]
         for item in tuples:
             stats.tuples_in += 1
+            if self.injector is not None:
+                self._fault_tick(consumer)
             for stream, values in operator.process(item):
                 out = item.derive(values, stream=stream, source_task=consumer)
                 stats.record_out(stream, out.payload_size_bytes)

@@ -4,6 +4,12 @@
 functional engine; they moved here when the runtime layer was extracted so
 that every backend (inline, process pool) produces the same result shape.
 ``repro.dsps.engine`` re-exports both names for backward compatibility.
+
+The fault-tolerant runtime adds two optional layers on top of the base
+result: a ``fault_summary`` (injected-fault counters a backend collected
+during the run) and a ``recovery`` report (the supervisor's attempt
+timeline — restarts, replans, duplicate-delivery accounting).  Both stay
+``None`` for plain unsupervised runs.
 """
 
 from __future__ import annotations
@@ -11,6 +17,79 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.dsps.operators import Sink
+
+
+@dataclass
+class RecoveryEvent:
+    """One entry of the supervisor's recovery timeline."""
+
+    attempt: int
+    elapsed_s: float
+    kind: str  # "fault-detected" | "restart" | "replan" | "completed" | "failed"
+    error: str = ""
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "attempt": self.attempt,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "kind": self.kind,
+            "error": self.error,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class RecoveryReport:
+    """Summary of one supervised execution (see docs/robustness.md).
+
+    ``duplicate_deliveries`` counts sink deliveries made by *failed*
+    attempts: under the supervisor's replay-from-last-checkpoint retry
+    semantics every one of those tuples is delivered again by the
+    successful attempt, so the counter is exactly the at-least-once
+    duplicate count an external sink would have observed.
+    """
+
+    policy: str
+    attempts: int = 0
+    restarts: int = 0
+    replans: int = 0
+    duplicate_deliveries: int = 0
+    completed: bool = False
+    degraded_sockets: list[int] = field(default_factory=list)
+    fault_schedule: list[dict] = field(default_factory=list)
+    events: list[RecoveryEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        attempt: int,
+        elapsed_s: float,
+        kind: str,
+        error: str = "",
+        detail: str = "",
+    ) -> None:
+        self.events.append(
+            RecoveryEvent(
+                attempt=attempt,
+                elapsed_s=elapsed_s,
+                kind=kind,
+                error=error,
+                detail=detail,
+            )
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "attempts": self.attempts,
+            "restarts": self.restarts,
+            "replans": self.replans,
+            "duplicate_deliveries": self.duplicate_deliveries,
+            "completed": self.completed,
+            "degraded_sockets": list(self.degraded_sockets),
+            "fault_schedule": list(self.fault_schedule),
+            "timeline": [event.to_dict() for event in self.events],
+        }
 
 
 @dataclass
@@ -51,6 +130,12 @@ class RunResult:
     events_ingested: int
     task_stats: dict[int, TaskStats]
     sinks: dict[str, list[Sink]]
+    #: Injected-fault counters collected by the backend (chaos runs only).
+    fault_summary: dict[str, float] | None = None
+    #: Supervisor recovery timeline (supervised runs only).
+    recovery: RecoveryReport | None = None
+    #: True when this result describes an aborted attempt's partial state.
+    partial: bool = False
 
     def component_in(self, component: str) -> int:
         """Total tuples consumed by all replicas of ``component``."""

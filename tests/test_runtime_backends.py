@@ -72,12 +72,33 @@ class TestBackendResolution:
         assert resolve_backend(backend) is backend
 
     def test_unknown_name(self):
-        with pytest.raises(ExecutionError):
+        with pytest.raises(ExecutionError, match="unknown backend 'threads'"):
             resolve_backend("threads")
+
+    def test_unknown_name_lists_valid_backends(self):
+        with pytest.raises(ExecutionError, match="inline"):
+            resolve_backend("gpu")
 
     def test_bad_worker_count(self):
         with pytest.raises(ExecutionError):
             ProcessPoolBackend(n_workers=0)
+
+    @pytest.mark.parametrize("n", [0, -1, -100])
+    def test_resolve_rejects_bad_worker_count(self, n):
+        with pytest.raises(ExecutionError, match="n_workers must be >= 1"):
+            resolve_backend("process", n_workers=n)
+
+    @pytest.mark.parametrize("capacity", [0, -1])
+    def test_engine_rejects_bad_queue_capacity(self, capacity):
+        topology, _ = load_application("wc")
+        with pytest.raises(ExecutionError, match="queue_capacity must be positive"):
+            LocalEngine(topology, queue_capacity=capacity)
+
+    @pytest.mark.parametrize("budget", [0, -64])
+    def test_engine_rejects_bad_queue_budget(self, budget):
+        topology, _ = load_application("wc")
+        with pytest.raises(ExecutionError, match="queue_budget must be positive"):
+            LocalEngine(topology, queue_budget=budget)
 
 
 class TestInlineBounded:

@@ -1,0 +1,204 @@
+"""White-box tests for the process backend's worker internals.
+
+These run the ``_Worker`` machinery in-process (plain ``queue.Queue``
+stand-ins for the mp inboxes, lists for the shared liveness arrays) to
+pin the admission-control and bounded-blocking behavior that the
+end-to-end suites can only observe indirectly:
+
+* ``_admit``: hard admission refuses over-capacity batches (backpressure
+  holds the message), soft admission always lands and is counted;
+* ``_enqueue_backlog``: arrival mode drains cross-edge batches in
+  arrival order, ordered mode in strict edge-declaration order;
+* ``_blocking_put``: a full peer inbox blocks with bounded patience —
+  a dead peer raises WorkerCrashError, a live-but-stuck one raises
+  QueueDeadlockError after ``send_timeout_s`` (this path used to spin
+  forever).
+"""
+
+import queue
+
+import pytest
+
+from repro.apps import load_application
+from repro.dsps import LocalEngine
+from repro.dsps.tuples import StreamTuple
+from repro.errors import (
+    ExecutionError,
+    QueueDeadlockError,
+    WorkerCrashError,
+)
+from repro.runtime import ProcessPoolBackend
+from repro.runtime.process_pool import _STATUS_RUNNING, _Worker
+
+
+def make_worker(*, ordered=False, queue_capacity=None, inboxes=None, **kwargs):
+    """A single-worker ``_Worker`` over the lowered WC spec."""
+    topology, _ = load_application("wc")
+    engine = LocalEngine(topology, queue_capacity=queue_capacity)
+    spec = engine.spec
+    owner = {rt.task_id: 0 for rt in spec.tasks}
+    return (
+        _Worker(
+            0,
+            spec,
+            owner,
+            100,
+            inboxes if inboxes is not None else [queue.Queue()],
+            ordered,
+            **kwargs,
+        ),
+        spec,
+    )
+
+
+def tuples_of(n, producer=0):
+    return [
+        StreamTuple(values=(f"w{i}",), source_task=producer) for i in range(n)
+    ]
+
+
+def some_edge(spec):
+    """An arbitrary (producer, consumer) edge of the lowered spec."""
+    return spec.edges[0].producer, spec.edges[0].consumer
+
+
+class TestConstructorValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_workers": 0},
+            {"inbox_batches": 0},
+            {"timeout_s": 0},
+            {"timeout_s": -5.0},
+            {"heartbeat_timeout_s": 0},
+            {"send_timeout_s": -1.0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ExecutionError):
+            ProcessPoolBackend(**kwargs)
+
+
+class TestAdmission:
+    def test_hard_admission_refuses_over_capacity(self):
+        worker, spec = make_worker(queue_capacity=64)
+        producer, consumer = some_edge(spec)
+        assert worker._admit(producer, consumer, tuples_of(60), soft=False)
+        # 60 buffered + 10 more would exceed the 64-tuple capacity.
+        assert not worker._admit(producer, consumer, tuples_of(10), soft=False)
+        assert worker.edge_depth[(producer, consumer)] == 60
+        assert worker.metrics["overflow_admissions"] == 0
+
+    def test_soft_admission_always_lands_and_is_counted(self):
+        worker, spec = make_worker(queue_capacity=64)
+        producer, consumer = some_edge(spec)
+        assert worker._admit(producer, consumer, tuples_of(60), soft=True)
+        assert worker._admit(producer, consumer, tuples_of(10), soft=True)
+        assert worker.edge_depth[(producer, consumer)] == 70
+        assert worker.metrics["overflow_admissions"] == 1
+
+    def test_unbounded_edges_never_refuse(self):
+        worker, spec = make_worker(queue_capacity=None)
+        producer, consumer = some_edge(spec)
+        for _ in range(10):
+            assert worker._admit(producer, consumer, tuples_of(64), soft=False)
+        assert worker.edge_depth[(producer, consumer)] == 640
+
+    def test_depth_and_stats_bookkeeping(self):
+        worker, spec = make_worker(queue_capacity=256)
+        key = some_edge(spec)
+        worker._enqueue_backlog(key, tuples_of(64))
+        worker._enqueue_backlog(key, tuples_of(32))
+        stats = worker.edge_stats[key]
+        assert stats.enqueued_batches == 2
+        assert stats.enqueued_tuples == 96
+        assert stats.max_depth_tuples == 96
+        assert worker.edge_depth[key] == 96
+
+
+class TestBacklogDrainOrder:
+    def test_arrival_mode_drains_in_arrival_order(self):
+        worker, spec = make_worker(ordered=False)
+        # A consumer with at least one input edge.
+        rt = next(r for r in spec.tasks if r.in_edges)
+        keys = [(e.producer, e.consumer) for e in rt.in_edges]
+        first = tuples_of(3, producer=keys[0][0])
+        second = tuples_of(2, producer=keys[0][0])
+        worker._enqueue_backlog(keys[0], first)
+        worker._enqueue_backlog(keys[0], second)
+        got_key, got = worker._next_batch(rt)
+        assert got_key == keys[0]
+        assert got is first  # FIFO: first-arrived batch drains first
+        _, got2 = worker._next_batch(rt)
+        assert got2 is second
+
+    def test_ordered_mode_respects_edge_declaration_order(self):
+        # LR has true multi-input operators; use one to get >= 2 in-edges.
+        topology, _ = load_application("lr")
+        engine = LocalEngine(topology)
+        spec = engine.spec
+        rt = next(r for r in spec.tasks if len(r.in_edges) >= 2)
+        owner = {t.task_id: 0 for t in spec.tasks}
+        worker = _Worker(0, spec, owner, 100, [queue.Queue()], True)
+        keys = [(e.producer, e.consumer) for e in rt.in_edges]
+        late_edge_batch = tuples_of(2, producer=keys[1][0])
+        worker._enqueue_backlog(keys[1], late_edge_batch)
+        # The earliest declared edge has no data and no EOF: ordered mode
+        # must wait for it rather than consume the later edge.
+        assert worker._next_batch(rt) is None
+        worker.eof.add(keys[0])
+        got_key, got = worker._next_batch(rt)
+        assert got_key == keys[1]
+        assert got is late_edge_batch
+
+
+class TestBoundedBlockingPut:
+    def _two_worker_setup(self, *, status, send_timeout_s=0.2):
+        own_inbox = queue.Queue()
+        peer_inbox = queue.Queue(maxsize=1)
+        peer_inbox.put(("batch", 0, 0, b"full"))  # peer inbox already full
+        worker, _spec = make_worker(
+            inboxes=[own_inbox, peer_inbox],
+            status=status,
+            send_timeout_s=send_timeout_s,
+        )
+        return worker
+
+    def test_dead_peer_raises_worker_crash(self):
+        status = [_STATUS_RUNNING, 70]  # parent recorded peer's exit code
+        worker = self._two_worker_setup(status=status)
+        with pytest.raises(WorkerCrashError, match="died"):
+            worker._blocking_put(1, ("batch", 0, 0, b"payload"))
+
+    def test_live_stuck_peer_raises_deadlock_after_timeout(self):
+        status = [_STATUS_RUNNING, _STATUS_RUNNING]
+        worker = self._two_worker_setup(status=status, send_timeout_s=0.2)
+        with pytest.raises(QueueDeadlockError, match="blocked"):
+            worker._blocking_put(1, ("batch", 0, 0, b"payload"))
+
+    def test_send_completes_when_peer_drains(self):
+        own_inbox = queue.Queue()
+        peer_inbox = queue.Queue(maxsize=1)
+        worker, _spec = make_worker(
+            inboxes=[own_inbox, peer_inbox],
+            status=[_STATUS_RUNNING, _STATUS_RUNNING],
+        )
+        worker._blocking_put(1, ("batch", 0, 0, b"payload"))
+        assert peer_inbox.get_nowait() == ("batch", 0, 0, b"payload")
+
+    def test_blocked_sender_keeps_draining_own_inbox(self):
+        own_inbox = queue.Queue()
+        peer_inbox = queue.Queue(maxsize=1)
+        peer_inbox.put(("stuck",))
+        worker, spec = make_worker(
+            inboxes=[own_inbox, peer_inbox],
+            status=[_STATUS_RUNNING, _STATUS_RUNNING],
+            send_timeout_s=0.2,
+        )
+        # An EOF waiting in our own inbox must be absorbed while blocked
+        # (soft receive), not left to deadlock the worker graph.
+        producer, consumer = some_edge(spec)
+        own_inbox.put(("eof", producer, consumer))
+        with pytest.raises(QueueDeadlockError):
+            worker._blocking_put(1, ("batch", 0, 0, b"payload"))
+        assert (producer, consumer) in worker.eof
