@@ -1,0 +1,225 @@
+"""Data-plane bake-off: shm rings + binary codec vs the pickle queues.
+
+Same lowering, same process-pool backend, same worker count — the only
+variable is the data plane moving sealed batches between workers.  The
+pickle plane serializes each batch with ``pickle.dumps`` and copies the
+bytes through a multiprocessing queue; the shm plane struct-packs the
+batch into a shared-memory ring and ships a fixed-size descriptor
+(docs/dataplane.md).  Word Count is the communication-heaviest app of
+the suite (every sentence fans out into ten word tuples crossing the
+splitter->counter edge), so it is where transport cost shows up first.
+
+Three measurements, recorded together in ``BENCH_dataplane.json``:
+
+* **codec** — round-trip serialization of real WC word batches, pickle
+  vs columnar: per-batch latency and wire size.  The size advantage is
+  structural and asserted unconditionally.
+* **end-to-end** — the full engine on both planes: tuples/second, plus
+  the codec byte counters each run reported.  Both planes must ingest
+  the same events and deliver the identical sink multiset.
+* **speedup** — end-to-end shm over pickle.  The floor (default 1.8x,
+  overridable via ``REPRO_DATAPLANE_FLOOR`` — CI pins 1.0, i.e. "shm
+  must never be slower") is only meaningful where transport can actually
+  parallelize against operator work, so it is asserted when >= 2 cores
+  are visible; a single-core host still reports the numbers but skips
+  the floor.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections import Counter as Multiset
+from time import perf_counter
+
+import pytest
+
+from repro.apps.workloads import sentences
+from repro.dsps.engine import LocalEngine
+from repro.dsps.tuples import StreamTuple
+from repro.metrics import MetricsRegistry, format_table
+from repro.runtime import BatchCodec, ProcessPoolBackend, shm_available
+
+from support import QUICK, bundle, write_result
+
+EVENTS = 3_000 if QUICK else 12_000
+WORKERS = 2
+REPLICATION = {"spout": 1, "parser": 2, "splitter": 2, "counter": 2, "sink": 1}
+QUEUE_BUDGET = 4096
+SPEEDUP_FLOOR = float(os.environ.get("REPRO_DATAPLANE_FLOOR", "1.8"))
+CODEC_BATCH = 100
+CODEC_ROUNDS = 300 if QUICK else 1_000
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _word_batch(n: int) -> list[StreamTuple]:
+    """One sealed splitter->counter batch of real WC word tuples."""
+    gen = sentences(seed=7)
+    words: list[StreamTuple] = []
+    while len(words) < n:
+        (text,) = next(gen)
+        words.extend(
+            StreamTuple(values=(w,), source_task=2, event_time_ns=float(i))
+            for i, w in enumerate(text.split())
+        )
+    return words[:n]
+
+
+def _codec_stage() -> dict:
+    batch = _word_batch(CODEC_BATCH)
+    codec = BatchCodec({(2, 3): "s"})
+    encoded = codec.encode((2, 3), batch)
+    pickled = pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL)
+
+    started = perf_counter()
+    for _ in range(CODEC_ROUNDS):
+        codec.decode(codec.encode((2, 3), batch))
+    codec_s = perf_counter() - started
+    started = perf_counter()
+    for _ in range(CODEC_ROUNDS):
+        pickle.loads(pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL))
+    pickle_s = perf_counter() - started
+
+    return {
+        "batch_tuples": CODEC_BATCH,
+        "rounds": CODEC_ROUNDS,
+        "columnar_bytes": len(encoded),
+        "pickle_bytes": len(pickled),
+        "size_ratio": len(pickled) / len(encoded),
+        "columnar_roundtrip_us": codec_s / CODEC_ROUNDS * 1e6,
+        "pickle_roundtrip_us": pickle_s / CODEC_ROUNDS * 1e6,
+        "roundtrip_ratio": pickle_s / codec_s if codec_s > 0 else 0.0,
+    }
+
+
+def _timed(topology, dataplane, registry=None):
+    engine = LocalEngine(
+        topology,
+        replication=REPLICATION,
+        registry=registry,
+        backend=ProcessPoolBackend(n_workers=WORKERS, dataplane=dataplane),
+        queue_budget=QUEUE_BUDGET,
+    )
+    started = perf_counter()
+    result = engine.run(EVENTS)
+    return perf_counter() - started, result
+
+
+def _sink_multiset(result):
+    return Multiset(
+        tuple(item.values)
+        for sinks in result.sinks.values()
+        for sink in sinks
+        for item in sink.samples
+    )
+
+
+def test_dataplane_throughput():
+    if not shm_available():
+        pytest.skip("no POSIX shared memory on this host")
+    topology, _ = bundle("wc")
+    topology.component("sink").template.keep_samples = 10**6
+    cores = _cores()
+
+    codec_stage = _codec_stage()
+    # The wire-size advantage is structural: a columnar word batch must
+    # be strictly smaller than the same batch pickled.
+    assert codec_stage["columnar_bytes"] < codec_stage["pickle_bytes"]
+
+    # Warm import/fork/allocation paths once per plane.
+    _timed(topology, "pickle")
+    _timed(topology, "shm")
+
+    pickle_registry = MetricsRegistry()
+    pickle_s, pickle_result = _timed(topology, "pickle", pickle_registry)
+    shm_registry = MetricsRegistry()
+    shm_s, shm_result = _timed(topology, "shm", shm_registry)
+
+    # The data plane may only change how bytes move, never which tuples
+    # arrive: identical ingestion and bit-identical sink state.
+    assert shm_result.events_ingested == pickle_result.events_ingested
+    assert shm_result.sink_received() == pickle_result.sink_received()
+    assert _sink_multiset(shm_result) == _sink_multiset(pickle_result)
+
+    pickle_counters = pickle_registry.snapshot()["counters"]
+    shm_counters = shm_registry.snapshot()["counters"]
+    assert pickle_counters["runtime.run.pickled_bytes"] > 0
+    assert shm_counters["runtime.dataplane.bytes_inline"] > 0
+    # WC's edges are scalar-only: the codec must not be falling back.
+    assert shm_counters.get("runtime.dataplane.codec_fallbacks", 0) == 0
+
+    tuples_delivered = pickle_result.sink_received()
+    pickle_tps = tuples_delivered / pickle_s
+    shm_tps = tuples_delivered / shm_s
+    speedup = pickle_s / shm_s if shm_s > 0 else 0.0
+
+    rows = [
+        [
+            "pickle",
+            f"{pickle_s:.3f}",
+            f"{pickle_tps:,.0f}",
+            f"{pickle_counters['runtime.run.dataplane_bytes']:,.0f}",
+            "1.00",
+        ],
+        [
+            "shm",
+            f"{shm_s:.3f}",
+            f"{shm_tps:,.0f}",
+            f"{shm_counters['runtime.run.dataplane_bytes']:,.0f}",
+            f"{speedup:.2f}",
+        ],
+    ]
+    text = format_table(
+        ["dataplane", "wall s", "tuples/s", "bytes moved", "speedup"],
+        rows,
+        title=(
+            f"Data plane — WC, {WORKERS} workers, {EVENTS} events, "
+            f"{cores} core(s) visible; codec round-trip "
+            f"{codec_stage['roundtrip_ratio']:.2f}x faster, wire "
+            f"{codec_stage['size_ratio']:.2f}x smaller than pickle"
+        ),
+    )
+    write_result(
+        "BENCH_dataplane",
+        text,
+        data={
+            "app": "wc",
+            "events": EVENTS,
+            "workers": WORKERS,
+            "cores": cores,
+            "codec": codec_stage,
+            "pickle": {
+                "wall_s": pickle_s,
+                "tuples_per_s": pickle_tps,
+                "pickled_bytes": pickle_counters["runtime.run.pickled_bytes"],
+                "dataplane_bytes": pickle_counters["runtime.run.dataplane_bytes"],
+            },
+            "shm": {
+                "wall_s": shm_s,
+                "tuples_per_s": shm_tps,
+                "bytes_inline": shm_counters["runtime.dataplane.bytes_inline"],
+                "bytes_oob": shm_counters.get("runtime.dataplane.bytes_oob", 0),
+                "ring_full_blocks": shm_counters.get(
+                    "runtime.dataplane.ring_full_blocks", 0
+                ),
+                "codec_fallbacks": shm_counters.get(
+                    "runtime.dataplane.codec_fallbacks", 0
+                ),
+                "pickled_bytes": shm_counters.get("runtime.run.pickled_bytes", 0),
+                "dataplane_bytes": shm_counters["runtime.run.dataplane_bytes"],
+            },
+            "speedup": speedup,
+        },
+    )
+
+    if cores >= 2:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"shm data plane speedup {speedup:.2f}x below {SPEEDUP_FLOOR}x "
+            f"on {cores} cores"
+        )

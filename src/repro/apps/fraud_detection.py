@@ -9,9 +9,16 @@ of whether fraud was detected.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
-from repro.dsps.operators import Emission, Operator, OperatorContext, Sink, Spout
+from repro.dsps.operators import (
+    BatchEmission,
+    Emission,
+    Operator,
+    OperatorContext,
+    Sink,
+    Spout,
+)
 from repro.dsps.topology import Topology, TopologyBuilder
 from repro.dsps.tuples import DEFAULT_STREAM, StreamTuple
 
@@ -35,6 +42,8 @@ _FRAUD_THRESHOLD = 2.0
 class TransactionSpout(Spout):
     """Generates ``(entity_id, record_data)`` transaction records."""
 
+    declared_fields = {DEFAULT_STREAM: "ss"}
+
     def __init__(self, seed: int = 11, fraud_fraction: float = 0.02) -> None:
         self.seed = seed
         self.fraud_fraction = fraud_fraction
@@ -56,6 +65,8 @@ class TransactionSpout(Spout):
 class TransactionParser(Operator):
     """Validates records; drops tuples with empty entity or trace."""
 
+    declared_fields = {DEFAULT_STREAM: "ss"}
+
     def process(self, item: StreamTuple) -> Iterable[Emission]:
         entity, trace = item.values
         if entity and trace:
@@ -67,6 +78,8 @@ class MarkovPredictor(Operator):
 
     Emits ``(entity, score, is_fraud)`` for *every* input (selectivity 1).
     """
+
+    declared_fields = {DEFAULT_STREAM: "sd?"}
 
     def __init__(self, threshold: float = _FRAUD_THRESHOLD) -> None:
         self.threshold = threshold
@@ -86,6 +99,25 @@ class MarkovPredictor(Operator):
         if is_fraud:
             self.flagged += 1
         yield DEFAULT_STREAM, (entity, score, is_fraud)
+
+    def process_batch(
+        self, items: Sequence[StreamTuple]
+    ) -> Iterable[BatchEmission]:
+        transition = _TRANSITION_SCORE
+        threshold = self.threshold
+        for index, item in enumerate(items):
+            entity, trace = item.values
+            states = trace.split(",")
+            score = 0.0
+            for previous, current in zip(states, states[1:]):
+                score += transition.get(
+                    (previous, current), _UNSEEN_TRANSITION_SCORE
+                )
+            is_fraud = score >= threshold
+            self.scored += 1
+            if is_fraud:
+                self.flagged += 1
+            yield index, DEFAULT_STREAM, (entity, score, is_fraud)
 
 
 class FraudSink(Sink):

@@ -22,9 +22,16 @@ toll record per segment-statistics input.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
-from repro.dsps.operators import Emission, Operator, OperatorContext, Sink, Spout
+from repro.dsps.operators import (
+    BatchEmission,
+    Emission,
+    Operator,
+    OperatorContext,
+    Sink,
+    Spout,
+)
 from repro.dsps.topology import Topology, TopologyBuilder
 from repro.dsps.tuples import DEFAULT_STREAM, StreamTuple
 
@@ -59,6 +66,8 @@ CONGESTION_SPEED = 40.0
 class LinearRoadSpout(Spout):
     """Replays the Linear Road record stream."""
 
+    declared_fields = {DEFAULT_STREAM: "qqqqqqqqqqq"}
+
     def __init__(self, seed: int = 17, n_vehicles: int = 2000) -> None:
         self.seed = seed
         self.n_vehicles = n_vehicles
@@ -79,6 +88,8 @@ class LinearRoadSpout(Spout):
 class LinearRoadParser(Operator):
     """Validates raw records (drops malformed tuples; selectivity 1)."""
 
+    declared_fields = {DEFAULT_STREAM: "qqqqqqqqqqq"}
+
     def process(self, item: StreamTuple) -> Iterable[Emission]:
         if len(item.values) == 11 and item.values[0] in (
             POSITION_REPORT,
@@ -95,6 +106,12 @@ class Dispatcher(Operator):
     * ``balance_stream``: ``(time, vid, query_id)``
     * ``daily_exp_request``: ``(time, vid, query_id, day)``
     """
+
+    declared_fields = {
+        POSITION_STREAM: "qqqqqqqq",
+        BALANCE_STREAM: "qqq",
+        DAILY_STREAM: "qqqq",
+    }
 
     def process(self, item: StreamTuple) -> Iterable[Emission]:
         (
@@ -143,6 +160,8 @@ class AverageSpeed(Operator):
     Emits ``(xway, dir, seg, avg_speed)`` on ``avg_stream``.
     """
 
+    declared_fields = {AVG_STREAM: "qqqd"}
+
     def __init__(self, window: int = 256) -> None:
         self.window = window
         self._speeds: dict[tuple[int, int, int], deque[int]] = {}
@@ -170,6 +189,8 @@ class LastAverageSpeed(Operator):
     Emits ``(xway, dir, seg, lav)`` on ``las_stream``.
     """
 
+    declared_fields = {LAS_STREAM: "qqqd"}
+
     def __init__(self) -> None:
         self._lav: dict[tuple[int, int, int], float] = {}
 
@@ -186,6 +207,8 @@ class AccidentDetector(Operator):
     Emits ``(xway, dir, seg, time)`` on ``detect_stream`` only when an
     accident is *first* detected, so selectivity is ~0 (Table 8).
     """
+
+    declared_fields = {DETECT_STREAM: "qqqq"}
 
     def __init__(self, stopped_reports: int = ACCIDENT_STOPPED_REPORTS) -> None:
         self.stopped_reports = stopped_reports
@@ -217,6 +240,8 @@ class CountVehicles(Operator):
     Emits ``(xway, dir, seg, count)`` on ``counts_stream``.
     """
 
+    declared_fields = {COUNTS_STREAM: "qqqq"}
+
     def __init__(self, minute_length: int = 60) -> None:
         self.minute_length = minute_length
         self._minute: dict[tuple[int, int, int], int] = {}
@@ -231,6 +256,20 @@ class CountVehicles(Operator):
         self._vehicles[key].add(item.values[_POS_VID])
         yield COUNTS_STREAM, (*key, len(self._vehicles[key]))
 
+    def process_batch(
+        self, items: Sequence[StreamTuple]
+    ) -> Iterable[BatchEmission]:
+        minute_of = self._minute
+        vehicles_of = self._vehicles
+        for index, item in enumerate(items):
+            key = _segment_key(item.values)
+            minute = item.values[_POS_TIME] // self.minute_length
+            if minute_of.get(key) != minute:
+                minute_of[key] = minute
+                vehicles_of[key] = set()
+            vehicles_of[key].add(item.values[_POS_VID])
+            yield index, COUNTS_STREAM, (*key, len(vehicles_of[key]))
+
 
 class AccidentNotifier(Operator):
     """Notifies vehicles entering a segment with an active accident.
@@ -239,6 +278,8 @@ class AccidentNotifier(Operator):
     nothing) and position reports (emits ``notify_stream`` only for
     affected vehicles — selectivity ~0).
     """
+
+    declared_fields = {NOTIFY_STREAM: "qqqqq"}
 
     def __init__(self) -> None:
         self._accidents: set[tuple[int, int, int]] = set()
@@ -308,9 +349,45 @@ class TollNotifier(Operator):
             self.tolls_charged += 1
         yield TOLL_STREAM, (item.values[_POS_VID], toll, item.values[_POS_TIME])
 
+    # No declared_fields: TOLL_STREAM mixes arity-4 segment records with
+    # arity-3 vehicle notifications, so the codec infers (and falls back)
+    # per batch instead.
+    def process_batch(
+        self, items: Sequence[StreamTuple]
+    ) -> Iterable[BatchEmission]:
+        for index, item in enumerate(items):
+            stream = item.stream
+            if stream == DETECT_STREAM:
+                xway, direction, segment, _time = item.values
+                self._accidents.add((xway, direction, segment))
+                continue
+            if stream == LAS_STREAM:
+                xway, direction, segment, lav = item.values
+                key = (xway, direction, segment)
+                self._lav[key] = lav
+                yield index, TOLL_STREAM, (*key, self._toll_for(key))
+                continue
+            if stream == COUNTS_STREAM:
+                xway, direction, segment, count = item.values
+                key = (xway, direction, segment)
+                self._counts[key] = count
+                yield index, TOLL_STREAM, (*key, self._toll_for(key))
+                continue
+            key = _segment_key(item.values)
+            toll = self._toll_for(key)
+            if toll > 0:
+                self.tolls_charged += 1
+            yield index, TOLL_STREAM, (
+                item.values[_POS_VID],
+                toll,
+                item.values[_POS_TIME],
+            )
+
 
 class DailyExpenditure(Operator):
     """Answers historical daily-expenditure queries from a synthetic table."""
+
+    declared_fields = {DEFAULT_STREAM: "qqq"}
 
     def process(self, item: StreamTuple) -> Iterable[Emission]:
         time, vid, query_id, day = item.values
@@ -321,6 +398,8 @@ class DailyExpenditure(Operator):
 
 class AccountBalance(Operator):
     """Answers account-balance queries from per-vehicle running balances."""
+
+    declared_fields = {DEFAULT_STREAM: "qqq"}
 
     def __init__(self) -> None:
         self._balances: dict[int, int] = {}

@@ -27,6 +27,8 @@ SPIKE_THRESHOLD = 1.5
 class SensorSpout(Spout):
     """Generates ``(device_id, value, timestamp)`` readings."""
 
+    declared_fields = {DEFAULT_STREAM: "sdq"}
+
     def __init__(self, seed: int = 13, spike_fraction: float = 0.01) -> None:
         self.seed = seed
         self.spike_fraction = spike_fraction
@@ -48,6 +50,8 @@ class SensorSpout(Spout):
 class SensorParser(Operator):
     """Validates readings; drops malformed tuples."""
 
+    declared_fields = {DEFAULT_STREAM: "sdq"}
+
     def process(self, item: StreamTuple) -> Iterable[Emission]:
         device, value, timestamp = item.values
         if device and value is not None:
@@ -56,6 +60,8 @@ class SensorParser(Operator):
 
 class MovingAverage(Operator):
     """Per-device sliding-window average; emits ``(device, avg, value)``."""
+
+    declared_fields = {DEFAULT_STREAM: "sdd"}
 
     def __init__(self, window: int = MOVING_AVERAGE_WINDOW) -> None:
         self.window = window
@@ -82,6 +88,8 @@ class SpikeDetector(Operator):
 
     Emits ``(device, value, avg, is_spike)`` for every input.
     """
+
+    declared_fields = {DEFAULT_STREAM: "sdd?"}
 
     def __init__(self, threshold: float = SPIKE_THRESHOLD) -> None:
         self.threshold = threshold

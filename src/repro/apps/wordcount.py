@@ -14,9 +14,16 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
-from repro.dsps.operators import Emission, Operator, OperatorContext, Sink, Spout
+from repro.dsps.operators import (
+    BatchEmission,
+    Emission,
+    Operator,
+    OperatorContext,
+    Sink,
+    Spout,
+)
 from repro.dsps.topology import Topology, TopologyBuilder
 from repro.dsps.tuples import DEFAULT_STREAM, StreamTuple
 
@@ -25,6 +32,8 @@ from repro.apps.workloads import sentences
 
 class SentenceSpout(Spout):
     """Generates random ten-word sentences."""
+
+    declared_fields = {DEFAULT_STREAM: "s"}
 
     def __init__(
         self, seed: int = 7, words_per_sentence: int = 10, empty_fraction: float = 0.0
@@ -53,6 +62,8 @@ class SentenceSpout(Spout):
 class Parser(Operator):
     """Drops invalid (empty) sentences; passes the rest through."""
 
+    declared_fields = {DEFAULT_STREAM: "s"}
+
     def process(self, item: StreamTuple) -> Iterable[Emission]:
         sentence = item.values[0]
         if sentence:
@@ -62,13 +73,24 @@ class Parser(Operator):
 class Splitter(Operator):
     """Splits each sentence into words, one output tuple per word."""
 
+    declared_fields = {DEFAULT_STREAM: "s"}
+
     def process(self, item: StreamTuple) -> Iterable[Emission]:
         for word in item.values[0].split():
             yield DEFAULT_STREAM, (word,)
 
+    def process_batch(
+        self, items: Sequence[StreamTuple]
+    ) -> Iterable[BatchEmission]:
+        for index, item in enumerate(items):
+            for word in item.values[0].split():
+                yield index, DEFAULT_STREAM, (word,)
+
 
 class Counter(Operator):
     """Counts word occurrences; emits ``(word, running_count)`` per input."""
+
+    declared_fields = {DEFAULT_STREAM: "sq"}
 
     def __init__(self) -> None:
         self.counts: dict[str, int] = {}
@@ -78,6 +100,16 @@ class Counter(Operator):
         count = self.counts.get(word, 0) + 1
         self.counts[word] = count
         yield DEFAULT_STREAM, (word, count)
+
+    def process_batch(
+        self, items: Sequence[StreamTuple]
+    ) -> Iterable[BatchEmission]:
+        counts = self.counts
+        for index, item in enumerate(items):
+            word = item.values[0]
+            count = counts.get(word, 0) + 1
+            counts[word] = count
+            yield index, DEFAULT_STREAM, (word, count)
 
 
 class WordCountSink(Sink):

@@ -23,6 +23,7 @@ from repro.errors import ExecutionError
 from repro.hardware import server_a, server_b
 from repro.metrics import MetricsRegistry, build_report, format_table, write_report
 from repro.runtime import (
+    DATAPLANE_NAMES,
     RECOVERY_POLICIES,
     DegradeContext,
     FaultPlan,
@@ -106,6 +107,7 @@ def _run_backend(args: argparse.Namespace):
         return ProcessPoolBackend(
             n_workers=args.workers,
             heartbeat_timeout_s=args.watchdog_timeout,
+            dataplane=args.dataplane,
         )
     return args.backend
 
@@ -156,6 +158,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         backend=_run_backend(args),
         queue_capacity=args.queue_capacity,
         n_workers=args.workers,
+        dataplane=args.dataplane,
         fault_plan=fault_plan,
         recovery_policy=args.recovery_policy,
         max_restarts=args.max_restarts,
@@ -181,6 +184,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 "events": args.events,
                 "batch_size": args.batch_size,
                 "backend": args.backend,
+                "dataplane": args.dataplane,
                 "topology": topology.name,
                 "failed": True,
                 "error": type(exc).__name__,
@@ -221,6 +225,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             "events": args.events,
             "batch_size": args.batch_size,
             "backend": args.backend,
+            "dataplane": args.dataplane,
             "topology": topology.name,
         },
         data=_recovery_data(result.recovery, result.fault_summary),
@@ -320,6 +325,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker processes for --backend process",
+    )
+    run.add_argument(
+        "--dataplane",
+        choices=DATAPLANE_NAMES,
+        default="pickle",
+        help=(
+            "remote-batch transport for --backend process: pickle "
+            "(control-queue payloads) or shm (shared-memory rings + "
+            "binary codec; see docs/dataplane.md)"
+        ),
     )
     run.add_argument(
         "--queue-capacity",

@@ -44,7 +44,9 @@ from repro.dsps.tuples import (
     TUPLE_HEADER_BYTES,
     JumboTuple,
     StreamTuple,
+    clear_payload_cache,
     payload_bytes,
+    payload_cache_stats,
 )
 
 __all__ = [
@@ -84,5 +86,7 @@ __all__ = [
     "TUPLE_HEADER_BYTES",
     "JumboTuple",
     "StreamTuple",
+    "clear_payload_cache",
     "payload_bytes",
+    "payload_cache_stats",
 ]

@@ -80,6 +80,7 @@ class LocalEngine:
         queue_capacity: int | None = None,
         queue_budget: int | None = None,
         n_workers: int | None = None,
+        dataplane: str | None = None,
         fault_plan: FaultPlan | None = None,
         recovery_policy: str | None = None,
         max_restarts: int = 3,
@@ -114,6 +115,11 @@ class LocalEngine:
         n_workers:
             Worker-process count when ``backend="process"`` is given by
             name; ignored otherwise.
+        dataplane:
+            Remote-batch transport when ``backend="process"`` is given by
+            name: ``"pickle"`` (default) or ``"shm"`` (shared-memory
+            rings + binary codec; see docs/dataplane.md).  Validated but
+            otherwise ignored for the single-process inline backend.
         fault_plan:
             Optional :class:`~repro.runtime.faults.FaultPlan` — chaos
             runs; implies supervised execution.
@@ -144,7 +150,7 @@ class LocalEngine:
             queue_budget=queue_budget,
         )
         self.backend = _supervise(
-            resolve_backend(backend, n_workers=n_workers),
+            resolve_backend(backend, n_workers=n_workers, dataplane=dataplane),
             fault_plan,
             recovery_policy,
             max_restarts,
@@ -162,6 +168,7 @@ class LocalEngine:
         queue_capacity: int | None = None,
         queue_budget: int | None = None,
         n_workers: int | None = None,
+        dataplane: str | None = None,
         fault_plan: FaultPlan | None = None,
         recovery_policy: str | None = None,
         max_restarts: int = 3,
@@ -187,7 +194,7 @@ class LocalEngine:
         engine.registry = registry if registry is not None else NULL_REGISTRY
         engine.spec = spec
         engine.backend = _supervise(
-            resolve_backend(backend, n_workers=n_workers),
+            resolve_backend(backend, n_workers=n_workers, dataplane=dataplane),
             fault_plan,
             recovery_policy,
             max_restarts,

@@ -19,12 +19,15 @@ from __future__ import annotations
 import copy
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.dsps.tuples import DEFAULT_STREAM, StreamTuple
 
 #: An emitted record: (stream name, values tuple).
 Emission = tuple[str, tuple[Any, ...]]
+
+#: A batch-mode emitted record: (input tuple index, stream name, values).
+BatchEmission = tuple[int, str, tuple[Any, ...]]
 
 
 @dataclass(frozen=True)
@@ -40,12 +43,39 @@ class OperatorContext:
 class Operator(ABC):
     """A continuously running, replicable stream operator."""
 
+    #: Optional schema hint for the data plane's binary codec: a mapping
+    #: from output stream name to one field typecode per emitted value
+    #: ('q' int64, 'd' float64, '?' bool, 's' str, 'y' bytes).  Purely an
+    #: optimization — wrong or missing declarations only cost a codec
+    #: fallback to pickle, never correctness (see docs/dataplane.md).
+    declared_fields: Mapping[str, str] | None = None
+
     def prepare(self, context: OperatorContext) -> None:
         """Called once per replica before any tuple is processed."""
 
     @abstractmethod
     def process(self, item: StreamTuple) -> Iterable[Emission]:
         """Handle one input tuple; yield ``(stream, values)`` emissions."""
+
+    def process_batch(
+        self, items: Sequence[StreamTuple]
+    ) -> Iterable[BatchEmission]:
+        """Handle one jumbo batch; yield ``(index, stream, values)``.
+
+        Executors call this instead of per-tuple :meth:`process` for
+        operators that override it (the batch fast path: one Python call
+        per sealed batch instead of one per tuple).  Overrides must be
+        *emission-order equivalent* to the per-tuple path: yield inputs'
+        emissions grouped by ascending input ``index``, each input's
+        emissions in its :meth:`process` order, with identical state
+        updates — executors fall back to per-tuple dispatch whenever
+        they need to interleave per-tuple work (fault injection,
+        per-tuple timing), and results must not depend on which path
+        ran.
+        """
+        for index, item in enumerate(items):
+            for stream, values in self.process(item):
+                yield index, stream, values
 
     def flush(self) -> Iterable[Emission]:
         """Emit any trailing output when the input is exhausted."""
@@ -58,6 +88,9 @@ class Operator(ABC):
 
 class Spout(ABC):
     """A source operator pulling tuples from an external stream."""
+
+    #: Same codec schema hint as :attr:`Operator.declared_fields`.
+    declared_fields: Mapping[str, str] | None = None
 
     def prepare(self, context: OperatorContext) -> None:
         """Called once per replica before the first :meth:`next_batch`."""

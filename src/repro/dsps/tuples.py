@@ -27,12 +27,33 @@ TUPLE_HEADER_BYTES = 48
 DEFAULT_STREAM = "default"
 
 
-def payload_bytes(values: Sequence[Any]) -> int:
-    """Estimate the in-memory payload size of a tuple's values.
+#: Shape-key cache for :func:`payload_bytes`: the estimate only depends on
+#: each value's type (and length, for sized scalars), so tuples sharing a
+#: shape resolve to one dict lookup instead of an isinstance chain.
+_SIZE_CACHE: dict[tuple, int] = {}
+_SIZE_CACHE_MAX = 4096
+_FIXED_SIZE_TYPES = frozenset((bool, int, float, type(None)))
+_SIZED_TYPES = frozenset((str, bytes, bytearray))
+_cache_hits = 0
+_cache_misses = 0
 
-    This plays the role of the *classmexer* agent the paper uses to measure
-    ``N``: a deterministic, structure-driven size estimate.
-    """
+
+def _shape_key(values: Sequence[Any]) -> tuple | None:
+    """Hashable shape of ``values``, or None when the shape does not pin
+    the size (containers, exotic types, scalar subclasses)."""
+    key = []
+    for value in values:
+        tp = type(value)
+        if tp in _FIXED_SIZE_TYPES:
+            key.append(tp)
+        elif tp in _SIZED_TYPES:
+            key.append((tp, len(value)))
+        else:
+            return None
+    return tuple(key)
+
+
+def _payload_bytes_uncached(values: Sequence[Any]) -> int:
     total = 0
     for value in values:
         if isinstance(value, str):
@@ -46,15 +67,56 @@ def payload_bytes(values: Sequence[Any]) -> int:
         elif isinstance(value, (bytes, bytearray)):
             total += 33 + len(value)
         elif isinstance(value, (list, tuple)):
-            total += 56 + payload_bytes(value)
+            total += 56 + _payload_bytes_uncached(value)
         elif isinstance(value, dict):
-            total += 64 + payload_bytes(list(value.keys()))
-            total += payload_bytes(list(value.values()))
+            total += 64 + _payload_bytes_uncached(list(value.keys()))
+            total += _payload_bytes_uncached(list(value.values()))
         elif value is None:
             total += 16
         else:
             total += 48
     return total
+
+
+def payload_bytes(values: Sequence[Any]) -> int:
+    """Estimate the in-memory payload size of a tuple's values.
+
+    This plays the role of the *classmexer* agent the paper uses to measure
+    ``N``: a deterministic, structure-driven size estimate.  Scalar-only
+    tuples are memoized by shape (value types plus string/bytes lengths),
+    which turns the per-tuple estimate on the engine's hot paths into one
+    dict lookup.
+    """
+    global _cache_hits, _cache_misses
+    key = _shape_key(values)
+    if key is None:
+        return _payload_bytes_uncached(values)
+    size = _SIZE_CACHE.get(key)
+    if size is not None:
+        _cache_hits += 1
+        return size
+    _cache_misses += 1
+    size = _payload_bytes_uncached(values)
+    if len(_SIZE_CACHE) < _SIZE_CACHE_MAX:
+        _SIZE_CACHE[key] = size
+    return size
+
+
+def payload_cache_stats() -> dict[str, int]:
+    """Hit/miss counters and current size of the payload-size cache."""
+    return {
+        "hits": _cache_hits,
+        "misses": _cache_misses,
+        "entries": len(_SIZE_CACHE),
+    }
+
+
+def clear_payload_cache() -> None:
+    """Reset the payload-size cache and its counters (test isolation)."""
+    global _cache_hits, _cache_misses
+    _SIZE_CACHE.clear()
+    _cache_hits = 0
+    _cache_misses = 0
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,14 @@ from repro.runtime.backends import (
     publish_engine_metrics,
     resolve_backend,
 )
+from repro.runtime.dataplane import (
+    DATAPLANE_NAMES,
+    BatchCodec,
+    ChannelEndpoint,
+    PickleQueueChannel,
+    ShmRingChannel,
+    shm_available,
+)
 from repro.runtime.faults import (
     FAULT_KINDS,
     Fault,
@@ -54,9 +62,15 @@ from repro.runtime.supervisor import (
 
 __all__ = [
     "BACKEND_NAMES",
+    "BatchCodec",
+    "ChannelEndpoint",
+    "DATAPLANE_NAMES",
     "DEFAULT_QUEUE_BUDGET",
     "DegradeContext",
     "ExecutorBackend",
+    "PickleQueueChannel",
+    "ShmRingChannel",
+    "shm_available",
     "FAULT_KINDS",
     "Fault",
     "FaultInjector",

@@ -79,14 +79,25 @@ def resolve_backend(
     *,
     n_workers: int | None = None,
     ordered: bool = False,
+    dataplane: str | None = None,
 ) -> ExecutorBackend:
     """Turn a backend name (or pass through an instance) into a backend.
 
-    ``n_workers``/``ordered`` only apply when constructing the process
-    backend from its name.
+    ``n_workers``/``ordered``/``dataplane`` only apply when constructing
+    the process backend from its name; the inline backend runs in one
+    process and moves no bytes, so any requested data plane is accepted
+    and ignored there.
     """
     if n_workers is not None and n_workers < 1:
         raise ExecutionError(f"n_workers must be >= 1, got {n_workers}")
+    if dataplane is not None:
+        from repro.runtime.dataplane import DATAPLANE_NAMES
+
+        if dataplane not in DATAPLANE_NAMES:
+            raise ExecutionError(
+                f"unknown dataplane {dataplane!r}; "
+                f"expected one of {DATAPLANE_NAMES}"
+            )
     if isinstance(backend, ExecutorBackend):
         return backend
     if backend == "inline":
@@ -94,7 +105,11 @@ def resolve_backend(
     if backend == "process":
         from repro.runtime.process_pool import ProcessPoolBackend
 
-        return ProcessPoolBackend(n_workers=n_workers, ordered=ordered)
+        return ProcessPoolBackend(
+            n_workers=n_workers,
+            ordered=ordered,
+            dataplane=dataplane if dataplane is not None else "pickle",
+        )
     raise ExecutionError(
         f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}"
     )
@@ -356,6 +371,18 @@ class _InlineRun:
         assert isinstance(operator, Operator)
         stats = self.stats[rt.task_id]
         histogram = self._histogram(rt)
+        # Batch fast path: one process_batch call per drained batch, for
+        # operators that override it.  Only when nothing needs to observe
+        # individual tuples — fault ticks and per-tuple timing both do.
+        batch_fn = (
+            operator.process_batch
+            if (
+                histogram is None
+                and self.injector is None
+                and type(operator).process_batch is not Operator.process_batch
+            )
+            else None
+        )
         producers = {edge.producer for edge in rt.in_edges}
         in_queues = [
             self.queues[(edge.producer, edge.consumer)] for edge in rt.in_edges
@@ -374,6 +401,15 @@ class _InlineRun:
                         break
                     progressed = True
                     self.ticks += 1
+                    if batch_fn is not None:
+                        stats.tuples_in += len(items)
+                        for index, stream, values in batch_fn(items):
+                            out = items[index].derive(
+                                values, stream=stream, source_task=rt.task_id
+                            )
+                            stats.record_out(stream, out.payload_size_bytes)
+                            yield from self._route(rt, out)
+                        continue
                     for item in items:
                         stats.tuples_in += 1
                         if self.injector is not None:

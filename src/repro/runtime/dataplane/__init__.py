@@ -1,0 +1,56 @@
+"""Pluggable data plane: batch transport + serialization for the process
+backend.
+
+Two coordinated halves (see docs/dataplane.md):
+
+* **Transport** (:mod:`repro.runtime.dataplane.channels`) — how sealed
+  jumbo batches cross worker processes: the historical
+  :class:`PickleQueueChannel` (pickled payloads through the bounded
+  control queue, still the default) or the :class:`ShmRingChannel`
+  (write-once shared-memory rings per worker pair, descriptor-only
+  control messages — the paper's pass-by-reference transfer).
+* **Codec** (:mod:`repro.runtime.dataplane.codec`) — the compact binary
+  columnar batch format the shm channel uses instead of per-batch
+  pickle, with per-edge schema caching and an always-correct pickle
+  protocol-5 fallback.
+"""
+
+from repro.runtime.dataplane.channels import (
+    DATAPLANE_NAMES,
+    DEFAULT_RING_BYTES,
+    SHM_NAME_PREFIX,
+    ChannelEndpoint,
+    DataPlane,
+    PickleDataPlane,
+    PickleQueueChannel,
+    ShmDataPlane,
+    ShmRing,
+    ShmRingChannel,
+    create_dataplane,
+    shm_available,
+)
+from repro.runtime.dataplane.codec import (
+    FIELD_TYPECODES,
+    BatchCodec,
+    infer_schema,
+    validate_schema,
+)
+
+__all__ = [
+    "BatchCodec",
+    "ChannelEndpoint",
+    "DATAPLANE_NAMES",
+    "DEFAULT_RING_BYTES",
+    "DataPlane",
+    "FIELD_TYPECODES",
+    "PickleDataPlane",
+    "PickleQueueChannel",
+    "SHM_NAME_PREFIX",
+    "ShmDataPlane",
+    "ShmRing",
+    "ShmRingChannel",
+    "create_dataplane",
+    "infer_schema",
+    "shm_available",
+    "validate_schema",
+]

@@ -26,7 +26,7 @@ semantics, still the default for ``LocalEngine`` runs without a plan).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
 from repro.dsps.graph import ExecutionGraph, Task, TaskEdge
@@ -110,6 +110,10 @@ class RuntimeSpec:
     edges: tuple[TaskEdge, ...]
     queue_capacity: Mapping[tuple[int, int], int | None]
     batch_size: int
+    #: Field typecodes per (producer, consumer) task pair, collected from
+    #: the producing operators' ``declared_fields`` hints; seeds the data
+    #: plane's binary codec so edge schemas need no runtime inference.
+    edge_schemas: Mapping[tuple[int, int], str] = field(default_factory=dict)
 
     def runtime_of(self, task_id: int) -> TaskRuntime:
         for rt in self.tasks:
@@ -211,6 +215,40 @@ def _capacities(
     return capacities
 
 
+def _edge_schemas(
+    topology: Topology, graph: ExecutionGraph
+) -> dict[tuple[int, int], str]:
+    """Field typecodes per task edge, from producers' declared fields.
+
+    An edge whose producer declares no schema for its stream — or a task
+    pair carrying two streams with conflicting schemas — is simply left
+    out: the codec then infers (or falls back) at runtime.
+    """
+    from repro.runtime.dataplane.codec import validate_schema
+
+    component_of = {
+        task.task_id: task.component for task in graph.topological_task_order()
+    }
+    schemas: dict[tuple[int, int], str | None] = {}
+    for edge in graph.edges:
+        template = topology.component(component_of[edge.producer]).template
+        declared = getattr(template, "declared_fields", None) or {}
+        code = declared.get(edge.stream)
+        if code is not None:
+            try:
+                validate_schema(code)
+            except ValueError as exc:
+                raise PlanError(
+                    f"component {component_of[edge.producer]!r} declares an "
+                    f"invalid field schema for stream {edge.stream!r}: {exc}"
+                ) from exc
+        key = (edge.producer, edge.consumer)
+        if key in schemas and schemas[key] != code:
+            code = None
+        schemas[key] = code
+    return {key: code for key, code in schemas.items() if code is not None}
+
+
 def lower_graph(
     topology: Topology,
     graph: ExecutionGraph,
@@ -250,6 +288,7 @@ def lower_graph(
         edges=tuple(graph.edges),
         queue_capacity=_capacities(graph, batch_size, queue_capacity, queue_budget),
         batch_size=batch_size,
+        edge_schemas=_edge_schemas(topology, graph),
     )
 
 

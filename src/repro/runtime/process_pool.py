@@ -62,7 +62,6 @@ the watchdogs above are what detect it.
 from __future__ import annotations
 
 import os
-import pickle
 import queue as queue_mod
 import time
 import traceback
@@ -85,6 +84,13 @@ from repro.errors import (
 )
 from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry
 from repro.runtime.backends import ExecutorBackend, publish_engine_metrics
+from repro.runtime.dataplane import (
+    DATAPLANE_NAMES,
+    DEFAULT_RING_BYTES,
+    ChannelEndpoint,
+    PickleQueueChannel,
+    create_dataplane,
+)
 from repro.runtime.faults import FaultInjector, merge_fault_summaries
 from repro.runtime.lowering import RuntimeSpec, TaskRuntime, instantiate_task
 from repro.runtime.results import RunResult, TaskStats
@@ -159,6 +165,14 @@ class ProcessPoolBackend(ExecutorBackend):
         Worker-side bound on one blocked remote send; exceeding it with
         the peer still alive raises
         :class:`~repro.errors.QueueDeadlockError`.
+    dataplane:
+        Transport for remote batches: ``"pickle"`` (default — pickled
+        payloads inside the control queues, the historical behavior) or
+        ``"shm"`` (binary-codec payloads written once into per-pair
+        shared-memory rings, descriptors over the control queues).  See
+        docs/dataplane.md.
+    ring_bytes:
+        Capacity of each per-worker-pair ring when ``dataplane="shm"``.
     """
 
     name = "process"
@@ -172,6 +186,8 @@ class ProcessPoolBackend(ExecutorBackend):
         timeout_s: float = 300.0,
         heartbeat_timeout_s: float = 10.0,
         send_timeout_s: float = 30.0,
+        dataplane: str = "pickle",
+        ring_bytes: int = DEFAULT_RING_BYTES,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ExecutionError(f"n_workers must be >= 1, got {n_workers}")
@@ -187,12 +203,21 @@ class ProcessPoolBackend(ExecutorBackend):
             raise ExecutionError(
                 f"send_timeout_s must be positive, got {send_timeout_s}"
             )
+        if dataplane not in DATAPLANE_NAMES:
+            raise ExecutionError(
+                f"unknown dataplane {dataplane!r}; "
+                f"expected one of {DATAPLANE_NAMES}"
+            )
+        if ring_bytes < 4096:
+            raise ExecutionError(f"ring_bytes must be >= 4096, got {ring_bytes}")
         self.n_workers = n_workers
         self.ordered = ordered
         self.inbox_batches = inbox_batches
         self.timeout_s = timeout_s
         self.heartbeat_timeout_s = heartbeat_timeout_s
         self.send_timeout_s = send_timeout_s
+        self.dataplane = dataplane
+        self.ring_bytes = ring_bytes
 
     # ------------------------------------------------------------------
     # Parent side
@@ -247,7 +272,18 @@ class ProcessPoolBackend(ExecutorBackend):
         schedule: tuple["Fault", ...] = injector.schedule if injector else ()
         attempt = injector.attempt if injector else 0
         ctx = _mp_context()
-        inboxes = [ctx.Queue(maxsize=self.inbox_batches) for _ in range(n_workers)]
+        # The data plane owns the run's transport resources (control
+        # queues, shm ring segments); closing it in the finally below is
+        # what guarantees no shared-memory segment survives the run, even
+        # when workers crashed or the watchdog fired mid-flight.
+        plane = create_dataplane(
+            self.dataplane,
+            ctx,
+            n_workers,
+            self.inbox_batches,
+            ring_bytes=self.ring_bytes,
+            edge_schemas=spec.edge_schemas,
+        )
         results: Any = ctx.Queue()
         # Shared liveness state: heartbeat timestamps (monotonic seconds,
         # stamped by each worker once per loop) and exit-status slots the
@@ -263,7 +299,7 @@ class ProcessPoolBackend(ExecutorBackend):
                     spec,
                     owner,
                     max_events,
-                    inboxes,
+                    plane.endpoint(worker_id),
                     results,
                     self.ordered,
                     heartbeats,
@@ -290,8 +326,7 @@ class ProcessPoolBackend(ExecutorBackend):
                     process.terminate()
             for process in workers:
                 process.join(timeout=5.0)
-            for inbox in inboxes:
-                inbox.cancel_join_thread()
+            plane.close()
             results.cancel_join_thread()
         return self._merge(spec, registry, n_workers, outcomes)
 
@@ -456,7 +491,13 @@ class ProcessPoolBackend(ExecutorBackend):
         if spec is not None and registry.enabled:
             publish_engine_metrics(registry, spec, result, edge_stats)
             registry.gauge("runtime.run.workers").set(n_workers)
-            total_pickled = 0.0
+            totals = defaultdict(float)
+            dataplane_counters = (
+                "ring_full_blocks",
+                "bytes_inline",
+                "bytes_oob",
+                "codec_fallbacks",
+            )
             for worker_id, metrics in sorted(worker_metrics.items()):
                 prefix = f"runtime.worker.{worker_id}"
                 registry.gauge(f"{prefix}.busy_fraction").set(
@@ -480,8 +521,23 @@ class ProcessPoolBackend(ExecutorBackend):
                 registry.counter(f"{prefix}.spout_throttles").inc(
                     int(metrics.get("spout_throttles", 0))
                 )
-                total_pickled += metrics.get("pickled_bytes_out", 0.0)
-            registry.counter("runtime.run.pickled_bytes").inc(int(total_pickled))
+                for key in ("pickled_bytes_out", *dataplane_counters):
+                    totals[key] += metrics.get(key, 0.0)
+            registry.counter("runtime.run.pickled_bytes").inc(
+                int(totals["pickled_bytes_out"])
+            )
+            for key in dataplane_counters:
+                registry.counter(f"runtime.dataplane.{key}").inc(int(totals[key]))
+            # Total payload bytes the run moved between workers, whatever
+            # the transport: pickled control-queue payloads plus the shm
+            # plane's in-ring and out-of-band codec payloads.
+            registry.counter("runtime.run.dataplane_bytes").inc(
+                int(
+                    totals["pickled_bytes_out"]
+                    + totals["bytes_inline"]
+                    + totals["bytes_oob"]
+                )
+            )
         return result
 
 
@@ -493,7 +549,7 @@ def _worker_main(
     spec: RuntimeSpec,
     owner: Mapping[int, int],
     max_events: int,
-    inboxes: list,
+    endpoint: Any,
     results: Any,
     ordered: bool,
     heartbeats: Any,
@@ -503,13 +559,14 @@ def _worker_main(
     schedule: tuple,
     attempt: int,
 ) -> None:
+    worker = None
     try:
         worker = _Worker(
             worker_id,
             spec,
             owner,
             max_events,
-            inboxes,
+            endpoint,
             ordered,
             heartbeats=heartbeats,
             status=status,
@@ -539,6 +596,11 @@ def _worker_main(
                 traceback.format_exc(),
             )
         )
+    finally:
+        # Detach this worker's channel resources (shm mappings must be
+        # closed before exit; the parent owns segment lifetime/unlink).
+        if worker is not None:
+            worker.channel.close()
 
 
 class _Worker:
@@ -550,7 +612,7 @@ class _Worker:
         spec: RuntimeSpec,
         owner: Mapping[int, int],
         max_events: int,
-        inboxes: list,
+        channel: Any,
         ordered: bool,
         *,
         heartbeats: Any = None,
@@ -563,8 +625,14 @@ class _Worker:
         self.me = worker_id
         self.spec = spec
         self.owner = dict(owner)
-        self.inboxes = inboxes
-        self.inbox = inboxes[worker_id] if inboxes else None
+        # Accept either a ChannelEndpoint (normal path, built by the data
+        # plane in the parent) or a bare list of inbox queues (white-box
+        # tests), which gets the historical pickle channel.
+        if isinstance(channel, ChannelEndpoint):
+            self.channel = channel
+        else:
+            self.channel = PickleQueueChannel(worker_id, list(channel))
+        self.channel.connect()
         self.ordered = ordered
         self.heartbeats = heartbeats
         self.status = status
@@ -615,7 +683,25 @@ class _Worker:
         self.completed: set[int] = set()
         self.events = 0
         self.max_events = max_events
-        self.held: tuple | None = None  # received message awaiting admission
+        # A received batch refused hard admission, already decoded — kept
+        # as (producer, consumer, tuples) so a retry never re-decodes (and
+        # the shm ring slot it came from is already released).
+        self.held: tuple[int, int, list[StreamTuple]] | None = None
+        self.rt_by_id: dict[int, TaskRuntime] = {
+            rt.task_id: rt for rt in spec.tasks
+        }
+        # Batch fast path: operators that override process_batch, used
+        # only when no injector is armed (fault ticks are per-tuple).
+        self.batch_ops: dict[int, Any] = (
+            {
+                task_id: instance.process_batch
+                for task_id, instance in self.instances.items()
+                if isinstance(instance, Operator)
+                and type(instance).process_batch is not Operator.process_batch
+            }
+            if self.injector is None
+            else {}
+        )
         self.spout_iters: dict[int, Iterator] = {
             rt.task_id: self.instances[rt.task_id].next_batch(max_events)
             for rt in self.mine
@@ -704,6 +790,8 @@ class _Worker:
         wall_s = max(perf_counter() - started, 1e-9)
         self.metrics["busy_fraction"] = max(0.0, 1.0 - idle_s / wall_s)
         self.metrics["wall_ns"] = wall_s * 1e9
+        for key, value in self.channel.snapshot_metrics().items():
+            self.metrics[key] += value
         if self.injector is not None:
             self.metrics["fault_summary"] = self.injector.summary()
         sinks = {
@@ -768,24 +856,24 @@ class _Worker:
         received = 0
         for _ in range(limit):
             if self.held is not None:
-                message = self.held
+                producer, consumer, tuples = self.held
                 self.held = None
             else:
-                try:
-                    message = self.inbox.get_nowait()
-                except queue_mod.Empty:
+                message = self.channel.try_get()
+                if message is None:
                     break
-            kind = message[0]
-            if kind == "eof":
-                self.eof.add((message[1], message[2]))
-                received += 1
-                continue
-            _, producer, consumer, payload = message
-            tuples = pickle.loads(payload)
+                if message[0] == "eof":
+                    self.eof.add((message[1], message[2]))
+                    received += 1
+                    continue
+                # Decode before admission: frees the transport resource
+                # (shm ring slot) promptly, and a held retry re-admits the
+                # already-decoded tuples instead of decoding twice.
+                producer, consumer, tuples = self.channel.unpack(message)
             if self._admit(producer, consumer, tuples, soft):
                 received += 1
             else:
-                self.held = ("batch", producer, consumer, payload)
+                self.held = (producer, consumer, tuples)
                 break
         return received
 
@@ -798,10 +886,7 @@ class _Worker:
             if capacity is None or self.ordered:
                 return False
             return self.edge_depth[(producer, consumer)] >= capacity
-        try:
-            return self.inboxes[self.owner[consumer]].full()
-        except NotImplementedError:  # pragma: no cover - platform specific
-            return False
+        return self.channel.dest_full(self.owner[consumer])
 
     def _dispatch(self, producer: int, consumer: int, tuples: list[StreamTuple]) -> None:
         if not tuples:
@@ -814,12 +899,12 @@ class _Worker:
         if self.owner[consumer] == self.me:
             self._deliver_local(producer, consumer, tuples)
             return
-        payload = pickle.dumps(tuples, protocol=pickle.HIGHEST_PROTOCOL)
-        self.metrics["pickled_bytes_out"] += len(payload)
-        self.metrics["remote_batches_out"] += 1
-        self._blocking_put(
-            self.owner[consumer], ("batch", producer, consumer, payload)
-        )
+        # pack() seals the batch exactly once — byte counters live there,
+        # so an overflow-admission retry inside _blocking_put can never
+        # double-count a batch.
+        dest = self.owner[consumer]
+        message = self.channel.pack(dest, producer, consumer, tuples)
+        self._blocking_put(dest, message)
 
     def _deliver_local(self, producer: int, consumer: int, tuples: list[StreamTuple]) -> None:
         key = (producer, consumer)
@@ -853,34 +938,26 @@ class _Worker:
         that is alive but not draining for ``send_timeout_s`` raises
         :class:`~repro.errors.QueueDeadlockError`.
         """
-        inbox = self.inboxes[target_worker]
-        try:
-            inbox.put_nowait(message)
+        if self.channel.try_put(target_worker, message):
             return
-        except queue_mod.Full:
-            pass
         self.metrics["send_blocks"] += 1
         blocked_from = perf_counter()
         deadline = monotonic() + self.send_timeout_s
-        while True:
-            try:
-                inbox.put_nowait(message)
-                break
-            except queue_mod.Full:
-                self._beat()
-                if self._peer_dead(target_worker):
-                    raise WorkerCrashError(
-                        f"worker {self.me}: peer worker {target_worker} died "
-                        "with its inbox full; message undeliverable"
-                    ) from None
-                if monotonic() > deadline:
-                    raise QueueDeadlockError(
-                        f"worker {self.me}: send to worker {target_worker} "
-                        f"blocked for over {self.send_timeout_s}s "
-                        "(peer alive but not draining)"
-                    ) from None
-                if not self._receive(limit=16, soft=True):
-                    time.sleep(_IDLE_SLEEP_S)
+        while not self.channel.try_put(target_worker, message):
+            self._beat()
+            if self._peer_dead(target_worker):
+                raise WorkerCrashError(
+                    f"worker {self.me}: peer worker {target_worker} died "
+                    "with its inbox full; message undeliverable"
+                ) from None
+            if monotonic() > deadline:
+                raise QueueDeadlockError(
+                    f"worker {self.me}: send to worker {target_worker} "
+                    f"blocked for over {self.send_timeout_s}s "
+                    "(peer alive but not draining)"
+                ) from None
+            if not self._receive(limit=16, soft=True):
+                time.sleep(_IDLE_SLEEP_S)
         self.metrics["blocked_send_ns"] += (perf_counter() - blocked_from) * 1e9
 
     def _send_eof(self, producer: int, consumer: int) -> None:
@@ -981,16 +1058,28 @@ class _Worker:
 
     def _process_one(self, consumer: int) -> bool:
         """Process one backlog batch of task ``consumer``; False when none."""
-        rt = self.spec.runtime_of(consumer)
+        rt = self.rt_by_id[consumer]
         entry = self._next_batch(rt)
         if entry is None:
             return False
         key, tuples = entry
         self.edge_depth[key] -= len(tuples)
         self.edge_stats[key].dequeued_tuples += len(tuples)
+        stats = self.stats[consumer]
+        batch_fn = self.batch_ops.get(consumer)
+        if batch_fn is not None:
+            # Batch fast path: one Python call per sealed batch.  The
+            # override contract (emission-order equivalence) makes this
+            # indistinguishable from the per-tuple loop below.
+            stats.tuples_in += len(tuples)
+            for index, stream, values in batch_fn(tuples):
+                item = tuples[index]
+                out = item.derive(values, stream=stream, source_task=consumer)
+                stats.record_out(stream, out.payload_size_bytes)
+                self._route(rt, out)
+            return True
         operator = self.instances[consumer]
         assert isinstance(operator, Operator)
-        stats = self.stats[consumer]
         for item in tuples:
             stats.tuples_in += 1
             if self.injector is not None:

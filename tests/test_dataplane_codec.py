@@ -1,0 +1,245 @@
+"""Data-plane unit tests: binary batch codec and shared-memory rings.
+
+The codec must be *lossless* for every batch it accepts on the columnar
+path and must fall back to pickle (never fail, never corrupt) for every
+batch it cannot encode — the property tests drive both paths with
+generated schemas and adversarial values.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsps.tuples import StreamTuple
+from repro.runtime.dataplane import (
+    BatchCodec,
+    ShmRing,
+    infer_schema,
+    shm_available,
+    validate_schema,
+)
+from repro.runtime.dataplane.codec import FIELD_TYPECODES
+
+EDGE = (0, 1)
+
+_VALUE_STRATEGIES = {
+    "q": st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    "d": st.floats(allow_nan=False, allow_infinity=False),
+    "?": st.booleans(),
+    "s": st.text(max_size=40),
+    "y": st.binary(max_size=40),
+}
+
+
+def batches(schema_alphabet=FIELD_TYPECODES, max_arity=5, max_rows=30):
+    """Strategy: (schema, rows) with rows conforming to the schema."""
+
+    def rows_for(schema):
+        row = st.tuples(*(_VALUE_STRATEGIES[c] for c in schema))
+        return st.lists(row, min_size=0, max_size=max_rows).map(
+            lambda rows: (schema, rows)
+        )
+
+    return st.text(
+        alphabet=schema_alphabet, min_size=1, max_size=max_arity
+    ).flatmap(rows_for)
+
+
+def make_tuples(rows, stream="default", source_task=3):
+    return [
+        StreamTuple(
+            values=row,
+            stream=stream,
+            source_task=source_task,
+            event_time_ns=float(i),
+        )
+        for i, row in enumerate(rows)
+    ]
+
+
+def assert_batches_equal(decoded, original):
+    assert len(decoded) == len(original)
+    for got, want in zip(decoded, original):
+        assert got.values == want.values
+        assert got.stream == want.stream
+        assert got.source_task == want.source_task
+        assert got.event_time_ns == want.event_time_ns
+
+
+class TestSchemaHelpers:
+    def test_validate_accepts_known_typecodes(self):
+        validate_schema("qd?sy")
+
+    def test_validate_rejects_unknown_typecode(self):
+        with pytest.raises(ValueError):
+            validate_schema("qx")
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_schema("")
+
+    def test_infer_schema_exact_types(self):
+        assert infer_schema((1, 2.0, True, "a", b"b")) == "qd?sy"
+
+    def test_infer_schema_rejects_unsupported(self):
+        assert infer_schema((1, [2])) is None
+
+    def test_bool_is_not_int(self):
+        # bool is an int subclass; the codec must keep them distinct.
+        assert infer_schema((True,)) == "?"
+        assert infer_schema((1,)) == "q"
+
+
+class TestCodecRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(batches())
+    def test_declared_schema_round_trip(self, schema_rows):
+        schema, rows = schema_rows
+        codec = BatchCodec({EDGE: schema})
+        original = make_tuples(rows)
+        decoded = codec.decode(codec.encode(EDGE, original))
+        assert_batches_equal(decoded, original)
+        assert codec.fallback_batches == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(batches())
+    def test_inferred_schema_round_trip(self, schema_rows):
+        _, rows = schema_rows
+        codec = BatchCodec()
+        original = make_tuples(rows)
+        decoded = codec.decode(codec.encode(EDGE, original))
+        assert_batches_equal(decoded, original)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text())
+    def test_unicode_strings_survive(self, text):
+        codec = BatchCodec({EDGE: "s"})
+        original = make_tuples([(text,)])
+        try:
+            text.encode("utf-8")
+        except UnicodeEncodeError:
+            pass  # surrogates: must still round-trip via the fallback
+        decoded = codec.decode(codec.encode(EDGE, original))
+        assert_batches_equal(decoded, original)
+
+    def test_empty_batch(self):
+        codec = BatchCodec({EDGE: "qq"})
+        payload = codec.encode(EDGE, [])
+        assert codec.decode(payload) == []
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.one_of(st.integers(), st.none()),
+                st.one_of(st.text(max_size=10), st.none()),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_none_bearing_rows_fall_back_losslessly(self, rows):
+        codec = BatchCodec({EDGE: "qs"})
+        original = make_tuples(rows)
+        decoded = codec.decode(codec.encode(EDGE, original))
+        assert_batches_equal(decoded, original)
+        if any(v is None for row in rows for v in row):
+            assert codec.fallback_batches > 0
+
+    def test_schema_mismatch_falls_back(self):
+        codec = BatchCodec({EDGE: "q"})
+        original = make_tuples([("not an int",)])
+        decoded = codec.decode(codec.encode(EDGE, original))
+        assert_batches_equal(decoded, original)
+        assert codec.fallback_batches == 1
+
+    def test_out_of_range_int_falls_back(self):
+        codec = BatchCodec({EDGE: "q"})
+        original = make_tuples([(2**80,)])
+        decoded = codec.decode(codec.encode(EDGE, original))
+        assert_batches_equal(decoded, original)
+        assert codec.fallback_batches == 1
+
+    def test_ragged_arity_falls_back(self):
+        codec = BatchCodec({EDGE: "qq"})
+        original = make_tuples([(1, 2), (3,)])
+        decoded = codec.decode(codec.encode(EDGE, original))
+        assert_batches_equal(decoded, original)
+
+    def test_mixed_streams_fall_back(self):
+        codec = BatchCodec({EDGE: "q"})
+        original = make_tuples([(1,)], stream="a") + make_tuples(
+            [(2,)], stream="b"
+        )
+        decoded = codec.decode(codec.encode(EDGE, original))
+        assert_batches_equal(decoded, original)
+
+    def test_columnar_beats_pickle_on_scalar_batch(self):
+        codec = BatchCodec({EDGE: "sq"})
+        original = make_tuples([(f"word{i}", i) for i in range(64)])
+        payload = codec.encode(EDGE, original)
+        assert len(payload) < len(
+            pickle.dumps(original, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+
+    def test_invalid_declared_schema_rejected(self):
+        with pytest.raises(ValueError):
+            BatchCodec({EDGE: "zz"})
+
+
+@pytest.mark.skipif(not shm_available(), reason="no POSIX shared memory")
+class TestShmRing:
+    def test_write_read_round_trip(self):
+        ring = ShmRing.create("rdptest_rt", 256)
+        try:
+            start = ring.try_write(b"hello")
+            assert start is not None
+            assert ring.consume(start, 5) == b"hello"
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_wraparound(self):
+        ring = ShmRing.create("rdptest_wrap", 64)
+        try:
+            for i in range(10):  # forces several wraps of the 64-byte ring
+                payload = bytes([i]) * 40
+                start = ring.try_write(payload)
+                assert start is not None
+                assert ring.consume(start, len(payload)) == payload
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_full_ring_refuses_then_accepts_after_drain(self):
+        ring = ShmRing.create("rdptest_full", 64)
+        try:
+            first = ring.try_write(b"a" * 40)
+            assert first is not None
+            assert ring.try_write(b"b" * 40) is None  # only 24 bytes free
+            assert ring.consume(first, 40) == b"a" * 40
+            assert ring.try_write(b"b" * 40) is not None
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_oversized_payload_never_fits(self):
+        ring = ShmRing.create("rdptest_big", 64)
+        try:
+            assert ring.try_write(b"x" * 65) is None
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_attach_sees_writes(self):
+        ring = ShmRing.create("rdptest_attach", 128)
+        try:
+            reader = ShmRing.attach("rdptest_attach")
+            start = ring.try_write(b"shared")
+            assert reader.consume(start, 6) == b"shared"
+            reader.close()
+        finally:
+            ring.close()
+            ring.unlink()

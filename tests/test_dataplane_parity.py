@@ -1,0 +1,144 @@
+"""Data-plane parity suite: pickle vs shm must be semantically invisible.
+
+Every example application is run through the inline backend (the seed
+semantics), the process backend on the default pickle plane, and the
+process backend on the shared-memory plane.  All three must agree on the
+sink multiset, events ingested and per-task tuple counts — the data plane
+may only change *how* bytes move, never *which* tuples arrive.
+"""
+
+from collections import Counter as Multiset
+
+import pytest
+
+from repro.apps import load_application
+from repro.dsps import LocalEngine
+from repro.errors import ExecutionError
+from repro.metrics import MetricsRegistry
+from repro.runtime import ProcessPoolBackend, resolve_backend, shm_available
+
+EVENTS = 300
+
+#: Replication configs under which each app's semantics are deterministic
+#: across backends (see tests/test_runtime_backends.py for the rationale).
+REPLICATION = {
+    "wc": {"spout": 1, "parser": 2, "splitter": 2, "counter": 2, "sink": 1},
+    "fd": {"spout": 1, "parser": 1, "predictor": 2, "sink": 1},
+    "sd": {
+        "spout": 1,
+        "parser": 1,
+        "moving_average": 2,
+        "spike_detector": 2,
+        "sink": 1,
+    },
+    "lr": None,  # parallelism hints (all 1); needs the ordered backend
+}
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="no POSIX shared memory"
+)
+
+
+def run_app(app, *, backend="inline", registry=None, **kwargs):
+    topology, _profiles = load_application(app)
+    topology.component("sink").template.keep_samples = 10**6
+    engine = LocalEngine(
+        topology,
+        replication=REPLICATION[app],
+        backend=backend,
+        registry=registry,
+        **kwargs,
+    )
+    return engine.run(EVENTS)
+
+
+def process_backend(app, dataplane):
+    ordered = app == "lr"
+    return ProcessPoolBackend(n_workers=2, ordered=ordered, dataplane=dataplane)
+
+
+def sink_multiset(result):
+    return Multiset(
+        tuple(item.values)
+        for sinks in result.sinks.values()
+        for sink in sinks
+        for item in sink.samples
+    )
+
+
+def task_counts(result):
+    return {
+        task_id: (stats.tuples_in, stats.tuples_out)
+        for task_id, stats in result.task_stats.items()
+    }
+
+
+def assert_parity(reference, candidate):
+    assert candidate.events_ingested == reference.events_ingested
+    assert candidate.sink_received() == reference.sink_received()
+    assert task_counts(candidate) == task_counts(reference)
+    assert sink_multiset(candidate) == sink_multiset(reference)
+
+
+class TestDataplaneResolution:
+    def test_resolve_accepts_both_planes(self):
+        assert resolve_backend("process", dataplane="pickle").dataplane == "pickle"
+        assert resolve_backend("process", dataplane="shm").dataplane == "shm"
+
+    def test_resolve_rejects_unknown_plane(self):
+        with pytest.raises(ExecutionError, match="unknown dataplane"):
+            resolve_backend("process", dataplane="rdma")
+
+    def test_backend_rejects_unknown_plane(self):
+        with pytest.raises(ExecutionError, match="unknown dataplane"):
+            ProcessPoolBackend(dataplane="zeromq")
+
+    def test_inline_ignores_dataplane(self):
+        # The inline backend has no inter-process edges; selecting a data
+        # plane must be accepted (and ignored) so CLI flags compose.
+        result = run_app("wc", backend="inline", dataplane="shm")
+        assert result.sink_received() == EVENTS * 10
+
+
+class TestPickleShmParity:
+    """Same run, byte-identical sink state, on every app."""
+
+    @pytest.mark.parametrize("app", ["wc", "fd", "sd", "lr"])
+    @needs_shm
+    def test_shm_matches_inline(self, app):
+        reference = run_app(app)
+        candidate = run_app(app, backend=process_backend(app, "shm"))
+        assert_parity(reference, candidate)
+
+    @pytest.mark.parametrize("app", ["wc", "fd", "sd", "lr"])
+    @needs_shm
+    def test_shm_matches_pickle(self, app):
+        pickled = run_app(app, backend=process_backend(app, "pickle"))
+        shm = run_app(app, backend=process_backend(app, "shm"))
+        assert_parity(pickled, shm)
+
+
+class TestDataplaneMetrics:
+    @needs_shm
+    def test_shm_run_reports_inline_bytes(self):
+        registry = MetricsRegistry()
+        result = run_app(
+            "wc", backend=process_backend("wc", "shm"), registry=registry
+        )
+        assert result.sink_received() == EVENTS * 10
+        counters = registry.snapshot()["counters"]
+        assert counters["runtime.dataplane.bytes_inline"] > 0
+        assert counters["runtime.run.dataplane_bytes"] > 0
+        # The sealed batches of every app edge are scalar-only; the codec
+        # must not be falling back to pickle on the WC hot path.
+        assert counters.get("runtime.dataplane.codec_fallbacks", 0) == 0
+
+    def test_pickle_run_reports_dataplane_bytes(self):
+        registry = MetricsRegistry()
+        run_app("wc", backend=process_backend("wc", "pickle"), registry=registry)
+        counters = registry.snapshot()["counters"]
+        assert counters["runtime.run.pickled_bytes"] > 0
+        assert (
+            counters["runtime.run.dataplane_bytes"]
+            == counters["runtime.run.pickled_bytes"]
+        )

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.dsps import TUPLE_HEADER_BYTES, JumboTuple, StreamTuple, payload_bytes
+from repro.dsps import (
+    TUPLE_HEADER_BYTES,
+    JumboTuple,
+    StreamTuple,
+    clear_payload_cache,
+    payload_bytes,
+    payload_cache_stats,
+)
 
 
 class TestPayloadBytes:
@@ -38,6 +45,60 @@ class TestPayloadBytes:
 
     def test_empty(self):
         assert payload_bytes([]) == 0
+
+
+class TestPayloadCache:
+    """Shape-keyed memoization of :func:`payload_bytes`."""
+
+    def setup_method(self):
+        clear_payload_cache()
+
+    def teardown_method(self):
+        clear_payload_cache()
+
+    def test_same_shape_hits_cache(self):
+        first = payload_bytes(("word", 3))
+        assert payload_cache_stats() == {"hits": 0, "misses": 1, "entries": 1}
+        # Different values, same shape (str of length 4, int): one lookup.
+        assert payload_bytes(("carb", 7)) == first
+        assert payload_cache_stats()["hits"] == 1
+        assert payload_cache_stats()["entries"] == 1
+
+    def test_different_lengths_are_different_shapes(self):
+        payload_bytes(("a",))
+        payload_bytes(("ab",))
+        stats = payload_cache_stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 2
+        assert stats["entries"] == 2
+
+    def test_cached_size_matches_uncached(self):
+        values = ("device-1", 2.5, True, None, b"xyz")
+        cold = payload_bytes(values)
+        warm = payload_bytes(values)
+        assert cold == warm
+        assert payload_cache_stats()["hits"] == 1
+
+    def test_containers_bypass_cache(self):
+        payload_bytes(([1, 2],))
+        payload_bytes(({"k": 1},))
+        stats = payload_cache_stats()
+        assert stats == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_scalar_subclass_bypasses_cache(self):
+        class FancyInt(int):
+            pass
+
+        # A subclass may carry extra state; its size must not be pinned
+        # to (or taken from) the plain-int shape entry.
+        payload_bytes((FancyInt(3),))
+        assert payload_cache_stats()["entries"] == 0
+
+    def test_clear_resets_counters(self):
+        payload_bytes((1,))
+        payload_bytes((2,))
+        clear_payload_cache()
+        assert payload_cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
 
 
 class TestStreamTuple:

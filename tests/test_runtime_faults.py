@@ -332,6 +332,39 @@ class TestProcessBackendChaos:
         assert result.sink_received() == baselines["wc"].sink_received()
         assert sink_multiset(result) == sink_multiset(baselines["wc"])
 
+    def test_killed_worker_under_shm_leaks_no_segments(self, baselines):
+        # A worker killed mid-run never reaches its channel.close(); the
+        # parent owns the ring segments and must still unlink every one,
+        # attempt after attempt, or /dev/shm fills up across retries.
+        from repro.runtime import shm_available
+        from repro.runtime.dataplane import SHM_NAME_PREFIX
+
+        if not shm_available():
+            pytest.skip("no POSIX shared memory")
+        shm_dir = Path("/dev/shm")
+        if not shm_dir.is_dir():
+            pytest.skip("no /dev/shm to observe")
+        before = {p.name for p in shm_dir.glob(f"{SHM_NAME_PREFIX}*")}
+        backend = ProcessPoolBackend(
+            n_workers=2,
+            timeout_s=60.0,
+            heartbeat_timeout_s=5.0,
+            dataplane="shm",
+        )
+        engine = build_engine(
+            "wc",
+            backend=backend,
+            fault_plan=FaultPlan(seed=3, kinds=("crash",), at_tuple=AT),
+            recovery_policy="retry",
+        )
+        result = engine.run(EVENTS)
+        assert result.recovery.completed
+        assert result.sink_received() == baselines["wc"].sink_received()
+        leaked = {
+            p.name for p in shm_dir.glob(f"{SHM_NAME_PREFIX}*")
+        } - before
+        assert not leaked, f"leaked shm segments: {sorted(leaked)}"
+
     def test_stalled_worker_trips_heartbeat_watchdog(self):
         backend = ProcessPoolBackend(
             n_workers=2, timeout_s=60.0, heartbeat_timeout_s=1.0

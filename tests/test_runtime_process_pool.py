@@ -16,6 +16,7 @@ end-to-end suites can only observe indirectly:
 """
 
 import queue
+import threading
 
 import pytest
 
@@ -202,3 +203,50 @@ class TestBoundedBlockingPut:
         with pytest.raises(QueueDeadlockError):
             worker._blocking_put(1, ("batch", 0, 0, b"payload"))
         assert (producer, consumer) in worker.eof
+
+
+class TestSealedBatchByteAccounting:
+    """Byte counters tick exactly once per sealed batch.
+
+    ``pack()`` seals (and counts) a batch before ``_blocking_put`` starts
+    retrying, so a send that blocks on a full peer inbox and loops must
+    not inflate ``pickled_bytes_out``/``remote_batches_out``.
+    """
+
+    def test_retried_send_counts_bytes_once(self):
+        own_inbox = queue.Queue()
+        peer_inbox = queue.Queue(maxsize=1)
+        peer_inbox.put(("stuck",))  # first try_put attempts fail
+        worker, spec = make_worker(
+            inboxes=[own_inbox, peer_inbox],
+            status=[_STATUS_RUNNING, _STATUS_RUNNING],
+            send_timeout_s=5.0,
+        )
+        producer, consumer = some_edge(spec)
+        worker.owner[consumer] = 1  # force the remote-dispatch path
+        # Unstick the peer inbox only after the sender has started
+        # retrying, so the batch is demonstrably re-put at least once.
+        threading.Timer(0.2, peer_inbox.get).start()
+        worker._dispatch(producer, consumer, tuples_of(8, producer=producer))
+        message = peer_inbox.get_nowait()
+        assert message[0] == "batch"
+        assert worker.metrics["send_blocks"] == 1  # the send did retry
+        metrics = worker.channel.metrics
+        assert metrics["remote_batches_out"] == 1
+        assert metrics["pickled_bytes_out"] == len(message[3])
+
+    def test_unblocked_send_counts_bytes_once(self):
+        own_inbox = queue.Queue()
+        peer_inbox = queue.Queue()
+        worker, spec = make_worker(
+            inboxes=[own_inbox, peer_inbox],
+            status=[_STATUS_RUNNING, _STATUS_RUNNING],
+        )
+        producer, consumer = some_edge(spec)
+        worker.owner[consumer] = 1
+        for _ in range(3):
+            worker._dispatch(producer, consumer, tuples_of(4, producer=producer))
+        total = sum(len(peer_inbox.get_nowait()[3]) for _ in range(3))
+        metrics = worker.channel.metrics
+        assert metrics["remote_batches_out"] == 3
+        assert metrics["pickled_bytes_out"] == total
