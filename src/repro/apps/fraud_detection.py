@@ -11,6 +11,11 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
+try:  # numpy backs the optional vectorized kernels only.
+    import numpy as np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None  # type: ignore[assignment]
+
 from repro.dsps.operators import (
     BatchEmission,
     Emission,
@@ -21,6 +26,7 @@ from repro.dsps.operators import (
 )
 from repro.dsps.topology import Topology, TopologyBuilder
 from repro.dsps.tuples import DEFAULT_STREAM, StreamTuple
+from repro.runtime.dataplane.columns import ColumnBatch
 
 from repro.apps.workloads import transactions
 
@@ -66,11 +72,27 @@ class TransactionParser(Operator):
     """Validates records; drops tuples with empty entity or trace."""
 
     declared_fields = {DEFAULT_STREAM: "ss"}
+    column_schemas = ("ss",)
 
     def process(self, item: StreamTuple) -> Iterable[Emission]:
         entity, trace = item.values
         if entity and trace:
             yield DEFAULT_STREAM, (entity, trace)
+
+    def process_columns(self, batch: ColumnBatch) -> Iterable[ColumnBatch]:
+        entities, traces = batch.columns
+        keep = [
+            i for i in range(len(entities)) if entities[i] and traces[i]
+        ]
+        if len(keep) == len(entities):
+            yield ColumnBatch.build(DEFAULT_STREAM, "ss", [entities, traces])
+        elif keep:
+            yield ColumnBatch.build(
+                DEFAULT_STREAM,
+                "ss",
+                [[entities[i] for i in keep], [traces[i] for i in keep]],
+                index=keep,
+            )
 
 
 class MarkovPredictor(Operator):
@@ -80,6 +102,7 @@ class MarkovPredictor(Operator):
     """
 
     declared_fields = {DEFAULT_STREAM: "sd?"}
+    column_schemas = ("ss",)
 
     def __init__(self, threshold: float = _FRAUD_THRESHOLD) -> None:
         self.threshold = threshold
@@ -118,6 +141,29 @@ class MarkovPredictor(Operator):
             if is_fraud:
                 self.flagged += 1
             yield index, DEFAULT_STREAM, (entity, score, is_fraud)
+
+    def process_columns(self, batch: ColumnBatch) -> Iterable[ColumnBatch]:
+        # Scoring walks each trace's transition pairs in order (float
+        # addition order matters), so scores stay a per-row loop; the
+        # thresholding is the vectorized part.
+        entities, traces = batch.columns
+        transition = _TRANSITION_SCORE
+        scores: list[float] = []
+        for trace in traces:
+            states = trace.split(",")
+            score = 0.0
+            for previous, current in zip(states, states[1:]):
+                score += transition.get(
+                    (previous, current), _UNSEEN_TRANSITION_SCORE
+                )
+            scores.append(score)
+        score_col = np.asarray(scores, dtype="<f8")
+        flags = score_col >= self.threshold
+        self.scored += len(traces)
+        self.flagged += int(np.count_nonzero(flags))
+        yield ColumnBatch.build(
+            DEFAULT_STREAM, "sd?", [entities, score_col, flags]
+        )
 
 
 class FraudSink(Sink):

@@ -24,6 +24,11 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable, Iterator, Sequence
 
+try:  # numpy backs the optional vectorized kernels only.
+    import numpy as np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None  # type: ignore[assignment]
+
 from repro.dsps.operators import (
     BatchEmission,
     Emission,
@@ -34,6 +39,7 @@ from repro.dsps.operators import (
 )
 from repro.dsps.topology import Topology, TopologyBuilder
 from repro.dsps.tuples import DEFAULT_STREAM, StreamTuple
+from repro.runtime.dataplane.columns import ColumnBatch
 
 from repro.apps.workloads import (
     ACCOUNT_BALANCE_REQUEST,
@@ -89,6 +95,7 @@ class LinearRoadParser(Operator):
     """Validates raw records (drops malformed tuples; selectivity 1)."""
 
     declared_fields = {DEFAULT_STREAM: "qqqqqqqqqqq"}
+    column_schemas = ("qqqqqqqqqqq",)
 
     def process(self, item: StreamTuple) -> Iterable[Emission]:
         if len(item.values) == 11 and item.values[0] in (
@@ -97,6 +104,27 @@ class LinearRoadParser(Operator):
             DAILY_EXPENDITURE_REQUEST,
         ):
             yield DEFAULT_STREAM, item.values
+
+    def process_columns(self, batch: ColumnBatch) -> Iterable[ColumnBatch]:
+        # The 11-field arity check is implied by the batch schema; only
+        # the record-type filter can still drop rows.
+        record_types = batch.columns[0]
+        keep = np.flatnonzero(
+            (record_types == POSITION_REPORT)
+            | (record_types == ACCOUNT_BALANCE_REQUEST)
+            | (record_types == DAILY_EXPENDITURE_REQUEST)
+        )
+        if len(keep) == len(record_types):
+            yield ColumnBatch.build(
+                DEFAULT_STREAM, "qqqqqqqqqqq", list(batch.columns)
+            )
+        elif len(keep):
+            yield ColumnBatch.build(
+                DEFAULT_STREAM,
+                "qqqqqqqqqqq",
+                [column[keep] for column in batch.columns],
+                index=keep,
+            )
 
 
 class Dispatcher(Operator):
@@ -112,6 +140,7 @@ class Dispatcher(Operator):
         BALANCE_STREAM: "qqq",
         DAILY_STREAM: "qqqq",
     }
+    column_schemas = ("qqqqqqqqqqq",)
 
     def process(self, item: StreamTuple) -> Iterable[Emission]:
         (
@@ -142,6 +171,24 @@ class Dispatcher(Operator):
             yield BALANCE_STREAM, (time, vid, query_id)
         elif record_type == DAILY_EXPENDITURE_REQUEST:
             yield DAILY_STREAM, (time, vid, query_id, day)
+
+    def process_columns(self, batch: ColumnBatch) -> Iterable[ColumnBatch]:
+        # One output batch per typed stream.  Rows keep their relative
+        # order within each stream, which is all downstream edges can
+        # observe (the three streams go to disjoint consumers).
+        cols = batch.columns
+        record_types = cols[0]
+        for record_type, stream, schema, fields in (
+            (POSITION_REPORT, POSITION_STREAM, "qqqqqqqq", (1, 2, 3, 4, 5, 6, 7, 8)),
+            (ACCOUNT_BALANCE_REQUEST, BALANCE_STREAM, "qqq", (1, 2, 9)),
+            (DAILY_EXPENDITURE_REQUEST, DAILY_STREAM, "qqqq", (1, 2, 9, 10)),
+        ):
+            rows = np.flatnonzero(record_types == record_type)
+            if len(rows) == 0:
+                continue
+            yield ColumnBatch.build(
+                stream, schema, [cols[f][rows] for f in fields], index=rows
+            )
 
 
 #: Field indices inside a position-report tuple.
@@ -241,6 +288,7 @@ class CountVehicles(Operator):
     """
 
     declared_fields = {COUNTS_STREAM: "qqqq"}
+    column_schemas = ("qqqqqqqq",)
 
     def __init__(self, minute_length: int = 60) -> None:
         self.minute_length = minute_length
@@ -269,6 +317,36 @@ class CountVehicles(Operator):
                 vehicles_of[key] = set()
             vehicles_of[key].add(item.values[_POS_VID])
             yield index, COUNTS_STREAM, (*key, len(vehicles_of[key]))
+
+    def process_columns(self, batch: ColumnBatch) -> Iterable[ColumnBatch]:
+        # Per-segment distinct counting is inherently sequential (each
+        # row's count depends on the set built by its predecessors), so
+        # the loop stays scalar over pure-Python ints; the batch assembly
+        # and the unchanged key columns are the columnar win.
+        cols = batch.columns
+        times = cols[_POS_TIME].tolist()
+        vids = cols[_POS_VID].tolist()
+        xways = cols[_POS_XWAY].tolist()
+        dirs = cols[_POS_DIR].tolist()
+        segs = cols[_POS_SEG].tolist()
+        minute_of = self._minute
+        vehicles_of = self._vehicles
+        minute_length = self.minute_length
+        counts = np.empty(len(times), dtype="<i8")
+        for i in range(len(times)):
+            key = (xways[i], dirs[i], segs[i])
+            minute = times[i] // minute_length
+            if minute_of.get(key) != minute:
+                minute_of[key] = minute
+                vehicles_of[key] = set()
+            bucket = vehicles_of[key]
+            bucket.add(vids[i])
+            counts[i] = len(bucket)
+        yield ColumnBatch.build(
+            COUNTS_STREAM,
+            "qqqq",
+            [cols[_POS_XWAY], cols[_POS_DIR], cols[_POS_SEG], counts],
+        )
 
 
 class AccidentNotifier(Operator):
@@ -309,6 +387,8 @@ class TollNotifier(Operator):
     * counts/las input -> updated ``(xway, dir, seg, toll)`` record;
     * detect input -> updates the accident table, emits nothing.
     """
+
+    column_schemas = ("qqqq", "qqqd", "qqqqqqqq")
 
     def __init__(self) -> None:
         self._lav: dict[tuple[int, int, int], float] = {}
@@ -382,6 +462,49 @@ class TollNotifier(Operator):
                 toll,
                 item.values[_POS_TIME],
             )
+
+    def process_columns(self, batch: ColumnBatch) -> Iterable[ColumnBatch]:
+        # Wire batches carry one stream each, so the per-tuple stream
+        # branch becomes a per-batch branch; the toll lookups stay a
+        # scalar loop over the (small) per-segment state tables.
+        cols = batch.columns
+        if batch.stream == DETECT_STREAM:
+            accidents = self._accidents
+            for xway, direction, segment in zip(
+                cols[0].tolist(), cols[1].tolist(), cols[2].tolist()
+            ):
+                accidents.add((xway, direction, segment))
+            return
+        if batch.stream in (LAS_STREAM, COUNTS_STREAM):
+            xways = cols[0].tolist()
+            dirs = cols[1].tolist()
+            segs = cols[2].tolist()
+            latest = cols[3].tolist()
+            table = self._lav if batch.stream == LAS_STREAM else self._counts
+            tolls = np.empty(len(xways), dtype="<i8")
+            for i in range(len(xways)):
+                key = (xways[i], dirs[i], segs[i])
+                table[key] = latest[i]
+                tolls[i] = self._toll_for(key)
+            yield ColumnBatch.build(
+                TOLL_STREAM, "qqqq", [cols[0], cols[1], cols[2], tolls]
+            )
+            return
+        # Position reports: charge each vehicle the current segment toll.
+        xways = cols[_POS_XWAY].tolist()
+        dirs = cols[_POS_DIR].tolist()
+        segs = cols[_POS_SEG].tolist()
+        tolls = np.empty(len(xways), dtype="<i8")
+        charged = 0
+        for i in range(len(xways)):
+            toll = self._toll_for((xways[i], dirs[i], segs[i]))
+            if toll > 0:
+                charged += 1
+            tolls[i] = toll
+        self.tolls_charged += charged
+        yield ColumnBatch.build(
+            TOLL_STREAM, "qqq", [cols[_POS_VID], tolls, cols[_POS_TIME]]
+        )
 
 
 class DailyExpenditure(Operator):

@@ -12,9 +12,15 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable, Iterator
 
+try:  # numpy backs the optional vectorized kernels only.
+    import numpy as np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None  # type: ignore[assignment]
+
 from repro.dsps.operators import Emission, Operator, OperatorContext, Sink, Spout
 from repro.dsps.topology import Topology, TopologyBuilder
 from repro.dsps.tuples import DEFAULT_STREAM, StreamTuple
+from repro.runtime.dataplane.columns import ColumnBatch, take
 
 from repro.apps.workloads import sensor_readings
 
@@ -51,17 +57,36 @@ class SensorParser(Operator):
     """Validates readings; drops malformed tuples."""
 
     declared_fields = {DEFAULT_STREAM: "sdq"}
+    column_schemas = ("sdq",)
 
     def process(self, item: StreamTuple) -> Iterable[Emission]:
         device, value, timestamp = item.values
         if device and value is not None:
             yield DEFAULT_STREAM, (device, float(value), timestamp)
 
+    def process_columns(self, batch: ColumnBatch) -> Iterable[ColumnBatch]:
+        devices, values, timestamps = batch.columns
+        # A "d" column can hold neither None nor non-floats, so only the
+        # empty-device check from the scalar path can still drop rows.
+        keep = [i for i, device in enumerate(devices) if device]
+        if len(keep) == len(devices):
+            yield ColumnBatch.build(
+                DEFAULT_STREAM, "sdq", [devices, values, timestamps]
+            )
+        elif keep:
+            yield ColumnBatch.build(
+                DEFAULT_STREAM,
+                "sdq",
+                [take(devices, keep), take(values, keep), take(timestamps, keep)],
+                index=keep,
+            )
+
 
 class MovingAverage(Operator):
     """Per-device sliding-window average; emits ``(device, avg, value)``."""
 
     declared_fields = {DEFAULT_STREAM: "sdd"}
+    column_schemas = ("sdq",)
 
     def __init__(self, window: int = MOVING_AVERAGE_WINDOW) -> None:
         self.window = window
@@ -82,6 +107,33 @@ class MovingAverage(Operator):
         average = self._sums[device] / len(history)
         yield DEFAULT_STREAM, (device, average, value)
 
+    def process_columns(self, batch: ColumnBatch) -> Iterable[ColumnBatch]:
+        # The running window sum is order-dependent float arithmetic, so
+        # the kernel keeps the sequential per-row loop (over pure-Python
+        # floats — ``tolist`` round-trips bit-identically) and only the
+        # batch assembly is columnar.
+        devices = batch.columns[0]
+        values = batch.columns[1].tolist()
+        averages: list[float] = []
+        sums = self._sums
+        window = self.window
+        for device, value in zip(devices, values):
+            history = self._values.get(device)
+            if history is None:
+                history = deque()
+                self._values[device] = history
+                sums[device] = 0.0
+            history.append(value)
+            sums[device] += value
+            if len(history) > window:
+                sums[device] -= history.popleft()
+            averages.append(sums[device] / len(history))
+        yield ColumnBatch.build(
+            DEFAULT_STREAM,
+            "sdd",
+            [devices, np.asarray(averages, dtype="<f8"), batch.columns[1]],
+        )
+
 
 class SpikeDetector(Operator):
     """Flags readings above ``threshold * moving_average``.
@@ -90,6 +142,7 @@ class SpikeDetector(Operator):
     """
 
     declared_fields = {DEFAULT_STREAM: "sdd?"}
+    column_schemas = ("sdd",)
 
     def __init__(self, threshold: float = SPIKE_THRESHOLD) -> None:
         self.threshold = threshold
@@ -101,6 +154,15 @@ class SpikeDetector(Operator):
         if is_spike:
             self.spikes += 1
         yield DEFAULT_STREAM, (device, value, average, is_spike)
+
+    def process_columns(self, batch: ColumnBatch) -> Iterable[ColumnBatch]:
+        devices, averages, values = batch.columns
+        # Elementwise float64 compare — IEEE-identical to the scalar path.
+        is_spike = values > self.threshold * averages
+        self.spikes += int(np.count_nonzero(is_spike))
+        yield ColumnBatch.build(
+            DEFAULT_STREAM, "sdd?", [devices, values, averages, is_spike]
+        )
 
 
 class SpikeSink(Sink):

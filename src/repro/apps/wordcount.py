@@ -16,6 +16,11 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
+try:  # numpy backs the optional vectorized kernels only.
+    import numpy as np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None  # type: ignore[assignment]
+
 from repro.dsps.operators import (
     BatchEmission,
     Emission,
@@ -26,6 +31,7 @@ from repro.dsps.operators import (
 )
 from repro.dsps.topology import Topology, TopologyBuilder
 from repro.dsps.tuples import DEFAULT_STREAM, StreamTuple
+from repro.runtime.dataplane.columns import ColumnBatch
 
 from repro.apps.workloads import sentences
 
@@ -63,17 +69,32 @@ class Parser(Operator):
     """Drops invalid (empty) sentences; passes the rest through."""
 
     declared_fields = {DEFAULT_STREAM: "s"}
+    column_schemas = ("s",)
 
     def process(self, item: StreamTuple) -> Iterable[Emission]:
         sentence = item.values[0]
         if sentence:
             yield DEFAULT_STREAM, (sentence,)
 
+    def process_columns(self, batch: ColumnBatch) -> Iterable[ColumnBatch]:
+        sentences = batch.columns[0]
+        keep = [i for i, sentence in enumerate(sentences) if sentence]
+        if len(keep) == len(sentences):
+            yield ColumnBatch.build(DEFAULT_STREAM, "s", [sentences])
+        elif keep:
+            yield ColumnBatch.build(
+                DEFAULT_STREAM,
+                "s",
+                [[sentences[i] for i in keep]],
+                index=keep,
+            )
+
 
 class Splitter(Operator):
     """Splits each sentence into words, one output tuple per word."""
 
     declared_fields = {DEFAULT_STREAM: "s"}
+    column_schemas = ("s",)
 
     def process(self, item: StreamTuple) -> Iterable[Emission]:
         for word in item.values[0].split():
@@ -86,11 +107,24 @@ class Splitter(Operator):
             for word in item.values[0].split():
                 yield index, DEFAULT_STREAM, (word,)
 
+    def process_columns(self, batch: ColumnBatch) -> Iterable[ColumnBatch]:
+        words: list[str] = []
+        counts: list[int] = []
+        for sentence in batch.columns[0]:
+            parts = sentence.split()
+            words.extend(parts)
+            counts.append(len(parts))
+        if not words:
+            return
+        index = np.repeat(np.arange(len(counts), dtype=np.intp), counts)
+        yield ColumnBatch.build(DEFAULT_STREAM, "s", [words], index=index)
+
 
 class Counter(Operator):
     """Counts word occurrences; emits ``(word, running_count)`` per input."""
 
     declared_fields = {DEFAULT_STREAM: "sq"}
+    column_schemas = ("s",)
 
     def __init__(self) -> None:
         self.counts: dict[str, int] = {}
@@ -110,6 +144,37 @@ class Counter(Operator):
             count = counts.get(word, 0) + 1
             counts[word] = count
             yield index, DEFAULT_STREAM, (word, count)
+
+    def process_columns(self, batch: ColumnBatch) -> Iterable[ColumnBatch]:
+        """Whole-batch unique-counts kernel.
+
+        For the ``k``-th occurrence (0-based) of a word within the batch
+        the scalar path emits ``prior + k + 1``, where ``prior`` is the
+        word's running count before the batch.  The rank trick below
+        computes every occurrence's ``k`` in one vectorized pass: sort
+        row numbers by word group (stable, so within a group they stay
+        in batch order) and subtract each group's start offset.
+        """
+        words = batch.columns[0]
+        arr = np.asarray(words)
+        uniq, inverse = np.unique(arr, return_inverse=True)
+        sizes = np.bincount(inverse, minlength=len(uniq))
+        order = np.argsort(inverse, kind="stable")
+        group_starts = np.cumsum(sizes) - sizes
+        ranks = np.empty(len(arr), dtype="<i8")
+        ranks[order] = np.arange(len(arr), dtype="<i8") - np.repeat(
+            group_starts, sizes
+        )
+        counts = self.counts
+        base = np.fromiter(
+            (counts.get(word, 0) for word in uniq.tolist()),
+            dtype="<i8",
+            count=len(uniq),
+        )
+        out_counts = base[inverse] + ranks + 1
+        for word, total in zip(uniq.tolist(), (base + sizes).tolist()):
+            counts[word] = total
+        yield ColumnBatch.build(DEFAULT_STREAM, "sq", [words, out_counts])
 
 
 class WordCountSink(Sink):

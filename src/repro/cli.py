@@ -25,6 +25,7 @@ from repro.metrics import MetricsRegistry, build_report, format_table, write_rep
 from repro.runtime import (
     DATAPLANE_NAMES,
     RECOVERY_POLICIES,
+    VECTORIZED_MODES,
     DegradeContext,
     FaultPlan,
     ProcessPoolBackend,
@@ -108,6 +109,7 @@ def _run_backend(args: argparse.Namespace):
             n_workers=args.workers,
             heartbeat_timeout_s=args.watchdog_timeout,
             dataplane=args.dataplane,
+            vectorized=args.vectorized,
         )
     return args.backend
 
@@ -159,6 +161,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         queue_capacity=args.queue_capacity,
         n_workers=args.workers,
         dataplane=args.dataplane,
+        vectorized=args.vectorized,
         fault_plan=fault_plan,
         recovery_policy=args.recovery_policy,
         max_restarts=args.max_restarts,
@@ -185,6 +188,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 "batch_size": args.batch_size,
                 "backend": args.backend,
                 "dataplane": args.dataplane,
+                "vectorized": args.vectorized,
                 "topology": topology.name,
                 "failed": True,
                 "error": type(exc).__name__,
@@ -226,6 +230,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             "batch_size": args.batch_size,
             "backend": args.backend,
             "dataplane": args.dataplane,
+            "vectorized": args.vectorized,
             "topology": topology.name,
         },
         data=_recovery_data(result.recovery, result.fault_summary),
@@ -334,6 +339,16 @@ def build_parser() -> argparse.ArgumentParser:
             "remote-batch transport for --backend process: pickle "
             "(control-queue payloads) or shm (shared-memory rings + "
             "binary codec; see docs/dataplane.md)"
+        ),
+    )
+    run.add_argument(
+        "--vectorized",
+        choices=VECTORIZED_MODES,
+        default="auto",
+        help=(
+            "columnar kernel dispatch: auto (use numpy kernels when "
+            "operator and schema qualify), on (require numpy) or off "
+            "(scalar dispatch only; see docs/vectorized.md)"
         ),
     )
     run.add_argument(

@@ -81,6 +81,7 @@ class LocalEngine:
         queue_budget: int | None = None,
         n_workers: int | None = None,
         dataplane: str | None = None,
+        vectorized: str | None = None,
         fault_plan: FaultPlan | None = None,
         recovery_policy: str | None = None,
         max_restarts: int = 3,
@@ -120,6 +121,12 @@ class LocalEngine:
             name: ``"pickle"`` (default) or ``"shm"`` (shared-memory
             rings + binary codec; see docs/dataplane.md).  Validated but
             otherwise ignored for the single-process inline backend.
+        vectorized:
+            Columnar kernel dispatch when the backend is given by name:
+            ``"auto"`` (default — use vectorized kernels when numpy and
+            the operator support them), ``"on"`` (fail loudly without
+            numpy) or ``"off"`` (scalar dispatch only); see
+            docs/vectorized.md.
         fault_plan:
             Optional :class:`~repro.runtime.faults.FaultPlan` — chaos
             runs; implies supervised execution.
@@ -150,7 +157,12 @@ class LocalEngine:
             queue_budget=queue_budget,
         )
         self.backend = _supervise(
-            resolve_backend(backend, n_workers=n_workers, dataplane=dataplane),
+            resolve_backend(
+                backend,
+                n_workers=n_workers,
+                dataplane=dataplane,
+                vectorized=vectorized,
+            ),
             fault_plan,
             recovery_policy,
             max_restarts,
@@ -169,6 +181,7 @@ class LocalEngine:
         queue_budget: int | None = None,
         n_workers: int | None = None,
         dataplane: str | None = None,
+        vectorized: str | None = None,
         fault_plan: FaultPlan | None = None,
         recovery_policy: str | None = None,
         max_restarts: int = 3,
@@ -194,7 +207,12 @@ class LocalEngine:
         engine.registry = registry if registry is not None else NULL_REGISTRY
         engine.spec = spec
         engine.backend = _supervise(
-            resolve_backend(backend, n_workers=n_workers, dataplane=dataplane),
+            resolve_backend(
+                backend,
+                n_workers=n_workers,
+                dataplane=dataplane,
+                vectorized=vectorized,
+            ),
             fault_plan,
             recovery_policy,
             max_restarts,

@@ -19,9 +19,20 @@ from __future__ import annotations
 import copy
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Sequence,
+)
 
 from repro.dsps.tuples import DEFAULT_STREAM, StreamTuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, no runtime dependency
+    from repro.runtime.dataplane.columns import ColumnBatch
 
 #: An emitted record: (stream name, values tuple).
 Emission = tuple[str, tuple[Any, ...]]
@@ -50,6 +61,15 @@ class Operator(ABC):
     #: fallback to pickle, never correctness (see docs/dataplane.md).
     declared_fields: Mapping[str, str] | None = None
 
+    #: Input-schema gate for :meth:`process_columns`: the typecode
+    #: strings the kernel accepts, or ``None`` to accept any columnar
+    #: batch.  Executors route batches whose inferred schema is not
+    #: listed through the scalar path instead (counted under
+    #: ``runtime.vectorized.fallbacks``), so kernels may assume the
+    #: layouts they declare — e.g. a kernel declaring ``("sdq",)`` never
+    #: sees a batch whose third column is not int64.
+    column_schemas: Sequence[str] | None = None
+
     def prepare(self, context: OperatorContext) -> None:
         """Called once per replica before any tuple is processed."""
 
@@ -76,6 +96,37 @@ class Operator(ABC):
         for index, item in enumerate(items):
             for stream, values in self.process(item):
                 yield index, stream, values
+
+    def process_columns(
+        self, batch: "ColumnBatch"
+    ) -> "Iterable[ColumnBatch]":
+        """Handle one columnar batch; yield output :class:`ColumnBatch`es.
+
+        The opt-in **vectorized kernel API**: operators that override this
+        receive sealed batches as per-field columns (numpy arrays for the
+        fixed-width typecodes) and return whole output batches built with
+        ``ColumnBatch.build(stream, schema, columns, index=...)``, where
+        ``index`` maps each output row to the input row that produced it
+        (``None`` for 1:1 kernels).  The executor stamps ``source_task``
+        and propagates event times through ``index``; kernels only supply
+        values.
+
+        Overrides must be **bit-identical** to the scalar path: same
+        per-stream output multiset, same state updates, same float
+        arithmetic order where results depend on it.  Executors fall
+        through to :meth:`process_batch`/:meth:`process` whenever a batch
+        does not qualify (non-columnar schema, fault injection, per-tuple
+        histograms, ``--vectorized off``), and results must not depend on
+        which path ran.
+        """
+        raise NotImplementedError
+
+    @classmethod
+    def supports_columns(cls) -> bool:
+        """Capability flag: True when this operator overrides
+        :meth:`process_columns` (executors check the class, not the
+        instance, so kernels cannot be toggled per replica)."""
+        return cls.process_columns is not Operator.process_columns
 
     def flush(self) -> Iterable[Emission]:
         """Emit any trailing output when the input is exhausted."""
@@ -120,6 +171,29 @@ class Sink(Operator):
         if len(self.samples) < self.keep_samples:
             self.samples.append(item)
         self.on_tuple(item)
+        return ()
+
+    def process_columns(self, batch: "ColumnBatch") -> "Iterable[ColumnBatch]":
+        """Columnar intake: count a whole batch in O(1) when possible.
+
+        Bursting back to tuples only happens while samples are still
+        being collected or when a subclass hooks :meth:`on_tuple`.
+        Executors call this only for sinks that keep the default
+        :meth:`process`; overriding ``process`` re-enables per-tuple
+        delivery (see the capability gating in the backends).
+        """
+        n = len(batch)
+        if (
+            len(self.samples) < self.keep_samples
+            or type(self).on_tuple is not Sink.on_tuple
+        ):
+            for item in batch.to_tuples():
+                self.received += 1
+                if len(self.samples) < self.keep_samples:
+                    self.samples.append(item)
+                self.on_tuple(item)
+        else:
+            self.received += n
         return ()
 
     def on_tuple(self, item: StreamTuple) -> None:

@@ -24,10 +24,13 @@ from repro.runtime.backends import (
 )
 from repro.runtime.dataplane import (
     DATAPLANE_NAMES,
+    VECTORIZED_MODES,
     BatchCodec,
     ChannelEndpoint,
+    ColumnBatch,
     PickleQueueChannel,
     ShmRingChannel,
+    columns_available,
     shm_available,
 )
 from repro.runtime.faults import (
@@ -64,7 +67,10 @@ __all__ = [
     "BACKEND_NAMES",
     "BatchCodec",
     "ChannelEndpoint",
+    "ColumnBatch",
     "DATAPLANE_NAMES",
+    "VECTORIZED_MODES",
+    "columns_available",
     "DEFAULT_QUEUE_BUDGET",
     "DegradeContext",
     "ExecutorBackend",

@@ -40,6 +40,11 @@ from repro.errors import (
     WorkerCrashError,
 )
 from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry
+from repro.runtime.dataplane.columns import (
+    VECTORIZED_MODES,
+    ColumnBatch,
+    columns_available,
+)
 from repro.runtime.lowering import RuntimeSpec, TaskRuntime, instantiate_tasks
 from repro.runtime.results import RunResult, TaskStats
 
@@ -74,19 +79,40 @@ class ExecutorBackend(ABC):
         """
 
 
+def validate_vectorized(vectorized: str) -> None:
+    """Reject unknown ``--vectorized`` modes with a typed error."""
+    if vectorized not in VECTORIZED_MODES:
+        raise ExecutionError(
+            f"unknown vectorized mode {vectorized!r}; "
+            f"expected one of {VECTORIZED_MODES}"
+        )
+
+
+def require_vectorized(vectorized: str) -> None:
+    """Enforce mode ``on``: columnar kernels must actually be runnable."""
+    if vectorized == "on" and not columns_available():
+        raise ExecutionError(
+            "vectorized mode 'on' requires numpy, which is not importable; "
+            "use 'auto' to fall through to scalar execution"
+        )
+
+
 def resolve_backend(
     backend: "str | ExecutorBackend",
     *,
     n_workers: int | None = None,
     ordered: bool = False,
     dataplane: str | None = None,
+    vectorized: str | None = None,
 ) -> ExecutorBackend:
     """Turn a backend name (or pass through an instance) into a backend.
 
     ``n_workers``/``ordered``/``dataplane`` only apply when constructing
     the process backend from its name; the inline backend runs in one
     process and moves no bytes, so any requested data plane is accepted
-    and ignored there.
+    and ignored there.  ``vectorized`` selects the columnar kernel mode
+    (see :data:`~repro.runtime.dataplane.columns.VECTORIZED_MODES`) on
+    both backends; ``None`` means ``auto``.
     """
     if n_workers is not None and n_workers < 1:
         raise ExecutionError(f"n_workers must be >= 1, got {n_workers}")
@@ -98,10 +124,12 @@ def resolve_backend(
                 f"unknown dataplane {dataplane!r}; "
                 f"expected one of {DATAPLANE_NAMES}"
             )
+    if vectorized is not None:
+        validate_vectorized(vectorized)
     if isinstance(backend, ExecutorBackend):
         return backend
     if backend == "inline":
-        return InlineBackend()
+        return InlineBackend(vectorized=vectorized or "auto")
     if backend == "process":
         from repro.runtime.process_pool import ProcessPoolBackend
 
@@ -109,6 +137,7 @@ def resolve_backend(
             n_workers=n_workers,
             ordered=ordered,
             dataplane=dataplane if dataplane is not None else "pickle",
+            vectorized=vectorized or "auto",
         )
     raise ExecutionError(
         f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}"
@@ -161,6 +190,10 @@ class InlineBackend(ExecutorBackend):
 
     name = "inline"
 
+    def __init__(self, *, vectorized: str = "auto") -> None:
+        validate_vectorized(vectorized)
+        self.vectorized = vectorized
+
     def execute(
         self,
         spec: RuntimeSpec,
@@ -171,8 +204,11 @@ class InlineBackend(ExecutorBackend):
     ) -> RunResult:
         if max_events < 0:
             raise TopologyError("max_events must be >= 0")
+        require_vectorized(self.vectorized)
         registry = registry if registry is not None else NULL_REGISTRY
-        return _InlineRun(spec, max_events, registry, injector).execute()
+        return _InlineRun(
+            spec, max_events, registry, injector, vectorized=self.vectorized
+        ).execute()
 
 
 class _InlineRun:
@@ -184,11 +220,16 @@ class _InlineRun:
         max_events: int,
         registry: MetricsRegistry,
         injector: "FaultInjector | None" = None,
+        *,
+        vectorized: str = "auto",
     ) -> None:
         self.spec = spec
         self.max_events = max_events
         self.registry = registry
         self.injector = injector
+        self.vectorized = vectorized
+        # runtime.vectorized.{batches,tuples,fallbacks} for this run.
+        self.vec = {"batches": 0, "tuples": 0, "fallbacks": 0}
         self.instrumented = registry.enabled
         self.instances = instantiate_tasks(spec)
         self.stats = {
@@ -277,6 +318,8 @@ class _InlineRun:
                 result,
                 {key: q.stats for key, q in self.queues.items()},
             )
+            for name, value in self.vec.items():
+                self.registry.counter(f"runtime.vectorized.{name}").inc(value)
         return result
 
     def _snapshot(self, partial: bool) -> RunResult:
@@ -383,6 +426,22 @@ class _InlineRun:
             )
             else None
         )
+        # Columnar fast path: one numpy kernel call per drained batch.
+        # Inline transport never leaves the process, so sinks gain nothing
+        # from a transpose and stay scalar here; a kernel-capable operator
+        # whose batch cannot go columnar (disqualified schema, fault
+        # injection armed, per-tuple timing) is a counted fallback.
+        vectorizable = (
+            self.vectorized != "off"
+            and columns_available()
+            and not isinstance(operator, Sink)
+            and operator.supports_columns()
+        )
+        column_fn = (
+            operator.process_columns
+            if vectorizable and histogram is None and self.injector is None
+            else None
+        )
         producers = {edge.producer for edge in rt.in_edges}
         in_queues = [
             self.queues[(edge.producer, edge.consumer)] for edge in rt.in_edges
@@ -401,6 +460,30 @@ class _InlineRun:
                         break
                     progressed = True
                     self.ticks += 1
+                    if column_fn is not None:
+                        batch = ColumnBatch.from_tuples(items)
+                        if batch is not None and (
+                            operator.column_schemas is not None
+                            and batch.schema not in operator.column_schemas
+                        ):
+                            batch = None  # schema the kernel did not negotiate
+                        if batch is not None:
+                            stats.tuples_in += len(items)
+                            self.vec["batches"] += 1
+                            self.vec["tuples"] += len(items)
+                            for out in column_fn(batch):
+                                if len(out) == 0:
+                                    continue
+                                out.stamp_from(batch, rt.task_id)
+                                stats.record_out_many(
+                                    out.stream, len(out), out.payload_bytes()
+                                )
+                                for item in out.to_tuples():
+                                    yield from self._route(rt, item)
+                            continue
+                        self.vec["fallbacks"] += 1
+                    elif vectorizable:
+                        self.vec["fallbacks"] += 1
                     if batch_fn is not None:
                         stats.tuples_in += len(items)
                         for index, stream, values in batch_fn(items):

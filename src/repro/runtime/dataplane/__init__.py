@@ -35,14 +35,26 @@ from repro.runtime.dataplane.codec import (
     infer_schema,
     validate_schema,
 )
+from repro.runtime.dataplane.columns import (
+    COLUMN_DTYPES,
+    VECTORIZED_MODES,
+    ColumnBatch,
+    columns_available,
+    schema_dtypes,
+)
 
 __all__ = [
     "BatchCodec",
+    "COLUMN_DTYPES",
     "ChannelEndpoint",
+    "ColumnBatch",
     "DATAPLANE_NAMES",
     "DEFAULT_RING_BYTES",
     "DataPlane",
     "FIELD_TYPECODES",
+    "VECTORIZED_MODES",
+    "columns_available",
+    "schema_dtypes",
     "PickleDataPlane",
     "PickleQueueChannel",
     "SHM_NAME_PREFIX",

@@ -61,6 +61,7 @@ from typing import Any, Mapping
 from repro.dsps.tuples import StreamTuple
 from repro.errors import ExecutionError
 from repro.runtime.dataplane.codec import BatchCodec
+from repro.runtime.dataplane.columns import ColumnBatch
 
 #: Data-plane names accepted by ``--dataplane`` and ``create_dataplane``.
 DATAPLANE_NAMES = ("pickle", "shm")
@@ -258,6 +259,36 @@ class ChannelEndpoint(ABC):
     def unpack(self, message: tuple) -> tuple[int, int, list[StreamTuple]]:
         """Inverse of :meth:`pack`: ``(producer, consumer, tuples)``."""
 
+    def peek_consumer(self, message: tuple) -> int:
+        """Consumer task id of a data message, without unpacking it.
+
+        Lets the receiving worker decide *how* to unpack — columnar for
+        consumers with a vectorized kernel, rows otherwise — before
+        paying for the payload.
+        """
+        return message[3] if message[0] == "shm" else message[2]
+
+    def pack_columns(
+        self, dest: int, producer: int, consumer: int, batch: ColumnBatch
+    ) -> tuple:
+        """Serialize one :class:`ColumnBatch` into a control message.
+
+        Default burst-and-pack keeps any endpoint correct; the concrete
+        channels override it to keep the payload columnar end-to-end.
+        """
+        return self.pack(dest, producer, consumer, batch.to_tuples())
+
+    def unpack_columns(
+        self, message: tuple
+    ) -> "tuple[int, int, ColumnBatch | list[StreamTuple]]":
+        """Unpack preferring a :class:`ColumnBatch` payload.
+
+        Falls back to row unpacking when the payload cannot stay
+        columnar (pickle fallbacks, row-packed messages); callers must
+        accept either payload shape.
+        """
+        return self.unpack(message)
+
     # -- control queue --------------------------------------------------
     def try_put(self, dest: int, message: tuple) -> bool:
         try:
@@ -295,6 +326,16 @@ class PickleQueueChannel(ChannelEndpoint):
     def unpack(self, message: tuple) -> tuple[int, int, list[StreamTuple]]:
         _, producer, consumer, payload = message
         return producer, consumer, pickle.loads(payload)
+
+    def pack_columns(
+        self, dest: int, producer: int, consumer: int, batch: ColumnBatch
+    ) -> tuple:
+        # Ship the ColumnBatch object itself: the receiver's unpack
+        # (columns or rows) loads it and bursts only if it must.
+        payload = pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL)
+        self.metrics["pickled_bytes_out"] += len(payload)
+        self.metrics["remote_batches_out"] += 1
+        return ("batch", producer, consumer, payload)
 
 
 class ShmRingChannel(ChannelEndpoint):
@@ -346,6 +387,19 @@ class ShmRingChannel(ChannelEndpoint):
         self, dest: int, producer: int, consumer: int, tuples: list[StreamTuple]
     ) -> tuple:
         payload = self.codec.encode((producer, consumer), tuples)
+        return self._ship(dest, producer, consumer, payload)
+
+    def pack_columns(
+        self, dest: int, producer: int, consumer: int, batch: ColumnBatch
+    ) -> tuple:
+        # Same wire format as pack() on the burst rows, emitted straight
+        # from the columns — the receiver cannot tell which side packed.
+        payload = self.codec.encode_columns((producer, consumer), batch)
+        return self._ship(dest, producer, consumer, payload)
+
+    def _ship(
+        self, dest: int, producer: int, consumer: int, payload: bytes
+    ) -> tuple:
         self.metrics["remote_batches_out"] += 1
         ring = self.send_rings.get(dest)
         if ring is not None:
@@ -357,13 +411,26 @@ class ShmRingChannel(ChannelEndpoint):
         self.metrics["bytes_oob"] += len(payload)
         return ("batch", producer, consumer, payload)
 
-    def unpack(self, message: tuple) -> tuple[int, int, list[StreamTuple]]:
+    def _consume(self, message: tuple) -> tuple[int, int, bytes]:
         if message[0] == "shm":
             _, sender, producer, consumer, start, length = message
             payload = self.recv_rings[sender].consume(start, length)
         else:
             _, producer, consumer, payload = message
+        return producer, consumer, payload
+
+    def unpack(self, message: tuple) -> tuple[int, int, list[StreamTuple]]:
+        producer, consumer, payload = self._consume(message)
         return producer, consumer, self.codec.decode(payload)
+
+    def unpack_columns(
+        self, message: tuple
+    ) -> "tuple[int, int, ColumnBatch | list[StreamTuple]]":
+        producer, consumer, payload = self._consume(message)
+        batch = self.codec.decode_columns(payload)
+        if batch is None:  # pickle fallback or empty: rows it is
+            return producer, consumer, self.codec.decode(payload)
+        return producer, consumer, batch
 
 
 # ----------------------------------------------------------------------

@@ -29,8 +29,17 @@ int64, ``1`` is *not* a float64) so a decoded batch is value- and
 type-identical to its input.  Any mismatch — ragged arity, mixed streams,
 ``None`` fields, exotic types, out-of-range ints, unencodable strings —
 falls back to pickle protocol 5 for that batch (magic byte 0) and is
-counted in :attr:`BatchCodec.fallback_batches`; correctness never depends
-on the schema being right.
+counted in :attr:`BatchCodec.fallback_batches` — exactly once per sealed
+batch, regardless of how many tuples it carries; correctness never
+depends on the schema being right.
+
+The columnar wire layout doubles as the in-memory layout of
+:class:`~repro.runtime.dataplane.columns.ColumnBatch`:
+:meth:`BatchCodec.decode_columns` exposes the fixed-width columns as
+zero-copy numpy views over the payload, and
+:meth:`BatchCodec.encode_columns` emits bytes *identical* to
+:meth:`BatchCodec.encode` on the equivalent tuple list, so either end of
+an edge can pick rows or columns independently.
 """
 
 from __future__ import annotations
@@ -41,46 +50,19 @@ from itertools import accumulate
 from typing import Iterable, Mapping
 
 from repro.dsps.tuples import StreamTuple
-
-#: Typecodes the codec understands (see module docstring).
-FIELD_TYPECODES = "qd?sy"
+from repro.runtime.dataplane.columns import (  # noqa: F401  (re-exports)
+    COLUMN_DTYPES,
+    FIELD_TYPECODES,
+    ColumnBatch,
+    infer_schema,
+    np,
+    validate_schema,
+)
 
 _MAGIC_PICKLE = 0
 _MAGIC_COLUMNAR = 1
 
 _HEADER = struct.Struct("<IqH")  # n, source_task, stream length
-
-
-def validate_schema(code: str) -> None:
-    """Raise ``ValueError`` unless ``code`` is a valid typecode string."""
-    if not code:
-        raise ValueError("schema must declare at least one field")
-    bad = set(code) - set(FIELD_TYPECODES)
-    if bad:
-        raise ValueError(
-            f"invalid field typecode(s) {sorted(bad)} in schema {code!r}; "
-            f"expected characters from {FIELD_TYPECODES!r}"
-        )
-
-
-def infer_schema(values: tuple) -> str | None:
-    """Typecode string of one value tuple, or None when not encodable."""
-    codes = []
-    for value in values:
-        t = type(value)
-        if t is bool:
-            codes.append("?")
-        elif t is int:
-            codes.append("q")
-        elif t is float:
-            codes.append("d")
-        elif t is str:
-            codes.append("s")
-        elif t is bytes:
-            codes.append("y")
-        else:
-            return None
-    return "".join(codes)
 
 
 class BatchCodec:
@@ -101,6 +83,10 @@ class BatchCodec:
             validate_schema(code)
             self.schemas[key] = code
         self.encoded_batches = 0
+        #: Count of *sealed batches* (never tuples) that took the pickle
+        #: fallback: a 500-tuple batch with one ``None`` field adds exactly
+        #: 1, the same as a single-tuple batch.  Surfaced per run as the
+        #: ``runtime.dataplane.codec_fallbacks`` counter.
         self.fallback_batches = 0
 
     # ------------------------------------------------------------------
@@ -241,3 +227,104 @@ class BatchCodec:
             d["event_time_ns"] = times[index]
             out.append(item)
         return out
+
+    # ------------------------------------------------------------------
+    # Columnar views (vectorized execution)
+    # ------------------------------------------------------------------
+    def encode_columns(
+        self, edge: tuple[int, int], batch: ColumnBatch
+    ) -> bytes:
+        """Serialize a :class:`ColumnBatch` for ``edge``.
+
+        Emits the exact bytes :meth:`encode` would produce for
+        ``batch.to_tuples()`` — the fixed-width columns are dumped with
+        ``ndarray.tobytes()`` instead of per-value ``struct.pack`` — so
+        the receiving end decodes it with either :meth:`decode` or
+        :meth:`decode_columns`, whichever its consumer wants.  Content
+        the wire format cannot hold falls back to pickled tuples and
+        counts one :attr:`fallback_batches` increment, like :meth:`encode`.
+        """
+        try:
+            n = len(batch)
+            stream_bytes = batch.stream.encode("utf-8")
+            schema = batch.schema
+            parts = [
+                bytes([_MAGIC_COLUMNAR]),
+                _HEADER.pack(n, batch.source_task, len(stream_bytes)),
+                stream_bytes,
+                bytes([len(schema)]),
+                schema.encode("ascii"),
+                batch.event_times.astype("<f8", copy=False).tobytes(),
+            ]
+            for code, column in zip(schema, batch.columns):
+                if code in COLUMN_DTYPES:
+                    parts.append(
+                        column.astype(COLUMN_DTYPES[code], copy=False)
+                        .tobytes()
+                    )
+                elif code == "s":
+                    blobs = [v.encode("utf-8") for v in column]
+                    parts.append(struct.pack(f"<{n}I", *map(len, blobs)))
+                    parts.append(b"".join(blobs))
+                else:  # 'y'
+                    parts.append(struct.pack(f"<{n}I", *map(len, column)))
+                    parts.append(b"".join(column))
+            self.encoded_batches += 1
+            return b"".join(parts)
+        except (struct.error, OverflowError, UnicodeEncodeError, TypeError,
+                ValueError, AttributeError):
+            self.fallback_batches += 1  # one per batch, never per tuple
+            return bytes([_MAGIC_PICKLE]) + pickle.dumps(
+                batch.to_tuples(), protocol=5
+            )
+
+    def decode_columns(self, payload: bytes) -> ColumnBatch | None:
+        """Decode a columnar payload into a :class:`ColumnBatch`, or
+        ``None`` when the payload is a pickle fallback, is empty, or
+        numpy is unavailable (callers then use :meth:`decode`).
+
+        Fixed-width columns ("q"/"d"/"?") and the event-time column are
+        **zero-copy, read-only** ``np.frombuffer`` views over ``payload``;
+        variable-length columns materialize Python lists exactly as
+        :meth:`decode` would.
+        """
+        if np is None or payload[0] == _MAGIC_PICKLE:
+            return None
+        n, source, stream_len = _HEADER.unpack_from(payload, 1)
+        if n == 0:
+            return None
+        offset = 1 + _HEADER.size
+        stream = payload[offset : offset + stream_len].decode("utf-8")
+        offset += stream_len
+        arity = payload[offset]
+        offset += 1
+        schema = payload[offset : offset + arity].decode("ascii")
+        offset += arity
+        times = np.frombuffer(payload, dtype="<f8", count=n, offset=offset)
+        offset += 8 * n
+        columns: list = []
+        for code in schema:
+            dtype = COLUMN_DTYPES.get(code)
+            if dtype is not None:
+                column = np.frombuffer(
+                    payload, dtype=dtype, count=n, offset=offset
+                )
+                offset += column.itemsize * n
+                columns.append(column)
+            else:
+                lengths = struct.unpack_from(f"<{n}I", payload, offset)
+                offset += 4 * n
+                ends = list(accumulate(lengths, initial=offset))
+                offset = ends[-1]
+                if code == "s":
+                    columns.append(
+                        [
+                            payload[a:b].decode("utf-8")
+                            for a, b in zip(ends, ends[1:])
+                        ]
+                    )
+                else:
+                    columns.append(
+                        [payload[a:b] for a, b in zip(ends, ends[1:])]
+                    )
+        return ColumnBatch(stream, source, schema, times, columns)

@@ -1,0 +1,406 @@
+"""Columnar batch views for vectorized operator kernels.
+
+PR 5 moved sealed batches through shared memory as struct-packed columns,
+but both executors immediately *burst* every batch back into per-tuple
+Python calls — the transport got cheaper while the compute stayed scalar.
+This module keeps a sealed batch columnar all the way to the operator: a
+:class:`ColumnBatch` wraps one column per field (numpy arrays for the
+fixed-width typecodes, plain lists for strings/bytes) so an operator that
+implements ``process_columns`` can run one numpy kernel per batch instead
+of one Python call per tuple.
+
+Dtype negotiation follows the codec's per-edge schema: typecodes with an
+entry in :data:`COLUMN_DTYPES` ("q"/"d"/"?") decode into **zero-copy**
+``np.frombuffer`` views over the wire payload (read-only, backed by the
+bytes the shm ring handed over); variable-length typecodes ("s"/"y") have
+no fixed stride and always materialize Python lists.  Batches built from
+tuples on the producer side (:meth:`ColumnBatch.from_tuples`) are copies
+by construction and therefore writable.
+
+A ``ColumnBatch`` is intentionally *permissive about provenance* and
+*strict about content*: any content that the codec would refuse (ragged
+arity, mixed streams, ``None`` fields, bool-vs-int confusion,
+out-of-range ints) makes ``from_tuples`` return ``None``, which the
+executors count as ``runtime.vectorized.fallbacks`` and route through the
+scalar path instead.  Correctness never depends on a batch qualifying.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+try:  # numpy is required for columnar execution, not for the engine.
+    import numpy as np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None  # type: ignore[assignment]
+
+from repro.dsps.tuples import StreamTuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy.typing as npt
+
+#: Typecodes the codec understands (shared with the wire format).
+FIELD_TYPECODES = "qd?sy"
+
+#: Vectorized execution modes accepted by backends and the CLI:
+#: ``auto`` uses columnar kernels when available and falls through
+#: silently, ``on`` demands numpy and fails loudly when it is missing,
+#: ``off`` disables columnar dispatch entirely.
+VECTORIZED_MODES = ("auto", "on", "off")
+
+#: Dtype negotiation table: wire typecode -> numpy dtype for the
+#: fixed-width columns that support zero-copy views.  Variable-length
+#: typecodes ("s", "y") are absent on purpose — they decode to lists.
+COLUMN_DTYPES = {"q": "<i8", "d": "<f8", "?": "|b1"}
+
+#: Mirrors ``repro.dsps.tuples._payload_bytes_uncached`` for the scalar
+#: types a columnar batch can hold; ``tests/test_dataplane_columns.py``
+#: asserts the two stay in sync.
+_FIXED_PAYLOAD_BYTES = {"q": 28, "d": 24, "?": 16}
+
+
+def columns_available() -> bool:
+    """True when numpy is importable, i.e. columnar kernels can run."""
+    return np is not None
+
+
+def validate_schema(code: str) -> None:
+    """Raise ``ValueError`` unless ``code`` is a valid typecode string."""
+    if not code:
+        raise ValueError("schema must declare at least one field")
+    bad = set(code) - set(FIELD_TYPECODES)
+    if bad:
+        raise ValueError(
+            f"invalid field typecode(s) {sorted(bad)} in schema {code!r}; "
+            f"expected characters from {FIELD_TYPECODES!r}"
+        )
+
+
+def infer_schema(values: tuple) -> str | None:
+    """Typecode string of one value tuple, or None when not encodable."""
+    codes = []
+    for value in values:
+        t = type(value)
+        if t is bool:
+            codes.append("?")
+        elif t is int:
+            codes.append("q")
+        elif t is float:
+            codes.append("d")
+        elif t is str:
+            codes.append("s")
+        elif t is bytes:
+            codes.append("y")
+        else:
+            return None
+    return "".join(codes)
+
+
+def schema_dtypes(schema: str) -> tuple:
+    """Negotiated numpy dtype per field; ``None`` marks a list column."""
+    return tuple(COLUMN_DTYPES.get(code) for code in schema)
+
+
+def take(column, index):
+    """Gather ``column`` rows at ``index`` for array *and* list columns."""
+    if isinstance(column, list):
+        return [column[i] for i in index]
+    return column[index]
+
+
+class ColumnBatch:
+    """One sealed batch as per-field columns.
+
+    Attributes
+    ----------
+    stream:
+        Output stream shared by every tuple in the batch.
+    source_task:
+        Producing task id shared by the whole batch (kernels leave the
+        default; the executor stamps it via :meth:`stamp_from`).
+    schema:
+        Codec typecode string, one character per field.
+    event_times:
+        ``float64`` array of per-tuple event times, or ``None`` on a
+        fresh kernel output (stamped by the executor from the input
+        batch through :attr:`index`).
+    columns:
+        One entry per field: a numpy array for "q"/"d"/"?" columns, a
+        Python list for "s"/"y" columns.
+    index:
+        Lineage map for kernel outputs: ``index[i]`` is the input row
+        that produced output row ``i`` (``None`` = identity).  Drives
+        event-time propagation for filters and flat-maps.
+    """
+
+    __slots__ = (
+        "stream",
+        "source_task",
+        "schema",
+        "event_times",
+        "columns",
+        "index",
+        "_tuples",
+    )
+
+    def __init__(
+        self,
+        stream: str,
+        source_task: int,
+        schema: str,
+        event_times,
+        columns: list,
+        index=None,
+        _tuples: list[StreamTuple] | None = None,
+    ) -> None:
+        self.stream = stream
+        self.source_task = source_task
+        self.schema = schema
+        self.event_times = event_times
+        self.columns = columns
+        self.index = index
+        self._tuples = _tuples
+
+    def __len__(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnBatch(stream={self.stream!r}, schema={self.schema!r}, "
+            f"rows={len(self)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tuples(
+        cls, tuples: Sequence[StreamTuple], schema: str | None = None
+    ) -> "ColumnBatch | None":
+        """Transpose a scalar batch into columns, or ``None`` if it does
+        not qualify (same acceptance rules as the codec's columnar path:
+        uniform stream/source/arity and exact field types throughout).
+        The produced columns are **copies** — mutating them never aliases
+        the input tuples.
+        """
+        n = len(tuples)
+        if n == 0 or np is None:
+            return None
+        first = tuples[0]
+        stream = first.stream
+        source = first.source_task
+        if schema is None:
+            schema = infer_schema(first.values)
+            if schema is None:
+                return None
+        arity = len(schema)
+        for item in tuples:
+            if (
+                item.stream != stream
+                or item.source_task != source
+                or len(item.values) != arity
+            ):
+                return None
+        raw = tuple(zip(*(t.values for t in tuples)))
+        columns: list = []
+        try:
+            for code, column in zip(schema, raw):
+                if code == "q":
+                    if any(type(v) is not int for v in column):
+                        return None
+                    columns.append(np.array(column, dtype="<i8"))
+                elif code == "d":
+                    if any(type(v) is not float for v in column):
+                        return None
+                    columns.append(np.array(column, dtype="<f8"))
+                elif code == "?":
+                    if any(type(v) is not bool for v in column):
+                        return None
+                    columns.append(np.array(column, dtype="|b1"))
+                elif code == "s":
+                    if any(type(v) is not str for v in column):
+                        return None
+                    columns.append(list(column))
+                else:  # 'y'
+                    if any(type(v) is not bytes for v in column):
+                        return None
+                    columns.append(list(column))
+            event_times = np.array(
+                [t.event_time_ns for t in tuples], dtype="<f8"
+            )
+        except (OverflowError, TypeError, ValueError):
+            # Out-of-range int64, non-float event times.
+            return None
+        return cls(
+            stream,
+            source,
+            schema,
+            event_times,
+            columns,
+            _tuples=list(tuples),
+        )
+
+    @classmethod
+    def build(
+        cls,
+        stream: str,
+        schema: str,
+        columns: Sequence,
+        *,
+        index=None,
+    ) -> "ColumnBatch":
+        """Kernel-side constructor: canonicalize ``columns`` to the
+        negotiated dtypes (numpy for fixed-width, list for var-length)
+        and leave ``event_times``/``source_task`` for the executor to
+        stamp from the input batch via :meth:`stamp_from`.
+        """
+        if np is None:  # pragma: no cover - kernels only run with numpy
+            raise RuntimeError("ColumnBatch.build requires numpy")
+        validate_schema(schema)
+        if len(columns) != len(schema):
+            raise ValueError(
+                f"schema {schema!r} declares {len(schema)} fields but "
+                f"{len(columns)} columns were given"
+            )
+        canonical: list = []
+        n = None
+        for code, column in zip(schema, columns):
+            dtype = COLUMN_DTYPES.get(code)
+            if dtype is not None:
+                column = np.asarray(column, dtype=dtype)
+            elif not isinstance(column, list):
+                column = list(column)
+            if n is None:
+                n = len(column)
+            elif len(column) != n:
+                raise ValueError("ragged columns in ColumnBatch.build")
+            canonical.append(column)
+        if index is not None:
+            index = np.asarray(index, dtype=np.intp)
+            if len(index) != n:
+                raise ValueError(
+                    f"lineage index has {len(index)} rows, columns have {n}"
+                )
+        return cls(stream, -1, schema, None, canonical, index=index)
+
+    # ------------------------------------------------------------------
+    # Executor plumbing
+    # ------------------------------------------------------------------
+    def stamp_from(self, parent: "ColumnBatch", source_task: int) -> None:
+        """Stamp executor-owned metadata onto a kernel output batch:
+        the producing task id and per-row event times pulled from the
+        input batch through the lineage :attr:`index`.
+        """
+        self.source_task = source_task
+        times = parent.event_times
+        if times is None:
+            raise ValueError("input batch has no event times to propagate")
+        if self.index is not None:
+            times = times[self.index]
+        if len(times) != len(self):
+            raise ValueError(
+                f"kernel emitted {len(self)} rows with no lineage index; "
+                f"input batch has {len(times)} rows"
+            )
+        self.event_times = times
+
+    def chunks(self, size: int) -> Iterator["ColumnBatch"]:
+        """Split into dispatch-sized slices (numpy views, zero copies)."""
+        n = len(self)
+        if n <= size:
+            yield self
+            return
+        for start in range(0, n, size):
+            yield self._slice(start, min(start + size, n))
+
+    def _slice(self, a: int, b: int) -> "ColumnBatch":
+        return ColumnBatch(
+            self.stream,
+            self.source_task,
+            self.schema,
+            None if self.event_times is None else self.event_times[a:b],
+            [column[a:b] for column in self.columns],
+            _tuples=None if self._tuples is None else self._tuples[a:b],
+        )
+
+    # ------------------------------------------------------------------
+    # Scalar interop
+    # ------------------------------------------------------------------
+    def to_tuples(self) -> list[StreamTuple]:
+        """Burst back into :class:`StreamTuple` rows.
+
+        ``.tolist()`` on the fixed-width columns yields pure-Python
+        ``int``/``float``/``bool`` values bit-identical to the originals,
+        so a burst batch is indistinguishable from one that never went
+        columnar.  Batches built by :meth:`from_tuples` return their
+        original tuple list (do not mutate it).
+        """
+        if self._tuples is not None:
+            return self._tuples
+        n = len(self)
+        cols = [
+            column.tolist() if not isinstance(column, list) else column
+            for column in self.columns
+        ]
+        times = (
+            [0.0] * n if self.event_times is None else self.event_times.tolist()
+        )
+        rows = list(zip(*cols)) if cols else [()] * n
+        stream = self.stream
+        source = self.source_task
+        # Same fast path as BatchCodec.decode: bypass the frozen-dataclass
+        # __init__ by writing the instance dict directly.
+        new = StreamTuple.__new__
+        out = []
+        for i in range(n):
+            item = new(StreamTuple)
+            d = item.__dict__
+            d["values"] = rows[i]
+            d["stream"] = stream
+            d["source_task"] = source
+            d["event_time_ns"] = times[i]
+            out.append(item)
+        return out
+
+    def payload_bytes(self) -> int:
+        """Total payload bytes, equal to the sum of per-tuple
+        ``payload_size_bytes`` over the burst rows (the vectorized path
+        must feed the byte-accounting in ``TaskStats`` identically).
+        """
+        n = len(self)
+        total = 0
+        for code, column in zip(self.schema, self.columns):
+            fixed = _FIXED_PAYLOAD_BYTES.get(code)
+            if fixed is not None:
+                total += fixed * n
+            elif code == "s":
+                total += 40 * n + 2 * sum(map(len, column))
+            else:  # 'y'
+                total += 33 * n + sum(map(len, column))
+        return total
+
+    # ------------------------------------------------------------------
+    # Pickle support (the pickle plane ships ColumnBatch objects whole)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        # Drop the burst-tuple cache: shipping rows next to columns would
+        # double the payload for zero information.
+        return (
+            self.stream,
+            self.source_task,
+            self.schema,
+            self.event_times,
+            self.columns,
+            self.index,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.stream,
+            self.source_task,
+            self.schema,
+            self.event_times,
+            self.columns,
+            self.index,
+        ) = state
+        self._tuples = None

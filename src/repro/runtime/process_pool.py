@@ -83,12 +83,19 @@ from repro.errors import (
     WorkerCrashError,
 )
 from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry
-from repro.runtime.backends import ExecutorBackend, publish_engine_metrics
+from repro.runtime.backends import (
+    ExecutorBackend,
+    publish_engine_metrics,
+    require_vectorized,
+    validate_vectorized,
+)
 from repro.runtime.dataplane import (
     DATAPLANE_NAMES,
     DEFAULT_RING_BYTES,
     ChannelEndpoint,
+    ColumnBatch,
     PickleQueueChannel,
+    columns_available,
     create_dataplane,
 )
 from repro.runtime.faults import FaultInjector, merge_fault_summaries
@@ -122,6 +129,14 @@ CRASH_EXIT_CODE = 70
 
 #: Sentinel in the shared status array: worker still running.
 _STATUS_RUNNING = -1000
+
+#: Worker-side metric keys summed into ``runtime.vectorized.{batches,
+#: tuples,fallbacks}`` registry counters by the parent merge.
+_VECTORIZED_COUNTERS = (
+    "vectorized_batches",
+    "vectorized_tuples",
+    "vectorized_fallbacks",
+)
 
 #: Worker-side error kinds mapped back to typed exceptions in the parent.
 _ERROR_CLASSES = {
@@ -173,6 +188,12 @@ class ProcessPoolBackend(ExecutorBackend):
         docs/dataplane.md.
     ring_bytes:
         Capacity of each per-worker-pair ring when ``dataplane="shm"``.
+    vectorized:
+        Columnar kernel mode: ``"auto"`` (default — use vectorized
+        ``process_columns`` kernels when numpy is available, falling
+        through per batch otherwise), ``"on"`` (fail if numpy is
+        missing) or ``"off"`` (scalar execution only).  See
+        docs/vectorized.md.
     """
 
     name = "process"
@@ -188,6 +209,7 @@ class ProcessPoolBackend(ExecutorBackend):
         send_timeout_s: float = 30.0,
         dataplane: str = "pickle",
         ring_bytes: int = DEFAULT_RING_BYTES,
+        vectorized: str = "auto",
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ExecutionError(f"n_workers must be >= 1, got {n_workers}")
@@ -210,6 +232,7 @@ class ProcessPoolBackend(ExecutorBackend):
             )
         if ring_bytes < 4096:
             raise ExecutionError(f"ring_bytes must be >= 4096, got {ring_bytes}")
+        validate_vectorized(vectorized)
         self.n_workers = n_workers
         self.ordered = ordered
         self.inbox_batches = inbox_batches
@@ -218,6 +241,7 @@ class ProcessPoolBackend(ExecutorBackend):
         self.send_timeout_s = send_timeout_s
         self.dataplane = dataplane
         self.ring_bytes = ring_bytes
+        self.vectorized = vectorized
 
     # ------------------------------------------------------------------
     # Parent side
@@ -266,6 +290,7 @@ class ProcessPoolBackend(ExecutorBackend):
     ) -> RunResult:
         if max_events < 0:
             raise TopologyError("max_events must be >= 0")
+        require_vectorized(self.vectorized)
         registry = registry if registry is not None else NULL_REGISTRY
         n_workers, owner = self._assign(spec)
         worker_sockets = self._sockets_of_workers(spec, owner)
@@ -308,6 +333,7 @@ class ProcessPoolBackend(ExecutorBackend):
                     self.send_timeout_s,
                     schedule,
                     attempt,
+                    self.vectorized,
                 ),
                 daemon=True,
             )
@@ -521,13 +547,22 @@ class ProcessPoolBackend(ExecutorBackend):
                 registry.counter(f"{prefix}.spout_throttles").inc(
                     int(metrics.get("spout_throttles", 0))
                 )
-                for key in ("pickled_bytes_out", *dataplane_counters):
+                for key in (
+                    "pickled_bytes_out",
+                    *dataplane_counters,
+                    *_VECTORIZED_COUNTERS,
+                ):
                     totals[key] += metrics.get(key, 0.0)
             registry.counter("runtime.run.pickled_bytes").inc(
                 int(totals["pickled_bytes_out"])
             )
             for key in dataplane_counters:
                 registry.counter(f"runtime.dataplane.{key}").inc(int(totals[key]))
+            for key in _VECTORIZED_COUNTERS:
+                name = key.removeprefix("vectorized_")
+                registry.counter(f"runtime.vectorized.{name}").inc(
+                    int(totals[key])
+                )
             # Total payload bytes the run moved between workers, whatever
             # the transport: pickled control-queue payloads plus the shm
             # plane's in-ring and out-of-band codec payloads.
@@ -558,6 +593,7 @@ def _worker_main(
     send_timeout_s: float,
     schedule: tuple,
     attempt: int,
+    vectorized: str = "auto",
 ) -> None:
     worker = None
     try:
@@ -574,6 +610,7 @@ def _worker_main(
             send_timeout_s=send_timeout_s,
             schedule=schedule,
             attempt=attempt,
+            vectorized=vectorized,
         )
         results.put(worker.run())
     except ExecutionError as exc:
@@ -621,6 +658,7 @@ class _Worker:
         send_timeout_s: float = 30.0,
         schedule: tuple = (),
         attempt: int = 0,
+        vectorized: str = "auto",
     ) -> None:
         self.me = worker_id
         self.spec = spec
@@ -684,9 +722,11 @@ class _Worker:
         self.events = 0
         self.max_events = max_events
         # A received batch refused hard admission, already decoded — kept
-        # as (producer, consumer, tuples) so a retry never re-decodes (and
-        # the shm ring slot it came from is already released).
-        self.held: tuple[int, int, list[StreamTuple]] | None = None
+        # as (producer, consumer, payload) so a retry never re-decodes
+        # (and the shm ring slot it came from is already released).  The
+        # payload is a tuple list or, for columnar consumers, possibly a
+        # ColumnBatch; both support len() everywhere admission cares.
+        self.held: tuple[int, int, Any] | None = None
         self.rt_by_id: dict[int, TaskRuntime] = {
             rt.task_id: rt for rt in spec.tasks
         }
@@ -702,6 +742,43 @@ class _Worker:
             if self.injector is None
             else {}
         )
+        # Columnar fast path: tasks whose operator publishes a vectorized
+        # process_columns kernel (sinks qualify only with the default
+        # per-tuple process(), which Sink.process_columns replicates).
+        # column_capable drives fallback accounting; column_ops — actual
+        # kernel dispatch — additionally requires no armed injector, since
+        # fault ticks are per-tuple.
+        self.column_capable: set[int] = (
+            {
+                task_id
+                for task_id, instance in self.instances.items()
+                if isinstance(instance, Operator)
+                and instance.supports_columns()
+                and (
+                    not isinstance(instance, Sink)
+                    or type(instance).process is Sink.process
+                )
+            }
+            if vectorized != "off" and columns_available()
+            else set()
+        )
+        self.column_ops: dict[int, Any] = (
+            {
+                task_id: self.instances[task_id].process_columns
+                for task_id in self.column_capable
+            }
+            if self.injector is None
+            else {}
+        )
+        # Input-schema negotiation per kernel (None = accepts any schema).
+        self.column_schemas: dict[int, frozenset | None] = {
+            task_id: (
+                None
+                if self.instances[task_id].column_schemas is None
+                else frozenset(self.instances[task_id].column_schemas)
+            )
+            for task_id in self.column_ops
+        }
         self.spout_iters: dict[int, Iterator] = {
             rt.task_id: self.instances[rt.task_id].next_batch(max_events)
             for rt in self.mine
@@ -815,32 +892,33 @@ class _Worker:
     # ------------------------------------------------------------------
     # Receiving
     # ------------------------------------------------------------------
-    def _admit(self, producer: int, consumer: int, tuples: list[StreamTuple], soft: bool) -> bool:
+    def _admit(self, producer: int, consumer: int, payload: Any, soft: bool) -> bool:
         """Admit a received batch into the consumer's backlog.
 
+        ``payload`` is a tuple list or a ColumnBatch (both sized).
         Returns False when hard admission is refused (over capacity); the
         caller must hold the message and retry later.
         """
         key = (producer, consumer)
         capacity = self.spec.queue_capacity[key]
         if capacity is not None and not self.ordered:
-            if self.edge_depth[key] + len(tuples) > capacity:
+            if self.edge_depth[key] + len(payload) > capacity:
                 if not soft:
                     return False
                 self.metrics["overflow_admissions"] += 1
-        self._enqueue_backlog(key, tuples)
+        self._enqueue_backlog(key, payload)
         return True
 
-    def _enqueue_backlog(self, key: tuple[int, int], tuples: list[StreamTuple]) -> None:
+    def _enqueue_backlog(self, key: tuple[int, int], payload: Any) -> None:
         stats = self.edge_stats[key]
         stats.enqueued_batches += 1
-        stats.enqueued_tuples += len(tuples)
-        self.edge_depth[key] += len(tuples)
+        stats.enqueued_tuples += len(payload)
+        self.edge_depth[key] += len(payload)
         stats.max_depth_tuples = max(stats.max_depth_tuples, self.edge_depth[key])
         if self.ordered:
-            self.edge_backlog[key].append(tuples)
+            self.edge_backlog[key].append(payload)
         else:
-            self.arrival[key[1]].append((key, tuples))
+            self.arrival[key[1]].append((key, payload))
 
     def _receive(self, limit: int, soft: bool) -> int:
         """Drain up to ``limit`` inbox messages; returns how many landed.
@@ -856,7 +934,7 @@ class _Worker:
         received = 0
         for _ in range(limit):
             if self.held is not None:
-                producer, consumer, tuples = self.held
+                producer, consumer, payload = self.held
                 self.held = None
             else:
                 message = self.channel.try_get()
@@ -868,12 +946,19 @@ class _Worker:
                     continue
                 # Decode before admission: frees the transport resource
                 # (shm ring slot) promptly, and a held retry re-admits the
-                # already-decoded tuples instead of decoding twice.
-                producer, consumer, tuples = self.channel.unpack(message)
-            if self._admit(producer, consumer, tuples, soft):
+                # already-decoded payload instead of decoding twice.
+                # Consumers with a columnar kernel get the payload as a
+                # ColumnBatch where the wire format allows.
+                if self.channel.peek_consumer(message) in self.column_ops:
+                    producer, consumer, payload = self.channel.unpack_columns(
+                        message
+                    )
+                else:
+                    producer, consumer, payload = self.channel.unpack(message)
+            if self._admit(producer, consumer, payload, soft):
                 received += 1
             else:
-                self.held = (producer, consumer, tuples)
+                self.held = (producer, consumer, payload)
                 break
         return received
 
@@ -906,7 +991,27 @@ class _Worker:
         message = self.channel.pack(dest, producer, consumer, tuples)
         self._blocking_put(dest, message)
 
-    def _deliver_local(self, producer: int, consumer: int, tuples: list[StreamTuple]) -> None:
+    def _dispatch_columns(
+        self, producer: int, consumer: int, batch: "ColumnBatch"
+    ) -> None:
+        """Columnar twin of :meth:`_dispatch`: ship a ColumnBatch whole."""
+        if len(batch) == 0:
+            return
+        if self.injector is not None and self.injector.take_drop(
+            producer, len(batch)
+        ):
+            # Unreachable in practice (kernels are disabled while the
+            # injector is armed) but kept so drop accounting can never
+            # silently diverge between the two dispatch paths.
+            return
+        if self.owner[consumer] == self.me:
+            self._deliver_local(producer, consumer, batch)
+            return
+        dest = self.owner[consumer]
+        message = self.channel.pack_columns(dest, producer, consumer, batch)
+        self._blocking_put(dest, message)
+
+    def _deliver_local(self, producer: int, consumer: int, tuples: Any) -> None:
         key = (producer, consumer)
         capacity = self.spec.queue_capacity[key]
         if capacity is not None and not self.ordered:
@@ -971,18 +1076,49 @@ class _Worker:
     # ------------------------------------------------------------------
     def _route(self, rt: TaskRuntime, item: StreamTuple) -> None:
         for route in rt.routes:
-            if route.stream != item.stream:
+            if route.stream == item.stream:
+                self._route_one(rt, route, item)
+
+    def _route_one(self, rt: TaskRuntime, route: Any, item: StreamTuple) -> None:
+        key = (rt.task_id, route.counter_key)
+        indices = route.grouping.route(
+            item, len(route.consumers), self.counters[key]
+        )
+        self.counters[key] += 1
+        for index in indices:
+            consumer = route.consumers[index]
+            sealed = self.buffers[(rt.task_id, consumer)].append(item)
+            if sealed is not None:
+                self._dispatch(rt.task_id, consumer, sealed.tuples)
+
+    def _route_columns(self, rt: TaskRuntime, out: "ColumnBatch") -> None:
+        """Route one columnar output batch to its downstream edges.
+
+        Single-consumer routes keep the batch columnar: every grouping
+        maps to replica 0 when there is only one consumer, so the whole
+        batch goes to the same edge and the per-route counter advances by
+        ``len(out)`` exactly as the scalar loop would.  The edge's pending
+        scalar buffer is flushed first so per-edge FIFO order is
+        preserved.  Multi-consumer routes burst back to tuples and reuse
+        the scalar grouping discipline unchanged.
+        """
+        burst: list[StreamTuple] | None = None
+        for route in rt.routes:
+            if route.stream != out.stream:
                 continue
-            key = (rt.task_id, route.counter_key)
-            indices = route.grouping.route(
-                item, len(route.consumers), self.counters[key]
-            )
-            self.counters[key] += 1
-            for index in indices:
-                consumer = route.consumers[index]
-                sealed = self.buffers[(rt.task_id, consumer)].append(item)
+            if len(route.consumers) == 1:
+                consumer = route.consumers[0]
+                self.counters[(rt.task_id, route.counter_key)] += len(out)
+                sealed = self.buffers[(rt.task_id, consumer)].flush()
                 if sealed is not None:
                     self._dispatch(rt.task_id, consumer, sealed.tuples)
+                for chunk in out.chunks(self.spec.batch_size):
+                    self._dispatch_columns(rt.task_id, consumer, chunk)
+            else:
+                if burst is None:
+                    burst = out.to_tuples()
+                for item in burst:
+                    self._route_one(rt, route, item)
 
     def _flush_task(self, rt: TaskRuntime) -> None:
         for edge in rt.out_edges:
@@ -1062,10 +1198,34 @@ class _Worker:
         entry = self._next_batch(rt)
         if entry is None:
             return False
-        key, tuples = entry
-        self.edge_depth[key] -= len(tuples)
-        self.edge_stats[key].dequeued_tuples += len(tuples)
+        key, payload = entry
+        self.edge_depth[key] -= len(payload)
+        self.edge_stats[key].dequeued_tuples += len(payload)
         stats = self.stats[consumer]
+        kernel = self.column_ops.get(consumer)
+        if kernel is not None:
+            batch = (
+                payload
+                if isinstance(payload, ColumnBatch)
+                else ColumnBatch.from_tuples(payload)
+            )
+            schemas = self.column_schemas[consumer]
+            if batch is not None and (
+                schemas is not None and batch.schema not in schemas
+            ):
+                batch = None  # schema the kernel did not negotiate
+            if batch is not None:
+                self._process_columns(rt, consumer, stats, kernel, batch)
+                return True
+            # Column-capable consumer, but this batch's schema does not
+            # qualify — fall through to the scalar paths below.
+            self.metrics["vectorized_fallbacks"] += 1
+        elif consumer in self.column_capable:
+            # Kernel disabled for the whole run (fault injection armed).
+            self.metrics["vectorized_fallbacks"] += 1
+        tuples = (
+            payload.to_tuples() if isinstance(payload, ColumnBatch) else payload
+        )
         batch_fn = self.batch_ops.get(consumer)
         if batch_fn is not None:
             # Batch fast path: one Python call per sealed batch.  The
@@ -1089,6 +1249,26 @@ class _Worker:
                 stats.record_out(stream, out.payload_size_bytes)
                 self._route(rt, out)
         return True
+
+    def _process_columns(
+        self,
+        rt: TaskRuntime,
+        consumer: int,
+        stats: Any,
+        kernel: Any,
+        batch: "ColumnBatch",
+    ) -> None:
+        """Run one columnar kernel invocation and route its outputs."""
+        n = len(batch)
+        stats.tuples_in += n
+        self.metrics["vectorized_batches"] += 1
+        self.metrics["vectorized_tuples"] += n
+        for out in kernel(batch) or ():
+            if len(out) == 0:
+                continue
+            out.stamp_from(batch, consumer)
+            stats.record_out_many(out.stream, len(out), out.payload_bytes())
+            self._route_columns(rt, out)
 
     def _step_process(self, quantum: int) -> int:
         progress = 0

@@ -110,6 +110,16 @@ class TaskStats:
             self.bytes_out_by_stream.get(stream, 0) + size
         )
 
+    def record_out_many(self, stream: str, count: int, size: int) -> None:
+        """Bulk form of :meth:`record_out` for columnar emissions: one
+        call per output batch with the summed payload size must leave the
+        counters identical to ``count`` scalar calls."""
+        self.tuples_out += count
+        self.out_by_stream[stream] = self.out_by_stream.get(stream, 0) + count
+        self.bytes_out_by_stream[stream] = (
+            self.bytes_out_by_stream.get(stream, 0) + size
+        )
+
     def merge(self, other: "TaskStats") -> None:
         """Fold another replica of the same task's counters into this one."""
         self.tuples_in += other.tuples_in

@@ -148,6 +148,21 @@ class TestCodecRoundTrip:
         if any(v is None for row in rows for v in row):
             assert codec.fallback_batches > 0
 
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=50))
+    def test_fallback_counted_once_per_batch(self, n_rows):
+        # The documented semantics: ``fallback_batches`` (surfaced as
+        # runtime.dataplane.codec_fallbacks) counts sealed *batches* that
+        # took the pickle path — exactly one increment per encode() call
+        # regardless of how many tuples the batch carries.
+        codec = BatchCodec({EDGE: "q"})
+        original = make_tuples([(None,)] * n_rows)
+        decoded = codec.decode(codec.encode(EDGE, original))
+        assert_batches_equal(decoded, original)
+        assert codec.fallback_batches == 1
+        codec.encode(EDGE, original)
+        assert codec.fallback_batches == 2
+
     def test_schema_mismatch_falls_back(self):
         codec = BatchCodec({EDGE: "q"})
         original = make_tuples([("not an int",)])

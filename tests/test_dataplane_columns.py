@@ -1,0 +1,241 @@
+"""Unit tests for the columnar batch layer (docs/vectorized.md).
+
+Covers the zero-copy/copy contract — wire-decoded batches are read-only
+views over the payload bytes, tuple-built batches are writable copies —
+plus schema negotiation, scalar interop fidelity and the accounting
+helpers the executors rely on.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.dsps.tuples import StreamTuple
+from repro.runtime.dataplane import BatchCodec, ColumnBatch, columns_available
+from repro.runtime.dataplane.columns import (
+    COLUMN_DTYPES,
+    _FIXED_PAYLOAD_BYTES,
+    schema_dtypes,
+    take,
+)
+
+pytestmark = pytest.mark.skipif(
+    not columns_available(), reason="numpy unavailable"
+)
+
+EDGE = (0, 1)
+
+
+def make_tuples(rows, stream="default", source_task=3):
+    return [
+        StreamTuple(
+            values=row,
+            stream=stream,
+            source_task=source_task,
+            event_time_ns=float(i),
+        )
+        for i, row in enumerate(rows)
+    ]
+
+
+MIXED_ROWS = [(i, float(i) / 3, i % 2 == 0, f"w{i}", bytes([i])) for i in range(16)]
+
+
+class TestFromTuples:
+    def test_round_trip_preserves_values_and_types(self):
+        original = make_tuples(MIXED_ROWS)
+        batch = ColumnBatch.from_tuples(original)
+        assert batch is not None
+        assert batch.schema == "qd?sy"
+        assert len(batch) == len(original)
+        for got, want in zip(batch.to_tuples(), original):
+            assert got.values == want.values
+            assert tuple(type(v) for v in got.values) == tuple(
+                type(v) for v in want.values
+            )
+            assert got.event_time_ns == want.event_time_ns
+
+    def test_columns_are_writable_copies(self):
+        original = make_tuples([(1,), (2,), (3,)])
+        batch = ColumnBatch.from_tuples(original)
+        batch.columns[0][0] = 99  # must not raise, must not alias inputs
+        assert original[0].values == (1,)
+
+    def test_empty_batch_declines(self):
+        assert ColumnBatch.from_tuples([]) is None
+
+    def test_mixed_stream_declines(self):
+        tuples = make_tuples([(1,)], stream="a") + make_tuples(
+            [(2,)], stream="b"
+        )
+        assert ColumnBatch.from_tuples(tuples) is None
+
+    def test_mixed_source_declines(self):
+        tuples = make_tuples([(1,)], source_task=1) + make_tuples(
+            [(2,)], source_task=2
+        )
+        assert ColumnBatch.from_tuples(tuples) is None
+
+    def test_ragged_arity_declines(self):
+        assert ColumnBatch.from_tuples(make_tuples([(1, 2), (3,)])) is None
+
+    def test_bool_in_int_column_declines(self):
+        # bool is an int subclass; silent coercion would change types.
+        assert ColumnBatch.from_tuples(make_tuples([(1,), (True,)])) is None
+
+    def test_out_of_range_int_declines(self):
+        assert ColumnBatch.from_tuples(make_tuples([(2**80,)])) is None
+
+    def test_unsupported_value_declines(self):
+        assert ColumnBatch.from_tuples(make_tuples([({"k": 1},)])) is None
+
+    def test_from_tuples_bursts_back_to_original_list(self):
+        original = make_tuples([(1,), (2,)])
+        batch = ColumnBatch.from_tuples(original)
+        assert batch.to_tuples() is not None
+        assert batch.to_tuples()[0] is original[0]
+
+
+class TestWireZeroCopy:
+    def test_decode_columns_views_share_payload_memory(self):
+        codec = BatchCodec({EDGE: "qd?"})
+        original = make_tuples(
+            [(i, float(i), i % 2 == 0) for i in range(32)]
+        )
+        payload = codec.encode_columns(EDGE, ColumnBatch.from_tuples(original))
+        batch = codec.decode_columns(payload)
+        assert batch is not None
+        wire = np.frombuffer(payload, dtype=np.uint8)
+        for code, column in zip(batch.schema, batch.columns):
+            assert column.dtype == np.dtype(COLUMN_DTYPES[code])
+            assert np.shares_memory(column, wire)
+        assert np.shares_memory(batch.event_times, wire)
+
+    def test_decode_columns_views_are_read_only(self):
+        codec = BatchCodec({EDGE: "q"})
+        payload = codec.encode_columns(
+            EDGE, ColumnBatch.from_tuples(make_tuples([(1,), (2,)]))
+        )
+        batch = codec.decode_columns(payload)
+        with pytest.raises(ValueError):
+            batch.columns[0][0] = 99
+
+    def test_encode_columns_bytes_match_scalar_encode(self):
+        codec_a = BatchCodec({EDGE: "qd?sy"})
+        codec_b = BatchCodec({EDGE: "qd?sy"})
+        original = make_tuples(MIXED_ROWS)
+        scalar = codec_a.encode(EDGE, original)
+        columnar = codec_b.encode_columns(
+            EDGE, ColumnBatch.from_tuples(original)
+        )
+        assert scalar == columnar
+
+    def test_decode_columns_refuses_pickle_payload(self):
+        codec = BatchCodec({EDGE: "q"})
+        payload = codec.encode(EDGE, make_tuples([(None,)]))  # pickled
+        assert codec.decode_columns(payload) is None
+        assert codec.decode(payload)[0].values == (None,)
+
+    def test_wire_round_trip_is_lossless(self):
+        codec = BatchCodec({EDGE: "qd?sy"})
+        original = make_tuples(MIXED_ROWS)
+        payload = codec.encode_columns(EDGE, ColumnBatch.from_tuples(original))
+        for got, want in zip(
+            codec.decode_columns(payload).to_tuples(), original
+        ):
+            assert got.values == want.values
+            assert tuple(type(v) for v in got.values) == tuple(
+                type(v) for v in want.values
+            )
+            assert got.event_time_ns == want.event_time_ns
+
+
+class TestBuildAndLineage:
+    def test_build_canonicalizes_dtypes(self):
+        batch = ColumnBatch.build("s1", "qd", [[1, 2], [0.5, 1.5]])
+        assert batch.columns[0].dtype == np.dtype("<i8")
+        assert batch.columns[1].dtype == np.dtype("<f8")
+
+    def test_build_rejects_ragged_columns(self):
+        with pytest.raises(ValueError):
+            ColumnBatch.build("s1", "qq", [[1, 2], [3]])
+
+    def test_build_rejects_wrong_column_count(self):
+        with pytest.raises(ValueError):
+            ColumnBatch.build("s1", "qq", [[1, 2]])
+
+    def test_build_rejects_bad_index_length(self):
+        with pytest.raises(ValueError):
+            ColumnBatch.build("s1", "q", [[1, 2]], index=[0])
+
+    def test_stamp_from_propagates_times_through_index(self):
+        parent = ColumnBatch.from_tuples(make_tuples([(1,), (2,), (3,)]))
+        out = ColumnBatch.build("s1", "q", [[20, 10]], index=[1, 0])
+        out.stamp_from(parent, source_task=7)
+        assert out.source_task == 7
+        assert out.event_times.tolist() == [1.0, 0.0]
+        burst = out.to_tuples()
+        assert [t.event_time_ns for t in burst] == [1.0, 0.0]
+        assert all(t.source_task == 7 for t in burst)
+
+    def test_stamp_from_identity_requires_matching_length(self):
+        parent = ColumnBatch.from_tuples(make_tuples([(1,), (2,)]))
+        out = ColumnBatch.build("s1", "q", [[1, 2, 3]])  # no index, 3 != 2
+        with pytest.raises(ValueError):
+            out.stamp_from(parent, source_task=7)
+
+
+class TestChunksAndAccounting:
+    def test_chunks_are_views_covering_all_rows(self):
+        batch = ColumnBatch.from_tuples(
+            make_tuples([(i, f"w{i}") for i in range(10)])
+        )
+        chunks = list(batch.chunks(4))
+        assert [len(c) for c in chunks] == [4, 4, 2]
+        assert np.shares_memory(chunks[0].columns[0], batch.columns[0])
+        rebuilt = [v for c in chunks for v in c.columns[0].tolist()]
+        assert rebuilt == batch.columns[0].tolist()
+
+    def test_small_batch_chunks_to_itself(self):
+        batch = ColumnBatch.from_tuples(make_tuples([(1,)]))
+        assert list(batch.chunks(64)) == [batch]
+
+    def test_payload_bytes_matches_per_tuple_accounting(self):
+        original = make_tuples(MIXED_ROWS)
+        batch = ColumnBatch.from_tuples(original)
+        assert batch.payload_bytes() == sum(
+            t.payload_size_bytes for t in original
+        )
+
+    def test_fixed_payload_constants_match_tuples_module(self):
+        # _FIXED_PAYLOAD_BYTES mirrors repro.dsps.tuples sizing; if the
+        # tuple-size model changes, the columnar mirror must follow.
+        probes = {"q": (123,), "d": (1.5,), "?": (True,)}
+        for code, values in probes.items():
+            (tup,) = make_tuples([values])
+            assert _FIXED_PAYLOAD_BYTES[code] == tup.payload_size_bytes, code
+        (s_tup,) = make_tuples([("abc",)])
+        assert 40 + 2 * 3 == s_tup.payload_size_bytes
+        (y_tup,) = make_tuples([(b"abc",)])
+        assert 33 + 3 == y_tup.payload_size_bytes
+
+
+class TestHelpers:
+    def test_schema_dtypes_negotiation(self):
+        assert schema_dtypes("qd?sy") == ("<i8", "<f8", "|b1", None, None)
+
+    def test_take_on_lists_and_arrays(self):
+        assert take(["a", "b", "c"], [2, 0]) == ["c", "a"]
+        got = take(np.array([1, 2, 3]), [2, 0])
+        assert got.tolist() == [3, 1]
+
+    def test_pickle_round_trip_drops_tuple_cache(self):
+        batch = ColumnBatch.from_tuples(make_tuples([(1, "a"), (2, "b")]))
+        clone = pickle.loads(pickle.dumps(batch))
+        assert clone._tuples is None
+        assert [t.values for t in clone.to_tuples()] == [
+            t.values for t in batch.to_tuples()
+        ]
+        assert clone.stream == batch.stream
+        assert clone.source_task == batch.source_task

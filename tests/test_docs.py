@@ -1,0 +1,118 @@
+"""Documentation integrity tests (tools/check_docs.py).
+
+Tier-1 runs the cheap checks — every relative link in README/docs
+resolves and every docs page is reachable from the entry points — plus
+unit coverage of the checker's own parsing, so a broken checker cannot
+green-light broken docs.  Snippet *execution* is exercised by the CI
+``docs-check`` job (and here only through one trivial inline snippet).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TOOL = REPO_ROOT / "tools" / "check_docs.py"
+
+sys.path.insert(0, str(TOOL.parent))
+
+import check_docs  # noqa: E402
+
+
+class TestRepositoryDocs:
+    def test_links_and_reachability(self):
+        proc = subprocess.run(
+            [sys.executable, str(TOOL), "--links-only"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_every_docs_page_is_checked(self):
+        checked = {page.name for page in check_docs.pages_under_check()}
+        on_disk = {page.name for page in (REPO_ROOT / "docs").glob("*.md")}
+        assert on_disk <= checked
+        assert "README.md" in checked
+
+
+class TestParser:
+    def test_extracts_links_outside_fences_only(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "[real](target.md) and ![img](pic.png)\n"
+            "```python\n"
+            "x = '[not a link](inside-fence.md)'\n"
+            "```\n"
+            "[external](https://example.com) [frag](#section)\n"
+        )
+        links, snippets = check_docs.parse_page(page)
+        assert [link.target for link in links] == ["target.md", "pic.png"]
+        assert snippets == []
+
+    def test_fragment_is_stripped_from_target(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("[jump](other.md#some-heading)\n")
+        links, _ = check_docs.parse_page(page)
+        assert [link.target for link in links] == ["other.md"]
+
+    def test_only_marked_snippets_are_collected(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "```bash\necho illustrative\n```\n"
+            "```bash run\necho executable\n```\n"
+            "```python run\nprint('ok')\n```\n"
+        )
+        _, snippets = check_docs.parse_page(page)
+        assert [(s.language, s.body) for s in snippets] == [
+            ("bash", "echo executable"),
+            ("python", "print('ok')"),
+        ]
+        assert snippets[0].line == 4
+
+    def test_broken_link_is_reported(self, tmp_path, monkeypatch):
+        page = tmp_path / "README.md"
+        page.write_text("[gone](missing.md)\n")
+        monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+        errors, graph = check_docs.check_links([page])
+        assert len(errors) == 1
+        assert "missing.md" in errors[0]
+        assert graph[page] == set()
+
+    def test_unreachable_docs_page_is_reported(self, tmp_path, monkeypatch):
+        readme = tmp_path / "README.md"
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        linked = docs / "linked.md"
+        orphan = docs / "orphan.md"
+        readme.write_text("[linked](docs/linked.md)\n")
+        linked.write_text("back to [README](../README.md)\n")
+        orphan.write_text("nobody links here\n")
+        monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+        pages = [readme, linked, orphan]
+        errors, graph = check_docs.check_links(pages)
+        assert errors == []
+        problems = check_docs.check_reachability(pages, graph)
+        assert len(problems) == 1
+        assert "orphan.md" in problems[0]
+
+
+class TestSnippetExecution:
+    def test_passing_and_failing_snippets(self, tmp_path):
+        ok = check_docs.Snippet(tmp_path / "p.md", 1, "python", "print(1)")
+        assert check_docs.run_snippet(ok) is None
+        bad = check_docs.Snippet(
+            tmp_path / "p.md", 1, "bash", "exit 3"
+        )
+        problem = check_docs.run_snippet(bad)
+        assert problem is not None and "exited 3" in problem
+
+    def test_unsupported_language_is_an_error(self, tmp_path):
+        weird = check_docs.Snippet(tmp_path / "p.md", 1, "ruby", "puts 1")
+        assert "unsupported" in check_docs.run_snippet(weird)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Keep the documentation honest: link integrity + runnable snippets.
+
+Three checks over ``README.md`` and ``docs/*.md`` (stdlib only, so CI
+can run it before installing anything):
+
+1. **Links resolve.**  Every relative markdown link target (file or
+   ``file#fragment``) must exist on disk.  External (``http(s)://``,
+   ``mailto:``) and pure-fragment (``#...``) targets are skipped.
+2. **Pages are reachable.**  Every page under ``docs/`` must be
+   reachable from ``README.md`` or ``docs/architecture.md`` through the
+   markdown link graph — documentation nobody can navigate to is
+   documentation that silently rots.
+3. **Marked snippets run.**  Fenced code blocks whose info string is
+   ``bash run`` or ``python run`` are executed from the repository root
+   with ``PYTHONPATH=src``; a non-zero exit fails the check.  Only
+   snippets explicitly marked ``run`` are executed — plain ``bash`` /
+   ``python`` fences stay illustrative.
+
+Usage::
+
+    python tools/check_docs.py              # all three checks
+    python tools/check_docs.py --links-only # skip snippet execution
+
+Exits 0 when every check passes, 1 otherwise, listing each failure as
+``file:line: problem``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SNIPPET_TIMEOUT_S = 240
+
+#: Inline markdown link/image: [text](target) / ![alt](target "title").
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*([^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")
+_FENCE_RE = re.compile(r"^(```+|~~~+)\s*(.*)$")
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+@dataclass
+class Snippet:
+    page: Path
+    line: int  # 1-based line of the opening fence
+    language: str
+    body: str
+
+
+@dataclass
+class Link:
+    page: Path
+    line: int
+    target: str  # raw target as written, fragment stripped
+
+
+def pages_under_check() -> list[Path]:
+    pages = [REPO_ROOT / "README.md"]
+    pages.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [page for page in pages if page.exists()]
+
+
+def parse_page(page: Path) -> tuple[list[Link], list[Snippet]]:
+    """Links outside code fences, plus fenced snippets marked runnable."""
+    links: list[Link] = []
+    snippets: list[Snippet] = []
+    fence: str | None = None  # the delimiter that opened the block
+    info: list[str] = []
+    opened_at = 0
+    body: list[str] = []
+    for lineno, line in enumerate(page.read_text().splitlines(), start=1):
+        match = _FENCE_RE.match(line.strip())
+        if fence is not None:
+            if match and match.group(1)[0] == fence[0] and not match.group(2):
+                if len(info) >= 2 and info[1] == "run":
+                    snippets.append(
+                        Snippet(page, opened_at, info[0], "\n".join(body))
+                    )
+                fence, body = None, []
+            else:
+                body.append(line)
+            continue
+        if match:
+            fence = match.group(1)
+            info = match.group(2).split()
+            opened_at = lineno
+            continue
+        for found in _LINK_RE.finditer(line):
+            target = found.group(1).split("#", 1)[0]
+            if target and not target.startswith(_EXTERNAL_PREFIXES):
+                links.append(Link(page, lineno, target))
+    return links, snippets
+
+
+def check_links(pages: list[Path]) -> tuple[list[str], dict[Path, set[Path]]]:
+    """Existence errors plus the resolved page->markdown-targets graph."""
+    errors: list[str] = []
+    graph: dict[Path, set[Path]] = {page: set() for page in pages}
+    for page in pages:
+        links, _ = parse_page(page)
+        for link in links:
+            resolved = (page.parent / link.target).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{page.relative_to(REPO_ROOT)}:{link.line}: "
+                    f"broken link -> {link.target}"
+                )
+            elif resolved.suffix == ".md":
+                graph[page].add(resolved)
+    return errors, graph
+
+
+def check_reachability(
+    pages: list[Path], graph: dict[Path, set[Path]]
+) -> list[str]:
+    roots = [REPO_ROOT / "README.md", REPO_ROOT / "docs" / "architecture.md"]
+    seen: set[Path] = set()
+    queue = deque(root.resolve() for root in roots if root.exists())
+    while queue:
+        page = queue.popleft()
+        if page in seen:
+            continue
+        seen.add(page)
+        queue.extend(graph.get(page, ()))
+    return [
+        f"{page.relative_to(REPO_ROOT)}:1: not reachable from README.md "
+        "or docs/architecture.md via markdown links"
+        for page in pages
+        if page.parent.name == "docs" and page.resolve() not in seen
+    ]
+
+
+def run_snippet(snippet: Snippet) -> str | None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if snippet.language == "bash":
+        argv = ["bash", "-euo", "pipefail", "-c", snippet.body]
+    elif snippet.language == "python":
+        argv = [sys.executable, "-c", snippet.body]
+    else:
+        return f"unsupported runnable language {snippet.language!r}"
+    try:
+        proc = subprocess.run(
+            argv,
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=SNIPPET_TIMEOUT_S,
+        )
+    except subprocess.TimeoutExpired:
+        return f"snippet timed out after {SNIPPET_TIMEOUT_S}s"
+    except OSError as exc:
+        return f"cannot execute snippet: {exc}"
+    if proc.returncode != 0:
+        tail = (proc.stderr or proc.stdout).strip().splitlines()[-8:]
+        detail = " | ".join(tail) if tail else "no output"
+        return f"snippet exited {proc.returncode}: {detail}"
+    return None
+
+
+def check_snippets(pages: list[Path]) -> tuple[list[str], int]:
+    errors: list[str] = []
+    count = 0
+    for page in pages:
+        _, snippets = parse_page(page)
+        for snippet in snippets:
+            count += 1
+            where = f"{page.relative_to(REPO_ROOT)}:{snippet.line}"
+            print(f"  running {where} ({snippet.language}) ...", flush=True)
+            problem = run_snippet(snippet)
+            if problem:
+                errors.append(f"{where}: {problem}")
+    return errors, count
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--links-only",
+        action="store_true",
+        help="check links and reachability but do not execute snippets",
+    )
+    args = parser.parse_args(argv)
+
+    pages = pages_under_check()
+    errors, graph = check_links(pages)
+    errors.extend(check_reachability(pages, graph))
+    executed = 0
+    if not args.links_only:
+        snippet_errors, executed = check_snippets(pages)
+        errors.extend(snippet_errors)
+
+    for error in errors:
+        print(f"FAIL {error}")
+    verdict = "FAILED" if errors else "ok"
+    ran = "" if args.links_only else f", {executed} snippet(s) executed"
+    print(
+        f"docs-check {verdict}: {len(pages)} page(s), "
+        f"{len(errors)} problem(s){ran}"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
