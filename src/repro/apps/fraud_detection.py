@@ -165,6 +165,13 @@ class MarkovPredictor(Operator):
             DEFAULT_STREAM, "sd?", [entities, score_col, flags]
         )
 
+    def snapshot_state(self) -> dict:
+        return {"scored": self.scored, "flagged": self.flagged}
+
+    def restore_state(self, state: dict) -> None:
+        self.scored = state["scored"]
+        self.flagged = state["flagged"]
+
 
 class FraudSink(Sink):
     """Counts results and tracks how many were flagged fraudulent."""
@@ -176,6 +183,15 @@ class FraudSink(Sink):
     def on_tuple(self, item: StreamTuple) -> None:
         if item.values[2]:
             self.fraud_count += 1
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["fraud_count"] = self.fraud_count
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self.fraud_count = state["fraud_count"]
 
 
 def build_fraud_detection(seed: int = 11, fraud_fraction: float = 0.02) -> Topology:

@@ -229,6 +229,18 @@ class AverageSpeed(Operator):
         average = self._sums[key] / len(history)
         yield AVG_STREAM, (*key, average)
 
+    def snapshot_state(self) -> dict:
+        # Sums are snapshotted as-is (never recomputed) so restored
+        # replicas continue the exact float accumulation sequence.
+        return {
+            "speeds": {key: list(history) for key, history in self._speeds.items()},
+            "sums": dict(self._sums),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._speeds = {key: deque(history) for key, history in state["speeds"].items()}
+        self._sums = dict(state["sums"])
+
 
 class LastAverageSpeed(Operator):
     """Latest average velocity (LAV) per segment; selectivity 1.
@@ -246,6 +258,12 @@ class LastAverageSpeed(Operator):
         key = (xway, direction, segment)
         self._lav[key] = average
         yield LAS_STREAM, (xway, direction, segment, average)
+
+    def snapshot_state(self) -> dict:
+        return {"lav": dict(self._lav)}
+
+    def restore_state(self, state: dict) -> None:
+        self._lav = dict(state["lav"])
 
 
 class AccidentDetector(Operator):
@@ -279,6 +297,22 @@ class AccidentDetector(Operator):
             self._active_accidents.add(key)
             self.detected += 1
             yield DETECT_STREAM, (*key, item.values[_POS_TIME])
+
+    def snapshot_state(self) -> dict:
+        return {
+            "stopped_counts": {
+                vid: list(entry) for vid, entry in self._stopped_counts.items()
+            },
+            "active_accidents": sorted(self._active_accidents),
+            "detected": self.detected,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._stopped_counts = {
+            vid: tuple(entry) for vid, entry in state["stopped_counts"].items()
+        }
+        self._active_accidents = {tuple(key) for key in state["active_accidents"]}
+        self.detected = state["detected"]
 
 
 class CountVehicles(Operator):
@@ -348,6 +382,18 @@ class CountVehicles(Operator):
             [cols[_POS_XWAY], cols[_POS_DIR], cols[_POS_SEG], counts],
         )
 
+    def snapshot_state(self) -> dict:
+        return {
+            "minute": dict(self._minute),
+            "vehicles": {
+                key: sorted(vids) for key, vids in self._vehicles.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._minute = dict(state["minute"])
+        self._vehicles = {key: set(vids) for key, vids in state["vehicles"].items()}
+
 
 class AccidentNotifier(Operator):
     """Notifies vehicles entering a segment with an active accident.
@@ -376,6 +422,13 @@ class AccidentNotifier(Operator):
                 *key,
                 item.values[_POS_TIME],
             )
+
+    def snapshot_state(self) -> dict:
+        return {"accidents": sorted(self._accidents), "notified": self.notified}
+
+    def restore_state(self, state: dict) -> None:
+        self._accidents = {tuple(key) for key in state["accidents"]}
+        self.notified = state["notified"]
 
 
 class TollNotifier(Operator):
@@ -506,6 +559,20 @@ class TollNotifier(Operator):
             TOLL_STREAM, "qqq", [cols[_POS_VID], tolls, cols[_POS_TIME]]
         )
 
+    def snapshot_state(self) -> dict:
+        return {
+            "lav": dict(self._lav),
+            "counts": dict(self._counts),
+            "accidents": sorted(self._accidents),
+            "tolls_charged": self.tolls_charged,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._lav = dict(state["lav"])
+        self._counts = dict(state["counts"])
+        self._accidents = {tuple(key) for key in state["accidents"]}
+        self.tolls_charged = state["tolls_charged"]
+
 
 class DailyExpenditure(Operator):
     """Answers historical daily-expenditure queries from a synthetic table."""
@@ -531,6 +598,12 @@ class AccountBalance(Operator):
         time, vid, query_id = item.values
         balance = self._balances.get(vid, 0)
         yield DEFAULT_STREAM, (query_id, time, balance)
+
+    def snapshot_state(self) -> dict:
+        return {"balances": dict(self._balances)}
+
+    def restore_state(self, state: dict) -> None:
+        self._balances = dict(state["balances"])
 
 
 class LinearRoadSink(Sink):

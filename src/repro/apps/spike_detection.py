@@ -134,6 +134,21 @@ class MovingAverage(Operator):
             [devices, np.asarray(averages, dtype="<f8"), batch.columns[1]],
         )
 
+    def snapshot_state(self) -> dict:
+        # The running sums are stored as-is (not recomputed from the
+        # windows on restore) so float accumulation order — and with it
+        # every future average — is bit-identical after a round-trip.
+        return {
+            "values": {device: list(history) for device, history in self._values.items()},
+            "sums": dict(self._sums),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._values = {
+            device: deque(history) for device, history in state["values"].items()
+        }
+        self._sums = dict(state["sums"])
+
 
 class SpikeDetector(Operator):
     """Flags readings above ``threshold * moving_average``.
@@ -164,6 +179,12 @@ class SpikeDetector(Operator):
             DEFAULT_STREAM, "sdd?", [devices, values, averages, is_spike]
         )
 
+    def snapshot_state(self) -> dict:
+        return {"spikes": self.spikes}
+
+    def restore_state(self, state: dict) -> None:
+        self.spikes = state["spikes"]
+
 
 class SpikeSink(Sink):
     """Counts results and remembers how many spikes were reported."""
@@ -175,6 +196,15 @@ class SpikeSink(Sink):
     def on_tuple(self, item: StreamTuple) -> None:
         if item.values[3]:
             self.spike_count += 1
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["spike_count"] = self.spike_count
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self.spike_count = state["spike_count"]
 
 
 def build_spike_detection(seed: int = 13, spike_fraction: float = 0.01) -> Topology:

@@ -42,11 +42,18 @@ class SentenceSpout(Spout):
     declared_fields = {DEFAULT_STREAM: "s"}
 
     def __init__(
-        self, seed: int = 7, words_per_sentence: int = 10, empty_fraction: float = 0.0
+        self,
+        seed: int = 7,
+        words_per_sentence: int = 10,
+        empty_fraction: float = 0.0,
+        shift_at: int | None = None,
+        shift_words_per_sentence: int | None = None,
     ) -> None:
         self.seed = seed
         self.words_per_sentence = words_per_sentence
         self.empty_fraction = empty_fraction
+        self.shift_at = shift_at
+        self.shift_words_per_sentence = shift_words_per_sentence
         self._source: Iterator[tuple[str]] | None = None
 
     def prepare(self, context: OperatorContext) -> None:
@@ -56,11 +63,18 @@ class SentenceSpout(Spout):
             seed=self.seed + context.replica_index,
             words_per_sentence=self.words_per_sentence,
             empty_fraction=self.empty_fraction,
+            shift_at=self.shift_at,
+            shift_words_per_sentence=self.shift_words_per_sentence,
         )
 
     def next_batch(self, max_tuples: int) -> Iterator[tuple[str]]:
         if self._source is None:
-            self._source = sentences(self.seed, self.words_per_sentence)
+            self._source = sentences(
+                self.seed,
+                self.words_per_sentence,
+                shift_at=self.shift_at,
+                shift_words_per_sentence=self.shift_words_per_sentence,
+            )
         for _ in range(max_tuples):
             yield next(self._source)
 
@@ -176,6 +190,12 @@ class Counter(Operator):
             counts[word] = total
         yield ColumnBatch.build(DEFAULT_STREAM, "sq", [words, out_counts])
 
+    def snapshot_state(self) -> dict:
+        return {"counts": dict(self.counts)}
+
+    def restore_state(self, state: dict) -> None:
+        self.counts = dict(state["counts"])
+
 
 class WordCountSink(Sink):
     """Counts received ``(word, count)`` tuples (standard sink behaviour)."""
@@ -185,6 +205,8 @@ def build_wordcount(
     seed: int = 7,
     words_per_sentence: int = 10,
     empty_fraction: float = 0.0,
+    shift_at: int | None = None,
+    shift_words_per_sentence: int | None = None,
 ) -> Topology:
     """Build the WC topology with the paper's grouping structure."""
     builder = TopologyBuilder("wc")
@@ -194,6 +216,8 @@ def build_wordcount(
             seed=seed,
             words_per_sentence=words_per_sentence,
             empty_fraction=empty_fraction,
+            shift_at=shift_at,
+            shift_words_per_sentence=shift_words_per_sentence,
         ),
     )
     builder.add_operator("parser", Parser()).shuffle_from("spout")

@@ -23,19 +23,38 @@ _WORDS = (
 
 
 def sentences(
-    seed: int = 7, words_per_sentence: int = 10, empty_fraction: float = 0.0
+    seed: int = 7,
+    words_per_sentence: int = 10,
+    empty_fraction: float = 0.0,
+    shift_at: int | None = None,
+    shift_words_per_sentence: int | None = None,
 ) -> Iterator[tuple[str]]:
     """Infinite stream of random sentences (Word Count input).
 
     ``empty_fraction`` injects invalid (empty) tuples so the parser has
     something to drop when a test wants selectivity < 1.
+
+    ``shift_at``/``shift_words_per_sentence`` model a mid-stream workload
+    characteristic change (Section 5.3): from the ``shift_at``-th sentence
+    on, sentences carry ``shift_words_per_sentence`` words instead, which
+    multiplies the splitter's selectivity — the drift the reconfiguration
+    controller reacts to (see docs/reconfiguration.md).
     """
     rng = random.Random(seed)
+    produced = 0
     while True:
+        length = words_per_sentence
+        if (
+            shift_at is not None
+            and shift_words_per_sentence is not None
+            and produced >= shift_at
+        ):
+            length = shift_words_per_sentence
         if empty_fraction > 0.0 and rng.random() < empty_fraction:
             yield ("",)
         else:
-            yield (" ".join(rng.choice(_WORDS) for _ in range(words_per_sentence)),)
+            yield (" ".join(rng.choice(_WORDS) for _ in range(length)),)
+        produced += 1
 
 
 def transactions(

@@ -15,7 +15,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.apps import APP_NAMES, load_application
+from repro.apps import APP_NAMES, build_wordcount, load_application
 from repro.core import PerformanceModel, RLASOptimizer, TfMode
 from repro.core.scaling import saturation_ingress
 from repro.dsps.engine import LocalEngine
@@ -29,6 +29,7 @@ from repro.runtime import (
     DegradeContext,
     FaultPlan,
     ProcessPoolBackend,
+    ReconfigController,
 )
 from repro.simulation import DiscreteEventSimulator, FlowSimulator
 
@@ -124,6 +125,99 @@ def _recovery_data(recovery, fault_summary) -> dict:
     return data
 
 
+def _run_data(result) -> dict:
+    """Full run-report payload: recovery + epoch + reconfiguration layers."""
+    data = _recovery_data(result.recovery, result.fault_summary)
+    if result.epochs is not None:
+        data["epochs"] = result.epochs.to_dict()
+    if result.reconfig is not None:
+        data["reconfig"] = result.reconfig.to_dict()
+    return data
+
+
+def _shifted_topology(args: argparse.Namespace, topology):
+    """Apply the WC mid-stream workload-shift flags, when given."""
+    if args.shift_at is None and args.shift_words is None:
+        return topology
+    if args.app != "wc":
+        raise ExecutionError(
+            "--shift-at/--shift-words model WC's sentence-length shift "
+            f"and require app 'wc', got {args.app!r}"
+        )
+    if args.shift_at is None or args.shift_words is None:
+        raise ExecutionError(
+            "--shift-at and --shift-words must be given together"
+        )
+    if args.shift_at <= 0 or args.shift_words <= 0:
+        raise ExecutionError(
+            "--shift-at and --shift-words must be positive, got "
+            f"{args.shift_at} and {args.shift_words}"
+        )
+    return build_wordcount(
+        shift_at=args.shift_at, shift_words_per_sentence=args.shift_words
+    )
+
+
+def _adapt_setup(args: argparse.Namespace, topology, profiles, registry):
+    """Optimize a deployment plan and build the reconfiguration controller.
+
+    ``--adapt`` runs the plan-driven engine: RLAS places the topology for
+    the machine model first (the spec then carries socket placements the
+    controller can migrate), and a :class:`ReconfigController` watches
+    every epoch barrier for workload drift.
+    """
+    if args.epoch_interval is None:
+        raise ExecutionError(
+            "--adapt requires --epoch-interval: live reconfiguration "
+            "happens at epoch barriers"
+        )
+    machine = _SERVERS[args.server](args.sockets)
+    model = PerformanceModel(profiles, machine)
+    rate = args.rate or saturation_ingress(topology, model)
+    plan = RLASOptimizer(topology, profiles, machine, rate).optimize()
+    controller = ReconfigController(
+        plan,
+        profiles,
+        rate,
+        replace_threshold=args.replace_threshold,
+        reoptimize_threshold=args.reoptimize_threshold,
+        registry=registry,
+    )
+    return plan, controller
+
+
+def _print_epochs(result) -> None:
+    report = result.epochs
+    if report is None:
+        return
+    print(
+        f"epochs [interval {report.interval}]: committed={report.committed} "
+        f"barrier_ms={report.barrier_ns / 1e6:.2f} "
+        f"snapshot_bytes={report.snapshot_bytes} "
+        f"migrations={report.migrations} "
+        f"pause_ms={report.migration_pause_ns / 1e6:.2f}"
+    )
+
+
+def _print_reconfig(result) -> None:
+    report = result.reconfig
+    if report is None:
+        return
+    print(
+        f"reconfig: observations={report.observations} "
+        f"replans={report.replans} migrations={report.migrations} "
+        f"rejected={report.rejected}"
+    )
+    for event in report.events:
+        line = (
+            f"  epoch {event['epoch']}: {event['action']} "
+            f"(drift {event['magnitude']:.3f}) -> {event['outcome']}"
+        )
+        if event["moved"]:
+            line += f", moved {len(event['moved'])} tasks"
+        print(line)
+
+
 def _print_recovery(recovery) -> None:
     if recovery is None:
         return
@@ -146,28 +240,36 @@ def cmd_run(args: argparse.Namespace) -> int:
     """Execute an application on the functional engine, fully instrumented."""
     topology, profiles = load_application(args.app)
     registry = MetricsRegistry()
-    fault_plan = (
-        FaultPlan.from_cli(args.inject_faults) if args.inject_faults else None
-    )
-    degrade = None
-    if args.recovery_policy == "degrade":
-        machine = _SERVERS[args.server](args.sockets)
-        degrade = DegradeContext(profiles=profiles, machine=machine)
-    engine = LocalEngine(
-        topology,
-        batch_size=args.batch_size,
-        registry=registry,
-        backend=_run_backend(args),
-        queue_capacity=args.queue_capacity,
-        n_workers=args.workers,
-        dataplane=args.dataplane,
-        vectorized=args.vectorized,
-        fault_plan=fault_plan,
-        recovery_policy=args.recovery_policy,
-        max_restarts=args.max_restarts,
-        degrade=degrade,
-    )
     try:
+        topology = _shifted_topology(args, topology)
+        fault_plan = (
+            FaultPlan.from_cli(args.inject_faults) if args.inject_faults else None
+        )
+        degrade = None
+        if args.recovery_policy == "degrade":
+            machine = _SERVERS[args.server](args.sockets)
+            degrade = DegradeContext(profiles=profiles, machine=machine)
+        engine_kwargs = dict(
+            batch_size=args.batch_size,
+            registry=registry,
+            backend=_run_backend(args),
+            queue_capacity=args.queue_capacity,
+            n_workers=args.workers,
+            dataplane=args.dataplane,
+            vectorized=args.vectorized,
+            fault_plan=fault_plan,
+            recovery_policy=args.recovery_policy,
+            max_restarts=args.max_restarts,
+            degrade=degrade,
+            epoch_interval=args.epoch_interval,
+        )
+        if args.adapt:
+            plan, controller = _adapt_setup(args, topology, profiles, registry)
+            engine = LocalEngine.from_plan(
+                plan.expanded_plan, reconfig=controller, **engine_kwargs
+            )
+        else:
+            engine = LocalEngine(topology, **engine_kwargs)
         result = engine.run(args.events)
     except ExecutionError as exc:
         print(f"run failed: {type(exc).__name__}: {exc}", file=sys.stderr)
@@ -219,6 +321,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
     )
     print(f"sink received: {result.sink_received()} tuples")
+    _print_epochs(result)
+    _print_reconfig(result)
     _print_recovery(result.recovery)
     _emit(
         args,
@@ -232,8 +336,10 @@ def cmd_run(args: argparse.Namespace) -> int:
             "dataplane": args.dataplane,
             "vectorized": args.vectorized,
             "topology": topology.name,
+            "epoch_interval": args.epoch_interval,
+            "adapt": bool(args.adapt),
         },
-        data=_recovery_data(result.recovery, result.fault_summary),
+        data=_run_data(result),
     )
     return 0
 
@@ -356,6 +462,58 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="bound every communication queue to N tuples (backpressure)",
+    )
+    run.add_argument(
+        "--epoch-interval",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "commit a consistent state checkpoint every N events per "
+            "spout replica (epoch barriers; see docs/reconfiguration.md)"
+        ),
+    )
+    run.add_argument(
+        "--adapt",
+        action="store_true",
+        help=(
+            "watch epoch commits for workload drift and migrate the "
+            "placement live (requires --epoch-interval)"
+        ),
+    )
+    run.add_argument(
+        "--replace-threshold",
+        type=float,
+        default=0.10,
+        metavar="D",
+        help="drift magnitude triggering a placement-only replan (--adapt)",
+    )
+    run.add_argument(
+        "--reoptimize-threshold",
+        type=float,
+        default=0.35,
+        metavar="D",
+        help="drift magnitude triggering a full re-optimization (--adapt)",
+    )
+    run.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="ingress rate (events/s) --adapt plans for; default saturation",
+    )
+    run.add_argument(
+        "--shift-at",
+        type=int,
+        default=None,
+        metavar="N",
+        help="WC only: shift sentence length after N sentences per spout",
+    )
+    run.add_argument(
+        "--shift-words",
+        type=int,
+        default=None,
+        metavar="W",
+        help="WC only: words per sentence after the shift point",
     )
     run.add_argument(
         "--inject-faults",

@@ -22,6 +22,7 @@ from enum import Enum
 from repro.core.bnb import PlacementOptimizer
 from repro.core.compression import expand_plan
 from repro.core.model import BRISKSTREAM, PerformanceModel, TfMode
+from repro.core.plan import ExecutionPlan
 from repro.core.profiles import ProfileSet, SystemProfile
 from repro.core.rlas import OptimizedPlan, RLASOptimizer
 from repro.dsps.graph import ExecutionGraph
@@ -135,36 +136,74 @@ class AdaptiveController:
         self.history.append(action)
         return action
 
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _replace(self, profiles: ProfileSet) -> OptimizedPlan:
-        """Placement-only response: keep replication, re-place all tasks."""
+    def replan_placement(
+        self,
+        profiles: ProfileSet,
+        *,
+        replication: "dict[str, int] | None" = None,
+        initial: "dict[int, int] | None" = None,
+    ) -> OptimizedPlan | None:
+        """Placement-only replan under ``profiles`` (keeps task counts).
+
+        This is the public REPLACE path, usable directly by the live
+        reconfiguration controller: passing ``replication`` pins the
+        currently *deployed* replication — a running dataflow can move
+        tasks between sockets at an epoch barrier but cannot add or
+        remove them — and places the fully expanded graph (group size 1),
+        whose deterministic task ids line up with the deployed spec's.
+        ``initial`` optionally seeds the branch-and-bound incumbent with
+        a known-good placement (task id -> socket, e.g. the currently
+        deployed one) so the search never returns a plan it models worse
+        than the seed.  Returns ``None`` when the placement search finds
+        no feasible plan; callers decide the fallback (``observe``
+        re-optimizes).
+        """
         model = PerformanceModel(
             profiles, self.plan.machine, system=self.system, tf_mode=TfMode.RELATIVE
         )
-        group_sizes = {
-            t.component: max(t.weight, 1) for t in self.plan.plan.graph.tasks
-        }
+        if replication is None:
+            replication = dict(self.plan.replication)
+            group_sizes: "dict[str, int] | int" = {
+                t.component: max(t.weight, 1) for t in self.plan.plan.graph.tasks
+            }
+        else:
+            replication = dict(replication)
+            group_sizes = 1
         graph = ExecutionGraph(
-            self.plan.topology, self.plan.replication, group_size=group_sizes
+            self.plan.topology, replication, group_size=group_sizes
         )
+        seed = None
+        if initial is not None:
+            try:
+                seed = ExecutionPlan(graph=graph, placement=dict(initial))
+            except PlanError:
+                seed = None  # seed describes different tasks: search cold
         placer = PlacementOptimizer(model, self.ingress_rate)
-        result = placer.optimize(graph)
+        result = placer.optimize(graph, initial_plan=seed)
         if result.plan is None or result.model_result is None:
-            return self._reoptimize(profiles)
+            return None
         expanded = expand_plan(result.plan)
         realized = model.evaluate(expanded, self.ingress_rate)
         return OptimizedPlan(
             topology=self.plan.topology,
             machine=self.plan.machine,
-            replication=dict(self.plan.replication),
+            replication=replication,
             plan=result.plan,
             expanded_plan=expanded,
             model_result=result.model_result,
             realized_result=realized,
             planning_mode=TfMode.RELATIVE,
         )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _replace(self, profiles: ProfileSet) -> OptimizedPlan:
+        """Placement-only response: keep replication, re-place all tasks."""
+        plan = self.replan_placement(profiles)
+        if plan is None:
+            return self._reoptimize(profiles)
+        return plan
 
     def _reoptimize(self, profiles: ProfileSet) -> OptimizedPlan:
         """Full RLAS run under the new statistics."""

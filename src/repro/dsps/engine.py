@@ -28,8 +28,10 @@ from repro.dsps.topology import Topology
 from repro.errors import ExecutionError
 from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry
 from repro.runtime.backends import ExecutorBackend, resolve_backend
+from repro.runtime.epochs import EpochConfig
 from repro.runtime.faults import FaultPlan
 from repro.runtime.lowering import RuntimeSpec, lower_graph, lower_plan
+from repro.runtime.reconfigure import ReconfigController
 from repro.runtime.results import RunResult, TaskStats
 from repro.runtime.supervisor import DegradeContext, Supervisor
 
@@ -45,6 +47,20 @@ def _validate_queue_bounds(
         )
     if queue_budget is not None and queue_budget <= 0:
         raise ExecutionError(f"queue_budget must be positive, got {queue_budget}")
+
+
+def _barriers(
+    epoch_interval: int | None, reconfig: ReconfigController | None
+) -> EpochConfig | None:
+    """Validate and build the epoch-barrier configuration."""
+    if reconfig is not None and epoch_interval is None:
+        raise ExecutionError(
+            "live reconfiguration requires epoch barriers: "
+            "pass epoch_interval together with reconfig"
+        )
+    if epoch_interval is None:
+        return None
+    return EpochConfig(interval=epoch_interval)
 
 
 def _supervise(
@@ -86,6 +102,8 @@ class LocalEngine:
         recovery_policy: str | None = None,
         max_restarts: int = 3,
         degrade: DegradeContext | None = None,
+        epoch_interval: int | None = None,
+        reconfig: ReconfigController | None = None,
     ) -> None:
         """
         Parameters
@@ -138,6 +156,17 @@ class LocalEngine:
         degrade:
             :class:`~repro.runtime.supervisor.DegradeContext`; required
             when ``recovery_policy="degrade"``.
+        epoch_interval:
+            When set, run with *epoch barriers*: commit a consistent
+            operator-state checkpoint every ``epoch_interval`` events per
+            spout replica.  Supervised ``retry`` runs then resume from
+            the last committed epoch instead of replaying from the start
+            (see docs/reconfiguration.md).
+        reconfig:
+            Optional :class:`~repro.runtime.reconfigure.ReconfigController`
+            consulted at every barrier commit; when the observed workload
+            drifts it re-plans the placement and migrates the running
+            dataflow live.  Requires ``epoch_interval``.
         """
         _validate_queue_bounds(queue_capacity, queue_budget)
         self.topology = topology
@@ -149,6 +178,8 @@ class LocalEngine:
         self.graph = ExecutionGraph(topology, replication, group_size=1)
         self.batch_size = batch_size
         self.registry = registry if registry is not None else NULL_REGISTRY
+        self.epochs = _barriers(epoch_interval, reconfig)
+        self.reconfig = reconfig
         self.spec = lower_graph(
             topology,
             self.graph,
@@ -186,12 +217,18 @@ class LocalEngine:
         recovery_policy: str | None = None,
         max_restarts: int = 3,
         degrade: DegradeContext | None = None,
+        epoch_interval: int | None = None,
+        reconfig: ReconfigController | None = None,
     ) -> "LocalEngine":
         """Build an engine from a complete :class:`~repro.core.plan.ExecutionPlan`.
 
         Plan-driven engines run *bounded* by default: capacities derive
         from the plan's queue budget, and tasks carry their socket
         placement (which the process backend uses to group workers).
+        This is the entry point live reconfiguration uses: the spec's
+        task ids line up with the optimized plan's expanded graph, so a
+        :class:`~repro.runtime.reconfigure.ReconfigController` built from
+        the same plan can map replanned placements onto running tasks.
         """
         _validate_queue_bounds(queue_capacity, queue_budget)
         spec = lower_plan(
@@ -205,6 +242,8 @@ class LocalEngine:
         engine.graph = spec.graph
         engine.batch_size = batch_size
         engine.registry = registry if registry is not None else NULL_REGISTRY
+        engine.epochs = _barriers(epoch_interval, reconfig)
+        engine.reconfig = reconfig
         engine.spec = spec
         engine.backend = _supervise(
             resolve_backend(
@@ -228,7 +267,17 @@ class LocalEngine:
         application-level state (counters, detected spikes...) callers can
         inspect directly.
         """
-        return self.backend.execute(self.spec, max_events, self.registry)
+        kwargs: dict = {}
+        if self.epochs is not None:
+            kwargs["epochs"] = self.epochs
+            if self.reconfig is not None:
+                kwargs["on_epoch"] = self.reconfig.on_epoch
+        result = self.backend.execute(
+            self.spec, max_events, self.registry, **kwargs
+        )
+        if self.reconfig is not None:
+            result.reconfig = self.reconfig.report
+        return result
 
     def describe(self) -> str:
         """Human-readable summary of the lowered runtime configuration."""

@@ -12,6 +12,15 @@ The functional contract is deliberately small:
 Operators must be *replicable*: the engine instantiates one copy of the
 operator per replica via :meth:`Operator.clone`, so instance state (e.g. a
 counter's hashmap) is per-replica, exactly as in a real DSPS.
+
+Stateful operators additionally implement the **state contract** —
+:meth:`Operator.snapshot_state` / :meth:`Operator.restore_state` — which
+the runtime uses for epoch checkpoints, exactly-once-per-epoch recovery
+and live plan migration (see docs/reconfiguration.md).  Snapshots must be
+*plain data* (dicts, lists, tuples, strings, numbers, bools, bytes,
+``None``) so any serialization codec can move them between processes;
+containers like :class:`collections.deque` or :class:`set` must be
+converted on the way out and rebuilt on the way in.
 """
 
 from __future__ import annotations
@@ -132,6 +141,34 @@ class Operator(ABC):
         """Emit any trailing output when the input is exhausted."""
         return ()
 
+    def snapshot_state(self) -> Any:
+        """Serializable snapshot of this replica's mutable state.
+
+        Stateless operators return ``None`` (the default).  Stateful
+        operators return *plain data only* — any composition of ``dict``,
+        ``list``, ``tuple``, ``str``, ``int``, ``float``, ``bool``,
+        ``bytes`` and ``None`` — so the snapshot survives any codec the
+        runtime moves it through.  Feeding the value back into
+        :meth:`restore_state` on a fresh replica must reproduce the
+        original replica exactly: the same inputs afterwards yield the
+        same emissions and the same next snapshot (the round-trip law the
+        property suite in ``tests/test_state_roundtrip.py`` enforces).
+        """
+        return None
+
+    def restore_state(self, state: Any) -> None:
+        """Rebuild this replica's mutable state from a snapshot.
+
+        The default accepts only the stateless ``None`` snapshot; an
+        operator whose :meth:`snapshot_state` returns anything else must
+        override both ends of the contract.
+        """
+        if state is not None:
+            raise NotImplementedError(
+                f"{type(self).__name__} snapshots state but does not "
+                "implement restore_state"
+            )
+
     def clone(self) -> "Operator":
         """Fresh replica with independent state (deep copy by default)."""
         return copy.deepcopy(self)
@@ -198,6 +235,28 @@ class Sink(Operator):
 
     def on_tuple(self, item: StreamTuple) -> None:
         """Hook for subclasses; default does nothing beyond counting."""
+
+    def snapshot_state(self) -> Any:
+        """Received count plus retained samples, flattened to plain data."""
+        return {
+            "received": self.received,
+            "samples": [
+                [item.stream, list(item.values), item.source_task, item.event_time_ns]
+                for item in self.samples
+            ],
+        }
+
+    def restore_state(self, state: Any) -> None:
+        self.received = state["received"]
+        self.samples = [
+            StreamTuple(
+                values=tuple(values),
+                stream=stream,
+                source_task=source_task,
+                event_time_ns=event_time_ns,
+            )
+            for stream, values, source_task, event_time_ns in state["samples"]
+        ]
 
 
 class MapOperator(Operator):

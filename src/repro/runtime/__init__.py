@@ -13,6 +13,12 @@ The fault-tolerance layer (:mod:`repro.runtime.faults`,
 :mod:`repro.runtime.supervisor`) adds deterministic fault injection and
 supervised recovery (``fail-fast``/``retry``/``degrade``) on top of any
 backend; see docs/robustness.md.
+
+The elasticity layer (:mod:`repro.runtime.epochs`,
+:mod:`repro.runtime.reconfigure`) adds epoch barriers — periodic
+consistent state checkpoints every backend can commit and resume from —
+and a live reconfiguration controller that re-plans the placement at a
+barrier when the observed workload drifts; see docs/reconfiguration.md.
 """
 
 from repro.runtime.backends import (
@@ -21,6 +27,14 @@ from repro.runtime.backends import (
     InlineBackend,
     publish_engine_metrics,
     resolve_backend,
+)
+from repro.runtime.epochs import (
+    EpochCheckpoint,
+    EpochCommit,
+    EpochConfig,
+    EpochReport,
+    Migration,
+    check_serializable,
 )
 from repro.runtime.dataplane import (
     DATAPLANE_NAMES,
@@ -51,6 +65,7 @@ from repro.runtime.lowering import (
     lower_plan,
 )
 from repro.runtime.process_pool import ProcessPoolBackend
+from repro.runtime.reconfigure import ReconfigController, ReconfigReport
 from repro.runtime.results import (
     RecoveryEvent,
     RecoveryReport,
@@ -73,7 +88,15 @@ __all__ = [
     "columns_available",
     "DEFAULT_QUEUE_BUDGET",
     "DegradeContext",
+    "EpochCheckpoint",
+    "EpochCommit",
+    "EpochConfig",
+    "EpochReport",
     "ExecutorBackend",
+    "Migration",
+    "ReconfigController",
+    "ReconfigReport",
+    "check_serializable",
     "PickleQueueChannel",
     "ShmRingChannel",
     "shm_available",

@@ -45,11 +45,29 @@ from repro.runtime.dataplane.columns import (
     ColumnBatch,
     columns_available,
 )
-from repro.runtime.lowering import RuntimeSpec, TaskRuntime, instantiate_tasks
+from repro.runtime.epochs import (
+    EpochCheckpoint,
+    EpochCommit,
+    EpochConfig,
+    EpochReport,
+    Migration,
+)
+from repro.runtime.lowering import (
+    RuntimeSpec,
+    TaskRuntime,
+    instantiate_task,
+    instantiate_tasks,
+)
 from repro.runtime.results import RunResult, TaskStats
 
 if TYPE_CHECKING:
+    from typing import Callable
+
     from repro.runtime.faults import FaultInjector
+
+    #: Barrier observer: sees each committed epoch, may return a live
+    #: plan migration to apply before the stream resumes.
+    OnEpoch = Callable[[EpochCommit], Migration | None]
 
 #: Backend names :func:`resolve_backend` accepts.
 BACKEND_NAMES = ("inline", "process")
@@ -69,6 +87,9 @@ class ExecutorBackend(ABC):
         registry: MetricsRegistry | None = None,
         *,
         injector: "FaultInjector | None" = None,
+        epochs: EpochConfig | None = None,
+        resume: EpochCheckpoint | None = None,
+        on_epoch: "OnEpoch | None" = None,
     ) -> RunResult:
         """Ingest up to ``max_events`` events per spout task and run to
         completion, returning per-task statistics and live sink state.
@@ -76,6 +97,15 @@ class ExecutorBackend(ABC):
         ``injector`` optionally arms deterministic fault injection (see
         :mod:`repro.runtime.faults`); backends without fault support must
         reject a non-None injector rather than silently ignore it.
+
+        ``epochs`` enables barrier commits every ``interval`` events per
+        spout (see :mod:`repro.runtime.epochs`); ``resume`` restarts
+        execution *after* a previously committed checkpoint instead of
+        from scratch, and ``on_epoch`` observes every commit, optionally
+        returning a :class:`~repro.runtime.epochs.Migration` the backend
+        applies at the barrier before resuming the stream.  On failure
+        with barriers enabled the raised :class:`ExecutionError` carries
+        the last committed checkpoint as ``last_checkpoint``.
         """
 
 
@@ -201,18 +231,37 @@ class InlineBackend(ExecutorBackend):
         registry: MetricsRegistry | None = None,
         *,
         injector: "FaultInjector | None" = None,
+        epochs: EpochConfig | None = None,
+        resume: EpochCheckpoint | None = None,
+        on_epoch: "OnEpoch | None" = None,
     ) -> RunResult:
         if max_events < 0:
             raise TopologyError("max_events must be >= 0")
         require_vectorized(self.vectorized)
         registry = registry if registry is not None else NULL_REGISTRY
         return _InlineRun(
-            spec, max_events, registry, injector, vectorized=self.vectorized
+            spec,
+            max_events,
+            registry,
+            injector,
+            vectorized=self.vectorized,
+            epochs=epochs,
+            resume=resume,
+            on_epoch=on_epoch,
         ).execute()
 
 
 class _InlineRun:
-    """Mutable state of one inline execution (one object per ``run()``)."""
+    """Mutable state of one inline execution (one object per ``run()``).
+
+    With epoch barriers enabled the run is a sequence of *phases*: each
+    phase advances every spout to the next epoch boundary and drains the
+    DAG to quiescence (fresh cooperative generators over the persistent
+    queues/instances/counters), after which the run commits a checkpoint
+    and optionally applies a live migration before the next phase.
+    Without barriers there is exactly one final phase — the historical
+    single-pass schedule, bit-for-bit.
+    """
 
     def __init__(
         self,
@@ -222,15 +271,24 @@ class _InlineRun:
         injector: "FaultInjector | None" = None,
         *,
         vectorized: str = "auto",
+        epochs: EpochConfig | None = None,
+        resume: EpochCheckpoint | None = None,
+        on_epoch: "OnEpoch | None" = None,
     ) -> None:
         self.spec = spec
         self.max_events = max_events
         self.registry = registry
         self.injector = injector
         self.vectorized = vectorized
+        self.epochs = epochs
+        self.on_epoch = on_epoch
         # runtime.vectorized.{batches,tuples,fallbacks} for this run.
         self.vec = {"batches": 0, "tuples": 0, "fallbacks": 0}
         self.instrumented = registry.enabled
+        # Per-task wall-clock: needed for gauges when instrumented, and
+        # as the drift detector's Te signal when a barrier observer runs.
+        self.collect_wall = self.instrumented or on_epoch is not None
+        self.wall: dict[int, float] = defaultdict(float)
         self.instances = instantiate_tasks(spec)
         self.stats = {
             rt.task_id: TaskStats(task_id=rt.task_id, component=rt.component)
@@ -247,9 +305,67 @@ class _InlineRun:
                 edge.producer, edge.consumer, spec.batch_size
             )
         self.counters: dict[tuple[int, str], int] = defaultdict(int)
-        self.done: set[int] = set()
+        self.done: set[int] = set()  # tasks finished in the current phase
         self.events = 0
         self.ticks = 0  # processed batches/events; stall detector input
+        self.spout_produced: dict[int, int] = {
+            rt.task_id: 0 for rt in spec.tasks if rt.is_spout
+        }
+        self.exhausted: set[int] = set()  # spouts whose source dried up
+        self.start_epoch = 0
+        self.last_checkpoint: EpochCheckpoint | None = None
+        self.epoch_report = (
+            EpochReport(
+                interval=epochs.interval,
+                resumed_from=resume.epoch if resume is not None else None,
+            )
+            if epochs is not None
+            else None
+        )
+        if resume is not None:
+            if epochs is None:
+                raise ExecutionError(
+                    "resume from a checkpoint requires epoch barriers "
+                    "(pass an EpochConfig)"
+                )
+            self._restore(resume)
+        # Persistent per-spout iterators: one source per run, paused at
+        # phase boundaries instead of re-created per phase.
+        self.spout_iters = {
+            rt.task_id: self.instances[rt.task_id].next_batch(max_events)
+            for rt in spec.tasks
+            if rt.is_spout
+        }
+        if resume is not None:
+            self._fast_forward_spouts()
+
+    def _restore(self, checkpoint: EpochCheckpoint) -> None:
+        """Rebuild runtime state from a committed checkpoint (recovery)."""
+        payload = checkpoint.payload()
+        for task_id, state in payload["states"].items():
+            if state is not None:
+                self.instances[task_id].restore_state(state)
+        self.counters.update(payload["counters"])
+        self.stats = payload["stats"]
+        self.events = checkpoint.events_ingested
+        self.spout_produced.update(checkpoint.spout_produced)
+        self.start_epoch = checkpoint.epoch + 1
+        self.last_checkpoint = checkpoint
+
+    def _fast_forward_spouts(self) -> None:
+        """Advance each spout's source past the tuples of committed epochs.
+
+        Sources are deterministic seeded generators, so re-drawing (and
+        discarding) the already-committed prefix replays them to the
+        exact resume position without recording stats or fault ticks.
+        """
+        for task_id, iterator in self.spout_iters.items():
+            for _ in range(self.spout_produced[task_id]):
+                try:
+                    next(iterator)
+                except StopIteration:
+                    self.exhausted.add(task_id)
+                    break
 
     # ------------------------------------------------------------------
     # Scheduler
@@ -260,17 +376,75 @@ class _InlineRun:
         except ExecutionError as exc:
             # Attach partial progress so failed runs stay observable: the
             # supervisor turns this into a partial run report and into
-            # duplicate-delivery accounting for at-least-once replays.
+            # duplicate-delivery accounting for at-least-once replays —
+            # plus the last committed checkpoint, which upgrades replay
+            # to resume-from-epoch when barriers are enabled.
             if exc.partial_result is None:
                 exc.partial_result = self._snapshot(partial=True)
+            if getattr(exc, "last_checkpoint", None) is None:
+                exc.last_checkpoint = self.last_checkpoint
             raise
 
     def _execute(self) -> RunResult:
-        wall: dict[int, float] = defaultdict(float)
+        if self.epochs is None:
+            self._run_phase(self.max_events, final=True)
+        else:
+            epoch = self.start_epoch
+            while True:
+                limit = min(self.max_events, (epoch + 1) * self.epochs.interval)
+                final = limit >= self.max_events
+                self._run_phase(limit, final=final)
+                if not final and self.exhausted >= set(self.spout_produced):
+                    # Sources dried up before the event budget: commit
+                    # what ran, then close the stream with a flush-only
+                    # final phase.
+                    self._commit(epoch)
+                    self._run_phase(limit, final=True)
+                    final = True
+                if final:
+                    break
+                self._commit(epoch)
+                epoch += 1
+
+        result = self._snapshot(partial=False)
+        if self.instrumented:
+            for rt in self.spec.tasks:
+                self.registry.gauge(
+                    f"engine.{rt.component}.{rt.task.replica_start}.task_wall_ns"
+                ).set(self.wall[rt.task_id] * 1e9)
+            publish_engine_metrics(
+                self.registry,
+                self.spec,
+                result,
+                {key: q.stats for key, q in self.queues.items()},
+            )
+            for name, value in self.vec.items():
+                self.registry.counter(f"runtime.vectorized.{name}").inc(value)
+            if self.epoch_report is not None:
+                report = self.epoch_report
+                self.registry.gauge("runtime.epoch.interval").set(report.interval)
+                self.registry.gauge("runtime.epoch.committed").set(report.committed)
+                self.registry.gauge("runtime.epoch.barrier_ns").set(report.barrier_ns)
+                self.registry.gauge("runtime.epoch.snapshot_bytes").set(
+                    report.snapshot_bytes
+                )
+        return result
+
+    def _run_phase(self, limit: int, final: bool) -> None:
+        """Run every task until quiescence at the phase boundary.
+
+        ``limit`` is the *cumulative* per-spout production bound for this
+        phase (the next epoch boundary, or the whole event budget for the
+        single phase of an epoch-less run).  ``final`` phases additionally
+        run each operator's :meth:`~repro.dsps.operators.Operator.flush`.
+        """
+        self.done = set()
         active: list[tuple[int, Iterator[None]]] = [
             (
                 rt.task_id,
-                self._spout_loop(rt) if rt.is_spout else self._operator_loop(rt),
+                self._spout_loop(rt, limit, final)
+                if rt.is_spout
+                else self._operator_loop(rt, final),
             )
             for rt in self.spec.tasks
         ]
@@ -278,10 +452,10 @@ class _InlineRun:
             before = self.ticks
             survivors: list[tuple[int, Iterator[None]]] = []
             for task_id, loop in active:
-                started = perf_counter() if self.instrumented else 0.0
+                started = perf_counter() if self.collect_wall else 0.0
                 alive = next(loop, _FINISHED) is not _FINISHED
-                if self.instrumented:
-                    wall[task_id] += perf_counter() - started
+                if self.collect_wall:
+                    self.wall[task_id] += perf_counter() - started
                 if alive:
                     survivors.append((task_id, loop))
             active = survivors
@@ -306,21 +480,114 @@ class _InlineRun:
                     failed_sockets=self._sockets_of(stalled),
                 )
 
-        result = self._snapshot(partial=False)
-        if self.instrumented:
-            for rt in self.spec.tasks:
-                self.registry.gauge(
-                    f"engine.{rt.component}.{rt.task.replica_start}.task_wall_ns"
-                ).set(wall[rt.task_id] * 1e9)
-            publish_engine_metrics(
-                self.registry,
-                self.spec,
-                result,
-                {key: q.stats for key, q in self.queues.items()},
+    # ------------------------------------------------------------------
+    # Barrier commits and live migration
+    # ------------------------------------------------------------------
+    def _sink_received(self) -> int:
+        return sum(
+            instance.received
+            for instance in self.instances.values()
+            if isinstance(instance, Sink)
+        )
+
+    def _commit(self, epoch: int) -> None:
+        """Commit the quiescent state as a checkpoint; run the observer."""
+        report = self.epoch_report
+        assert report is not None
+        started = perf_counter()
+        states = {
+            task_id: instance.snapshot_state()
+            for task_id, instance in self.instances.items()
+            if isinstance(instance, Operator)
+        }
+        checkpoint = EpochCheckpoint.capture(
+            epoch,
+            events_ingested=self.events,
+            spout_produced=self.spout_produced,
+            states=states,
+            counters=self.counters,
+            stats=self.stats,
+            sink_received=self._sink_received(),
+        )
+        report.barrier_ns += (perf_counter() - started) * 1e9
+        report.committed += 1
+        report.snapshot_bytes = checkpoint.snapshot_bytes
+        report.events.append(
+            {
+                "kind": "commit",
+                "epoch": epoch,
+                "events_ingested": self.events,
+                "snapshot_bytes": checkpoint.snapshot_bytes,
+            }
+        )
+        self.last_checkpoint = checkpoint
+        if self.on_epoch is not None:
+            commit = EpochCommit(
+                epoch=epoch,
+                spec=self.spec,
+                checkpoint=checkpoint,
+                task_stats=self.stats,
+                task_wall_ns={t: s * 1e9 for t, s in self.wall.items()},
+                events_ingested=self.events,
             )
-            for name, value in self.vec.items():
-                self.registry.counter(f"runtime.vectorized.{name}").inc(value)
-        return result
+            migration = self.on_epoch(commit)
+            if migration is not None:
+                self._apply_migration(epoch, migration, checkpoint)
+
+    def _apply_migration(
+        self, epoch: int, migration: Migration, checkpoint: EpochCheckpoint
+    ) -> None:
+        """Hand the committed state to the re-placed tasks and resume.
+
+        The stream is already paused at the barrier; moved tasks are
+        re-instantiated under the new placement and restored *from the
+        checkpoint blob* — migration exercises the exact serialize →
+        deserialize → restore path a cross-process handoff needs.
+        """
+        new_spec = migration.spec
+        if {rt.task_id for rt in new_spec.tasks} != set(self.instances):
+            raise ExecutionError(
+                "live migration cannot add or remove tasks; "
+                "replication changes require a restart"
+            )
+        started = perf_counter()
+        payload = checkpoint.payload()
+        self.spec = new_spec
+        by_id = {rt.task_id: rt for rt in new_spec.tasks}
+        for task_id in migration.moved:
+            rt = by_id[task_id]
+            instance = instantiate_task(new_spec, rt)
+            if isinstance(instance, Operator):
+                state = payload["states"].get(task_id)
+                if state is not None:
+                    instance.restore_state(state)
+                self.instances[task_id] = instance
+            else:
+                # A moved spout restarts its deterministic source and
+                # fast-forwards to the committed position.
+                self.instances[task_id] = instance
+                iterator = instance.next_batch(self.max_events)
+                for _ in range(self.spout_produced[task_id]):
+                    try:
+                        next(iterator)
+                    except StopIteration:
+                        self.exhausted.add(task_id)
+                        break
+                self.spout_iters[task_id] = iterator
+        pause_ns = (perf_counter() - started) * 1e9
+        report = self.epoch_report
+        assert report is not None
+        report.migrations += 1
+        report.migration_pause_ns += pause_ns
+        report.events.append(
+            {
+                "kind": "migration",
+                "epoch": epoch,
+                "moved": sorted(migration.moved),
+                "pause_ns": round(pause_ns),
+                "detail": migration.detail,
+            }
+        )
 
     def _snapshot(self, partial: bool) -> RunResult:
         """Current run state as a result (complete or mid-failure)."""
@@ -335,6 +602,7 @@ class _InlineRun:
             task_stats=self.stats,
             sinks=dict(sinks),
             fault_summary=self.injector.summary() if self.injector else None,
+            epochs=self.epoch_report,
             partial=partial,
         )
 
@@ -382,12 +650,19 @@ class _InlineRun:
             f"engine.{rt.component}.{rt.task.replica_start}.process_ns"
         )
 
-    def _spout_loop(self, rt: TaskRuntime) -> Iterator[None]:
-        spout = self.instances[rt.task_id]
+    def _spout_loop(self, rt: TaskRuntime, limit: int, final: bool) -> Iterator[None]:
         stats = self.stats[rt.task_id]
         histogram = self._histogram(rt)
-        produced = 0
-        for values in spout.next_batch(self.max_events):
+        iterator = self.spout_iters[rt.task_id]
+        # ``produced`` is cumulative across phases (and across a resume):
+        # event times and epoch boundaries count from the run's origin.
+        produced = self.spout_produced[rt.task_id]
+        while produced < limit and rt.task_id not in self.exhausted:
+            try:
+                values = next(iterator)
+            except StopIteration:
+                self.exhausted.add(rt.task_id)
+                break
             if self.injector is not None:
                 self._fault_tick(rt)
                 if self.injector.is_stalled(rt.task_id):
@@ -402,14 +677,15 @@ class _InlineRun:
             stats.record_out(item.stream, item.payload_size_bytes)
             yield from self._route(rt, item)
             produced += 1
+            self.spout_produced[rt.task_id] = produced
+            self.events += 1
             self.ticks += 1
             if histogram is not None:
                 histogram.observe((perf_counter() - started) * 1e9)
         yield from self._flush_buffers(rt)
-        self.events += produced
         self.done.add(rt.task_id)
 
-    def _operator_loop(self, rt: TaskRuntime) -> Iterator[None]:
+    def _operator_loop(self, rt: TaskRuntime, final: bool) -> Iterator[None]:
         operator = self.instances[rt.task_id]
         assert isinstance(operator, Operator)
         stats = self.stats[rt.task_id]
@@ -524,12 +800,15 @@ class _InlineRun:
                 continue
             if not progressed:
                 yield
-        for stream, values in operator.flush():
-            out = StreamTuple(
-                values=tuple(values), stream=stream, source_task=rt.task_id
-            )
-            stats.record_out(stream, out.payload_size_bytes)
-            yield from self._route(rt, out)
+        if final:
+            # flush() ends the *stream*, not a phase: windowed leftovers
+            # are only emitted once the run truly closes.
+            for stream, values in operator.flush():
+                out = StreamTuple(
+                    values=tuple(values), stream=stream, source_task=rt.task_id
+                )
+                stats.record_out(stream, out.payload_size_bytes)
+                yield from self._route(rt, out)
         yield from self._flush_buffers(rt)
         self.done.add(rt.task_id)
 

@@ -42,6 +42,7 @@ import random
 import zlib
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.errors import ExecutionError
 from repro.runtime.lowering import RuntimeSpec
@@ -241,6 +242,7 @@ class FaultInjector:
         attempt: int = 0,
         *,
         tasks: "set[int] | None" = None,
+        base_counts: "Mapping[int, int] | None" = None,
     ) -> None:
         self.schedule = tuple(schedule)
         self.attempt = attempt
@@ -250,8 +252,18 @@ class FaultInjector:
                 continue
             if tasks is not None and fault.task_id not in tasks:
                 continue
+            if (
+                base_counts is not None
+                and fault.at_tuple <= base_counts.get(fault.task_id, 0)
+            ):
+                # Already fired (or passed over) in an earlier epoch slice
+                # of the same attempt: a relaunched worker must not re-arm
+                # it or every slice would crash at the same offset.
+                continue
             self._armed[fault.task_id].append(fault)
         self._counts: dict[int, int] = defaultdict(int)
+        if base_counts is not None:
+            self._counts.update(base_counts)
         self.fired: list[Fault] = []
         self.stalled: set[int] = set()
         self._pending_drops: dict[int, int] = defaultdict(int)

@@ -62,6 +62,7 @@ the watchdogs above are what detect it.
 from __future__ import annotations
 
 import os
+import pickle
 import queue as queue_mod
 import time
 import traceback
@@ -98,11 +99,18 @@ from repro.runtime.dataplane import (
     columns_available,
     create_dataplane,
 )
+from repro.runtime.epochs import (
+    EpochCheckpoint,
+    EpochCommit,
+    EpochConfig,
+    EpochReport,
+)
 from repro.runtime.faults import FaultInjector, merge_fault_summaries
 from repro.runtime.lowering import RuntimeSpec, TaskRuntime, instantiate_task
 from repro.runtime.results import RunResult, TaskStats
 
 if TYPE_CHECKING:
+    from repro.runtime.backends import OnEpoch
     from repro.runtime.faults import Fault
 
 #: Default bound, in jumbo batches, of each worker's inbox queue.
@@ -287,11 +295,39 @@ class ProcessPoolBackend(ExecutorBackend):
         registry: MetricsRegistry | None = None,
         *,
         injector: "FaultInjector | None" = None,
+        epochs: "EpochConfig | None" = None,
+        resume: "EpochCheckpoint | None" = None,
+        on_epoch: "OnEpoch | None" = None,
     ) -> RunResult:
         if max_events < 0:
             raise TopologyError("max_events must be >= 0")
         require_vectorized(self.vectorized)
         registry = registry if registry is not None else NULL_REGISTRY
+        if epochs is not None:
+            return self._execute_epochs(
+                spec, max_events, registry, injector, epochs, resume, on_epoch
+            )
+        if resume is not None:
+            raise ExecutionError(
+                "resume from a checkpoint requires epoch barriers "
+                "(pass an EpochConfig)"
+            )
+        n_workers, outcomes = self._run_slice(spec, max_events, injector, None)
+        return self._merge(spec, registry, n_workers, outcomes)
+
+    def _run_slice(
+        self,
+        spec: RuntimeSpec,
+        max_events: int,
+        injector: "FaultInjector | None",
+        epoch_ctx: dict | None,
+    ) -> tuple[int, list[tuple]]:
+        """Launch one worker pool and collect every worker's outcome.
+
+        ``epoch_ctx`` (barrier runs only) carries the epoch slice bounds
+        and the previous checkpoint to each worker; ``None`` runs the
+        whole event budget in one pool — the historical behavior.
+        """
         n_workers, owner = self._assign(spec)
         worker_sockets = self._sockets_of_workers(spec, owner)
         schedule: tuple["Fault", ...] = injector.schedule if injector else ()
@@ -334,6 +370,7 @@ class ProcessPoolBackend(ExecutorBackend):
                     schedule,
                     attempt,
                     self.vectorized,
+                    epoch_ctx,
                 ),
                 daemon=True,
             )
@@ -354,7 +391,161 @@ class ProcessPoolBackend(ExecutorBackend):
                 process.join(timeout=5.0)
             plane.close()
             results.cancel_join_thread()
-        return self._merge(spec, registry, n_workers, outcomes)
+        return n_workers, outcomes
+
+    def _execute_epochs(
+        self,
+        spec: RuntimeSpec,
+        max_events: int,
+        registry: MetricsRegistry,
+        injector: "FaultInjector | None",
+        epochs: "EpochConfig",
+        resume: "EpochCheckpoint | None",
+        on_epoch: "OnEpoch | None",
+    ) -> RunResult:
+        """Barrier protocol: one worker pool per epoch slice.
+
+        The process backend's epoch barrier is *stop-and-resume*: each
+        slice runs the dataflow to completion over the next
+        ``interval``-events window per spout (suppressing windowed
+        ``flush()`` on non-final slices), the workers return their
+        operator snapshots in the result payload, and the parent commits
+        them as the epoch checkpoint before launching the next pool.
+        Quiescence is therefore free — pool teardown is the barrier —
+        and a migration is just the next slice launching under the new
+        placement (re-partitioning tasks over workers by socket).
+        """
+        report = EpochReport(
+            interval=epochs.interval,
+            resumed_from=resume.epoch if resume is not None else None,
+        )
+        spout_ids = {rt.task_id for rt in spec.tasks if rt.is_spout}
+        spout_produced = {task_id: 0 for task_id in spout_ids}
+        blob: bytes | None = None
+        tick_base: dict[int, int] = {}
+        checkpoint = resume
+        epoch = 0
+        if resume is not None:
+            blob = resume.blob
+            spout_produced.update(resume.spout_produced)
+            payload = resume.payload()
+            tick_base = {
+                task_id: stats.tuples_in
+                for task_id, stats in payload["stats"].items()
+            }
+            tick_base.update(resume.spout_produced)
+            epoch = resume.epoch + 1
+        fault_summaries: list[dict[str, float]] = []
+        exhausted: set[int] = set()
+        while True:
+            limit = min(max_events, (epoch + 1) * epochs.interval)
+            final = limit >= max_events or exhausted >= spout_ids
+            epoch_ctx = {
+                "blob": blob,
+                "spout_produced": dict(spout_produced),
+                "limit": limit,
+                "final": final,
+                "tick_base": dict(tick_base),
+            }
+            try:
+                n_workers, outcomes = self._run_slice(
+                    spec, max_events, injector, epoch_ctx
+                )
+            except ExecutionError as exc:
+                if getattr(exc, "last_checkpoint", None) is None:
+                    exc.last_checkpoint = checkpoint
+                raise
+            states: dict[int, Any] = {}
+            counters: dict[Any, int] = {}
+            stats_map: dict[int, TaskStats] = {}
+            sink_received = 0
+            for outcome in outcomes:
+                payload = outcome[6].get("epoch") or {}
+                states.update(payload.get("states", {}))
+                counters.update(payload.get("counters", {}))
+                spout_produced.update(payload.get("spout_produced", {}))
+                exhausted.update(payload.get("exhausted", ()))
+                stats_map.update(outcome[3])
+                for sink in outcome[4].values():
+                    sink_received += sink.received
+                summary = outcome[6].get("fault_summary")
+                if summary:
+                    fault_summaries.append(summary)
+            if final:
+                result = self._merge(spec, registry, n_workers, outcomes)
+                result.events_ingested = sum(spout_produced.values())
+                if fault_summaries:
+                    result.fault_summary = merge_fault_summaries(
+                        *fault_summaries
+                    )
+                result.epochs = report
+                if registry.enabled:
+                    registry.gauge("runtime.epoch.interval").set(report.interval)
+                    registry.gauge("runtime.epoch.committed").set(
+                        report.committed
+                    )
+                    registry.gauge("runtime.epoch.barrier_ns").set(
+                        report.barrier_ns
+                    )
+                    registry.gauge("runtime.epoch.snapshot_bytes").set(
+                        report.snapshot_bytes
+                    )
+                return result
+            started = perf_counter()
+            checkpoint = EpochCheckpoint.capture(
+                epoch,
+                events_ingested=sum(spout_produced.values()),
+                spout_produced=spout_produced,
+                states=states,
+                counters=counters,
+                stats=stats_map,
+                sink_received=sink_received,
+            )
+            report.barrier_ns += (perf_counter() - started) * 1e9
+            report.committed += 1
+            report.snapshot_bytes = checkpoint.snapshot_bytes
+            report.events.append(
+                {
+                    "kind": "commit",
+                    "epoch": epoch,
+                    "events_ingested": checkpoint.events_ingested,
+                    "snapshot_bytes": checkpoint.snapshot_bytes,
+                }
+            )
+            blob = checkpoint.blob
+            tick_base = {
+                task_id: stats.tuples_in
+                for task_id, stats in stats_map.items()
+            }
+            tick_base.update(spout_produced)
+            if on_epoch is not None:
+                commit = EpochCommit(
+                    epoch=epoch,
+                    spec=spec,
+                    checkpoint=checkpoint,
+                    task_stats=stats_map,
+                    # Per-task wall-clock is an inline-backend signal;
+                    # workers only report per-process busy time.
+                    task_wall_ns={},
+                    events_ingested=checkpoint.events_ingested,
+                )
+                migration = on_epoch(commit)
+                if migration is not None:
+                    started = perf_counter()
+                    spec = migration.spec
+                    pause_ns = (perf_counter() - started) * 1e9
+                    report.migrations += 1
+                    report.migration_pause_ns += pause_ns
+                    report.events.append(
+                        {
+                            "kind": "migration",
+                            "epoch": epoch,
+                            "moved": sorted(migration.moved),
+                            "pause_ns": round(pause_ns),
+                            "detail": migration.detail,
+                        }
+                    )
+            epoch += 1
 
     def _await_outcomes(
         self,
@@ -594,6 +785,7 @@ def _worker_main(
     schedule: tuple,
     attempt: int,
     vectorized: str = "auto",
+    epoch_ctx: dict | None = None,
 ) -> None:
     worker = None
     try:
@@ -611,6 +803,7 @@ def _worker_main(
             schedule=schedule,
             attempt=attempt,
             vectorized=vectorized,
+            epoch_ctx=epoch_ctx,
         )
         results.put(worker.run())
     except ExecutionError as exc:
@@ -659,6 +852,7 @@ class _Worker:
         schedule: tuple = (),
         attempt: int = 0,
         vectorized: str = "auto",
+        epoch_ctx: dict | None = None,
     ) -> None:
         self.me = worker_id
         self.spec = spec
@@ -679,11 +873,22 @@ class _Worker:
         self.mine: list[TaskRuntime] = [
             rt for rt in spec.tasks if self.owner[rt.task_id] == worker_id
         ]
+        self.epoch_ctx = epoch_ctx
+        self.slice_limit = (
+            max_events if epoch_ctx is None else epoch_ctx["limit"]
+        )
+        self.slice_final = True if epoch_ctx is None else epoch_ctx["final"]
         self.injector = (
             FaultInjector(
                 tuple(schedule),
                 attempt,
                 tasks={rt.task_id for rt in self.mine},
+                # Relaunched epoch slices seed the per-task tuple counts so
+                # trigger offsets stay run-absolute and spent faults from
+                # earlier slices of this attempt never re-fire.
+                base_counts=(
+                    epoch_ctx.get("tick_base") if epoch_ctx else None
+                ),
             )
             if schedule
             else None
@@ -703,6 +908,18 @@ class _Worker:
             for edge in rt.out_edges
         }
         self.counters: dict[tuple[int, str], int] = defaultdict(int)
+        if epoch_ctx is not None and epoch_ctx.get("blob") is not None:
+            # Resume this worker's partition from the previous epoch's
+            # checkpoint: restore operator state, routing counters and
+            # cumulative per-task statistics.
+            payload = pickle.loads(epoch_ctx["blob"])
+            for task_id, state in payload["states"].items():
+                if task_id in self.instances and state is not None:
+                    self.instances[task_id].restore_state(state)
+            self.counters.update(payload["counters"])
+            for task_id, stats in payload["stats"].items():
+                if task_id in self.stats:
+                    self.stats[task_id] = stats
         # Inbound bookkeeping: one stats block and backlog per in-edge of a
         # local task.  Arrival mode queues (edge, tuples) per consumer in
         # arrival order; ordered mode queues per edge.
@@ -785,6 +1002,23 @@ class _Worker:
             if rt.is_spout
         }
         self.spout_produced: dict[int, int] = {t: 0 for t in self.spout_iters}
+        self.exhausted_spouts: set[int] = set()
+        if epoch_ctx is not None:
+            for task_id in self.spout_produced:
+                self.spout_produced[task_id] = epoch_ctx["spout_produced"].get(
+                    task_id, 0
+                )
+        # Per-spout production at slice start: events this worker reports
+        # are the slice delta (the parent accumulates across slices).
+        self.spout_start: dict[int, int] = dict(self.spout_produced)
+        for task_id, start in self.spout_start.items():
+            # Deterministic seeded sources replay to the resume position
+            # by re-drawing (and discarding) the committed prefix.
+            iterator = self.spout_iters[task_id]
+            for _ in range(start):
+                if next(iterator, None) is None:
+                    self.exhausted_spouts.add(task_id)
+                    break
         self.metrics: dict[str, Any] = defaultdict(float)
 
     # ------------------------------------------------------------------
@@ -871,6 +1105,20 @@ class _Worker:
             self.metrics[key] += value
         if self.injector is not None:
             self.metrics["fault_summary"] = self.injector.summary()
+        if self.epoch_ctx is not None:
+            # Barrier payload: this worker's share of the epoch snapshot.
+            # The parent unions the shares and seals them as the
+            # EpochCheckpoint once every worker has reported.
+            self.metrics["epoch"] = {
+                "states": {
+                    task_id: instance.snapshot_state()
+                    for task_id, instance in self.instances.items()
+                    if isinstance(instance, Operator)
+                },
+                "counters": dict(self.counters),
+                "spout_produced": dict(self.spout_produced),
+                "exhausted": sorted(self.exhausted_spouts),
+            }
         sinks = {
             rt.task_id: self.instances[rt.task_id]
             for rt in self.mine
@@ -1148,8 +1396,9 @@ class _Worker:
             iterator = self.spout_iters[rt.task_id]
             stats = self.stats[rt.task_id]
             produced = self.spout_produced[rt.task_id]
-            exhausted = False
-            for _ in range(_SPOUT_CHUNK):
+            exhausted = rt.task_id in self.exhausted_spouts
+            chunk = max(0, min(_SPOUT_CHUNK, self.slice_limit - produced))
+            for _ in range(chunk):
                 values = next(iterator, None)
                 if values is None:
                     exhausted = True
@@ -1167,7 +1416,11 @@ class _Worker:
                 progress += 1
             self.spout_produced[rt.task_id] = produced
             if exhausted:
-                self.events += produced
+                self.exhausted_spouts.add(rt.task_id)
+            if exhausted or produced >= self.slice_limit:
+                # Source dried up, or the slice boundary (epoch barrier)
+                # was reached: close this spout's outputs for the slice.
+                self.events += produced - self.spout_start.get(rt.task_id, 0)
                 self._flush_task(rt)
                 progress += 1
         return progress
@@ -1297,12 +1550,17 @@ class _Worker:
             operator = self.instances[rt.task_id]
             assert isinstance(operator, Operator)
             stats = self.stats[rt.task_id]
-            for stream, values in operator.flush():
-                out = StreamTuple(
-                    values=tuple(values), stream=stream, source_task=rt.task_id
-                )
-                stats.record_out(stream, out.payload_size_bytes)
-                self._route(rt, out)
+            if self.slice_final:
+                # flush() ends the *stream*, not an epoch slice: windowed
+                # leftovers are only emitted when the run truly closes.
+                for stream, values in operator.flush():
+                    out = StreamTuple(
+                        values=tuple(values),
+                        stream=stream,
+                        source_task=rt.task_id,
+                    )
+                    stats.record_out(stream, out.payload_size_bytes)
+                    self._route(rt, out)
             self._flush_task(rt)
             progress += 1
         return progress

@@ -25,7 +25,7 @@ class RecoveryEvent:
 
     attempt: int
     elapsed_s: float
-    kind: str  # "fault-detected" | "restart" | "replan" | "completed" | "failed"
+    kind: str  # "fault-detected" | "restart" | "resume" | "replan" | "completed" | "failed"
     error: str = ""
     detail: str = ""
 
@@ -56,7 +56,13 @@ class RecoveryReport:
     replans: int = 0
     duplicate_deliveries: int = 0
     completed: bool = False
+    #: Epoch index the successful attempt resumed after, or None when the
+    #: run replayed from the start (no committed checkpoint / no barriers).
+    resumed_from_epoch: int | None = None
     degraded_sockets: list[int] = field(default_factory=list)
+    #: One entry per degrade replan: the surviving-socket placement the
+    #: optimizer produced ({"attempt", "surviving_sockets", "placement"}).
+    replanned_placements: list[dict] = field(default_factory=list)
     fault_schedule: list[dict] = field(default_factory=list)
     events: list[RecoveryEvent] = field(default_factory=list)
 
@@ -86,7 +92,9 @@ class RecoveryReport:
             "replans": self.replans,
             "duplicate_deliveries": self.duplicate_deliveries,
             "completed": self.completed,
+            "resumed_from_epoch": self.resumed_from_epoch,
             "degraded_sockets": list(self.degraded_sockets),
+            "replanned_placements": list(self.replanned_placements),
             "fault_schedule": list(self.fault_schedule),
             "timeline": [event.to_dict() for event in self.events],
         }
@@ -144,6 +152,12 @@ class RunResult:
     fault_summary: dict[str, float] | None = None
     #: Supervisor recovery timeline (supervised runs only).
     recovery: RecoveryReport | None = None
+    #: Epoch/barrier accounting (:class:`~repro.runtime.epochs.EpochReport`,
+    #: barrier runs only; typed loosely to keep this module import-light).
+    epochs: object | None = None
+    #: Live-reconfiguration decisions
+    #: (:class:`~repro.runtime.reconfigure.ReconfigReport`, ``--adapt`` only).
+    reconfig: object | None = None
     #: True when this result describes an aborted attempt's partial state.
     partial: bool = False
 

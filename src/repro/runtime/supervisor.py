@@ -13,13 +13,21 @@ supervisor decides what happens next according to its policy:
 
 ``retry``
     Restart the run from the last committed checkpoint with bounded
-    exponential backoff.  The runtime commits sink state only at run
-    completion, so the last committed checkpoint is the run start and a
-    restart is a full replay — classic at-least-once semantics: tuples
-    the failed attempt already delivered to sinks are delivered again by
-    the successful one.  The report's ``duplicate_deliveries`` counter is
-    exactly that overlap (the failed attempts' sink deliveries), measured
-    rather than assumed.
+    exponential backoff.  Without epoch barriers the last committed
+    checkpoint is the run start and a restart is a full replay — classic
+    at-least-once semantics: tuples the failed attempt already delivered
+    to sinks are delivered again by the successful one.  With barriers
+    enabled (:class:`~repro.runtime.epochs.EpochConfig`), the failed
+    attempt's exception carries its last committed
+    :class:`~repro.runtime.epochs.EpochCheckpoint` and the restart
+    resumes *after* it — exactly-once-per-epoch delivery: only the
+    unfinished epoch's tuples are re-delivered.  Either way the report's
+    ``duplicate_deliveries`` counter is exactly the measured overlap
+    (deliveries beyond the resumed checkpoint's committed baseline).
+    One deliberate exception: an injected *message loss* detected after
+    a completed attempt always replays from the run start, because the
+    loss may sit inside an already-committed epoch whose checkpoint
+    would skip re-delivering it.
 
 ``degrade``
     Treat the failure's implicated sockets as lost hardware: shrink the
@@ -49,6 +57,7 @@ from typing import TYPE_CHECKING, Callable
 from repro.errors import ExecutionError
 from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry
 from repro.runtime.backends import ExecutorBackend
+from repro.runtime.epochs import EpochCheckpoint, EpochConfig
 from repro.runtime.faults import FaultInjector, FaultPlan, merge_fault_summaries
 from repro.runtime.lowering import RuntimeSpec
 from repro.runtime.results import RecoveryReport, RunResult
@@ -56,6 +65,7 @@ from repro.runtime.results import RecoveryReport, RunResult
 if TYPE_CHECKING:
     from repro.apps.profiles import ProfileSet
     from repro.hardware.machine import MachineSpec
+    from repro.runtime.backends import OnEpoch
 
 #: Recovery policies the supervisor implements (see docs/robustness.md).
 RECOVERY_POLICIES = ("fail-fast", "retry", "degrade")
@@ -158,6 +168,9 @@ class Supervisor(ExecutorBackend):
         registry: MetricsRegistry | None = None,
         *,
         injector: "FaultInjector | None" = None,
+        epochs: "EpochConfig | None" = None,
+        resume: "EpochCheckpoint | None" = None,
+        on_epoch: "OnEpoch | None" = None,
     ) -> RunResult:
         registry = registry if registry is not None else NULL_REGISTRY
         schedule = (
@@ -174,40 +187,82 @@ class Supervisor(ExecutorBackend):
         degraded: list[int] = []
         current = spec
         attempt = 0
+        checkpoint = resume
         while True:
             report.attempts += 1
-            arm = FaultInjector(schedule, attempt) if schedule else None
+            arm = (
+                FaultInjector(
+                    schedule,
+                    attempt,
+                    base_counts=self._base_counts(checkpoint),
+                )
+                if schedule
+                else None
+            )
+            # Barrier kwargs are only forwarded when barriers are in play,
+            # so epoch-unaware delegates (test doubles, minimal backends)
+            # keep working unchanged.
+            barrier_kwargs = (
+                {"epochs": epochs, "resume": checkpoint, "on_epoch": on_epoch}
+                if epochs is not None
+                else {}
+            )
             try:
                 result = self.backend.execute(
-                    current, max_events, registry, injector=arm
+                    current,
+                    max_events,
+                    registry,
+                    injector=arm,
+                    **barrier_kwargs,
                 )
             except ExecutionError as exc:
-                self._account_failure(report, summaries, exc, attempt, started)
+                # A barrier-enabled attempt leaves its newest committed
+                # checkpoint on the exception: the replay resumes after
+                # it instead of from the run start.
+                newer = getattr(exc, "last_checkpoint", None)
+                if epochs is not None and newer is not None:
+                    checkpoint = newer
+                self._account_failure(
+                    report, summaries, exc, attempt, started,
+                    baseline=checkpoint.sink_received if checkpoint else 0,
+                )
                 if self.policy == "fail-fast" or report.restarts >= self.max_restarts:
                     self._fail(report, registry, exc, attempt, started)
                 if self.policy == "degrade":
                     current = self._replan(
                         current, exc, degraded, report, attempt, started
                     )
-                attempt = self._restart(report, attempt, started)
+                attempt = self._restart(
+                    report, attempt, started, checkpoint=checkpoint
+                )
                 continue
             lost = (result.fault_summary or {}).get("dropped_tuples", 0)
             if lost:
                 # Injected message loss: the run "completed" but tuples
                 # vanished in flight.  Without delivery acks the loss is
                 # only visible through the injector's accounting — treat
-                # the attempt as failed so recovery replays it.
+                # the attempt as failed so recovery replays it.  The drop
+                # may sit inside an already-committed epoch, so this
+                # replay always goes back to the run start (resuming from
+                # a post-loss checkpoint would never re-deliver the lost
+                # tuples).
+                checkpoint = None
                 exc = ExecutionError(
                     f"message loss detected: {int(lost)} tuples dropped "
                     "in flight",
                     partial_result=result,
                 )
-                self._account_failure(report, summaries, exc, attempt, started)
+                self._account_failure(
+                    report, summaries, exc, attempt, started, baseline=0
+                )
                 if self.policy == "fail-fast" or report.restarts >= self.max_restarts:
                     self._fail(report, registry, exc, attempt, started)
                 attempt = self._restart(report, attempt, started)
                 continue
             break
+        report.resumed_from_epoch = (
+            checkpoint.epoch if checkpoint is not None and report.restarts else None
+        )
         if result.fault_summary:
             summaries.append(result.fault_summary)
         report.completed = True
@@ -223,6 +278,26 @@ class Supervisor(ExecutorBackend):
     # ------------------------------------------------------------------
     # Attempt-loop helpers
     # ------------------------------------------------------------------
+    @staticmethod
+    def _base_counts(
+        checkpoint: "EpochCheckpoint | None",
+    ) -> dict[int, int] | None:
+        """Per-task tuple counts at a checkpoint, for injector seeding.
+
+        Spouts tick once per produced tuple, operators once per consumed
+        tuple, so the checkpoint's spout positions and cumulative
+        ``tuples_in`` reproduce the counts a full replay would have
+        reached — fault trigger offsets stay run-absolute across resumes.
+        """
+        if checkpoint is None:
+            return None
+        base = {
+            task_id: stats.tuples_in
+            for task_id, stats in checkpoint.payload()["stats"].items()
+        }
+        base.update(checkpoint.spout_produced)
+        return base
+
     def _account_failure(
         self,
         report: RecoveryReport,
@@ -230,6 +305,8 @@ class Supervisor(ExecutorBackend):
         exc: ExecutionError,
         attempt: int,
         started: float,
+        *,
+        baseline: int = 0,
     ) -> None:
         report.record(
             attempt,
@@ -240,13 +317,23 @@ class Supervisor(ExecutorBackend):
         )
         partial = exc.partial_result
         if partial is not None:
-            # Everything the failed attempt delivered to sinks will be
-            # delivered again by the replay: at-least-once duplicates.
-            report.duplicate_deliveries += partial.sink_received()
+            # Everything the failed attempt delivered to sinks beyond the
+            # checkpoint the replay resumes from will be delivered again:
+            # the measured duplicate count.  ``baseline`` is 0 without
+            # barriers (full replay re-delivers everything).
+            report.duplicate_deliveries += max(
+                0, partial.sink_received() - baseline
+            )
             if partial.fault_summary:
                 summaries.append(partial.fault_summary)
 
-    def _restart(self, report: RecoveryReport, attempt: int, started: float) -> int:
+    def _restart(
+        self,
+        report: RecoveryReport,
+        attempt: int,
+        started: float,
+        checkpoint: "EpochCheckpoint | None" = None,
+    ) -> int:
         report.restarts += 1
         backoff = min(
             self.backoff_base_s * (2 ** (report.restarts - 1)),
@@ -257,8 +344,12 @@ class Supervisor(ExecutorBackend):
         report.record(
             attempt + 1,
             perf_counter() - started,
-            "restart",
-            detail=f"backoff {backoff:.3f}s",
+            "restart" if checkpoint is None else "resume",
+            detail=(
+                f"backoff {backoff:.3f}s"
+                if checkpoint is None
+                else f"backoff {backoff:.3f}s; resume after {checkpoint.describe()}"
+            ),
         )
         return attempt + 1
 
@@ -327,6 +418,17 @@ class Supervisor(ExecutorBackend):
             for rt in spec.tasks
         )
         report.replans += 1
+        report.replanned_placements.append(
+            {
+                "attempt": attempt,
+                "surviving_sockets": surviving,
+                "modeled_throughput": placement.throughput,
+                "placement": {
+                    rt.task_id: placement.plan.socket_of(rt.task_id)
+                    for rt in spec.tasks
+                },
+            }
+        )
         report.record(
             attempt,
             perf_counter() - started,
@@ -363,6 +465,10 @@ class Supervisor(ExecutorBackend):
         registry.gauge(f"{prefix}.degraded_sockets").set(
             len(report.degraded_sockets)
         )
+        if report.resumed_from_epoch is not None:
+            registry.gauge(f"{prefix}.resumed_from_epoch").set(
+                report.resumed_from_epoch
+            )
         if fault_summary:
             for key, value in fault_summary.items():
                 registry.gauge(f"runtime.faults.{key}").set(value)

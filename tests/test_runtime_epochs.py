@@ -1,0 +1,197 @@
+"""Epoch barriers: checkpoint contract, parity, resume, live migration.
+
+The barrier protocol's core guarantee is that cutting the stream into
+epochs is *observationally free*: a run with barriers produces exactly
+the results of a run without them, on both backends.  On top of that sit
+the two consumers — the supervisor's resume-from-last-epoch recovery
+(duplicate deliveries shrink from whole-run replay to one epoch) and
+live migration (moving tasks between sockets at a barrier does not
+change results).  See docs/reconfiguration.md.
+"""
+
+from collections import Counter as Multiset
+from dataclasses import replace as dc_replace
+
+import pytest
+
+from repro.apps import load_application
+from repro.dsps import LocalEngine
+from repro.errors import ExecutionError
+from repro.runtime import EpochConfig, FaultPlan, Migration, check_serializable
+
+EVENTS = 300
+INTERVAL = 100
+#: Fault trigger inside the *second* epoch so resume-from-epoch has a
+#: committed checkpoint to start from.
+AT = 150
+
+
+def build_engine(app, **kwargs):
+    topology, _ = load_application(app)
+    topology.component("sink").template.keep_samples = 10**6
+    return LocalEngine(topology, **kwargs)
+
+
+def sink_multiset(result):
+    return Multiset(
+        tuple(item.values)
+        for sinks in result.sinks.values()
+        for sink in sinks
+        for item in sink.samples
+    )
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    return {app: build_engine(app).run(EVENTS) for app in ("wc", "sd", "fd")}
+
+
+class TestCheckSerializable:
+    def test_plain_data_accepted(self):
+        check_serializable(
+            {
+                "counts": {"a": 1, (1, 2): [0.5, True, None]},
+                "blob": b"x",
+                "nested": [({"k": "v"},)],
+            }
+        )
+
+    @pytest.mark.parametrize("value", [set(), object(), {"x": {1, 2}}])
+    def test_non_plain_data_rejected(self, value):
+        with pytest.raises(ExecutionError, match="not codec-serializable"):
+            check_serializable(value)
+
+    def test_offending_path_is_named(self):
+        with pytest.raises(ExecutionError, match=r"state\['deep'\]\[0\]"):
+            check_serializable({"deep": [set()]})
+
+    def test_interval_validated(self):
+        with pytest.raises(ExecutionError, match="epoch interval"):
+            EpochConfig(interval=0)
+
+
+class TestEpochParityInline:
+    """Barriers are observationally free on the inline backend."""
+
+    @pytest.mark.parametrize("app", ["wc", "sd", "fd"])
+    def test_bit_identical_results(self, app, baselines):
+        result = build_engine(app, epoch_interval=INTERVAL).run(EVENTS)
+        baseline = baselines[app]
+        assert result.sink_received() == baseline.sink_received()
+        assert sink_multiset(result) == sink_multiset(baseline)
+        assert result.epochs is not None
+        assert result.epochs.committed >= EVENTS // INTERVAL - 1
+
+    def test_lr_totals_match(self):
+        baseline = build_engine("lr").run(EVENTS)
+        result = build_engine("lr", epoch_interval=INTERVAL).run(EVENTS)
+        assert result.sink_received() == baseline.sink_received()
+
+    def test_report_accounting(self):
+        result = build_engine("wc", epoch_interval=INTERVAL).run(EVENTS)
+        report = result.epochs
+        assert report.interval == INTERVAL
+        assert report.committed == len(
+            [e for e in report.events if e["kind"] == "commit"]
+        )
+        assert report.snapshot_bytes > 0
+        assert report.barrier_ns > 0
+        assert report.migrations == 0
+        assert report.resumed_from is None
+
+
+class TestEpochParityProcess:
+    """Per-epoch pool relaunch produces the same totals."""
+
+    def test_process_backend_matches_inline(self, baselines):
+        result = build_engine(
+            "wc", backend="process", n_workers=2, epoch_interval=INTERVAL
+        ).run(EVENTS)
+        baseline = baselines["wc"]
+        assert result.sink_received() == baseline.sink_received()
+        assert sink_multiset(result) == sink_multiset(baseline)
+        assert result.epochs.committed >= EVENTS // INTERVAL - 1
+
+
+class TestBarrierObserver:
+    """The executor's ``on_epoch`` callback sees consistent commits."""
+
+    def _run_with_observer(self, observer):
+        engine = build_engine("wc")
+        return engine.backend.execute(
+            engine.spec,
+            EVENTS,
+            engine.registry,
+            epochs=EpochConfig(interval=INTERVAL),
+            on_epoch=observer,
+        )
+
+    def test_commits_are_cumulative_and_ordered(self):
+        commits = []
+        self._run_with_observer(lambda c: commits.append(c) and None)
+        assert [c.epoch for c in commits] == list(range(len(commits)))
+        events = [c.events_ingested for c in commits]
+        assert events == sorted(events)
+        assert events[0] == INTERVAL
+        # Checkpoint payloads deserialize and carry every task's state.
+        payload = commits[-1].checkpoint.payload()
+        assert set(payload) == {"states", "counters", "stats"}
+        counter_states = [
+            payload["states"][rt.task_id]
+            for rt in commits[-1].spec.tasks
+            if rt.component == "counter"
+        ]
+        assert counter_states and all("counts" in s for s in counter_states)
+
+    def test_migration_at_barrier_preserves_results(self, baselines):
+        """Moving every task to another socket mid-run changes nothing."""
+
+        def relocate(commit):
+            if commit.epoch != 1:
+                return None
+            moved = tuple(rt.task_id for rt in commit.spec.tasks)
+            spec = dc_replace(
+                commit.spec,
+                tasks=tuple(
+                    dc_replace(rt, socket=1) for rt in commit.spec.tasks
+                ),
+            )
+            return Migration(spec=spec, moved=moved, detail="test shuffle")
+
+        result = self._run_with_observer(relocate)
+        assert result.epochs.migrations == 1
+        assert result.epochs.migration_pause_ns > 0
+        baseline = baselines["wc"]
+        assert result.sink_received() == baseline.sink_received()
+        assert sink_multiset(result) == sink_multiset(baseline)
+
+
+class TestResumeFromEpoch:
+    """Supervised retry restarts from the last committed checkpoint."""
+
+    def _run(self, epoch_interval=None):
+        return build_engine(
+            "wc",
+            queue_capacity=256,
+            fault_plan=FaultPlan(seed=3, kinds=("crash",), at_tuple=AT),
+            recovery_policy="retry",
+            epoch_interval=epoch_interval,
+        ).run(EVENTS)
+
+    def test_resume_shrinks_duplicates(self, baselines):
+        replayed = self._run(epoch_interval=None)
+        resumed = self._run(epoch_interval=INTERVAL)
+        for result in (replayed, resumed):
+            assert result.recovery.completed is True
+            assert result.recovery.restarts >= 1
+        # Exactly-once-per-epoch: only the unfinished epoch is replayed.
+        assert (
+            resumed.recovery.duplicate_deliveries
+            < replayed.recovery.duplicate_deliveries
+        )
+        assert resumed.recovery.resumed_from_epoch is not None
+        assert resumed.epochs.resumed_from == resumed.recovery.resumed_from_epoch
+        # And recovery stays exact.
+        baseline = baselines["wc"]
+        assert resumed.sink_received() == baseline.sink_received()
+        assert sink_multiset(resumed) == sink_multiset(baseline)
