@@ -24,10 +24,13 @@ from repro.hardware import server_a, server_b
 from repro.metrics import MetricsRegistry, build_report, format_table, write_report
 from repro.runtime import (
     DATAPLANE_NAMES,
+    FUSE_MODES,
     RECOVERY_POLICIES,
     VECTORIZED_MODES,
+    AdaptiveBatchConfig,
     DegradeContext,
     FaultPlan,
+    FusionConfig,
     ProcessPoolBackend,
     ReconfigController,
 )
@@ -111,8 +114,22 @@ def _run_backend(args: argparse.Namespace):
             heartbeat_timeout_s=args.watchdog_timeout,
             dataplane=args.dataplane,
             vectorized=args.vectorized,
+            batching=(
+                AdaptiveBatchConfig() if args.adaptive_batch else None
+            ),
         )
     return args.backend
+
+
+def _run_fusion(args: argparse.Namespace, profiles) -> FusionConfig:
+    """cmd_run's fusion config: mode from ``--fuse``, with the app's
+    measured profiles and the selected machine model attached so ``auto``
+    applies the RLAS cost model's profitability test."""
+    return FusionConfig(
+        mode=args.fuse,
+        profiles=profiles,
+        machine=_machine(args),
+    )
 
 
 def _recovery_data(recovery, fault_summary) -> dict:
@@ -262,6 +279,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             max_restarts=args.max_restarts,
             degrade=degrade,
             epoch_interval=args.epoch_interval,
+            fuse=_run_fusion(args, profiles),
+            adaptive_batch=args.adaptive_batch or None,
         )
         if args.adapt:
             plan, controller = _adapt_setup(args, topology, profiles, registry)
@@ -291,6 +310,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                 "backend": args.backend,
                 "dataplane": args.dataplane,
                 "vectorized": args.vectorized,
+                "fuse": args.fuse,
+                "adaptive_batch": bool(args.adaptive_batch),
                 "topology": topology.name,
                 "failed": True,
                 "error": type(exc).__name__,
@@ -335,6 +356,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             "backend": args.backend,
             "dataplane": args.dataplane,
             "vectorized": args.vectorized,
+            "fuse": args.fuse,
+            "adaptive_batch": bool(args.adaptive_batch),
             "topology": topology.name,
             "epoch_interval": args.epoch_interval,
             "adapt": bool(args.adapt),
@@ -455,6 +478,26 @@ def build_parser() -> argparse.ArgumentParser:
             "columnar kernel dispatch: auto (use numpy kernels when "
             "operator and schema qualify), on (require numpy) or off "
             "(scalar dispatch only; see docs/vectorized.md)"
+        ),
+    )
+    run.add_argument(
+        "--fuse",
+        choices=FUSE_MODES,
+        default="auto",
+        help=(
+            "runtime operator-chain fusion: auto (fuse profitable "
+            "same-socket 1:1 edges), on (require fusion; fail if an "
+            "eligible edge crosses sockets) or off (run the spec as "
+            "lowered; see docs/fusion.md)"
+        ),
+    )
+    run.add_argument(
+        "--adaptive-batch",
+        action="store_true",
+        help=(
+            "size each edge's jumbo batches with a per-edge AIMD "
+            "controller stepped at epoch barriers (requires "
+            "--epoch-interval; see docs/fusion.md)"
         ),
     )
     run.add_argument(

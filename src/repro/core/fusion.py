@@ -30,15 +30,28 @@ from repro.dsps.operators import Emission, Operator, OperatorContext
 from repro.dsps.streams import StreamEdge
 from repro.dsps.topology import ComponentKind, ComponentSpec, Topology
 from repro.dsps.tuples import StreamTuple
-from repro.errors import PlanError
+from repro.errors import ExecutionError, PlanError
 
 
 class FusedOperator(Operator):
-    """Runs a consumer's logic inline after the producer's, per tuple."""
+    """Runs a consumer's logic inline after the producer's, per tuple.
+
+    The fused pair behaves like a single operator on every runtime
+    contract: scalar :meth:`process`/:meth:`flush` chain per tuple,
+    :meth:`process_columns` composes the two kernels without ever
+    materializing the intermediate batch, and
+    :meth:`snapshot_state`/:meth:`restore_state` delegate to both
+    constituents so a fused stateful chain can participate in epoch
+    checkpoints and live migration.
+    """
 
     def __init__(self, first: Operator, second: Operator) -> None:
         self.first = first
         self.second = second
+        # The fused operator consumes what the first stage consumes and
+        # emits what the second stage emits.
+        self.column_schemas = first.column_schemas
+        self.declared_fields = second.declared_fields
 
     def prepare(self, context: OperatorContext) -> None:
         self.first.prepare(context)
@@ -49,11 +62,58 @@ class FusedOperator(Operator):
             intermediate = item.derive(values, stream=stream)
             yield from self.second.process(intermediate)
 
+    def supports_columns(self) -> bool:  # type: ignore[override]
+        """Both kernels must exist, and every schema the first stage can
+        emit (its ``declared_fields``) must be negotiable by the second,
+        so a composed batch never needs a mid-chain scalar burst."""
+        if not (self.first.supports_columns() and self.second.supports_columns()):
+            return False
+        accepted = self.second.column_schemas
+        if accepted is None:
+            return True
+        declared = self.first.declared_fields or {}
+        return bool(declared) and all(
+            schema in accepted for schema in declared.values()
+        )
+
+    def process_columns(self, batch):
+        """Compose the two kernels: the first stage's outputs feed the
+        second stage directly as columns, and output lineage indices are
+        rebased onto the *input* batch so the executor can stamp event
+        times exactly as it would for an unfused kernel."""
+        accepted = self.second.column_schemas
+        for mid in self.first.process_columns(batch):
+            if len(mid) == 0:
+                continue
+            if accepted is not None and mid.schema not in accepted:
+                raise ExecutionError(
+                    f"fused kernel emitted schema {mid.schema!r} that "
+                    f"{type(self.second).__name__} does not negotiate"
+                )
+            if batch.event_times is not None:
+                mid.stamp_from(batch, batch.source_task)
+            for out in self.second.process_columns(mid):
+                if len(out) == 0:
+                    continue
+                if out.index is None:
+                    out.index = mid.index
+                elif mid.index is not None:
+                    out.index = mid.index[out.index]
+                yield out
+
     def flush(self) -> Iterable[Emission]:
         for stream, values in self.first.flush():
             intermediate = StreamTuple(values=tuple(values), stream=stream)
             yield from self.second.process(intermediate)
         yield from self.second.flush()
+
+    def snapshot_state(self):
+        return [self.first.snapshot_state(), self.second.snapshot_state()]
+
+    def restore_state(self, state) -> None:
+        first_state, second_state = state
+        self.first.restore_state(first_state)
+        self.second.restore_state(second_state)
 
 
 @dataclass(frozen=True)

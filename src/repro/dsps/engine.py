@@ -28,8 +28,10 @@ from repro.dsps.topology import Topology
 from repro.errors import ExecutionError
 from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry
 from repro.runtime.backends import ExecutorBackend, resolve_backend
+from repro.runtime.batching import AdaptiveBatchConfig
 from repro.runtime.epochs import EpochConfig
 from repro.runtime.faults import FaultPlan
+from repro.runtime.fusion import FusionConfig, as_fusion_config, plan_fusion
 from repro.runtime.lowering import RuntimeSpec, lower_graph, lower_plan
 from repro.runtime.reconfigure import ReconfigController
 from repro.runtime.results import RunResult, TaskStats
@@ -47,6 +49,36 @@ def _validate_queue_bounds(
         )
     if queue_budget is not None and queue_budget <= 0:
         raise ExecutionError(f"queue_budget must be positive, got {queue_budget}")
+
+
+def _validate_batch_size(batch_size: int) -> int:
+    if batch_size < 1:
+        raise ExecutionError(f"batch_size must be >= 1, got {batch_size}")
+    return batch_size
+
+
+def _coerce_adaptive(
+    adaptive_batch: "AdaptiveBatchConfig | bool | None",
+    epoch_interval: int | None,
+) -> AdaptiveBatchConfig | None:
+    """Normalize the engine's ``adaptive_batch`` argument.
+
+    ``True`` selects the default AIMD parameters; a config object is
+    passed through.  The controller only acts at epoch barriers, so
+    enabling it without ``epoch_interval`` would silently do nothing —
+    fail loudly instead.
+    """
+    if adaptive_batch is None or adaptive_batch is False:
+        return None
+    config = (
+        AdaptiveBatchConfig() if adaptive_batch is True else adaptive_batch
+    )
+    if epoch_interval is None:
+        raise ExecutionError(
+            "adaptive batch sizing adjusts at epoch barriers: "
+            "pass epoch_interval together with adaptive_batch"
+        )
+    return config
 
 
 def _barriers(
@@ -104,6 +136,8 @@ class LocalEngine:
         degrade: DegradeContext | None = None,
         epoch_interval: int | None = None,
         reconfig: ReconfigController | None = None,
+        fuse: "str | FusionConfig | None" = None,
+        adaptive_batch: "AdaptiveBatchConfig | bool | None" = None,
     ) -> None:
         """
         Parameters
@@ -167,8 +201,19 @@ class LocalEngine:
             consulted at every barrier commit; when the observed workload
             drifts it re-plans the placement and migrates the running
             dataflow live.  Requires ``epoch_interval``.
+        fuse:
+            Runtime operator-chain fusion (see docs/fusion.md): a mode
+            name (``"auto"``/``"on"``/``"off"``) or a full
+            :class:`~repro.runtime.fusion.FusionConfig`.  ``None`` (the
+            default) keeps fusion off — the historical behavior.
+        adaptive_batch:
+            Per-edge AIMD batch sizing: ``True`` for the default
+            :class:`~repro.runtime.batching.AdaptiveBatchConfig`, or a
+            config object.  Requires ``epoch_interval`` (adjustments
+            happen only at barriers).
         """
         _validate_queue_bounds(queue_capacity, queue_budget)
+        _validate_batch_size(batch_size)
         self.topology = topology
         if replication is None:
             replication = {
@@ -180,12 +225,17 @@ class LocalEngine:
         self.registry = registry if registry is not None else NULL_REGISTRY
         self.epochs = _barriers(epoch_interval, reconfig)
         self.reconfig = reconfig
-        self.spec = lower_graph(
-            topology,
-            self.graph,
-            batch_size=batch_size,
-            queue_capacity=queue_capacity,
-            queue_budget=queue_budget,
+        fusion = as_fusion_config(fuse)
+        batching = _coerce_adaptive(adaptive_batch, epoch_interval)
+        self.spec = plan_fusion(
+            lower_graph(
+                topology,
+                self.graph,
+                batch_size=batch_size,
+                queue_capacity=queue_capacity,
+                queue_budget=queue_budget,
+            ),
+            fusion,
         )
         self.backend = _supervise(
             resolve_backend(
@@ -193,6 +243,8 @@ class LocalEngine:
                 n_workers=n_workers,
                 dataplane=dataplane,
                 vectorized=vectorized,
+                fuse=fusion.mode,
+                batching=batching,
             ),
             fault_plan,
             recovery_policy,
@@ -219,6 +271,8 @@ class LocalEngine:
         degrade: DegradeContext | None = None,
         epoch_interval: int | None = None,
         reconfig: ReconfigController | None = None,
+        fuse: "str | FusionConfig | None" = None,
+        adaptive_batch: "AdaptiveBatchConfig | bool | None" = None,
     ) -> "LocalEngine":
         """Build an engine from a complete :class:`~repro.core.plan.ExecutionPlan`.
 
@@ -231,11 +285,21 @@ class LocalEngine:
         the same plan can map replanned placements onto running tasks.
         """
         _validate_queue_bounds(queue_capacity, queue_budget)
-        spec = lower_plan(
-            plan,
-            batch_size=batch_size,
-            queue_capacity=queue_capacity,
-            **({} if queue_budget is None else {"queue_budget": queue_budget}),
+        _validate_batch_size(batch_size)
+        fusion = as_fusion_config(fuse)
+        batching = _coerce_adaptive(adaptive_batch, epoch_interval)
+        spec = plan_fusion(
+            lower_plan(
+                plan,
+                batch_size=batch_size,
+                queue_capacity=queue_capacity,
+                **(
+                    {}
+                    if queue_budget is None
+                    else {"queue_budget": queue_budget}
+                ),
+            ),
+            fusion,
         )
         engine = cls.__new__(cls)
         engine.topology = spec.topology
@@ -251,6 +315,8 @@ class LocalEngine:
                 n_workers=n_workers,
                 dataplane=dataplane,
                 vectorized=vectorized,
+                fuse=fusion.mode,
+                batching=batching,
             ),
             fault_plan,
             recovery_policy,

@@ -19,6 +19,12 @@ The elasticity layer (:mod:`repro.runtime.epochs`,
 consistent state checkpoints every backend can commit and resume from —
 and a live reconfiguration controller that re-plans the placement at a
 barrier when the observed workload drifts; see docs/reconfiguration.md.
+
+The fusion layer (:mod:`repro.runtime.fusion`,
+:mod:`repro.runtime.batching`) derives fused operator chains from the
+deployed placement (intra-chain edges execute inline, skipping queues and
+codecs) and sizes each surviving edge's jumbo batches with a per-edge
+AIMD controller stepped at epoch barriers; see docs/fusion.md.
 """
 
 from repro.runtime.backends import (
@@ -54,11 +60,22 @@ from repro.runtime.faults import (
     FaultPlan,
     merge_fault_summaries,
 )
+from repro.runtime.batching import AdaptiveBatchConfig, AdaptiveBatchController
+from repro.runtime.fusion import (
+    FUSE_MODES,
+    FusionConfig,
+    as_fusion_config,
+    chain_map,
+    plan_fusion,
+    refit_fusion,
+    validate_fuse,
+)
 from repro.runtime.lowering import (
     DEFAULT_QUEUE_BUDGET,
     RouteSpec,
     RuntimeSpec,
     TaskRuntime,
+    apply_edge_batches,
     instantiate_task,
     instantiate_tasks,
     lower_graph,
@@ -79,6 +96,8 @@ from repro.runtime.supervisor import (
 )
 
 __all__ = [
+    "AdaptiveBatchConfig",
+    "AdaptiveBatchController",
     "BACKEND_NAMES",
     "BatchCodec",
     "ChannelEndpoint",
@@ -101,9 +120,11 @@ __all__ = [
     "ShmRingChannel",
     "shm_available",
     "FAULT_KINDS",
+    "FUSE_MODES",
     "Fault",
     "FaultInjector",
     "FaultPlan",
+    "FusionConfig",
     "InlineBackend",
     "ProcessPoolBackend",
     "RECOVERY_POLICIES",
@@ -115,11 +136,17 @@ __all__ = [
     "Supervisor",
     "TaskRuntime",
     "TaskStats",
+    "apply_edge_batches",
+    "as_fusion_config",
+    "chain_map",
     "instantiate_task",
     "instantiate_tasks",
     "lower_graph",
     "lower_plan",
     "merge_fault_summaries",
+    "plan_fusion",
     "publish_engine_metrics",
+    "refit_fusion",
     "resolve_backend",
+    "validate_fuse",
 ]

@@ -45,6 +45,7 @@ from repro.runtime.dataplane.columns import (
     ColumnBatch,
     columns_available,
 )
+from repro.runtime.batching import AdaptiveBatchConfig, AdaptiveBatchController
 from repro.runtime.epochs import (
     EpochCheckpoint,
     EpochCommit,
@@ -52,9 +53,11 @@ from repro.runtime.epochs import (
     EpochReport,
     Migration,
 )
+from repro.runtime.fusion import validate_fuse
 from repro.runtime.lowering import (
     RuntimeSpec,
     TaskRuntime,
+    apply_edge_batches,
     instantiate_task,
     instantiate_tasks,
 )
@@ -134,6 +137,8 @@ def resolve_backend(
     ordered: bool = False,
     dataplane: str | None = None,
     vectorized: str | None = None,
+    fuse: str | None = None,
+    batching: AdaptiveBatchConfig | None = None,
 ) -> ExecutorBackend:
     """Turn a backend name (or pass through an instance) into a backend.
 
@@ -142,7 +147,11 @@ def resolve_backend(
     process and moves no bytes, so any requested data plane is accepted
     and ignored there.  ``vectorized`` selects the columnar kernel mode
     (see :data:`~repro.runtime.dataplane.columns.VECTORIZED_MODES`) on
-    both backends; ``None`` means ``auto``.
+    both backends; ``None`` means ``auto``.  ``fuse`` is validated here
+    for early CLI errors but lives on the *spec* (fused chains are
+    derived at lowering time by :func:`repro.runtime.fusion.plan_fusion`);
+    ``batching`` arms the adaptive per-edge batch-size controller on
+    either backend.
     """
     if n_workers is not None and n_workers < 1:
         raise ExecutionError(f"n_workers must be >= 1, got {n_workers}")
@@ -156,10 +165,12 @@ def resolve_backend(
             )
     if vectorized is not None:
         validate_vectorized(vectorized)
+    if fuse is not None:
+        validate_fuse(fuse)
     if isinstance(backend, ExecutorBackend):
         return backend
     if backend == "inline":
-        return InlineBackend(vectorized=vectorized or "auto")
+        return InlineBackend(vectorized=vectorized or "auto", batching=batching)
     if backend == "process":
         from repro.runtime.process_pool import ProcessPoolBackend
 
@@ -168,6 +179,7 @@ def resolve_backend(
             ordered=ordered,
             dataplane=dataplane if dataplane is not None else "pickle",
             vectorized=vectorized or "auto",
+            batching=batching,
         )
     raise ExecutionError(
         f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}"
@@ -203,7 +215,7 @@ def publish_engine_metrics(
         registry.counter(f"{prefix}.enqueued_tuples").inc(stats.enqueued_tuples)
         registry.gauge(f"{prefix}.max_depth_tuples").set(stats.max_depth_tuples)
         registry.gauge(f"{prefix}.jumbo_fill_ratio").set(
-            stats.jumbo_fill_ratio(spec.batch_size)
+            stats.jumbo_fill_ratio(spec.batch_for((producer, consumer)))
         )
         capacity = spec.queue_capacity.get((producer, consumer))
         if capacity is not None:
@@ -213,6 +225,14 @@ def publish_engine_metrics(
             registry.gauge(f"{prefix}.blocked_ns").set(stats.blocked_ns)
         blocked_total += stats.blocked_batches
     registry.counter("engine.run.backpressure_blocks").inc(blocked_total)
+    if spec.fusion:
+        registry.gauge("runtime.fusion.chains").set(len(spec.fusion))
+        registry.gauge("runtime.fusion.fused_tasks").set(
+            sum(len(chain) for chain in spec.fusion)
+        )
+        registry.gauge("runtime.fusion.edges_eliminated").set(
+            sum(len(chain) - 1 for chain in spec.fusion)
+        )
 
 
 class InlineBackend(ExecutorBackend):
@@ -220,9 +240,15 @@ class InlineBackend(ExecutorBackend):
 
     name = "inline"
 
-    def __init__(self, *, vectorized: str = "auto") -> None:
+    def __init__(
+        self,
+        *,
+        vectorized: str = "auto",
+        batching: AdaptiveBatchConfig | None = None,
+    ) -> None:
         validate_vectorized(vectorized)
         self.vectorized = vectorized
+        self.batching = batching
 
     def execute(
         self,
@@ -245,6 +271,7 @@ class InlineBackend(ExecutorBackend):
             registry,
             injector,
             vectorized=self.vectorized,
+            batching=self.batching,
             epochs=epochs,
             resume=resume,
             on_epoch=on_epoch,
@@ -271,6 +298,7 @@ class _InlineRun:
         injector: "FaultInjector | None" = None,
         *,
         vectorized: str = "auto",
+        batching: AdaptiveBatchConfig | None = None,
         epochs: EpochConfig | None = None,
         resume: EpochCheckpoint | None = None,
         on_epoch: "OnEpoch | None" = None,
@@ -282,8 +310,18 @@ class _InlineRun:
         self.vectorized = vectorized
         self.epochs = epochs
         self.on_epoch = on_epoch
+        # Adaptive batch sizing only ever adjusts at epoch barriers; an
+        # epoch-less run keeps its lowered sizes.
+        self.controller = (
+            AdaptiveBatchController(spec, batching)
+            if batching is not None
+            else None
+        )
         # runtime.vectorized.{batches,tuples,fallbacks} for this run.
         self.vec = {"batches": 0, "tuples": 0, "fallbacks": 0}
+        # runtime.fusion.{composed_batches,composed_tuples,fallbacks}:
+        # columnar handoffs between fused stages vs. scalar bursts.
+        self.fus = {"composed_batches": 0, "composed_tuples": 0, "fallbacks": 0}
         self.instrumented = registry.enabled
         # Per-task wall-clock: needed for gauges when instrumented, and
         # as the drift detector's Te signal when a barrier observer runs.
@@ -302,7 +340,7 @@ class _InlineRun:
                 edge.producer, edge.consumer, spec.queue_capacity[key]
             )
             self.buffers[key] = OutputBuffer(
-                edge.producer, edge.consumer, spec.batch_size
+                edge.producer, edge.consumer, spec.batch_for(key)
             )
         self.counters: dict[tuple[int, str], int] = defaultdict(int)
         self.done: set[int] = set()  # tasks finished in the current phase
@@ -420,6 +458,17 @@ class _InlineRun:
             )
             for name, value in self.vec.items():
                 self.registry.counter(f"runtime.vectorized.{name}").inc(value)
+            for name, value in self.fus.items():
+                self.registry.counter(f"runtime.fusion.{name}").inc(value)
+            if self.controller is not None:
+                for name, value in self.controller.report().items():
+                    self.registry.counter(f"runtime.batch.{name}").inc(value)
+                for (producer, consumer), size in sorted(
+                    self.spec.edge_batch_size.items()
+                ):
+                    self.registry.gauge(
+                        f"runtime.batch.size.{producer}-{consumer}"
+                    ).set(size)
             if self.epoch_report is not None:
                 report = self.epoch_report
                 self.registry.gauge("runtime.epoch.interval").set(report.interval)
@@ -439,15 +488,26 @@ class _InlineRun:
         run each operator's :meth:`~repro.dsps.operators.Operator.flush`.
         """
         self.done = set()
-        active: list[tuple[int, Iterator[None]]] = [
-            (
-                rt.task_id,
-                self._spout_loop(rt, limit, final)
-                if rt.is_spout
-                else self._operator_loop(rt, final),
-            )
-            for rt in self.spec.tasks
-        ]
+        # Fused chains are re-read from the spec each phase: a live
+        # migration may have re-derived them (refit_fusion), and the
+        # eliminated edges' queues are guaranteed empty at the barrier.
+        by_id = {rt.task_id: rt for rt in self.spec.tasks}
+        chains = {
+            chain[0]: tuple(by_id[tid] for tid in chain)
+            for chain in self.spec.fusion
+        }
+        members = self.spec.fused_member_ids
+        active: list[tuple[int, Iterator[None]]] = []
+        for rt in self.spec.tasks:
+            if rt.task_id in members:
+                continue  # executed inline by its chain head
+            if rt.is_spout:
+                loop = self._spout_loop(rt, limit, final)
+            elif rt.task_id in chains:
+                loop = self._chain_loop(chains[rt.task_id], final)
+            else:
+                loop = self._operator_loop(rt, final)
+            active.append((rt.task_id, loop))
         while active:
             before = self.ticks
             survivors: list[tuple[int, Iterator[None]]] = []
@@ -521,6 +581,17 @@ class _InlineRun:
             }
         )
         self.last_checkpoint = checkpoint
+        if self.controller is not None:
+            # AIMD step over the epoch window; live output buffers pick
+            # the new sizes up immediately, and the spec carries them so
+            # a migration (which rebuilds from the spec) preserves them.
+            changed = self.controller.observe(
+                {key: q.stats for key, q in self.queues.items()}
+            )
+            if changed:
+                self.spec = apply_edge_batches(self.spec, changed)
+                for key, size in changed.items():
+                    self.buffers[key].batch_size = size
         if self.on_epoch is not None:
             commit = EpochCommit(
                 epoch=epoch,
@@ -811,6 +882,191 @@ class _InlineRun:
                 yield from self._route(rt, out)
         yield from self._flush_buffers(rt)
         self.done.add(rt.task_id)
+
+    # ------------------------------------------------------------------
+    # Fused chains: the head executes every stage inline (see
+    # repro.runtime.fusion).  Intermediates never touch a queue; the
+    # chain tail routes through its own (real) out-edges.  Per-stage
+    # stats, fault ticks and histograms match the unfused run exactly,
+    # and a linear chain preserves per-tuple FIFO order, so results are
+    # bit-identical to running the same spec unfused.
+    # ------------------------------------------------------------------
+    def _chain_kernels(self, chain: tuple[TaskRuntime, ...]) -> list:
+        """Per-stage columnar kernels; ``None`` forces the scalar path
+        for that stage (same gates as the unfused columnar fast path)."""
+        if (
+            self.vectorized == "off"
+            or not columns_available()
+            or self.injector is not None
+            or self.instrumented
+        ):
+            return [None] * len(chain)
+        kernels = []
+        for rt in chain:
+            operator = self.instances[rt.task_id]
+            capable = (
+                isinstance(operator, Operator)
+                and not isinstance(operator, Sink)
+                and operator.supports_columns()
+            )
+            kernels.append(operator.process_columns if capable else None)
+        return kernels
+
+    def _chain_loop(
+        self, chain: tuple[TaskRuntime, ...], final: bool
+    ) -> Iterator[None]:
+        head = chain[0]
+        head_op = self.instances[head.task_id]
+        kernels = self._chain_kernels(chain)
+        histograms = [self._histogram(rt) for rt in chain]
+        producers = {edge.producer for edge in head.in_edges}
+        in_queues = [
+            self.queues[(edge.producer, edge.consumer)] for edge in head.in_edges
+        ]
+        while True:
+            if self.injector is not None and any(
+                self.injector.is_stalled(rt.task_id) for rt in chain
+            ):
+                # A stalled stage stalls the whole chain: there is no
+                # queue in front of it to absorb input.
+                yield
+                continue
+            progressed = False
+            for queue in in_queues:
+                while True:
+                    items = queue.drain_tuples()
+                    if not items:
+                        break
+                    progressed = True
+                    self.ticks += 1
+                    if kernels[0] is not None:
+                        batch = ColumnBatch.from_tuples(items)
+                        if batch is not None and (
+                            head_op.column_schemas is not None
+                            and batch.schema not in head_op.column_schemas
+                        ):
+                            batch = None
+                        if batch is not None:
+                            yield from self._chain_columns(
+                                chain, kernels, histograms, 0, batch
+                            )
+                            continue
+                        self.vec["fallbacks"] += 1
+                    for item in items:
+                        yield from self._chain_item(chain, histograms, 0, item)
+            if producers <= self.done:
+                if all(queue.is_empty for queue in in_queues):
+                    break
+                continue
+            if not progressed:
+                yield
+        if final:
+            # Staged flush: stage i's trailing output runs through stages
+            # i+1.. before those flush — exactly the order the unfused
+            # run produces (a downstream operator only flushes once its
+            # producer has flushed and drained).
+            for position, rt in enumerate(chain):
+                operator = self.instances[rt.task_id]
+                stats = self.stats[rt.task_id]
+                for stream, values in operator.flush():
+                    out = StreamTuple(
+                        values=tuple(values), stream=stream, source_task=rt.task_id
+                    )
+                    stats.record_out(stream, out.payload_size_bytes)
+                    if position + 1 == len(chain):
+                        yield from self._route(rt, out)
+                    elif stream == rt.out_edges[0].stream:
+                        yield from self._chain_item(
+                            chain, histograms, position + 1, out
+                        )
+        for rt in chain:
+            yield from self._flush_buffers(rt)
+        for rt in chain:
+            self.done.add(rt.task_id)
+
+    def _chain_item(
+        self,
+        chain: tuple[TaskRuntime, ...],
+        histograms: list,
+        position: int,
+        item: StreamTuple,
+    ) -> Iterator[None]:
+        """Run one tuple through stage ``position`` and onward."""
+        rt = chain[position]
+        operator = self.instances[rt.task_id]
+        stats = self.stats[rt.task_id]
+        stats.tuples_in += 1
+        if self.injector is not None:
+            self._fault_tick(rt)
+            if self.injector.is_stalled(rt.task_id):
+                while True:  # stall mid-chain: never progress again
+                    yield
+        histogram = histograms[position]
+        if histogram is None:
+            emitted = operator.process(item)
+        else:
+            started = perf_counter()
+            emitted = list(operator.process(item))
+            histogram.observe((perf_counter() - started) * 1e9)
+        last = position + 1 == len(chain)
+        for stream, values in emitted:
+            out = item.derive(values, stream=stream, source_task=rt.task_id)
+            stats.record_out(stream, out.payload_size_bytes)
+            if last:
+                yield from self._route(rt, out)
+            elif stream == rt.out_edges[0].stream:
+                yield from self._chain_item(chain, histograms, position + 1, out)
+            # else: emission on a stream with no route — dropped, exactly
+            # as _route drops it in the unfused run.
+
+    def _chain_columns(
+        self,
+        chain: tuple[TaskRuntime, ...],
+        kernels: list,
+        histograms: list,
+        position: int,
+        batch: ColumnBatch,
+    ) -> Iterator[None]:
+        """Run one columnar batch through stage ``position`` and onward,
+        keeping it columnar across stages whenever the next kernel
+        negotiates the intermediate schema."""
+        rt = chain[position]
+        stats = self.stats[rt.task_id]
+        stats.tuples_in += len(batch)
+        self.vec["batches"] += 1
+        self.vec["tuples"] += len(batch)
+        if position:
+            # A composed handoff: this batch reached the stage without
+            # ever materializing as tuples or touching a queue.
+            self.fus["composed_batches"] += 1
+            self.fus["composed_tuples"] += len(batch)
+        last = position + 1 == len(chain)
+        for out in kernels[position](batch):
+            if len(out) == 0:
+                continue
+            out.stamp_from(batch, rt.task_id)
+            stats.record_out_many(out.stream, len(out), out.payload_bytes())
+            if last:
+                for item in out.to_tuples():
+                    yield from self._route(rt, item)
+                continue
+            if out.stream != rt.out_edges[0].stream:
+                continue  # unrouted stream, dropped as in the scalar path
+            next_op = self.instances[chain[position + 1].task_id]
+            kernel = kernels[position + 1]
+            schemas = next_op.column_schemas
+            if kernel is not None and (schemas is None or out.schema in schemas):
+                yield from self._chain_columns(
+                    chain, kernels, histograms, position + 1, out
+                )
+            else:
+                if kernel is not None:
+                    self.vec["fallbacks"] += 1
+                self.fus["fallbacks"] += 1
+                for item in out.to_tuples():
+                    yield from self._chain_item(
+                        chain, histograms, position + 1, item
+                    )
 
     # ------------------------------------------------------------------
     # Routing

@@ -114,6 +114,30 @@ class RuntimeSpec:
     #: the producing operators' ``declared_fields`` hints; seeds the data
     #: plane's binary codec so edge schemas need no runtime inference.
     edge_schemas: Mapping[tuple[int, int], str] = field(default_factory=dict)
+    #: Fused task chains, head first: every intra-chain edge is executed
+    #: inline by the chain head instead of through a queue.  Task ids stay
+    #: stable — constituents keep their instances, stats and state, so
+    #: epochs, migration and parity checks are unaffected by fusion (see
+    #: :mod:`repro.runtime.fusion`).
+    fusion: tuple[tuple[int, ...], ...] = ()
+    #: The `--fuse` mode that produced :attr:`fusion` ("off" when unfused);
+    #: replans re-derive chains under this mode.
+    fuse_mode: str = "off"
+    #: Per-edge jumbo batch size overrides (adaptive batching); edges not
+    #: listed use the global :attr:`batch_size`.
+    edge_batch_size: Mapping[tuple[int, int], int] = field(default_factory=dict)
+
+    def batch_for(self, key: tuple[int, int]) -> int:
+        """Jumbo batch size for one (producer, consumer) task edge."""
+        return self.edge_batch_size.get(key, self.batch_size)
+
+    @property
+    def fused_member_ids(self) -> frozenset[int]:
+        """Task ids executed inline by a chain head (everything after the
+        head of each fused chain)."""
+        return frozenset(
+            tid for chain in self.fusion for tid in chain[1:]
+        )
 
     def runtime_of(self, task_id: int) -> TaskRuntime:
         for rt in self.tasks:
@@ -317,6 +341,33 @@ def lower_plan(
         queue_budget=queue_budget,
         placement=plan.placement,
     )
+
+
+def apply_edge_batches(
+    spec: RuntimeSpec, sizes: Mapping[tuple[int, int], int]
+) -> RuntimeSpec:
+    """Return ``spec`` with per-edge jumbo batch sizes, validated.
+
+    Every override must name a real edge, be at least one tuple, and fit
+    inside the edge's queue capacity (a sealed batch must always be
+    admissible) — the bound the adaptive controller clamps against.
+    """
+    from dataclasses import replace as dc_replace
+
+    merged = dict(spec.edge_batch_size)
+    merged.update(sizes)
+    for key, size in merged.items():
+        if key not in spec.queue_capacity:
+            raise PlanError(f"batch override names unknown edge {key}")
+        if size < 1:
+            raise PlanError(f"batch size for edge {key} must be >= 1, got {size}")
+        capacity = spec.queue_capacity[key]
+        if capacity is not None and size > capacity:
+            raise PlanError(
+                f"batch size {size} for edge {key} exceeds its queue "
+                f"capacity {capacity}"
+            )
+    return dc_replace(spec, edge_batch_size=merged)
 
 
 def instantiate_tasks(spec: RuntimeSpec) -> dict[int, Spout | Operator]:

@@ -105,8 +105,14 @@ from repro.runtime.epochs import (
     EpochConfig,
     EpochReport,
 )
+from repro.runtime.batching import AdaptiveBatchConfig, AdaptiveBatchController
 from repro.runtime.faults import FaultInjector, merge_fault_summaries
-from repro.runtime.lowering import RuntimeSpec, TaskRuntime, instantiate_task
+from repro.runtime.lowering import (
+    RuntimeSpec,
+    TaskRuntime,
+    apply_edge_batches,
+    instantiate_task,
+)
 from repro.runtime.results import RunResult, TaskStats
 
 if TYPE_CHECKING:
@@ -144,6 +150,14 @@ _VECTORIZED_COUNTERS = (
     "vectorized_batches",
     "vectorized_tuples",
     "vectorized_fallbacks",
+)
+
+#: Worker-side metric keys summed into ``runtime.fusion.{composed_batches,
+#: composed_tuples,fallbacks}`` registry counters by the parent merge.
+_FUSION_COUNTERS = (
+    "fusion_composed_batches",
+    "fusion_composed_tuples",
+    "fusion_fallbacks",
 )
 
 #: Worker-side error kinds mapped back to typed exceptions in the parent.
@@ -202,6 +216,13 @@ class ProcessPoolBackend(ExecutorBackend):
         through per batch otherwise), ``"on"`` (fail if numpy is
         missing) or ``"off"`` (scalar execution only).  See
         docs/vectorized.md.
+    batching:
+        Optional :class:`~repro.runtime.batching.AdaptiveBatchConfig`
+        enabling the per-edge AIMD batch-size controller.  Adjustments
+        happen only at epoch barriers (one AIMD step per slice, fed by
+        that slice's per-edge queue statistics and worker pressure
+        signals), so runs without an :class:`EpochConfig` keep their
+        configured sizes.  See docs/fusion.md.
     """
 
     name = "process"
@@ -218,6 +239,7 @@ class ProcessPoolBackend(ExecutorBackend):
         dataplane: str = "pickle",
         ring_bytes: int = DEFAULT_RING_BYTES,
         vectorized: str = "auto",
+        batching: AdaptiveBatchConfig | None = None,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ExecutionError(f"n_workers must be >= 1, got {n_workers}")
@@ -250,6 +272,7 @@ class ProcessPoolBackend(ExecutorBackend):
         self.dataplane = dataplane
         self.ring_bytes = ring_bytes
         self.vectorized = vectorized
+        self.batching = batching
 
     # ------------------------------------------------------------------
     # Parent side
@@ -277,6 +300,15 @@ class ProcessPoolBackend(ExecutorBackend):
                 for task_id in groups[socket]:
                     owner[task_id] = position % n
                     position += 1
+        # A fused chain executes inline in its head's scheduling loop, so
+        # every constituent must live in the head's process.  Chains only
+        # span one socket (plan_fusion's eligibility rule), so this never
+        # fights the socket partitioning above — it only overrides the
+        # round-robin spread.
+        for chain in spec.fusion:
+            head_owner = owner[chain[0]]
+            for task_id in chain[1:]:
+                owner[task_id] = head_owner
         return n, owner
 
     def _sockets_of_workers(
@@ -437,6 +469,11 @@ class ProcessPoolBackend(ExecutorBackend):
             epoch = resume.epoch + 1
         fault_summaries: list[dict[str, float]] = []
         exhausted: set[int] = set()
+        controller = (
+            AdaptiveBatchController(spec, self.batching)
+            if self.batching is not None
+            else None
+        )
         while True:
             limit = min(max_events, (epoch + 1) * epochs.interval)
             final = limit >= max_events or exhausted >= spout_ids
@@ -471,6 +508,38 @@ class ProcessPoolBackend(ExecutorBackend):
                 summary = outcome[6].get("fault_summary")
                 if summary:
                     fault_summaries.append(summary)
+            if controller is not None:
+                # One AIMD step per slice.  Worker pools are fresh each
+                # slice, so the per-edge QueueStats they report *are* the
+                # window deltas the controller wants.  Pressure beyond
+                # blocked_batches: a worker that stalled on its shm ring
+                # or blocked on remote sends marks all its remote
+                # out-edges as pressured (the transport does not say
+                # which edge, so all of that worker's candidates shrink).
+                _, slice_owner = self._assign(spec)
+                window: dict[tuple[int, int], tuple[int, int, int]] = {}
+                pressure: set[tuple[int, int]] = set()
+                for outcome in outcomes:
+                    for key, st in outcome[5].items():
+                        window[key] = (
+                            st.enqueued_batches,
+                            st.enqueued_tuples,
+                            st.blocked_batches,
+                        )
+                    worker_id = outcome[1]
+                    metrics_blob = outcome[6]
+                    if metrics_blob.get("ring_full_blocks", 0) or metrics_blob.get(
+                        "send_blocks", 0
+                    ):
+                        for rt in spec.tasks:
+                            if slice_owner.get(rt.task_id) != worker_id:
+                                continue
+                            for edge in rt.out_edges:
+                                if slice_owner.get(edge.consumer) != worker_id:
+                                    pressure.add((edge.producer, edge.consumer))
+                changed = controller.observe_window(window, pressure)
+                if changed and not final:
+                    spec = apply_edge_batches(spec, changed)
             if final:
                 result = self._merge(spec, registry, n_workers, outcomes)
                 result.events_ingested = sum(spout_produced.values())
@@ -490,6 +559,13 @@ class ProcessPoolBackend(ExecutorBackend):
                     registry.gauge("runtime.epoch.snapshot_bytes").set(
                         report.snapshot_bytes
                     )
+                    if controller is not None:
+                        for name, value in controller.report().items():
+                            registry.counter(f"runtime.batch.{name}").inc(value)
+                        for (p, c), size in spec.edge_batch_size.items():
+                            registry.gauge(f"runtime.batch.size.{p}-{c}").set(
+                                size
+                            )
                 return result
             started = perf_counter()
             checkpoint = EpochCheckpoint.capture(
@@ -742,6 +818,7 @@ class ProcessPoolBackend(ExecutorBackend):
                     "pickled_bytes_out",
                     *dataplane_counters,
                     *_VECTORIZED_COUNTERS,
+                    *_FUSION_COUNTERS,
                 ):
                     totals[key] += metrics.get(key, 0.0)
             registry.counter("runtime.run.pickled_bytes").inc(
@@ -752,6 +829,11 @@ class ProcessPoolBackend(ExecutorBackend):
             for key in _VECTORIZED_COUNTERS:
                 name = key.removeprefix("vectorized_")
                 registry.counter(f"runtime.vectorized.{name}").inc(
+                    int(totals[key])
+                )
+            for key in _FUSION_COUNTERS:
+                name = key.removeprefix("fusion_")
+                registry.counter(f"runtime.fusion.{name}").inc(
                     int(totals[key])
                 )
             # Total payload bytes the run moved between workers, whatever
@@ -902,7 +984,9 @@ class _Worker:
         }
         self.buffers = {
             (edge.producer, edge.consumer): OutputBuffer(
-                edge.producer, edge.consumer, spec.batch_size
+                edge.producer,
+                edge.consumer,
+                spec.batch_for((edge.producer, edge.consumer)),
             )
             for rt in self.mine
             for edge in rt.out_edges
@@ -947,6 +1031,16 @@ class _Worker:
         self.rt_by_id: dict[int, TaskRuntime] = {
             rt.task_id: rt for rt in spec.tasks
         }
+        # Fused chains (repro.runtime.fusion): the head runs every stage
+        # inline, so _assign colocated all constituents on this worker.
+        # Members are skipped by the scheduling loops — their intra-chain
+        # edges stay idle and their instances/stats/state are driven by
+        # the head's chain execution.
+        self.chains: dict[int, tuple[TaskRuntime, ...]] = {
+            chain[0]: tuple(self.rt_by_id[tid] for tid in chain)
+            for chain in spec.fusion
+        }
+        self.fused_members: frozenset[int] = spec.fused_member_ids
         # Batch fast path: operators that override process_batch, used
         # only when no injector is armed (fault ticks are per-tuple).
         self.batch_ops: dict[int, Any] = (
@@ -1360,7 +1454,9 @@ class _Worker:
                 sealed = self.buffers[(rt.task_id, consumer)].flush()
                 if sealed is not None:
                     self._dispatch(rt.task_id, consumer, sealed.tuples)
-                for chunk in out.chunks(self.spec.batch_size):
+                for chunk in out.chunks(
+                    self.spec.batch_for((rt.task_id, consumer))
+                ):
                     self._dispatch_columns(rt.task_id, consumer, chunk)
             else:
                 if burst is None:
@@ -1454,6 +1550,10 @@ class _Worker:
         key, payload = entry
         self.edge_depth[key] -= len(payload)
         self.edge_stats[key].dequeued_tuples += len(payload)
+        chain = self.chains.get(consumer)
+        if chain is not None:
+            self._process_chain(chain, payload)
+            return True
         stats = self.stats[consumer]
         kernel = self.column_ops.get(consumer)
         if kernel is not None:
@@ -1523,10 +1623,153 @@ class _Worker:
             stats.record_out_many(out.stream, len(out), out.payload_bytes())
             self._route_columns(rt, out)
 
+    # ------------------------------------------------------------------
+    # Fused chains (same discipline as the inline backend): the head
+    # executes every stage in place, per-stage stats and fault ticks
+    # match the unfused run, intermediates never touch a queue, and the
+    # tail routes through its real out-edges.  Mid-chain emissions whose
+    # stream is not the intra-chain edge's stream are dropped exactly as
+    # the unfused _route would drop them (no matching route).
+    # ------------------------------------------------------------------
+    def _process_chain(
+        self, chain: tuple[TaskRuntime, ...], payload: Any
+    ) -> None:
+        head_id = chain[0].task_id
+        kernel = self.column_ops.get(head_id)
+        if kernel is not None:
+            batch = (
+                payload
+                if isinstance(payload, ColumnBatch)
+                else ColumnBatch.from_tuples(payload)
+            )
+            schemas = self.column_schemas[head_id]
+            if batch is not None and (
+                schemas is not None and batch.schema not in schemas
+            ):
+                batch = None
+            if batch is not None:
+                self._chain_columns(chain, 0, batch)
+                return
+            self.metrics["vectorized_fallbacks"] += 1
+        elif head_id in self.column_capable:
+            self.metrics["vectorized_fallbacks"] += 1
+        tuples = (
+            payload.to_tuples() if isinstance(payload, ColumnBatch) else payload
+        )
+        for item in tuples:
+            self._chain_item(chain, 0, item)
+
+    def _chain_item(
+        self, chain: tuple[TaskRuntime, ...], position: int, item: StreamTuple
+    ) -> None:
+        """Run ``item`` through the chain from ``position`` (scalar)."""
+        rt = chain[position]
+        stats = self.stats[rt.task_id]
+        stats.tuples_in += 1
+        if self.injector is not None:
+            self._fault_tick(rt.task_id)
+        operator = self.instances[rt.task_id]
+        assert isinstance(operator, Operator)
+        last = position == len(chain) - 1
+        chain_stream = None if last else rt.out_edges[0].stream
+        for stream, values in operator.process(item):
+            out = item.derive(values, stream=stream, source_task=rt.task_id)
+            stats.record_out(stream, out.payload_size_bytes)
+            if last:
+                self._route(rt, out)
+            elif stream == chain_stream:
+                self._chain_item(chain, position + 1, out)
+
+    def _chain_columns(
+        self,
+        chain: tuple[TaskRuntime, ...],
+        position: int,
+        batch: "ColumnBatch",
+    ) -> None:
+        """Run ``batch`` through the chain from ``position`` (columnar).
+
+        Composed stages hand the output batch to the next kernel without
+        materializing tuples; a stage whose successor has no kernel (or
+        did not negotiate the batch's schema) bursts to tuples and
+        continues scalar from there — counted in ``fusion_fallbacks``.
+        """
+        rt = chain[position]
+        stats = self.stats[rt.task_id]
+        n = len(batch)
+        stats.tuples_in += n
+        self.metrics["vectorized_batches"] += 1
+        self.metrics["vectorized_tuples"] += n
+        if position:
+            self.metrics["fusion_composed_batches"] += 1
+            self.metrics["fusion_composed_tuples"] += n
+        kernel = self.column_ops[rt.task_id]
+        last = position == len(chain) - 1
+        chain_stream = None if last else rt.out_edges[0].stream
+        for out in kernel(batch) or ():
+            if len(out) == 0:
+                continue
+            out.stamp_from(batch, rt.task_id)
+            stats.record_out_many(out.stream, len(out), out.payload_bytes())
+            if last:
+                self._route_columns(rt, out)
+                continue
+            if out.stream != chain_stream:
+                continue  # no matching route in the unfused run either
+            next_id = chain[position + 1].task_id
+            next_kernel = self.column_ops.get(next_id)
+            schemas = (
+                self.column_schemas[next_id]
+                if next_kernel is not None
+                else None
+            )
+            if next_kernel is not None and (
+                schemas is None or out.schema in schemas
+            ):
+                self._chain_columns(chain, position + 1, out)
+            else:
+                if next_id in self.column_capable:
+                    self.metrics["vectorized_fallbacks"] += 1
+                self.metrics["fusion_fallbacks"] += 1
+                for item in out.to_tuples():
+                    self._chain_item(chain, position + 1, item)
+
+    def _complete_chain(self, chain: tuple[TaskRuntime, ...]) -> None:
+        """Finish a fused chain whose head's inputs reached EOF.
+
+        Each stage's ``flush()`` feeds the remainder of the chain before
+        the next stage flushes — the same order EOF propagation produces
+        in the unfused run — then every constituent flushes its output
+        buffers and sends EOF downstream, head first.
+        """
+        if self.slice_final:
+            for position, rt in enumerate(chain):
+                operator = self.instances[rt.task_id]
+                assert isinstance(operator, Operator)
+                stats = self.stats[rt.task_id]
+                last = position == len(chain) - 1
+                chain_stream = None if last else rt.out_edges[0].stream
+                for stream, values in operator.flush():
+                    out = StreamTuple(
+                        values=tuple(values),
+                        stream=stream,
+                        source_task=rt.task_id,
+                    )
+                    stats.record_out(stream, out.payload_size_bytes)
+                    if last:
+                        self._route(rt, out)
+                    elif stream == chain_stream:
+                        self._chain_item(chain, position + 1, out)
+        for rt in chain:
+            self._flush_task(rt)
+
     def _step_process(self, quantum: int) -> int:
         progress = 0
         for rt in self.mine:
-            if rt.is_spout or rt.task_id in self.completed:
+            if (
+                rt.is_spout
+                or rt.task_id in self.completed
+                or rt.task_id in self.fused_members
+            ):
                 continue
             for _ in range(quantum):
                 if not self._process_one(rt.task_id):
@@ -1537,7 +1780,11 @@ class _Worker:
     def _complete_ready(self) -> int:
         progress = 0
         for rt in self.mine:
-            if rt.is_spout or rt.task_id in self.completed:
+            if (
+                rt.is_spout
+                or rt.task_id in self.completed
+                or rt.task_id in self.fused_members
+            ):
                 continue
             live = False
             for edge in rt.in_edges:
@@ -1546,6 +1793,11 @@ class _Worker:
                     live = True
                     break
             if live:
+                continue
+            chain = self.chains.get(rt.task_id)
+            if chain is not None:
+                self._complete_chain(chain)
+                progress += 1
                 continue
             operator = self.instances[rt.task_id]
             assert isinstance(operator, Operator)

@@ -364,8 +364,14 @@ class ReconfigController:
             dc_replace(rt, socket=target.get(rt.task_id, rt.socket))
             for rt in spec.tasks
         )
+        # Re-derive fused chains under the new placement: a chain whose
+        # members drifted onto different sockets dissolves back into its
+        # queued edges, and newly co-located pairs fuse (no-op when the
+        # run started with fusion off).
+        from repro.runtime.fusion import refit_fusion
+
         return Migration(
-            spec=dc_replace(spec, tasks=new_tasks),
+            spec=refit_fusion(dc_replace(spec, tasks=new_tasks)),
             moved=moved,
             detail=detail,
         )

@@ -31,7 +31,8 @@ from repro.apps.linear_road import (
     TollNotifier,
 )
 from repro.apps.spike_detection import MovingAverage, SpikeDetector, SpikeSink
-from repro.apps.wordcount import Counter, WordCountSink
+from repro.apps.wordcount import Counter, Splitter, WordCountSink
+from repro.core.fusion import FusedOperator
 from repro.dsps import Sink
 from repro.dsps.tuples import StreamTuple
 from repro.runtime import check_serializable
@@ -142,6 +143,20 @@ CASES = {
     ),
     "lr-sink": (lambda: LinearRoadSink(keep_samples=4), segment_stat_tuples),
     "base-sink": (lambda: Sink(keep_samples=4), word_tuples),
+    # Fused chains delegate snapshot/restore to every constituent, so a
+    # fused stateful pair must satisfy the same round-trip law (runtime
+    # fusion keeps per-task snapshots; core fuse() rewrites share this).
+    "fused-splitter-counter": (
+        lambda: FusedOperator(Splitter(), Counter()),
+        st.builds(
+            lambda words: StreamTuple(values=(" ".join(words),)),
+            st.lists(_WORDS, min_size=1, max_size=5),
+        ),
+    ),
+    "fused-average-detector": (
+        lambda: FusedOperator(MovingAverage(), SpikeDetector()),
+        reading_tuples,
+    ),
 }
 
 

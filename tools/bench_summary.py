@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Aggregate benchmarks/results/BENCH_*.json into one trajectory table.
+
+Each runtime benchmark drops a machine-readable report next to its text
+table (docs/metrics.md): provenance (git sha, timestamp, scale) plus the
+run's headline numbers.  This tool folds every ``BENCH_*.json`` found
+under ``benchmarks/results/`` into a single table — one row per
+artefact — so a CI run (or a local sweep) shows the whole performance
+trajectory at a glance instead of N disconnected files.
+
+Stdlib only, so CI can run it before installing anything.
+
+Usage::
+
+    python tools/bench_summary.py                 # table to stdout
+    python tools/bench_summary.py --json out.json # plus combined JSON
+    python tools/bench_summary.py --results DIR   # non-default directory
+
+Exits 0 when at least one artefact was found (or ``--allow-empty`` is
+passed), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_RESULTS = REPO_ROOT / "benchmarks" / "results"
+
+
+def _fmt_rate(value: float | None) -> str:
+    return f"{value:,.0f}" if value is not None else "-"
+
+
+def _fmt_speedup(value: float | None) -> str:
+    return f"{value:.2f}x" if value is not None else "-"
+
+
+def _headline(name: str, data: dict) -> tuple[str | None, str]:
+    """(throughput cell, headline text) for one artefact's data blob.
+
+    Known artefacts get a curated headline; unknown ones fall back to
+    whatever generic keys (``speedup``, ``tuples_per_s``) they expose, so
+    future benchmarks appear in the trajectory without touching this
+    tool.
+    """
+    if name == "BENCH_fusion":
+        fused = data.get("fused", {})
+        return (
+            _fmt_rate(fused.get("tuples_per_s")),
+            f"fusion+adaptive {_fmt_speedup(data.get('speedup'))} vs unfused "
+            f"({fused.get('fusion', {}).get('composed_batches', 0):,} composed batches)",
+        )
+    if name == "BENCH_vectorized":
+        vec = data.get("vectorized", {})
+        return (
+            _fmt_rate(vec.get("tuples_per_s")),
+            f"kernels {_fmt_speedup(data.get('speedup'))} vs scalar "
+            f"({vec.get('vectorized', {}).get('batches', 0):,} kernel batches)",
+        )
+    if name == "BENCH_dataplane":
+        shm = data.get("shm", {})
+        return (
+            _fmt_rate(shm.get("tuples_per_s")),
+            f"shm {_fmt_speedup(data.get('speedup'))} vs pickle",
+        )
+    if name == "BENCH_reconfig":
+        overhead = data.get("barrier_overhead")
+        pause_ms = (data.get("migration_pause_ns") or 0) / 1e6
+        return (
+            None,
+            f"{data.get('epochs_committed', 0)} epochs, "
+            f"{overhead * 100:.1f}% barrier overhead, "
+            f"{data.get('migrations', 0)} migration(s) ({pause_ms:.1f} ms pause)"
+            if overhead is not None
+            else f"{data.get('migrations', 0)} migration(s)",
+        )
+    if name == "BENCH_optimizer":
+        rows = data.get("rows") or []
+        matched = sum(1 for row in rows if row.get("throughput_match"))
+        return None, f"{matched}/{len(rows)} plans match brute-force throughput"
+    # Generic fallback: surface whatever common keys exist.
+    parts = []
+    if isinstance(data.get("speedup"), (int, float)):
+        parts.append(f"speedup {_fmt_speedup(data['speedup'])}")
+    throughput = None
+    for blob in data.values():
+        if isinstance(blob, dict) and "tuples_per_s" in blob:
+            throughput = blob["tuples_per_s"]
+    return _fmt_rate(throughput) if throughput else None, "; ".join(parts) or "-"
+
+
+def load_rows(results_dir: Path) -> list[dict]:
+    rows = []
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        try:
+            report = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: skipping unreadable {path.name}: {exc}", file=sys.stderr)
+            continue
+        meta = (report.get("meta") or {}).get("bench_meta") or {}
+        data = report.get("data") or {}
+        throughput, headline = _headline(report.get("name", path.stem), data)
+        rows.append(
+            {
+                "artefact": report.get("name", path.stem),
+                "git_sha": (meta.get("git_sha") or "unknown")[:10],
+                "timestamp": (meta.get("timestamp") or "")[:19],
+                "scale": meta.get("scale", "-"),
+                "tuples_per_s": throughput,
+                "headline": headline,
+                "data": data,
+            }
+        )
+    return rows
+
+
+def format_table(rows: list[dict]) -> str:
+    headers = ["artefact", "commit", "when (UTC)", "scale", "tuples/s", "headline"]
+    table = [
+        [
+            row["artefact"],
+            row["git_sha"],
+            row["timestamp"],
+            row["scale"],
+            row["tuples_per_s"] or "-",
+            row["headline"],
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in table)) if table else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for r in table:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(r))).rstrip())
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results",
+        type=Path,
+        default=DEFAULT_RESULTS,
+        help="directory holding BENCH_*.json artefacts",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="also write the combined rows as JSON to this path",
+    )
+    parser.add_argument(
+        "--allow-empty",
+        action="store_true",
+        help="exit 0 even when no artefacts are present",
+    )
+    args = parser.parse_args(argv)
+
+    rows = load_rows(args.results)
+    if not rows:
+        print(f"no BENCH_*.json artefacts under {args.results}")
+        return 0 if args.allow_empty else 1
+
+    print(f"Benchmark trajectory — {len(rows)} artefact(s) from {args.results}\n")
+    print(format_table(rows))
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps({"artefacts": rows}, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"\ncombined JSON written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
