@@ -1,0 +1,140 @@
+"""Overload-control cost/benefit: goodput and p99 lag with and without
+shedding, recorded in ``BENCH_overload.json`` (docs/overload.md).
+
+Three interleaved runs of the same overdriven WC dataflow (tight queues
+against the 10x splitter fan-out, pressure subsiding after a mid-stream
+shift to 2-word sentences — the deterministic recipe of
+``tests/test_runtime_overload.py``):
+
+* **baseline** — no overload control at all: producers block on the
+  bounded queues until the pressure subsides;
+* **observe** — overload armed (``max_lag_ms``) but ``shed off``: the
+  ladder may shrink batches and throttle, but every tuple is delivered;
+* **shed** — full ladder with seeded random shedding at 50%.
+
+The benchmark asserts the shape, not absolute numbers: the shed run
+must actually shed (and account for it), complete without a watchdog
+kill, stay within its lag SLO, and give up deliveries in exchange —
+``accuracy_loss`` strictly positive, sink volume strictly below the
+observe run's.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.apps.wordcount import build_wordcount
+from repro.dsps.engine import LocalEngine
+from repro.metrics import format_table
+from repro.runtime import OverloadConfig
+
+from support import QUICK, write_result
+
+EVENTS = 2_000 if QUICK else 6_000
+INTERVAL = 100
+SLO_MS = 60_000.0
+SHED_RATE = 0.5
+
+
+def _engine(overload):
+    topology = build_wordcount(shift_at=600, shift_words_per_sentence=2)
+    return LocalEngine(
+        topology,
+        replication={
+            "spout": 1,
+            "parser": 2,
+            "splitter": 2,
+            "counter": 2,
+            "sink": 1,
+        },
+        queue_capacity=28,
+        batch_size=8,
+        epoch_interval=INTERVAL,
+        overload=overload,
+    )
+
+
+def _run(overload):
+    engine = _engine(overload)
+    started = perf_counter()
+    result = engine.run(EVENTS)
+    wall_s = perf_counter() - started
+    report = result.overload
+    return {
+        "wall_s": wall_s,
+        "sink_received": result.sink_received(),
+        "tuples_per_s": result.sink_received() / wall_s,
+        "p99_lag_ms": report.p99_lag_ms() if report else None,
+        "peak_rung": report.peak_rung if report else None,
+        "shed_tuples": report.shed if report else 0,
+        "offered": report.offered if report else 0,
+        "accuracy_loss": report.accuracy_loss() if report else 0.0,
+        "throttled_epochs": report.throttled_epochs if report else 0,
+        "result": result,
+    }
+
+
+def _experiment():
+    runs = {
+        "baseline": _run(None),
+        "observe": _run(OverloadConfig(max_lag_ms=SLO_MS, shed_mode="off")),
+        "shed": _run(
+            OverloadConfig(
+                max_lag_ms=SLO_MS,
+                shed_mode="random",
+                shed_rate=SHED_RATE,
+                shed_seed=3,
+            )
+        ),
+    }
+    return runs
+
+
+def test_overload_goodput_and_lag(benchmark):
+    runs = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    baseline, observe, shed = runs["baseline"], runs["observe"], runs["shed"]
+
+    rows = [
+        [
+            name,
+            run["sink_received"],
+            round(run["wall_s"] * 1e3, 1),
+            round(run["tuples_per_s"]),
+            "-" if run["p99_lag_ms"] is None else round(run["p99_lag_ms"], 1),
+            run["shed_tuples"],
+        ]
+        for name, run in runs.items()
+    ]
+    write_result(
+        "BENCH_overload",
+        format_table(
+            ["configuration", "delivered", "ms", "goodput/s", "p99 lag ms", "shed"],
+            rows,
+            title=f"Overload control — overdriven WC, {EVENTS} events, SLO {SLO_MS:.0f} ms",
+        ),
+        data={
+            "events": EVENTS,
+            "interval": INTERVAL,
+            "max_lag_ms": SLO_MS,
+            "shed_rate": SHED_RATE,
+            **{
+                name: {k: v for k, v in run.items() if k != "result"}
+                for name, run in runs.items()
+            },
+        },
+        server="A",
+        sockets=4,
+    )
+
+    # Observe-only delivers everything the baseline does, bit-identical.
+    assert observe["sink_received"] == baseline["sink_received"]
+    assert observe["shed_tuples"] == 0
+
+    # The shed run actually sheds, accounts for it, and trades
+    # deliveries for staying within its SLO.
+    assert shed["result"].events_ingested == EVENTS  # completed, not killed
+    assert 0 < shed["shed_tuples"] <= shed["offered"]
+    assert shed["accuracy_loss"] > 0
+    assert shed["sink_received"] < observe["sink_received"]
+    assert shed["p99_lag_ms"] <= SLO_MS
+    assert observe["p99_lag_ms"] <= SLO_MS

@@ -67,6 +67,17 @@ class TransactionSpout(Spout):
         for _ in range(max_tuples):
             yield next(self._source)
 
+    def sheddable(self, item: StreamTuple) -> bool:
+        """Routine traces may be shed under overload (``--shed semantic``).
+
+        Any trace touching a high-value state must reach the predictor —
+        those are the records the fraud model exists for — so semantic
+        shedding preserves fraud recall and only trades away routine
+        low/mid activity.
+        """
+        trace = item.values[1]
+        return "high" not in trace and "max" not in trace
+
 
 class TransactionParser(Operator):
     """Validates records; drops tuples with empty entity or trace."""

@@ -26,11 +26,13 @@ from repro.runtime import (
     DATAPLANE_NAMES,
     FUSE_MODES,
     RECOVERY_POLICIES,
+    SHED_MODES,
     VECTORIZED_MODES,
     AdaptiveBatchConfig,
     DegradeContext,
     FaultPlan,
     FusionConfig,
+    OverloadConfig,
     ProcessPoolBackend,
     ReconfigController,
 )
@@ -106,6 +108,23 @@ def cmd_machines(args: argparse.Namespace) -> int:
     return 0
 
 
+def _overload_config(args: argparse.Namespace) -> OverloadConfig | None:
+    """Build cmd_run's overload config from ``--max-lag-ms``/``--shed``.
+
+    Overload control is armed when either knob departs from its inert
+    default; with both at rest the run carries no overload machinery at
+    all, preserving pre-overload behavior bit for bit.
+    """
+    if args.max_lag_ms is None and args.shed == "off":
+        return None
+    return OverloadConfig(
+        max_lag_ms=args.max_lag_ms,
+        shed_mode=args.shed,
+        shed_rate=args.shed_rate,
+        shed_seed=args.shed_seed,
+    )
+
+
 def _run_backend(args: argparse.Namespace):
     """Resolve cmd_run's backend, applying the watchdog override."""
     if args.backend == "process" and args.watchdog_timeout is not None:
@@ -117,6 +136,7 @@ def _run_backend(args: argparse.Namespace):
             batching=(
                 AdaptiveBatchConfig() if args.adaptive_batch else None
             ),
+            overload=_overload_config(args),
         )
     return args.backend
 
@@ -143,12 +163,14 @@ def _recovery_data(recovery, fault_summary) -> dict:
 
 
 def _run_data(result) -> dict:
-    """Full run-report payload: recovery + epoch + reconfiguration layers."""
+    """Full run-report payload: recovery + epoch + reconfig + overload."""
     data = _recovery_data(result.recovery, result.fault_summary)
     if result.epochs is not None:
         data["epochs"] = result.epochs.to_dict()
     if result.reconfig is not None:
         data["reconfig"] = result.reconfig.to_dict()
+    if result.overload is not None:
+        data["overload"] = result.overload.to_dict()
     return data
 
 
@@ -235,6 +257,36 @@ def _print_reconfig(result) -> None:
         print(line)
 
 
+def _print_overload(result) -> None:
+    report = getattr(result, "overload", None)
+    if report is None:
+        return
+    slo = "none" if report.max_lag_ms is None else f"{report.max_lag_ms:g}ms"
+    print(
+        f"overload [slo {slo}, shed {report.shed_mode}]: "
+        f"epochs={report.epochs} pressured={report.pressured_epochs} "
+        f"slo_violations={report.slo_violations} "
+        f"peak_rung={report.peak_rung} p99_lag_ms={report.p99_lag_ms():.2f}"
+    )
+    if report.offered:
+        print(
+            f"  shed {report.shed}/{report.offered} offered tuples "
+            f"({report.accuracy_loss():.1%} accuracy loss), "
+            f"{report.protected} protected"
+        )
+    if report.throttled_epochs:
+        print(
+            f"  throttled {report.throttled_epochs} epochs "
+            f"({report.tokens_denied} admissions deferred), "
+            f"replans_requested={report.replans_requested}"
+        )
+    for event in report.timeline:
+        print(
+            f"  epoch {event['epoch']}: {event['kind']} -> "
+            f"{event['rung']} ({event['reason']})"
+        )
+
+
 def _print_recovery(recovery) -> None:
     if recovery is None:
         return
@@ -281,6 +333,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             epoch_interval=args.epoch_interval,
             fuse=_run_fusion(args, profiles),
             adaptive_batch=args.adaptive_batch or None,
+            overload=_overload_config(args),
         )
         if args.adapt:
             plan, controller = _adapt_setup(args, topology, profiles, registry)
@@ -344,6 +397,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"sink received: {result.sink_received()} tuples")
     _print_epochs(result)
     _print_reconfig(result)
+    _print_overload(result)
     _print_recovery(result.recovery)
     _emit(
         args,
@@ -361,6 +415,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             "topology": topology.name,
             "epoch_interval": args.epoch_interval,
             "adapt": bool(args.adapt),
+            "max_lag_ms": args.max_lag_ms,
+            "shed": args.shed,
         },
         data=_run_data(result),
     )
@@ -557,6 +613,40 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="W",
         help="WC only: words per sentence after the shift point",
+    )
+    run.add_argument(
+        "--max-lag-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "end-to-end tuple-lag SLO in milliseconds; arms overload "
+            "control (requires --epoch-interval; see docs/overload.md)"
+        ),
+    )
+    run.add_argument(
+        "--shed",
+        choices=SHED_MODES,
+        default="off",
+        help=(
+            "graceful load shedding under overload: off (never drop), "
+            "random (seeded deterministic sampling) or semantic (only "
+            "tuples the spout's sheddable() predicate blesses; see "
+            "docs/overload.md)"
+        ),
+    )
+    run.add_argument(
+        "--shed-rate",
+        type=float,
+        default=0.5,
+        metavar="F",
+        help="fraction of eligible tuples dropped while shedding is active",
+    )
+    run.add_argument(
+        "--shed-seed",
+        type=int,
+        default=1,
+        help="seed for the deterministic shedding hash",
     )
     run.add_argument(
         "--inject-faults",

@@ -33,6 +33,7 @@ from repro.runtime.epochs import EpochConfig
 from repro.runtime.faults import FaultPlan
 from repro.runtime.fusion import FusionConfig, as_fusion_config, plan_fusion
 from repro.runtime.lowering import RuntimeSpec, lower_graph, lower_plan
+from repro.runtime.overload import OverloadConfig
 from repro.runtime.reconfigure import ReconfigController
 from repro.runtime.results import RunResult, TaskStats
 from repro.runtime.supervisor import DegradeContext, Supervisor
@@ -77,6 +78,34 @@ def _coerce_adaptive(
         raise ExecutionError(
             "adaptive batch sizing adjusts at epoch barriers: "
             "pass epoch_interval together with adaptive_batch"
+        )
+    return config
+
+
+def _coerce_overload(
+    overload: "OverloadConfig | Mapping[str, object] | bool | None",
+    epoch_interval: int | None,
+) -> OverloadConfig | None:
+    """Normalize the engine's ``overload`` argument.
+
+    ``True`` selects the default knobs; a mapping is expanded into
+    :class:`~repro.runtime.overload.OverloadConfig` kwargs (the CLI
+    path); a config object is passed through.  The ladder only steps at
+    epoch barriers, so arming it without ``epoch_interval`` would
+    silently do nothing — fail loudly instead.
+    """
+    if overload is None or overload is False:
+        return None
+    if overload is True:
+        config = OverloadConfig()
+    elif isinstance(overload, OverloadConfig):
+        config = overload
+    else:
+        config = OverloadConfig(**dict(overload))
+    if epoch_interval is None:
+        raise ExecutionError(
+            "overload control steps at epoch barriers: "
+            "pass epoch_interval together with overload"
         )
     return config
 
@@ -138,6 +167,7 @@ class LocalEngine:
         reconfig: ReconfigController | None = None,
         fuse: "str | FusionConfig | None" = None,
         adaptive_batch: "AdaptiveBatchConfig | bool | None" = None,
+        overload: "OverloadConfig | Mapping[str, object] | bool | None" = None,
     ) -> None:
         """
         Parameters
@@ -211,6 +241,14 @@ class LocalEngine:
             :class:`~repro.runtime.batching.AdaptiveBatchConfig`, or a
             config object.  Requires ``epoch_interval`` (adjustments
             happen only at barriers).
+        overload:
+            Overload control (see docs/overload.md): ``True`` for the
+            default :class:`~repro.runtime.overload.OverloadConfig`, a
+            mapping of its kwargs, or a config object.  Arms per-edge
+            lag tracking, the hysteretic degradation ladder (batch
+            shrink / load shedding / spout throttling / degrade replan)
+            and the ``data.overload`` run-report timeline.  Requires
+            ``epoch_interval`` (the ladder steps only at barriers).
         """
         _validate_queue_bounds(queue_capacity, queue_budget)
         _validate_batch_size(batch_size)
@@ -227,6 +265,7 @@ class LocalEngine:
         self.reconfig = reconfig
         fusion = as_fusion_config(fuse)
         batching = _coerce_adaptive(adaptive_batch, epoch_interval)
+        overload_config = _coerce_overload(overload, epoch_interval)
         self.spec = plan_fusion(
             lower_graph(
                 topology,
@@ -245,6 +284,7 @@ class LocalEngine:
                 vectorized=vectorized,
                 fuse=fusion.mode,
                 batching=batching,
+                overload=overload_config,
             ),
             fault_plan,
             recovery_policy,
@@ -273,6 +313,7 @@ class LocalEngine:
         reconfig: ReconfigController | None = None,
         fuse: "str | FusionConfig | None" = None,
         adaptive_batch: "AdaptiveBatchConfig | bool | None" = None,
+        overload: "OverloadConfig | Mapping[str, object] | bool | None" = None,
     ) -> "LocalEngine":
         """Build an engine from a complete :class:`~repro.core.plan.ExecutionPlan`.
 
@@ -288,6 +329,7 @@ class LocalEngine:
         _validate_batch_size(batch_size)
         fusion = as_fusion_config(fuse)
         batching = _coerce_adaptive(adaptive_batch, epoch_interval)
+        overload_config = _coerce_overload(overload, epoch_interval)
         spec = plan_fusion(
             lower_plan(
                 plan,
@@ -317,6 +359,7 @@ class LocalEngine:
                 vectorized=vectorized,
                 fuse=fusion.mode,
                 batching=batching,
+                overload=overload_config,
             ),
             fault_plan,
             recovery_policy,

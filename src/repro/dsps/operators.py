@@ -169,6 +169,20 @@ class Operator(ABC):
                 "implement restore_state"
             )
 
+    def sheddable(self, item: StreamTuple) -> bool:
+        """Semantic load-shedding predicate (see docs/overload.md).
+
+        Under overload with ``--shed semantic``, the runtime only ever
+        drops tuples whose producing operator blesses them here — a
+        priority/key predicate declaring which of its outputs the
+        application can afford to lose.  The default blesses none, so an
+        operator that does not override it is fully protected.  The
+        predicate must be **pure** (no state updates, no side effects):
+        whether it runs at all depends on the overload ladder, and a
+        shed run must stay deterministic.
+        """
+        return False
+
     def clone(self) -> "Operator":
         """Fresh replica with independent state (deep copy by default)."""
         return copy.deepcopy(self)
@@ -186,6 +200,14 @@ class Spout(ABC):
     @abstractmethod
     def next_batch(self, max_tuples: int) -> Iterator[tuple[Any, ...]]:
         """Produce up to ``max_tuples`` value tuples (may yield fewer)."""
+
+    def sheddable(self, item: StreamTuple) -> bool:
+        """Semantic load-shedding predicate — see
+        :meth:`Operator.sheddable`.  Shedding is applied at the spouts'
+        output edges, so this is the predicate the runtime actually
+        consults; the default blesses nothing.
+        """
+        return False
 
     def clone(self) -> "Spout":
         return copy.deepcopy(self)

@@ -25,6 +25,12 @@ The fusion layer (:mod:`repro.runtime.fusion`,
 deployed placement (intra-chain edges execute inline, skipping queues and
 codecs) and sizes each surviving edge's jumbo batches with a per-edge
 AIMD controller stepped at epoch barriers; see docs/fusion.md.
+
+The overload-control layer (:mod:`repro.runtime.overload`) adds lag
+SLOs, a hysteretic degradation ladder (batch shrink, deterministic load
+shedding, spout throttling, degrade replans) and retrying channel sends
+with circuit breaking, also stepped at epoch barriers; see
+docs/overload.md.
 """
 
 from repro.runtime.backends import (
@@ -69,6 +75,22 @@ from repro.runtime.fusion import (
     plan_fusion,
     refit_fusion,
     validate_fuse,
+)
+from repro.runtime.overload import (
+    RUNGS,
+    SHED_MODES,
+    CircuitBreaker,
+    DegradationLadder,
+    LagTracker,
+    OverloadConfig,
+    OverloadDetector,
+    OverloadManager,
+    OverloadReport,
+    SendRetryPolicy,
+    Shedder,
+    TokenBucket,
+    decorrelated_jitter,
+    shed_score,
 )
 from repro.runtime.lowering import (
     DEFAULT_QUEUE_BUDGET,
@@ -125,6 +147,20 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FusionConfig",
+    "CircuitBreaker",
+    "DegradationLadder",
+    "LagTracker",
+    "OverloadConfig",
+    "OverloadDetector",
+    "OverloadManager",
+    "OverloadReport",
+    "RUNGS",
+    "SHED_MODES",
+    "SendRetryPolicy",
+    "Shedder",
+    "TokenBucket",
+    "decorrelated_jitter",
+    "shed_score",
     "InlineBackend",
     "ProcessPoolBackend",
     "RECOVERY_POLICIES",

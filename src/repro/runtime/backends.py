@@ -54,6 +54,7 @@ from repro.runtime.epochs import (
     Migration,
 )
 from repro.runtime.fusion import validate_fuse
+from repro.runtime.overload import OverloadConfig, OverloadManager, SendRetryPolicy
 from repro.runtime.lowering import (
     RuntimeSpec,
     TaskRuntime,
@@ -139,6 +140,8 @@ def resolve_backend(
     vectorized: str | None = None,
     fuse: str | None = None,
     batching: AdaptiveBatchConfig | None = None,
+    overload: OverloadConfig | None = None,
+    send_retry: SendRetryPolicy | None = None,
 ) -> ExecutorBackend:
     """Turn a backend name (or pass through an instance) into a backend.
 
@@ -151,7 +154,11 @@ def resolve_backend(
     for early CLI errors but lives on the *spec* (fused chains are
     derived at lowering time by :func:`repro.runtime.fusion.plan_fusion`);
     ``batching`` arms the adaptive per-edge batch-size controller on
-    either backend.
+    either backend.  ``overload`` arms the overload-control ladder
+    (:mod:`repro.runtime.overload`) on either backend; ``send_retry``
+    tunes the process backend's blocking-send retry/circuit-breaker
+    policy and is accepted-and-ignored by the inline backend (which
+    never crosses a process boundary).
     """
     if n_workers is not None and n_workers < 1:
         raise ExecutionError(f"n_workers must be >= 1, got {n_workers}")
@@ -170,7 +177,9 @@ def resolve_backend(
     if isinstance(backend, ExecutorBackend):
         return backend
     if backend == "inline":
-        return InlineBackend(vectorized=vectorized or "auto", batching=batching)
+        return InlineBackend(
+            vectorized=vectorized or "auto", batching=batching, overload=overload
+        )
     if backend == "process":
         from repro.runtime.process_pool import ProcessPoolBackend
 
@@ -180,6 +189,8 @@ def resolve_backend(
             dataplane=dataplane if dataplane is not None else "pickle",
             vectorized=vectorized or "auto",
             batching=batching,
+            overload=overload,
+            send_retry=send_retry,
         )
     raise ExecutionError(
         f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}"
@@ -245,10 +256,12 @@ class InlineBackend(ExecutorBackend):
         *,
         vectorized: str = "auto",
         batching: AdaptiveBatchConfig | None = None,
+        overload: OverloadConfig | None = None,
     ) -> None:
         validate_vectorized(vectorized)
         self.vectorized = vectorized
         self.batching = batching
+        self.overload = overload
 
     def execute(
         self,
@@ -272,6 +285,7 @@ class InlineBackend(ExecutorBackend):
             injector,
             vectorized=self.vectorized,
             batching=self.batching,
+            overload=self.overload,
             epochs=epochs,
             resume=resume,
             on_epoch=on_epoch,
@@ -299,6 +313,7 @@ class _InlineRun:
         *,
         vectorized: str = "auto",
         batching: AdaptiveBatchConfig | None = None,
+        overload: OverloadConfig | None = None,
         epochs: EpochConfig | None = None,
         resume: EpochCheckpoint | None = None,
         on_epoch: "OnEpoch | None" = None,
@@ -315,6 +330,17 @@ class _InlineRun:
         self.controller = (
             AdaptiveBatchController(spec, batching)
             if batching is not None
+            else None
+        )
+        # Overload control steps at the same barriers (docs/overload.md).
+        if overload is not None and epochs is None:
+            raise ExecutionError(
+                "overload control requires epoch barriers (pass an "
+                "EpochConfig / --epoch-interval)"
+            )
+        self.overload = (
+            OverloadManager(spec, overload, epochs.interval, registry)
+            if overload is not None
             else None
         )
         # runtime.vectorized.{batches,tuples,fallbacks} for this run.
@@ -427,9 +453,21 @@ class _InlineRun:
         if self.epochs is None:
             self._run_phase(self.max_events, final=True)
         else:
+            interval = self.epochs.interval
             epoch = self.start_epoch
+            # Cumulative per-spout admission target.  Without overload
+            # control every epoch admits exactly one interval, so the
+            # target is (epoch + 1) * interval, bit-identical to the
+            # historical arithmetic; the throttle rung shrinks the
+            # per-epoch allowance so backlogged queues can drain.
+            limit = min(self.max_events, epoch * interval)
             while True:
-                limit = min(self.max_events, (epoch + 1) * self.epochs.interval)
+                allowance = (
+                    self.overload.spout_allowance()
+                    if self.overload is not None
+                    else interval
+                )
+                limit = min(self.max_events, limit + allowance)
                 final = limit >= self.max_events
                 self._run_phase(limit, final=final)
                 if not final and self.exhausted >= set(self.spout_produced):
@@ -581,12 +619,23 @@ class _InlineRun:
             }
         )
         self.last_checkpoint = checkpoint
+        overload_state = None
+        if self.overload is not None:
+            # Step the degradation ladder before the AIMD step so the
+            # batch-shrink rung can force pressure this same barrier.
+            self.overload.observe_queue_stats(
+                epoch, {key: q.stats for key, q in self.queues.items()}
+            )
+            overload_state = self.overload.commit_state()
         if self.controller is not None:
             # AIMD step over the epoch window; live output buffers pick
             # the new sizes up immediately, and the spec carries them so
             # a migration (which rebuilds from the spec) preserves them.
+            pressure: frozenset = frozenset()
+            if self.overload is not None and self.overload.force_batch_pressure:
+                pressure = frozenset(self.queues)
             changed = self.controller.observe(
-                {key: q.stats for key, q in self.queues.items()}
+                {key: q.stats for key, q in self.queues.items()}, pressure
             )
             if changed:
                 self.spec = apply_edge_batches(self.spec, changed)
@@ -600,6 +649,7 @@ class _InlineRun:
                 task_stats=self.stats,
                 task_wall_ns={t: s * 1e9 for t, s in self.wall.items()},
                 events_ingested=self.events,
+                overload=overload_state,
             )
             migration = self.on_epoch(commit)
             if migration is not None:
@@ -674,6 +724,9 @@ class _InlineRun:
             sinks=dict(sinks),
             fault_summary=self.injector.summary() if self.injector else None,
             epochs=self.epoch_report,
+            overload=(
+                self.overload.finish() if self.overload is not None else None
+            ),
             partial=partial,
         )
 
@@ -725,6 +778,14 @@ class _InlineRun:
         stats = self.stats[rt.task_id]
         histogram = self._histogram(rt)
         iterator = self.spout_iters[rt.task_id]
+        # Load shedding applies at the sources, before any downstream
+        # work is invested; the shed rung is constant within a phase
+        # (the ladder only moves at barriers), so bind it here once.
+        shed = (
+            self.overload.shedder
+            if self.overload is not None and self.overload.shed_active
+            else None
+        )
         # ``produced`` is cumulative across phases (and across a resume):
         # event times and epoch boundaries count from the run's origin.
         produced = self.spout_produced[rt.task_id]
@@ -746,7 +807,10 @@ class _InlineRun:
                 event_time_ns=float(produced),
             )
             stats.record_out(item.stream, item.payload_size_bytes)
-            yield from self._route(rt, item)
+            if shed is None:
+                yield from self._route(rt, item)
+            else:
+                yield from self._route(rt, item, shed_offset=produced)
             produced += 1
             self.spout_produced[rt.task_id] = produced
             self.events += 1
@@ -1071,7 +1135,9 @@ class _InlineRun:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def _route(self, rt: TaskRuntime, item: StreamTuple) -> Iterator[None]:
+    def _route(
+        self, rt: TaskRuntime, item: StreamTuple, shed_offset: int | None = None
+    ) -> Iterator[None]:
         for route in rt.routes:
             if route.stream != item.stream:
                 continue
@@ -1079,9 +1145,18 @@ class _InlineRun:
             indices = route.grouping.route(
                 item, len(route.consumers), self.counters[key]
             )
+            # Routing counters advance whether or not the tuple is shed,
+            # so a shed run routes survivors exactly like an unshed run.
             self.counters[key] += 1
             for index in indices:
                 consumer = route.consumers[index]
+                if shed_offset is not None and self.overload.shedder.should_shed(
+                    (rt.task_id, consumer),
+                    shed_offset,
+                    item,
+                    getattr(self.instances[rt.task_id], "sheddable", None),
+                ):
+                    continue
                 sealed = self.buffers[(rt.task_id, consumer)].append(item)
                 if sealed is not None:
                     yield from self._enqueue(rt.task_id, consumer, sealed)

@@ -28,6 +28,12 @@ sizes forward in :attr:`RuntimeSpec.edge_batch_size`.  Sizes are clamped
 to ``[min_batch, max_batch]`` and to each edge's queue capacity, and the
 result is validated by :func:`repro.runtime.lowering.apply_edge_batches`
 — a sealed batch must always fit its queue.
+
+The overload ladder (:mod:`repro.runtime.overload`) reuses this
+controller as its gentlest rung: while the ladder sits at *batch-shrink*
+or above, the backend marks **every** window edge as pressured, so the
+AIMD decrease drives all batch sizes down without any new mechanism here
+(see docs/overload.md).
 """
 
 from __future__ import annotations

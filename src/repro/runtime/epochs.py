@@ -173,6 +173,12 @@ class EpochCommit:
     ``task_stats`` and ``task_wall_ns`` are *cumulative* counters; drift
     detectors diff consecutive commits themselves.  Both mappings are
     owned by the executor — observers must treat them as read-only.
+
+    ``overload`` carries the overload ladder's state at this barrier
+    when overload control is armed (:mod:`repro.runtime.overload`):
+    ``{"rung": name, "replan_requested": bool}``.  The reconfiguration
+    controller uses it to let sustained backpressure trigger a replan
+    even when the profile drift signal alone would not.
     """
 
     epoch: int
@@ -181,6 +187,7 @@ class EpochCommit:
     task_stats: Mapping[int, Any]
     task_wall_ns: Mapping[int, float]
     events_ingested: int
+    overload: Mapping[str, Any] | None = None
 
 
 @dataclass(frozen=True)

@@ -64,6 +64,7 @@ from __future__ import annotations
 import os
 import pickle
 import queue as queue_mod
+import random
 import time
 import traceback
 from collections import defaultdict, deque
@@ -107,6 +108,15 @@ from repro.runtime.epochs import (
 )
 from repro.runtime.batching import AdaptiveBatchConfig, AdaptiveBatchController
 from repro.runtime.faults import FaultInjector, merge_fault_summaries
+from repro.runtime.overload import (
+    CircuitBreaker,
+    EdgeWindow,
+    OverloadConfig,
+    OverloadManager,
+    SendRetryPolicy,
+    Shedder,
+    decorrelated_jitter,
+)
 from repro.runtime.lowering import (
     RuntimeSpec,
     TaskRuntime,
@@ -223,6 +233,18 @@ class ProcessPoolBackend(ExecutorBackend):
         that slice's per-edge queue statistics and worker pressure
         signals), so runs without an :class:`EpochConfig` keep their
         configured sizes.  See docs/fusion.md.
+    overload:
+        Optional :class:`~repro.runtime.overload.OverloadConfig` arming
+        the overload-control ladder (lag SLOs, load shedding, spout
+        throttling).  Like adaptive batching it is stepped once per
+        epoch slice, so it requires an :class:`EpochConfig`.  See
+        docs/overload.md.
+    send_retry:
+        Optional :class:`~repro.runtime.overload.SendRetryPolicy`
+        overriding the blocked-send retry/backoff/circuit-breaker
+        behaviour; by default the policy's deadline is
+        ``send_timeout_s`` (preserving the historical bound) with
+        decorrelated-jitter sleeps and a half-open probe circuit.
     """
 
     name = "process"
@@ -240,6 +262,8 @@ class ProcessPoolBackend(ExecutorBackend):
         ring_bytes: int = DEFAULT_RING_BYTES,
         vectorized: str = "auto",
         batching: AdaptiveBatchConfig | None = None,
+        overload: OverloadConfig | None = None,
+        send_retry: SendRetryPolicy | None = None,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ExecutionError(f"n_workers must be >= 1, got {n_workers}")
@@ -273,6 +297,12 @@ class ProcessPoolBackend(ExecutorBackend):
         self.ring_bytes = ring_bytes
         self.vectorized = vectorized
         self.batching = batching
+        self.overload = overload
+        self.send_retry = (
+            send_retry
+            if send_retry is not None
+            else SendRetryPolicy(deadline_s=send_timeout_s)
+        )
 
     # ------------------------------------------------------------------
     # Parent side
@@ -339,6 +369,11 @@ class ProcessPoolBackend(ExecutorBackend):
             return self._execute_epochs(
                 spec, max_events, registry, injector, epochs, resume, on_epoch
             )
+        if self.overload is not None:
+            raise ExecutionError(
+                "overload control requires epoch barriers "
+                "(pass an EpochConfig / --epoch-interval)"
+            )
         if resume is not None:
             raise ExecutionError(
                 "resume from a checkpoint requires epoch barriers "
@@ -364,6 +399,12 @@ class ProcessPoolBackend(ExecutorBackend):
         worker_sockets = self._sockets_of_workers(spec, owner)
         schedule: tuple["Fault", ...] = injector.schedule if injector else ()
         attempt = injector.attempt if injector else 0
+        # The parent watchdog arms its own copy of this deadline in
+        # _await_outcomes; shipping it to the workers lets a blocked send
+        # give up when the *run* is out of budget, not just when its own
+        # send deadline expires (CLOCK_MONOTONIC is comparable across
+        # processes on every platform we fork on).
+        run_deadline = monotonic() + self.timeout_s
         ctx = _mp_context()
         # The data plane owns the run's transport resources (control
         # queues, shm ring segments); closing it in the finally below is
@@ -403,6 +444,8 @@ class ProcessPoolBackend(ExecutorBackend):
                     attempt,
                     self.vectorized,
                     epoch_ctx,
+                    self.send_retry,
+                    run_deadline,
                 ),
                 daemon=True,
             )
@@ -474,8 +517,24 @@ class ProcessPoolBackend(ExecutorBackend):
             if self.batching is not None
             else None
         )
+        manager = (
+            OverloadManager(spec, self.overload, epochs.interval, registry)
+            if self.overload is not None
+            else None
+        )
+        # The spout budget is a *cumulative admission target*: each epoch
+        # extends it by the token-bucket allowance (the full interval
+        # while healthy — integer-identical to the historical
+        # ``(epoch + 1) * interval`` — a fraction of it while the
+        # throttle rung is active).
+        limit = min(max_events, epoch * epochs.interval)
         while True:
-            limit = min(max_events, (epoch + 1) * epochs.interval)
+            allowance = (
+                manager.spout_allowance()
+                if manager is not None
+                else epochs.interval
+            )
+            limit = min(max_events, limit + allowance)
             final = limit >= max_events or exhausted >= spout_ids
             epoch_ctx = {
                 "blob": blob,
@@ -483,6 +542,7 @@ class ProcessPoolBackend(ExecutorBackend):
                 "limit": limit,
                 "final": final,
                 "tick_base": dict(tick_base),
+                "shed": manager.shed_context() if manager is not None else None,
             }
             try:
                 n_workers, outcomes = self._run_slice(
@@ -508,24 +568,16 @@ class ProcessPoolBackend(ExecutorBackend):
                 summary = outcome[6].get("fault_summary")
                 if summary:
                     fault_summaries.append(summary)
-            if controller is not None:
-                # One AIMD step per slice.  Worker pools are fresh each
-                # slice, so the per-edge QueueStats they report *are* the
-                # window deltas the controller wants.  Pressure beyond
-                # blocked_batches: a worker that stalled on its shm ring
-                # or blocked on remote sends marks all its remote
-                # out-edges as pressured (the transport does not say
-                # which edge, so all of that worker's candidates shrink).
+            if controller is not None or manager is not None:
+                # Pressure beyond blocked_batches: a worker that stalled
+                # on its shm ring or blocked on remote sends marks all
+                # its remote out-edges as pressured (the transport does
+                # not say which edge, so all of that worker's candidates
+                # count).  Shared by the AIMD batch controller and the
+                # overload detector.
                 _, slice_owner = self._assign(spec)
-                window: dict[tuple[int, int], tuple[int, int, int]] = {}
                 pressure: set[tuple[int, int]] = set()
                 for outcome in outcomes:
-                    for key, st in outcome[5].items():
-                        window[key] = (
-                            st.enqueued_batches,
-                            st.enqueued_tuples,
-                            st.blocked_batches,
-                        )
                     worker_id = outcome[1]
                     metrics_blob = outcome[6]
                     if metrics_blob.get("ring_full_blocks", 0) or metrics_blob.get(
@@ -537,7 +589,41 @@ class ProcessPoolBackend(ExecutorBackend):
                             for edge in rt.out_edges:
                                 if slice_owner.get(edge.consumer) != worker_id:
                                     pressure.add((edge.producer, edge.consumer))
-                changed = controller.observe_window(window, pressure)
+            if manager is not None:
+                # One ladder step per slice.  Worker pools are fresh each
+                # slice, so the per-edge QueueStats they report *are* the
+                # window deltas the lag tracker and detector want.
+                windows: dict[tuple[int, int], EdgeWindow] = {}
+                for outcome in outcomes:
+                    for key, st in outcome[5].items():
+                        windows[key] = EdgeWindow(
+                            enqueued_batches=st.enqueued_batches,
+                            enqueued_tuples=st.enqueued_tuples,
+                            dequeued_tuples=st.dequeued_tuples,
+                            blocked_batches=st.blocked_batches,
+                            peak_depth=st.max_depth_tuples,
+                        )
+                    manager.merge_shed_snapshot(
+                        outcome[6].get("overload_shed")
+                    )
+                manager.observe_windows(epoch, windows, frozenset(pressure))
+            if controller is not None:
+                # One AIMD step per slice, from the same window deltas.
+                # While the ladder's batch-shrink rung is active every
+                # edge is treated as pressured so batches shrink toward
+                # their floor (finer batches drain bounded queues sooner).
+                window: dict[tuple[int, int], tuple[int, int, int]] = {}
+                for outcome in outcomes:
+                    for key, st in outcome[5].items():
+                        window[key] = (
+                            st.enqueued_batches,
+                            st.enqueued_tuples,
+                            st.blocked_batches,
+                        )
+                batch_pressure: set[tuple[int, int]] = set(pressure)
+                if manager is not None and manager.force_batch_pressure:
+                    batch_pressure.update(window)
+                changed = controller.observe_window(window, batch_pressure)
                 if changed and not final:
                     spec = apply_edge_batches(spec, changed)
             if final:
@@ -548,6 +634,8 @@ class ProcessPoolBackend(ExecutorBackend):
                         *fault_summaries
                     )
                 result.epochs = report
+                if manager is not None:
+                    result.overload = manager.finish()
                 if registry.enabled:
                     registry.gauge("runtime.epoch.interval").set(report.interval)
                     registry.gauge("runtime.epoch.committed").set(
@@ -604,6 +692,9 @@ class ProcessPoolBackend(ExecutorBackend):
                     # workers only report per-process busy time.
                     task_wall_ns={},
                     events_ingested=checkpoint.events_ingested,
+                    overload=(
+                        manager.commit_state() if manager is not None else None
+                    ),
                 )
                 migration = on_epoch(commit)
                 if migration is not None:
@@ -868,6 +959,8 @@ def _worker_main(
     attempt: int,
     vectorized: str = "auto",
     epoch_ctx: dict | None = None,
+    send_retry: SendRetryPolicy | None = None,
+    run_deadline: float | None = None,
 ) -> None:
     worker = None
     try:
@@ -886,6 +979,8 @@ def _worker_main(
             attempt=attempt,
             vectorized=vectorized,
             epoch_ctx=epoch_ctx,
+            send_retry=send_retry,
+            run_deadline=run_deadline,
         )
         results.put(worker.run())
     except ExecutionError as exc:
@@ -935,6 +1030,8 @@ class _Worker:
         attempt: int = 0,
         vectorized: str = "auto",
         epoch_ctx: dict | None = None,
+        send_retry: SendRetryPolicy | None = None,
+        run_deadline: float | None = None,
     ) -> None:
         self.me = worker_id
         self.spec = spec
@@ -952,6 +1049,19 @@ class _Worker:
         self.status = status
         self.heartbeat_timeout_s = heartbeat_timeout_s
         self.send_timeout_s = send_timeout_s
+        # Blocked-send retry/backoff state (repro.runtime.overload): one
+        # circuit breaker per destination, a jitter RNG that only shapes
+        # sleep timing (never data), and the run watchdog's deadline so a
+        # stalled send cannot outlive ``timeout_s`` by up to the send
+        # deadline.
+        self.send_policy = (
+            send_retry
+            if send_retry is not None
+            else SendRetryPolicy(deadline_s=send_timeout_s)
+        )
+        self.run_deadline = run_deadline
+        self.breakers: dict[int, CircuitBreaker] = {}
+        self.send_rng = random.Random(0x5EED ^ worker_id)
         self.mine: list[TaskRuntime] = [
             rt for rt in spec.tasks if self.owner[rt.task_id] == worker_id
         ]
@@ -960,6 +1070,18 @@ class _Worker:
             max_events if epoch_ctx is None else epoch_ctx["limit"]
         )
         self.slice_final = True if epoch_ctx is None else epoch_ctx["final"]
+        # Shed directive for this slice (overload ladder, parent side):
+        # spout-side deterministic shedding keyed by the spout's
+        # cumulative tuple offset, so the decision stream is identical
+        # across slices, backends and replays.
+        shed_ctx = epoch_ctx.get("shed") if epoch_ctx is not None else None
+        if shed_ctx is not None:
+            self.shedder: Shedder | None = Shedder(
+                shed_ctx["mode"], shed_ctx["rate"], shed_ctx["seed"]
+            )
+            self.shedder.active = shed_ctx["active"]
+        else:
+            self.shedder = None
         self.injector = (
             FaultInjector(
                 tuple(schedule),
@@ -1199,6 +1321,17 @@ class _Worker:
             self.metrics[key] += value
         if self.injector is not None:
             self.metrics["fault_summary"] = self.injector.summary()
+        if self.shedder is not None:
+            # Per-slice shed accounting; the parent folds every worker's
+            # snapshot into the run-level OverloadReport.
+            self.metrics["overload_shed"] = self.shedder.snapshot()
+        if self.breakers:
+            self.metrics["send_breaker_opens"] = float(
+                sum(b.opens for b in self.breakers.values())
+            )
+            self.metrics["send_breaker_probes"] = float(
+                sum(b.probes for b in self.breakers.values())
+            )
         if self.epoch_ctx is not None:
             # Barrier payload: this worker's share of the epoch snapshot.
             # The parent unions the shares and seals them as the
@@ -1375,36 +1508,61 @@ class _Worker:
         self._enqueue_backlog(key, tuples)
 
     def _blocking_put(self, target_worker: int, message: tuple) -> None:
-        """Send to a peer inbox, blocking with bounded patience.
+        """Send to a peer inbox, retrying with bounded patience.
 
         While blocked the worker keeps heartbeating and draining its own
         inbox (softly: never refuse) so a ring of mutually-blocked
-        workers cannot deadlock.  The wait is bounded two ways: a peer
-        the parent has marked dead raises
-        :class:`~repro.errors.WorkerCrashError` immediately, and a peer
-        that is alive but not draining for ``send_timeout_s`` raises
-        :class:`~repro.errors.QueueDeadlockError`.
+        workers cannot deadlock.  Retries back off under decorrelated
+        jitter (:func:`repro.runtime.overload.decorrelated_jitter`), and
+        after ``open_after_s`` of continuous blocking the per-destination
+        circuit opens: the sender stops hammering the channel and probes
+        it half-open once per ``probe_interval_s`` until the peer drains.
+        The wait is bounded three ways: a peer the parent has marked dead
+        raises :class:`~repro.errors.WorkerCrashError` immediately; a
+        peer alive but not draining past the policy deadline raises
+        :class:`~repro.errors.QueueDeadlockError`; and the run watchdog's
+        own deadline is honoured too, so a stalled send can never outlive
+        ``timeout_s`` by up to the send deadline.
         """
+        policy = self.send_policy
+        breaker = self.breakers.get(target_worker)
+        if breaker is None:
+            breaker = self.breakers[target_worker] = CircuitBreaker(policy)
         if self.channel.try_put(target_worker, message):
+            breaker.on_success()
             return
         self.metrics["send_blocks"] += 1
         blocked_from = perf_counter()
-        deadline = monotonic() + self.send_timeout_s
-        while not self.channel.try_put(target_worker, message):
+        deadline = monotonic() + policy.deadline_s
+        if self.run_deadline is not None:
+            deadline = min(deadline, self.run_deadline)
+        sleep_s = policy.base_sleep_s
+        while True:
             self._beat()
+            now = monotonic()
+            if breaker.allow(now):
+                if self.channel.try_put(target_worker, message):
+                    breaker.on_success()
+                    break
+                breaker.on_blocked(now)
             if self._peer_dead(target_worker):
                 raise WorkerCrashError(
                     f"worker {self.me}: peer worker {target_worker} died "
                     "with its inbox full; message undeliverable"
                 ) from None
-            if monotonic() > deadline:
+            if now > deadline:
                 raise QueueDeadlockError(
                     f"worker {self.me}: send to worker {target_worker} "
-                    f"blocked for over {self.send_timeout_s}s "
-                    "(peer alive but not draining)"
+                    f"blocked past its deadline "
+                    f"(send budget {policy.deadline_s}s, "
+                    f"circuit {'open' if breaker.open else 'closed'}, "
+                    "peer alive but not draining)"
                 ) from None
             if not self._receive(limit=16, soft=True):
-                time.sleep(_IDLE_SLEEP_S)
+                sleep_s = decorrelated_jitter(
+                    self.send_rng, policy.base_sleep_s, policy.max_sleep_s, sleep_s
+                )
+                time.sleep(sleep_s)
         self.metrics["blocked_send_ns"] += (perf_counter() - blocked_from) * 1e9
 
     def _send_eof(self, producer: int, consumer: int) -> None:
@@ -1416,19 +1574,39 @@ class _Worker:
     # ------------------------------------------------------------------
     # Routing (same counter/grouping discipline as the inline backend)
     # ------------------------------------------------------------------
-    def _route(self, rt: TaskRuntime, item: StreamTuple) -> None:
+    def _route(
+        self,
+        rt: TaskRuntime,
+        item: StreamTuple,
+        shed_offset: int | None = None,
+    ) -> None:
         for route in rt.routes:
             if route.stream == item.stream:
-                self._route_one(rt, route, item)
+                self._route_one(rt, route, item, shed_offset)
 
-    def _route_one(self, rt: TaskRuntime, route: Any, item: StreamTuple) -> None:
+    def _route_one(
+        self,
+        rt: TaskRuntime,
+        route: Any,
+        item: StreamTuple,
+        shed_offset: int | None = None,
+    ) -> None:
         key = (rt.task_id, route.counter_key)
         indices = route.grouping.route(
             item, len(route.consumers), self.counters[key]
         )
+        # Counters advance whether or not the tuple is shed, so the
+        # surviving tuples route exactly as they would without shedding.
         self.counters[key] += 1
         for index in indices:
             consumer = route.consumers[index]
+            if shed_offset is not None and self.shedder.should_shed(
+                (rt.task_id, consumer),
+                shed_offset,
+                item,
+                getattr(self.instances[rt.task_id], "sheddable", None),
+            ):
+                continue
             sealed = self.buffers[(rt.task_id, consumer)].append(item)
             if sealed is not None:
                 self._dispatch(rt.task_id, consumer, sealed.tuples)
@@ -1478,6 +1656,7 @@ class _Worker:
     # ------------------------------------------------------------------
     def _step_spouts(self) -> int:
         progress = 0
+        shedding = self.shedder is not None and self.shedder.active
         for rt in self.mine:
             if not rt.is_spout or rt.task_id in self.completed:
                 continue
@@ -1507,7 +1686,10 @@ class _Worker:
                     event_time_ns=float(produced),
                 )
                 stats.record_out(item.stream, item.payload_size_bytes)
-                self._route(rt, item)
+                if shedding:
+                    self._route(rt, item, shed_offset=produced)
+                else:
+                    self._route(rt, item)
                 produced += 1
                 progress += 1
             self.spout_produced[rt.task_id] = produced

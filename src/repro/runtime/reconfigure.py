@@ -17,7 +17,10 @@ dataflow.  This module closes the loop:
 2. **Decide.**  The observed profiles feed
    :meth:`AdaptiveController.observe`: drift below the replace threshold
    does nothing; above it, the controller re-places (or fully
-   re-optimizes) the plan.  A re-optimized plan whose replication differs
+   re-optimizes) the plan.  When the overload ladder's top rung requests
+   a replan (``EpochCommit.overload``, see :mod:`repro.runtime.overload`
+   and docs/overload.md), sustained backpressure alone escalates to a
+   placement replan even if the profile drift stayed under threshold.  A re-optimized plan whose replication differs
    from the deployed one cannot be applied live (a running dataflow can
    move tasks at a barrier but not add or remove them), so the controller
    falls back to :meth:`AdaptiveController.replan_placement` pinned to
@@ -73,6 +76,9 @@ class ReconfigReport:
     observations: int = 0
     #: Replans produced by the adaptation controller (drift crossed).
     replans: int = 0
+    #: Replans triggered by the overload ladder's backpressure signal
+    #: alone (``EpochCommit.overload``), with no profile-drift trigger.
+    pressure_replans: int = 0
     #: Live migrations handed to the executor.
     migrations: int = 0
     #: Candidate placements rejected by the incremental score.
@@ -86,6 +92,7 @@ class ReconfigReport:
             "reoptimize_threshold": self.reoptimize_threshold,
             "observations": self.observations,
             "replans": self.replans,
+            "pressure_replans": self.pressure_replans,
             "migrations": self.migrations,
             "rejected": self.rejected,
             "timeline": list(self.events),
@@ -199,6 +206,16 @@ class ReconfigController:
         )
         self.registry.gauge("runtime.reconfig.drift_magnitude").set(magnitude)
         action = self.controller.observe(observed)
+        overload = commit.overload or {}
+        if action is AdaptationAction.NONE and overload.get("replan_requested"):
+            # The overload ladder's top rung: sustained backpressure is
+            # drift the profile diff alone may not see (a uniformly
+            # overdriven pipeline keeps its selectivities), so the
+            # ladder's replan request escalates straight to a placement
+            # replan under the observed profiles.
+            action = AdaptationAction.REPLACE
+            self.report.pressure_replans += 1
+            self.registry.counter("runtime.reconfig.pressure_replans").inc()
         if action is AdaptationAction.NONE:
             return None
         self.report.replans += 1

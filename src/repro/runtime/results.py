@@ -158,6 +158,9 @@ class RunResult:
     #: Live-reconfiguration decisions
     #: (:class:`~repro.runtime.reconfigure.ReconfigReport`, ``--adapt`` only).
     reconfig: object | None = None
+    #: Overload-control ladder timeline and shed accounting
+    #: (:class:`~repro.runtime.overload.OverloadReport`, armed runs only).
+    overload: object | None = None
     #: True when this result describes an aborted attempt's partial state.
     partial: bool = False
 

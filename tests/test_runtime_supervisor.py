@@ -90,6 +90,7 @@ class TestRetryLoop:
             max_restarts=5,
             backoff_base_s=0.1,
             backoff_max_s=0.35,
+            backoff_jitter=False,
             sleep=sleeps.append,
         )
         result = supervisor.execute(None, 100)
@@ -97,6 +98,34 @@ class TestRetryLoop:
         assert result.recovery.attempts == 5
         assert result.recovery.restarts == 4
         assert sleeps == [0.1, 0.2, 0.35, 0.35]  # doubled, then capped
+
+    def test_jittered_backoff_is_seeded_deterministic(self):
+        def run(seed):
+            sleeps = []
+            Supervisor(
+                FlakyBackend(4),
+                policy="retry",
+                max_restarts=5,
+                backoff_base_s=0.1,
+                backoff_max_s=0.35,
+                backoff_seed=seed,
+                sleep=sleeps.append,
+            ).execute(None, 100)
+            return sleeps
+
+        first, again = run(7), run(7)
+        assert first == again  # same seed -> same backoff schedule
+        assert len(first) == 4
+        # Every sleep respects the configured bounds, and the decorrelated
+        # walk stays within [base, 3 * prev].
+        prev = 0.1
+        for backoff in first:
+            assert 0.1 <= backoff <= 0.35
+            assert backoff <= max(0.1, prev * 3)
+            prev = backoff
+        # Different seeds desynchronize (the thundering-herd property):
+        # at least one step of the schedule must differ.
+        assert run(8) != first
 
     def test_restart_exhaustion_reraises_with_report(self):
         supervisor = Supervisor(

@@ -78,6 +78,16 @@ def _headline(name: str, data: dict) -> tuple[str | None, str]:
             if overhead is not None
             else f"{data.get('migrations', 0)} migration(s)",
         )
+    if name == "BENCH_overload":
+        shed = data.get("shed", {})
+        observe = data.get("observe", {})
+        loss = (shed.get("accuracy_loss") or 0) * 100
+        return (
+            _fmt_rate(shed.get("tuples_per_s")),
+            f"shed {shed.get('shed_tuples', 0):,} tuples ({loss:.0f}% loss), "
+            f"p99 lag {shed.get('p99_lag_ms') or 0:.0f} ms "
+            f"vs {observe.get('p99_lag_ms') or 0:.0f} ms unshed",
+        )
     if name == "BENCH_optimizer":
         rows = data.get("rows") or []
         matched = sum(1 for row in rows if row.get("throughput_match"))
