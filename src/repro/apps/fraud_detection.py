@@ -26,7 +26,7 @@ from repro.dsps.operators import (
 )
 from repro.dsps.topology import Topology, TopologyBuilder
 from repro.dsps.tuples import DEFAULT_STREAM, StreamTuple
-from repro.runtime.dataplane.columns import ColumnBatch
+from repro.runtime.dataplane.columns import ColumnBatch, DictColumn
 
 from repro.apps.workloads import transactions
 
@@ -119,6 +119,12 @@ class MarkovPredictor(Operator):
         self.threshold = threshold
         self.scored = 0
         self.flagged = 0
+        # Per-trace-code score cache for dictionary-encoded trace
+        # columns, keyed by table identity (tables are append-only, so
+        # a cached prefix stays valid as the table grows).  Pure cache,
+        # not semantic state: a restart recomputes from scratch.
+        self._score_table: list | None = None
+        self._scores: list[float] = []
 
     def process(self, item: StreamTuple) -> Iterable[Emission]:
         entity, trace = item.values
@@ -159,16 +165,36 @@ class MarkovPredictor(Operator):
         # thresholding is the vectorized part.
         entities, traces = batch.columns
         transition = _TRANSITION_SCORE
-        scores: list[float] = []
-        for trace in traces:
-            states = trace.split(",")
-            score = 0.0
-            for previous, current in zip(states, states[1:]):
-                score += transition.get(
-                    (previous, current), _UNSEEN_TRANSITION_SCORE
-                )
-            scores.append(score)
-        score_col = np.asarray(scores, dtype="<f8")
+        if isinstance(traces, DictColumn):
+            # Dictionary-encoded traces: score each *distinct* trace
+            # once (the per-code score is a pure function of the trace
+            # string) and gather per-row scores by code.  Identical
+            # floats to the per-row loop — same pairs, same order.
+            table = traces.table
+            cached = self._scores
+            if self._score_table is not table:
+                self._score_table = table
+                cached = self._scores = []
+            while len(cached) < len(table):
+                states = table[len(cached)].split(",")
+                score = 0.0
+                for previous, current in zip(states, states[1:]):
+                    score += transition.get(
+                        (previous, current), _UNSEEN_TRANSITION_SCORE
+                    )
+                cached.append(score)
+            score_col = np.asarray(cached, dtype="<f8")[traces.codes]
+        else:
+            scores: list[float] = []
+            for trace in traces:
+                states = trace.split(",")
+                score = 0.0
+                for previous, current in zip(states, states[1:]):
+                    score += transition.get(
+                        (previous, current), _UNSEEN_TRANSITION_SCORE
+                    )
+                scores.append(score)
+            score_col = np.asarray(scores, dtype="<f8")
         flags = score_col >= self.threshold
         self.scored += len(traces)
         self.flagged += int(np.count_nonzero(flags))

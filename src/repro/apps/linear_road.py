@@ -17,6 +17,13 @@ Streams follow Table 8: the dispatcher classifies input records into
 selectivity 1; accident streams have selectivity ~0 (rare events); the
 toll notifier emits one notification per position report and one updated
 toll record per segment-statistics input.
+
+Every LR schema is integer-only ("q" columns end to end) and the segment
+key is the native ``(xway, direction, segment)`` int triple, so the
+kernels already operate on fixed-width code-like arrays — the end state
+the data plane's adaptive string dictionaries (docs/dataplane.md) buy
+for WC/FD/SD string keys.  String-dictionary modes are therefore a no-op
+on LR by construction: there is no "s" column to promote.
 """
 
 from __future__ import annotations

@@ -54,7 +54,15 @@ class SensorSpout(Spout):
 
 
 class SensorParser(Operator):
-    """Validates readings; drops malformed tuples."""
+    """Validates readings; drops malformed tuples.
+
+    The device-id column may arrive dictionary-encoded (a
+    :class:`~repro.runtime.dataplane.columns.DictColumn` of int32
+    codes) when the shm data plane promoted it; the kernels here need
+    no dict awareness — ``DictColumn`` is list-like, and
+    ``ColumnBatch.build`` carries a passed-through coded column forward
+    as ``"D"`` so codes survive to the next hop without re-encoding.
+    """
 
     declared_fields = {DEFAULT_STREAM: "sdq"}
     column_schemas = ("sdq",)

@@ -31,7 +31,7 @@ from repro.dsps.operators import (
 )
 from repro.dsps.topology import Topology, TopologyBuilder
 from repro.dsps.tuples import DEFAULT_STREAM, StreamTuple
-from repro.runtime.dataplane.columns import ColumnBatch
+from repro.runtime.dataplane.columns import ColumnBatch, DictColumn
 
 from repro.apps.workloads import sentences
 
@@ -105,10 +105,21 @@ class Parser(Operator):
 
 
 class Splitter(Operator):
-    """Splits each sentence into words, one output tuple per word."""
+    """Splits each sentence into words, one output tuple per word.
+
+    The columnar kernel emits the word column *dictionary-encoded*: it
+    keeps a per-replica append-only word table (an encoding cache, not
+    semantic state — a restarted replica simply starts a fresh table)
+    and hands downstream a :class:`DictColumn` of ``int32`` codes, so
+    the counter and the data plane never re-hash the word strings.
+    """
 
     declared_fields = {DEFAULT_STREAM: "s"}
     column_schemas = ("s",)
+
+    def __init__(self) -> None:
+        self._codes: dict[str, int] = {}
+        self._table: list[str] = []
 
     def process(self, item: StreamTuple) -> Iterable[Emission]:
         for word in item.values[0].split():
@@ -122,16 +133,26 @@ class Splitter(Operator):
                 yield index, DEFAULT_STREAM, (word,)
 
     def process_columns(self, batch: ColumnBatch) -> Iterable[ColumnBatch]:
-        words: list[str] = []
+        codes = self._codes
+        table = self._table
+        lookup = codes.get
+        word_codes: list[int] = []
         counts: list[int] = []
         for sentence in batch.columns[0]:
             parts = sentence.split()
-            words.extend(parts)
+            for word in parts:
+                code = lookup(word)
+                if code is None:
+                    code = len(table)
+                    codes[word] = code
+                    table.append(word)
+                word_codes.append(code)
             counts.append(len(parts))
-        if not words:
+        if not word_codes:
             return
         index = np.repeat(np.arange(len(counts), dtype=np.intp), counts)
-        yield ColumnBatch.build(DEFAULT_STREAM, "s", [words], index=index)
+        column = DictColumn(np.asarray(word_codes, dtype="<i4"), table)
+        yield ColumnBatch.build(DEFAULT_STREAM, "s", [column], index=index)
 
 
 class Counter(Operator):
@@ -168,26 +189,52 @@ class Counter(Operator):
         computes every occurrence's ``k`` in one vectorized pass: sort
         row numbers by word group (stable, so within a group they stay
         in batch order) and subtract each group's start offset.
+
+        A dictionary-encoded word column skips ``np.unique`` entirely:
+        the codes *are* the group ids, so per-word sizes come from one
+        ``np.bincount`` over the code array and the word strings are
+        only touched once per distinct word (for the running-count
+        dict), never per occurrence.  Per-row emitted counts are
+        identical either way — the rank trick is insensitive to group
+        numbering — and the output passes the input column through, so
+        codes survive to the sink edge untouched.
         """
         words = batch.columns[0]
-        arr = np.asarray(words)
-        uniq, inverse = np.unique(arr, return_inverse=True)
-        sizes = np.bincount(inverse, minlength=len(uniq))
+        if isinstance(words, DictColumn):
+            # Group by code: np.unique sorts int32 codes instead of
+            # strings, and only batch-present words are touched (the
+            # table itself keeps growing and would cost O(table) per
+            # batch if walked whole).
+            table = words.table
+            present, inverse = np.unique(words.codes, return_inverse=True)
+            group_words = [table[code] for code in present.tolist()]
+            sizes = np.bincount(inverse, minlength=len(group_words))
+        else:
+            arr = np.asarray(words)
+            uniq, inverse = np.unique(arr, return_inverse=True)
+            group_words = uniq.tolist()
+            sizes = np.bincount(inverse, minlength=len(group_words))
         order = np.argsort(inverse, kind="stable")
         group_starts = np.cumsum(sizes) - sizes
-        ranks = np.empty(len(arr), dtype="<i8")
-        ranks[order] = np.arange(len(arr), dtype="<i8") - np.repeat(
+        ranks = np.empty(len(inverse), dtype="<i8")
+        ranks[order] = np.arange(len(inverse), dtype="<i8") - np.repeat(
             group_starts, sizes
         )
         counts = self.counts
         base = np.fromiter(
-            (counts.get(word, 0) for word in uniq.tolist()),
+            (counts.get(word, 0) for word in group_words),
             dtype="<i8",
-            count=len(uniq),
+            count=len(group_words),
         )
         out_counts = base[inverse] + ranks + 1
-        for word, total in zip(uniq.tolist(), (base + sizes).tolist()):
-            counts[word] = total
+        totals = base + sizes
+        for word, total, size in zip(
+            group_words, totals.tolist(), sizes.tolist()
+        ):
+            # Dict tables may list words absent from this batch; the
+            # scalar path would not touch their running counts either.
+            if size:
+                counts[word] = total
         yield ColumnBatch.build(DEFAULT_STREAM, "sq", [words, out_counts])
 
     def snapshot_state(self) -> dict:

@@ -27,6 +27,7 @@ from repro.runtime import (
     FUSE_MODES,
     RECOVERY_POLICIES,
     SHED_MODES,
+    STRING_DICT_MODES,
     VECTORIZED_MODES,
     AdaptiveBatchConfig,
     DegradeContext,
@@ -133,6 +134,7 @@ def _run_backend(args: argparse.Namespace):
             heartbeat_timeout_s=args.watchdog_timeout,
             dataplane=args.dataplane,
             vectorized=args.vectorized,
+            string_dict=args.string_dict,
             batching=(
                 AdaptiveBatchConfig() if args.adaptive_batch else None
             ),
@@ -326,6 +328,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             n_workers=args.workers,
             dataplane=args.dataplane,
             vectorized=args.vectorized,
+            string_dict=args.string_dict,
             fault_plan=fault_plan,
             recovery_policy=args.recovery_policy,
             max_restarts=args.max_restarts,
@@ -363,6 +366,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 "backend": args.backend,
                 "dataplane": args.dataplane,
                 "vectorized": args.vectorized,
+                "string_dict": args.string_dict,
                 "fuse": args.fuse,
                 "adaptive_batch": bool(args.adaptive_batch),
                 "topology": topology.name,
@@ -410,6 +414,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             "backend": args.backend,
             "dataplane": args.dataplane,
             "vectorized": args.vectorized,
+            "string_dict": args.string_dict,
             "fuse": args.fuse,
             "adaptive_batch": bool(args.adaptive_batch),
             "topology": topology.name,
@@ -534,6 +539,18 @@ def build_parser() -> argparse.ArgumentParser:
             "columnar kernel dispatch: auto (use numpy kernels when "
             "operator and schema qualify), on (require numpy) or off "
             "(scalar dispatch only; see docs/vectorized.md)"
+        ),
+    )
+    run.add_argument(
+        "--string-dict",
+        choices=STRING_DICT_MODES,
+        default="auto",
+        help=(
+            "adaptive string-dictionary encoding on the shm data plane: "
+            "auto (per-edge columns promote to int32 codes once observed "
+            "repetition warrants it), on (promote every string column "
+            "immediately) or off (raw strings on the wire; see "
+            "docs/dataplane.md)"
         ),
     )
     run.add_argument(

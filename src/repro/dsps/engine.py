@@ -159,6 +159,7 @@ class LocalEngine:
         n_workers: int | None = None,
         dataplane: str | None = None,
         vectorized: str | None = None,
+        string_dict: str | None = None,
         fault_plan: FaultPlan | None = None,
         recovery_policy: str | None = None,
         max_restarts: int = 3,
@@ -209,6 +210,14 @@ class LocalEngine:
             the operator support them), ``"on"`` (fail loudly without
             numpy) or ``"off"`` (scalar dispatch only); see
             docs/vectorized.md.
+        string_dict:
+            Adaptive string-dictionary encoding on the shm data plane
+            when the backend is given by name: ``"auto"`` (default —
+            per-edge string columns promote to dictionary codes once
+            observed repetition warrants it), ``"on"`` (every string
+            column promotes immediately) or ``"off"`` (raw strings on
+            the wire); see docs/dataplane.md.  Accepted-and-ignored by
+            the inline backend, which moves no bytes.
         fault_plan:
             Optional :class:`~repro.runtime.faults.FaultPlan` — chaos
             runs; implies supervised execution.
@@ -282,6 +291,7 @@ class LocalEngine:
                 n_workers=n_workers,
                 dataplane=dataplane,
                 vectorized=vectorized,
+                string_dict=string_dict,
                 fuse=fusion.mode,
                 batching=batching,
                 overload=overload_config,
@@ -305,6 +315,7 @@ class LocalEngine:
         n_workers: int | None = None,
         dataplane: str | None = None,
         vectorized: str | None = None,
+        string_dict: str | None = None,
         fault_plan: FaultPlan | None = None,
         recovery_policy: str | None = None,
         max_restarts: int = 3,
@@ -357,6 +368,7 @@ class LocalEngine:
                 n_workers=n_workers,
                 dataplane=dataplane,
                 vectorized=vectorized,
+                string_dict=string_dict,
                 fuse=fusion.mode,
                 batching=batching,
                 overload=overload_config,

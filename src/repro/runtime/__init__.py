@@ -50,10 +50,12 @@ from repro.runtime.epochs import (
 )
 from repro.runtime.dataplane import (
     DATAPLANE_NAMES,
+    STRING_DICT_MODES,
     VECTORIZED_MODES,
     BatchCodec,
     ChannelEndpoint,
     ColumnBatch,
+    DictColumn,
     PickleQueueChannel,
     ShmRingChannel,
     columns_available,
@@ -125,7 +127,9 @@ __all__ = [
     "ChannelEndpoint",
     "ColumnBatch",
     "DATAPLANE_NAMES",
+    "STRING_DICT_MODES",
     "VECTORIZED_MODES",
+    "DictColumn",
     "columns_available",
     "DEFAULT_QUEUE_BUDGET",
     "DegradeContext",

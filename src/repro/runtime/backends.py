@@ -44,6 +44,7 @@ from repro.runtime.dataplane.columns import (
     VECTORIZED_MODES,
     ColumnBatch,
     columns_available,
+    schema_accepts,
 )
 from repro.runtime.batching import AdaptiveBatchConfig, AdaptiveBatchController
 from repro.runtime.epochs import (
@@ -138,6 +139,7 @@ def resolve_backend(
     ordered: bool = False,
     dataplane: str | None = None,
     vectorized: str | None = None,
+    string_dict: str | None = None,
     fuse: str | None = None,
     batching: AdaptiveBatchConfig | None = None,
     overload: OverloadConfig | None = None,
@@ -158,7 +160,10 @@ def resolve_backend(
     (:mod:`repro.runtime.overload`) on either backend; ``send_retry``
     tunes the process backend's blocking-send retry/circuit-breaker
     policy and is accepted-and-ignored by the inline backend (which
-    never crosses a process boundary).
+    never crosses a process boundary).  ``string_dict`` selects the
+    adaptive string-dictionary mode for the shm codec (see
+    :data:`~repro.runtime.dataplane.codec.STRING_DICT_MODES`); the
+    inline backend accepts-and-ignores it for the same reason.
     """
     if n_workers is not None and n_workers < 1:
         raise ExecutionError(f"n_workers must be >= 1, got {n_workers}")
@@ -172,6 +177,14 @@ def resolve_backend(
             )
     if vectorized is not None:
         validate_vectorized(vectorized)
+    if string_dict is not None:
+        from repro.runtime.dataplane import STRING_DICT_MODES
+
+        if string_dict not in STRING_DICT_MODES:
+            raise ExecutionError(
+                f"unknown string_dict {string_dict!r}; "
+                f"expected one of {STRING_DICT_MODES}"
+            )
     if fuse is not None:
         validate_fuse(fuse)
     if isinstance(backend, ExecutorBackend):
@@ -188,6 +201,7 @@ def resolve_backend(
             ordered=ordered,
             dataplane=dataplane if dataplane is not None else "pickle",
             vectorized=vectorized or "auto",
+            string_dict=string_dict or "auto",
             batching=batching,
             overload=overload,
             send_retry=send_retry,
@@ -873,9 +887,8 @@ class _InlineRun:
                     self.ticks += 1
                     if column_fn is not None:
                         batch = ColumnBatch.from_tuples(items)
-                        if batch is not None and (
-                            operator.column_schemas is not None
-                            and batch.schema not in operator.column_schemas
+                        if batch is not None and not schema_accepts(
+                            operator.column_schemas, batch.schema
                         ):
                             batch = None  # schema the kernel did not negotiate
                         if batch is not None:
@@ -1005,9 +1018,8 @@ class _InlineRun:
                     self.ticks += 1
                     if kernels[0] is not None:
                         batch = ColumnBatch.from_tuples(items)
-                        if batch is not None and (
-                            head_op.column_schemas is not None
-                            and batch.schema not in head_op.column_schemas
+                        if batch is not None and not schema_accepts(
+                            head_op.column_schemas, batch.schema
                         ):
                             batch = None
                         if batch is not None:
@@ -1119,7 +1131,7 @@ class _InlineRun:
             next_op = self.instances[chain[position + 1].task_id]
             kernel = kernels[position + 1]
             schemas = next_op.column_schemas
-            if kernel is not None and (schemas is None or out.schema in schemas):
+            if kernel is not None and schema_accepts(schemas, out.schema):
                 yield from self._chain_columns(
                     chain, kernels, histograms, position + 1, out
                 )

@@ -31,15 +31,19 @@ from repro.runtime.dataplane.channels import (
 )
 from repro.runtime.dataplane.codec import (
     FIELD_TYPECODES,
+    STRING_DICT_MODES,
     BatchCodec,
     infer_schema,
     validate_schema,
 )
 from repro.runtime.dataplane.columns import (
     COLUMN_DTYPES,
+    DICT_TYPECODE,
     VECTORIZED_MODES,
     ColumnBatch,
+    DictColumn,
     columns_available,
+    schema_accepts,
     schema_dtypes,
 )
 
@@ -50,9 +54,13 @@ __all__ = [
     "ColumnBatch",
     "DATAPLANE_NAMES",
     "DEFAULT_RING_BYTES",
+    "DICT_TYPECODE",
     "DataPlane",
+    "DictColumn",
     "FIELD_TYPECODES",
+    "STRING_DICT_MODES",
     "VECTORIZED_MODES",
+    "schema_accepts",
     "columns_available",
     "schema_dtypes",
     "PickleDataPlane",

@@ -355,16 +355,24 @@ class ShmRingChannel(ChannelEndpoint):
         inboxes: list,
         ring_names: Mapping[tuple[int, int], str],
         edge_schemas: Mapping[tuple[int, int], str] | None = None,
+        string_dict: str = "auto",
     ) -> None:
         super().__init__(worker_id, inboxes)
         self.ring_names = dict(ring_names)
         self.edge_schemas = dict(edge_schemas or {})
+        self.string_dict = string_dict
         self.codec: BatchCodec | None = None
         self.send_rings: dict[int, ShmRing] = {}
         self.recv_rings: dict[int, ShmRing] = {}
 
     def connect(self) -> None:
-        self.codec = BatchCodec(self.edge_schemas)
+        # The codec — and with it all per-edge dictionary/mirror state —
+        # is built fresh inside the worker process, once per execution
+        # attempt: a Supervisor retry or a new epoch slice reconnects,
+        # resetting producer dictionaries and consumer mirrors together.
+        self.codec = BatchCodec(
+            self.edge_schemas, string_dict=self.string_dict
+        )
         for (sender, dest), name in self.ring_names.items():
             if sender == self.me:
                 self.send_rings[dest] = ShmRing.attach(name)
@@ -380,7 +388,13 @@ class ShmRingChannel(ChannelEndpoint):
     def snapshot_metrics(self) -> dict[str, float]:
         snapshot = dict(self.metrics)
         if self.codec is not None:
-            snapshot["codec_fallbacks"] = float(self.codec.fallback_batches)
+            codec = self.codec
+            snapshot["codec_fallbacks"] = float(codec.fallback_batches)
+            snapshot["dict_columns"] = float(codec.dict_columns)
+            snapshot["dict_pages"] = float(codec.dict_pages)
+            snapshot["dict_bytes"] = float(codec.dict_bytes)
+            snapshot["dict_promotions"] = float(codec.dict_promotions)
+            snapshot["dict_demotions"] = float(codec.dict_demotions)
         return snapshot
 
     def pack(
@@ -421,15 +435,17 @@ class ShmRingChannel(ChannelEndpoint):
 
     def unpack(self, message: tuple) -> tuple[int, int, list[StreamTuple]]:
         producer, consumer, payload = self._consume(message)
-        return producer, consumer, self.codec.decode(payload)
+        edge = (producer, consumer)
+        return producer, consumer, self.codec.decode(payload, edge)
 
     def unpack_columns(
         self, message: tuple
     ) -> "tuple[int, int, ColumnBatch | list[StreamTuple]]":
         producer, consumer, payload = self._consume(message)
-        batch = self.codec.decode_columns(payload)
+        edge = (producer, consumer)
+        batch = self.codec.decode_columns(payload, edge)
         if batch is None:  # pickle fallback or empty: rows it is
-            return producer, consumer, self.codec.decode(payload)
+            return producer, consumer, self.codec.decode(payload, edge)
         return producer, consumer, batch
 
 
@@ -480,9 +496,11 @@ class ShmDataPlane(DataPlane):
         *,
         ring_bytes: int = DEFAULT_RING_BYTES,
         edge_schemas: Mapping[tuple[int, int], str] | None = None,
+        string_dict: str = "auto",
     ) -> None:
         super().__init__(ctx, n_workers, inbox_batches)
         self.edge_schemas = dict(edge_schemas or {})
+        self.string_dict = string_dict
         self.rings: dict[tuple[int, int], ShmRing] = {}
         run_tag = f"{SHM_NAME_PREFIX}{os.getpid():x}_{next(_ring_sequence):x}"
         try:
@@ -505,6 +523,7 @@ class ShmDataPlane(DataPlane):
             self.inboxes,
             {key: ring.name for key, ring in self.rings.items()},
             self.edge_schemas,
+            self.string_dict,
         )
 
     def close(self) -> None:
@@ -523,6 +542,7 @@ def create_dataplane(
     *,
     ring_bytes: int = DEFAULT_RING_BYTES,
     edge_schemas: Mapping[tuple[int, int], str] | None = None,
+    string_dict: str = "auto",
 ) -> DataPlane:
     """Build the parent-side data plane for one execution attempt."""
     if name == "pickle":
@@ -539,6 +559,7 @@ def create_dataplane(
             inbox_batches,
             ring_bytes=ring_bytes,
             edge_schemas=edge_schemas,
+            string_dict=string_dict,
         )
     raise ExecutionError(
         f"unknown dataplane {name!r}; expected one of {DATAPLANE_NAMES}"

@@ -39,8 +39,18 @@ from repro.dsps.tuples import StreamTuple
 if TYPE_CHECKING:  # pragma: no cover
     import numpy.typing as npt
 
-#: Typecodes the codec understands (shared with the wire format).
+#: Typecodes an operator may declare (shared with the wire format).
 FIELD_TYPECODES = "qd?sy"
+
+#: Dictionary-encoded string column: ``<i4`` codes into a per-edge decode
+#: table.  Never *declared* by operators ("s" columns are promoted to "D"
+#: adaptively by the codec, or produced by kernels emitting a
+#: :class:`DictColumn`); batch schemas may carry it, declared edge
+#: schemas may not.  (The issue's natural name "d" is taken by float64.)
+DICT_TYPECODE = "D"
+
+#: Typecodes a batch schema may carry (declared codes + dict columns).
+BATCH_TYPECODES = FIELD_TYPECODES + DICT_TYPECODE
 
 #: Vectorized execution modes accepted by backends and the CLI:
 #: ``auto`` uses columnar kernels when available and falls through
@@ -64,16 +74,41 @@ def columns_available() -> bool:
     return np is not None
 
 
-def validate_schema(code: str) -> None:
-    """Raise ``ValueError`` unless ``code`` is a valid typecode string."""
+def validate_schema(code: str, *, allow_dict: bool = False) -> None:
+    """Raise ``ValueError`` unless ``code`` is a valid typecode string.
+
+    ``allow_dict`` admits the "D" (dictionary-encoded string) typecode,
+    which batch schemas may carry but declared edge schemas may not —
+    promotion to dictionary encoding is the codec's adaptive decision,
+    never an operator declaration.
+    """
     if not code:
         raise ValueError("schema must declare at least one field")
-    bad = set(code) - set(FIELD_TYPECODES)
+    allowed = BATCH_TYPECODES if allow_dict else FIELD_TYPECODES
+    bad = set(code) - set(allowed)
     if bad:
         raise ValueError(
             f"invalid field typecode(s) {sorted(bad)} in schema {code!r}; "
-            f"expected characters from {FIELD_TYPECODES!r}"
+            f"expected characters from {allowed!r}"
         )
+
+
+def schema_accepts(accepted, schema: str) -> bool:
+    """Schema negotiation for kernel dispatch and fused-chain hand-offs.
+
+    ``accepted`` is an operator's ``column_schemas`` (``None`` = any).
+    A batch schema matches a declared schema positionally, with a "D"
+    (dictionary-encoded string) column satisfying an "s" declaration:
+    a :class:`DictColumn` is list-like over the same strings, so every
+    kernel written against "s" input works unchanged on the coded form.
+    """
+    if accepted is None:
+        return True
+    if schema in accepted:
+        return True
+    if DICT_TYPECODE not in schema:
+        return False
+    return schema.replace(DICT_TYPECODE, "s") in accepted
 
 
 def infer_schema(values: tuple) -> str | None:
@@ -106,6 +141,67 @@ def take(column, index):
     if isinstance(column, list):
         return [column[i] for i in index]
     return column[index]
+
+
+class DictColumn:
+    """A dictionary-encoded string column: ``<i4`` codes + a shared table.
+
+    The decode ``table`` is an append-only ``list[str]`` shared by every
+    batch of one edge (consumer side: the codec's per-edge mirror, grown
+    by in-band delta pages; producer side: a kernel's own vocabulary).
+    ``codes`` index into it.  The view is read-only by contract — kernels
+    must treat both parts as immutable, like every wire-decoded column.
+
+    A ``DictColumn`` is deliberately list-like over the decoded strings
+    (``len``/iteration/indexing/slicing/``tolist``), so generic code
+    written against "s" columns works unchanged; kernels that understand
+    codes (`isinstance(column, DictColumn)`) operate on the ``codes``
+    array directly and never materialize Python strings.
+    """
+
+    __slots__ = ("codes", "table")
+
+    def __init__(self, codes, table: list) -> None:
+        self.codes = np.asarray(codes, dtype="<i4")
+        self.table = table
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DictColumn(rows={len(self.codes)}, table={len(self.table)})"
+
+    def __getitem__(self, item):
+        """Int -> decoded string; slice/fancy index -> coded sub-column."""
+        if isinstance(item, (int,)) or (
+            np is not None and isinstance(item, np.integer)
+        ):
+            return self.table[self.codes[item]]
+        if isinstance(item, slice):
+            return DictColumn(self.codes[item], self.table)
+        return DictColumn(self.codes[np.asarray(item)], self.table)
+
+    def __iter__(self):
+        table = self.table
+        return (table[c] for c in self.codes)
+
+    def tolist(self) -> list:
+        """Decoded strings, sharing the table's (interned) objects."""
+        table = self.table
+        return [table[c] for c in self.codes.tolist()]
+
+    #: Lossless scalar fall-through (the issue's contract name).
+    as_strings = tolist
+
+    def char_total(self) -> int:
+        """Total decoded characters — "s"-equivalent byte accounting
+        without materializing any string."""
+        if len(self.codes) == 0:
+            return 0
+        lens = np.fromiter(
+            map(len, self.table), dtype="<i8", count=len(self.table)
+        )
+        return int(lens[self.codes].sum())
 
 
 class ColumnBatch:
@@ -256,25 +352,40 @@ class ColumnBatch:
         """
         if np is None:  # pragma: no cover - kernels only run with numpy
             raise RuntimeError("ColumnBatch.build requires numpy")
-        validate_schema(schema)
+        validate_schema(schema, allow_dict=True)
         if len(columns) != len(schema):
             raise ValueError(
                 f"schema {schema!r} declares {len(schema)} fields but "
                 f"{len(columns)} columns were given"
             )
         canonical: list = []
+        actual: list[str] = []
         n = None
         for code, column in zip(schema, columns):
-            dtype = COLUMN_DTYPES.get(code)
-            if dtype is not None:
-                column = np.asarray(column, dtype=dtype)
-            elif not isinstance(column, list):
-                column = list(column)
+            # A DictColumn passed for an "s" field upgrades that position
+            # to "D" in place: kernels that merely pass a string column
+            # through keep it coded without being dictionary-aware.
+            if code == "s" and isinstance(column, DictColumn):
+                code = DICT_TYPECODE
+            if code == DICT_TYPECODE:
+                if not isinstance(column, DictColumn):
+                    raise ValueError(
+                        "schema declares a 'D' field but the column is "
+                        f"{type(column).__name__}, not DictColumn"
+                    )
+            else:
+                dtype = COLUMN_DTYPES.get(code)
+                if dtype is not None:
+                    column = np.asarray(column, dtype=dtype)
+                elif not isinstance(column, list):
+                    column = list(column)
             if n is None:
                 n = len(column)
             elif len(column) != n:
                 raise ValueError("ragged columns in ColumnBatch.build")
             canonical.append(column)
+            actual.append(code)
+        schema = "".join(actual)
         if index is not None:
             index = np.asarray(index, dtype=np.intp)
             if len(index) != n:
@@ -375,6 +486,10 @@ class ColumnBatch:
                 total += fixed * n
             elif code == "s":
                 total += 40 * n + 2 * sum(map(len, column))
+            elif code == DICT_TYPECODE:
+                # Accounted as the strings the codes stand for, so the
+                # per-tuple model is independent of the encoding chosen.
+                total += 40 * n + 2 * column.char_total()
             else:  # 'y'
                 total += 33 * n + sum(map(len, column))
         return total
@@ -384,13 +499,23 @@ class ColumnBatch:
     # ------------------------------------------------------------------
     def __getstate__(self):
         # Drop the burst-tuple cache: shipping rows next to columns would
-        # double the payload for zero information.
+        # double the payload for zero information.  Dict columns decay to
+        # raw string lists ("D" -> "s"): decode tables are a per-edge
+        # codec affair, never shipped per batch on the pickle plane.
+        schema = self.schema
+        columns = self.columns
+        if DICT_TYPECODE in schema:
+            columns = [
+                column.tolist() if isinstance(column, DictColumn) else column
+                for column in columns
+            ]
+            schema = schema.replace(DICT_TYPECODE, "s")
         return (
             self.stream,
             self.source_task,
-            self.schema,
+            schema,
             self.event_times,
-            self.columns,
+            columns,
             self.index,
         )
 

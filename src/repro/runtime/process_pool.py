@@ -94,11 +94,13 @@ from repro.runtime.backends import (
 from repro.runtime.dataplane import (
     DATAPLANE_NAMES,
     DEFAULT_RING_BYTES,
+    STRING_DICT_MODES,
     ChannelEndpoint,
     ColumnBatch,
     PickleQueueChannel,
     columns_available,
     create_dataplane,
+    schema_accepts,
 )
 from repro.runtime.epochs import (
     EpochCheckpoint,
@@ -261,6 +263,7 @@ class ProcessPoolBackend(ExecutorBackend):
         dataplane: str = "pickle",
         ring_bytes: int = DEFAULT_RING_BYTES,
         vectorized: str = "auto",
+        string_dict: str = "auto",
         batching: AdaptiveBatchConfig | None = None,
         overload: OverloadConfig | None = None,
         send_retry: SendRetryPolicy | None = None,
@@ -287,6 +290,11 @@ class ProcessPoolBackend(ExecutorBackend):
         if ring_bytes < 4096:
             raise ExecutionError(f"ring_bytes must be >= 4096, got {ring_bytes}")
         validate_vectorized(vectorized)
+        if string_dict not in STRING_DICT_MODES:
+            raise ExecutionError(
+                f"unknown string_dict {string_dict!r}; "
+                f"expected one of {STRING_DICT_MODES}"
+            )
         self.n_workers = n_workers
         self.ordered = ordered
         self.inbox_batches = inbox_batches
@@ -296,6 +304,7 @@ class ProcessPoolBackend(ExecutorBackend):
         self.dataplane = dataplane
         self.ring_bytes = ring_bytes
         self.vectorized = vectorized
+        self.string_dict = string_dict
         self.batching = batching
         self.overload = overload
         self.send_retry = (
@@ -417,6 +426,7 @@ class ProcessPoolBackend(ExecutorBackend):
             self.inbox_batches,
             ring_bytes=self.ring_bytes,
             edge_schemas=spec.edge_schemas,
+            string_dict=self.string_dict,
         )
         results: Any = ctx.Queue()
         # Shared liveness state: heartbeat timestamps (monotonic seconds,
@@ -881,6 +891,11 @@ class ProcessPoolBackend(ExecutorBackend):
                 "bytes_inline",
                 "bytes_oob",
                 "codec_fallbacks",
+                "dict_columns",
+                "dict_pages",
+                "dict_bytes",
+                "dict_promotions",
+                "dict_demotions",
             )
             for worker_id, metrics in sorted(worker_metrics.items()):
                 prefix = f"runtime.worker.{worker_id}"
@@ -916,7 +931,10 @@ class ProcessPoolBackend(ExecutorBackend):
                 int(totals["pickled_bytes_out"])
             )
             for key in dataplane_counters:
-                registry.counter(f"runtime.dataplane.{key}").inc(int(totals[key]))
+                # dict_* counters publish under a dotted sub-namespace:
+                # runtime.dataplane.dict.{columns,pages,bytes,...}.
+                name = key.replace("dict_", "dict.")
+                registry.counter(f"runtime.dataplane.{name}").inc(int(totals[key]))
             for key in _VECTORIZED_COUNTERS:
                 name = key.removeprefix("vectorized_")
                 registry.counter(f"runtime.vectorized.{name}").inc(
@@ -1745,9 +1763,7 @@ class _Worker:
                 else ColumnBatch.from_tuples(payload)
             )
             schemas = self.column_schemas[consumer]
-            if batch is not None and (
-                schemas is not None and batch.schema not in schemas
-            ):
+            if batch is not None and not schema_accepts(schemas, batch.schema):
                 batch = None  # schema the kernel did not negotiate
             if batch is not None:
                 self._process_columns(rt, consumer, stats, kernel, batch)
@@ -1825,9 +1841,7 @@ class _Worker:
                 else ColumnBatch.from_tuples(payload)
             )
             schemas = self.column_schemas[head_id]
-            if batch is not None and (
-                schemas is not None and batch.schema not in schemas
-            ):
+            if batch is not None and not schema_accepts(schemas, batch.schema):
                 batch = None
             if batch is not None:
                 self._chain_columns(chain, 0, batch)
@@ -1904,9 +1918,7 @@ class _Worker:
                 if next_kernel is not None
                 else None
             )
-            if next_kernel is not None and (
-                schemas is None or out.schema in schemas
-            ):
+            if next_kernel is not None and schema_accepts(schemas, out.schema):
                 self._chain_columns(chain, position + 1, out)
             else:
                 if next_id in self.column_capable:

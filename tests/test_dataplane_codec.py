@@ -204,6 +204,153 @@ class TestCodecRoundTrip:
             BatchCodec({EDGE: "zz"})
 
 
+#: Adversarial string shapes for the dictionary path: empty strings,
+#: astral-plane and combining codepoints (multi-byte utf-8, zero-width
+#: joiners), and multi-KB outliers that dwarf the page header.
+_COMBINING_AND_ASTRAL = "́̈‍\U0001f600\U0001f680\U0001d54a"
+_ADVERSARIAL_STRING = st.one_of(
+    st.just(""),
+    st.text(max_size=20),
+    st.text(alphabet=_COMBINING_AND_ASTRAL, min_size=1, max_size=6),
+    st.builds(
+        lambda char, n: char * n,
+        st.sampled_from("xé\U0001f600"),
+        st.integers(min_value=1000, max_value=4000),
+    ),
+)
+
+
+class TestDictCodec:
+    """Dictionary-encoded string path: losslessness, pages, adaptivity.
+
+    A forced-dict encoder and a raw encoder must be observationally
+    identical after decode for *any* string column the columnar path
+    accepts — including the adversarial shapes above — and every
+    adaptivity transition (promote, reject, demote, fallback-recover)
+    must leave the codec in a state that still round-trips.
+    """
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.lists(_ADVERSARIAL_STRING, min_size=0, max_size=20),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_dict_path_matches_raw_path(self, word_batches):
+        raw = BatchCodec({EDGE: "s"}, string_dict="off")
+        encoder = BatchCodec({EDGE: "s"}, string_dict="on")
+        decoder = BatchCodec({EDGE: "s"})
+        for words in word_batches:
+            original = make_tuples([(word,) for word in words])
+            assert_batches_equal(
+                raw.decode(raw.encode(EDGE, original)), original
+            )
+            assert_batches_equal(
+                decoder.decode(encoder.encode(EDGE, original), edge=EDGE),
+                original,
+            )
+        assert raw.fallback_batches == 0
+        assert encoder.fallback_batches == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text())
+    def test_unicode_survives_dict_mode(self, text):
+        # Surrogate-bearing strings cannot utf-8 encode; the dict path
+        # must roll back its table additions and the batch must still
+        # round-trip via the pickle fallback.
+        encoder = BatchCodec({EDGE: "s"}, string_dict="on")
+        decoder = BatchCodec()
+        original = make_tuples([(text,)])
+        decoded = decoder.decode(encoder.encode(EDGE, original), edge=EDGE)
+        assert_batches_equal(decoded, original)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=20))
+    def test_all_none_column_falls_back_then_recovers(self, n_rows):
+        encoder = BatchCodec({EDGE: "s"}, string_dict="on")
+        decoder = BatchCodec()
+        nones = make_tuples([(None,)] * n_rows)
+        assert_batches_equal(
+            decoder.decode(encoder.encode(EDGE, nones), edge=EDGE), nones
+        )
+        assert encoder.fallback_batches == 1
+        # The failed batch must not wedge the column: the next clean
+        # batch dict-encodes and decodes against an intact mirror.
+        words = make_tuples([("hello",)] * n_rows)
+        assert_batches_equal(
+            decoder.decode(encoder.encode(EDGE, words), edge=EDGE), words
+        )
+        assert encoder.fallback_batches == 1
+
+    def test_auto_promotes_exactly_at_observation_floor(self):
+        encoder = BatchCodec(
+            {EDGE: "s"}, string_dict="auto", dict_min_observed=32
+        )
+        decoder = BatchCodec()
+        original = make_tuples([(f"w{i % 4}",) for i in range(16)])
+        first = encoder.encode(EDGE, original)  # observed 16 < 32: raw
+        assert encoder.dict_promotions == 0
+        second = encoder.encode(EDGE, original)  # observed 32: promote
+        assert encoder.dict_promotions == 1
+        assert encoder.dict_columns == 1
+        assert_batches_equal(decoder.decode(first, edge=EDGE), original)
+        assert_batches_equal(decoder.decode(second, edge=EDGE), original)
+
+    def test_auto_rejects_high_cardinality_columns(self):
+        encoder = BatchCodec(
+            {EDGE: "s"}, string_dict="auto", dict_min_observed=32
+        )
+        for base in range(4):  # 64 observed, all distinct: never promote
+            original = make_tuples(
+                [(f"uniq-{base}-{i}",) for i in range(16)]
+            )
+            encoder.encode(EDGE, original)
+        assert encoder.dict_promotions == 0
+        assert encoder.dict_columns == 0
+
+    def test_forced_dict_demotes_past_entry_cap(self):
+        encoder = BatchCodec(
+            {EDGE: "s"}, string_dict="on", dict_max_entries=8
+        )
+        decoder = BatchCodec()
+        first = make_tuples([(f"w{i}",) for i in range(8)])
+        page_one = encoder.encode(EDGE, first)
+        assert encoder.dict_promotions == 1
+        assert encoder.dict_demotions == 0
+        second = make_tuples([(f"w{i}",) for i in range(8, 20)])
+        page_two = encoder.encode(EDGE, second)  # blows the cap: demote
+        assert encoder.dict_demotions == 1
+        assert encoder.dict_columns == 0
+        assert_batches_equal(decoder.decode(page_one, edge=EDGE), first)
+        assert_batches_equal(decoder.decode(page_two, edge=EDGE), second)
+        assert encoder.fallback_batches == 0
+
+    def test_repeat_batches_ship_empty_pages_and_shrink(self):
+        encoder = BatchCodec({EDGE: "s"}, string_dict="on")
+        original = make_tuples([("alpha",), ("beta",)] * 8)
+        first = encoder.encode(EDGE, original)
+        pages = encoder.dict_pages
+        second = encoder.encode(EDGE, original)
+        # All entries shipped with the first batch: the second carries
+        # only the 8-byte empty page header plus codes.
+        assert len(second) < len(first)
+        assert encoder.dict_pages == pages
+
+    def test_fresh_consumer_detects_page_gap(self):
+        encoder = BatchCodec({EDGE: "s"}, string_dict="on")
+        encoder.encode(EDGE, make_tuples([("alpha",)]))
+        stale = encoder.encode(EDGE, make_tuples([("beta",)]))
+        fresh = BatchCodec()
+        with pytest.raises(ValueError, match="dictionary page gap"):
+            fresh.decode(stale, edge=EDGE)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            BatchCodec({EDGE: "s"}, string_dict="zstd")
+
+
 @pytest.mark.skipif(not shm_available(), reason="no POSIX shared memory")
 class TestShmRing:
     def test_write_read_round_trip(self):

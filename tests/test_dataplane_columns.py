@@ -12,7 +12,13 @@ import numpy as np
 import pytest
 
 from repro.dsps.tuples import StreamTuple
-from repro.runtime.dataplane import BatchCodec, ColumnBatch, columns_available
+from repro.runtime.dataplane import (
+    BatchCodec,
+    ColumnBatch,
+    DictColumn,
+    columns_available,
+    schema_accepts,
+)
 from repro.runtime.dataplane.columns import (
     COLUMN_DTYPES,
     _FIXED_PAYLOAD_BYTES,
@@ -219,6 +225,94 @@ class TestChunksAndAccounting:
         assert 40 + 2 * 3 == s_tup.payload_size_bytes
         (y_tup,) = make_tuples([(b"abc",)])
         assert 33 + 3 == y_tup.payload_size_bytes
+
+
+class TestDictColumn:
+    """The dictionary-encoded string column view (docs/vectorized.md)."""
+
+    WORDS = ["alpha", "beta", "alpha", "gamma", "beta", "alpha"]
+
+    def make(self):
+        table = sorted(set(self.WORDS))
+        codes = np.asarray(
+            [table.index(w) for w in self.WORDS], dtype="<i4"
+        )
+        return DictColumn(codes, table)
+
+    def test_list_like_protocol(self):
+        column = self.make()
+        assert len(column) == 6
+        assert column[0] == "alpha"
+        assert column[-1] == "alpha"
+        assert list(column) == self.WORDS
+        assert column.tolist() == self.WORDS
+        assert column.as_strings() == self.WORDS
+
+    def test_slice_and_fancy_index_stay_encoded(self):
+        column = self.make()
+        sliced = column[1:4]
+        assert isinstance(sliced, DictColumn)
+        assert sliced.table is column.table
+        assert sliced.tolist() == self.WORDS[1:4]
+        picked = column[[4, 0]]
+        assert isinstance(picked, DictColumn)
+        assert picked.tolist() == ["beta", "alpha"]
+
+    def test_take_helper_preserves_encoding(self):
+        got = take(self.make(), [2, 5])
+        assert isinstance(got, DictColumn)
+        assert got.tolist() == ["alpha", "alpha"]
+
+    def test_build_upgrades_s_to_dict_schema(self):
+        batch = ColumnBatch.build("s1", "s", [self.make()])
+        assert batch.schema == "D"
+        assert isinstance(batch.columns[0], DictColumn)
+
+    def test_build_rejects_plain_column_for_dict_schema(self):
+        with pytest.raises(ValueError, match="not DictColumn"):
+            ColumnBatch.build("s1", "D", [["alpha", "beta"]])
+
+    def test_to_tuples_materializes_strings(self):
+        batch = ColumnBatch.build("s1", "s", [self.make()])
+        assert [t.values[0] for t in batch.to_tuples()] == self.WORDS
+
+    def test_payload_bytes_counts_strings_not_codes(self):
+        # Logical tuple accounting is encoding-independent: a coded
+        # column charges the same bytes as its materialized strings.
+        coded = ColumnBatch.build("s1", "s", [self.make()])
+        plain = ColumnBatch.build("s1", "s", [list(self.WORDS)])
+        assert coded.payload_bytes() == plain.payload_bytes()
+
+    def test_pickle_decays_to_plain_strings(self):
+        batch = ColumnBatch.build("s1", "s", [self.make()])
+        clone = pickle.loads(pickle.dumps(batch))
+        assert clone.schema == "s"
+        assert not isinstance(clone.columns[0], DictColumn)
+        assert list(clone.columns[0]) == self.WORDS
+
+    def test_wire_round_trip_shares_code_memory(self):
+        codec = BatchCodec({EDGE: "s"}, string_dict="on")
+        batch = ColumnBatch.build("default", "s", [self.make()])
+        batch.stamp_from(
+            ColumnBatch.from_tuples(
+                make_tuples([(w,) for w in self.WORDS])
+            ),
+            source_task=3,
+        )
+        payload = codec.encode_columns(EDGE, batch)
+        decoded = codec.decode_columns(payload, edge=EDGE)
+        assert decoded.schema == "D"
+        column = decoded.columns[0]
+        assert isinstance(column, DictColumn)
+        assert column.tolist() == self.WORDS
+        wire = np.frombuffer(payload, dtype=np.uint8)
+        assert np.shares_memory(column.codes, wire)
+
+    def test_schema_accepts_dict_for_string_kernels(self):
+        assert schema_accepts(("sq",), "Dq")
+        assert schema_accepts(("s",), "D")
+        assert schema_accepts(None, "D")
+        assert not schema_accepts(("qd",), "Dq")
 
 
 class TestHelpers:

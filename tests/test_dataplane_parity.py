@@ -52,9 +52,11 @@ def run_app(app, *, backend="inline", registry=None, **kwargs):
     return engine.run(EVENTS)
 
 
-def process_backend(app, dataplane):
+def process_backend(app, dataplane, **kwargs):
     ordered = app == "lr"
-    return ProcessPoolBackend(n_workers=2, ordered=ordered, dataplane=dataplane)
+    return ProcessPoolBackend(
+        n_workers=2, ordered=ordered, dataplane=dataplane, **kwargs
+    )
 
 
 def sink_multiset(result):
@@ -118,6 +120,97 @@ class TestPickleShmParity:
         assert_parity(pickled, shm)
 
 
+class TestStringDictParity:
+    """Dictionary encoding must be semantically invisible on every plane.
+
+    The matrix runs each app under ``string_dict`` off and auto, on both
+    the pickle and shm planes with vectorized kernels on, and compares
+    sink multisets, ingest counts and per-task tuple counts against the
+    inline reference.  ``auto`` promotes WC's word edge and FD's trace
+    edge mid-run, so the matrix exercises the raw->dict transition, the
+    pickle plane's ``"D"``->``"s"`` decay, and LR's no-op path (integer
+    schemas never consult the dictionary machinery).
+    """
+
+    @pytest.fixture(scope="class")
+    def references(self):
+        return {app: run_app(app) for app in ("wc", "fd", "sd", "lr")}
+
+    @pytest.mark.parametrize("app", ["wc", "fd", "sd", "lr"])
+    @pytest.mark.parametrize("mode", ["off", "auto"])
+    @needs_shm
+    def test_shm_dict_matches_inline(self, app, mode, references):
+        candidate = run_app(
+            app,
+            backend=process_backend(
+                app, "shm", vectorized="on", string_dict=mode
+            ),
+        )
+        assert_parity(references[app], candidate)
+
+    @pytest.mark.parametrize("app", ["wc", "fd", "sd", "lr"])
+    @pytest.mark.parametrize("mode", ["off", "auto"])
+    def test_pickle_dict_matches_inline(self, app, mode, references):
+        candidate = run_app(
+            app,
+            backend=process_backend(
+                app, "pickle", vectorized="on", string_dict=mode
+            ),
+        )
+        assert_parity(references[app], candidate)
+
+    @needs_shm
+    def test_forced_dict_matches_inline(self, references):
+        # ``on`` skips the observation window: every string column is
+        # promoted on its first batch, including low-cardinality losers.
+        candidate = run_app(
+            "wc",
+            backend=process_backend(
+                "wc", "shm", vectorized="on", string_dict="on"
+            ),
+        )
+        assert_parity(references["wc"], candidate)
+
+    def test_backend_rejects_unknown_mode(self):
+        with pytest.raises(ExecutionError, match="unknown string_dict"):
+            ProcessPoolBackend(string_dict="zstd")
+
+    def test_resolve_rejects_unknown_mode(self):
+        with pytest.raises(ExecutionError, match="unknown string_dict"):
+            resolve_backend("process", string_dict="zstd")
+
+
+class TestStringDictRecovery:
+    """Producer and consumer dictionaries reset in lockstep on restart.
+
+    Codecs are built inside ``ShmRingChannel.connect()`` in the worker
+    process, so a Supervisor retry rebuilds both sides from scratch —
+    no stale decode table can survive a crash.  The sink multiset after
+    an injected worker crash + replay must be bit-identical to a
+    fault-free dict-encoded run.
+    """
+
+    @needs_shm
+    def test_dict_state_resets_exactly_once_under_crash_retry(self):
+        from repro.runtime import FaultPlan
+
+        backend = process_backend(
+            "wc", "shm", vectorized="on", string_dict="on"
+        )
+        reference = run_app("wc", backend=backend)
+        faulty = run_app(
+            "wc",
+            backend=process_backend(
+                "wc", "shm", vectorized="on", string_dict="on"
+            ),
+            fault_plan=FaultPlan(seed=3, kinds=("crash",), at_tuple=20),
+            recovery_policy="retry",
+        )
+        assert faulty.recovery.completed is True
+        assert faulty.recovery.restarts >= 1
+        assert_parity(reference, faulty)
+
+
 class TestDataplaneMetrics:
     @needs_shm
     def test_shm_run_reports_inline_bytes(self):
@@ -142,3 +235,41 @@ class TestDataplaneMetrics:
             counters["runtime.run.dataplane_bytes"]
             == counters["runtime.run.pickled_bytes"]
         )
+
+    @needs_shm
+    def test_dict_run_publishes_dict_counters(self):
+        registry = MetricsRegistry()
+        result = run_app(
+            "wc",
+            backend=process_backend(
+                "wc", "shm", vectorized="on", string_dict="on"
+            ),
+            registry=registry,
+        )
+        assert result.sink_received() == EVENTS * 10
+        counters = registry.snapshot()["counters"]
+        assert counters["runtime.dataplane.dict.promotions"] >= 1
+        assert counters["runtime.dataplane.dict.columns"] >= 1
+        assert counters["runtime.dataplane.dict.pages"] >= 1
+        assert counters["runtime.dataplane.dict.bytes"] > 0
+        assert counters.get("runtime.dataplane.codec_fallbacks", 0) == 0
+        # Dict traffic still counts toward the plane's byte totals.
+        assert (
+            counters["runtime.dataplane.bytes_inline"]
+            + counters["runtime.dataplane.bytes_oob"]
+            >= counters["runtime.dataplane.dict.bytes"]
+        )
+
+    @needs_shm
+    def test_dict_off_publishes_no_dict_counters(self):
+        registry = MetricsRegistry()
+        run_app(
+            "wc",
+            backend=process_backend(
+                "wc", "shm", vectorized="on", string_dict="off"
+            ),
+            registry=registry,
+        )
+        counters = registry.snapshot()["counters"]
+        assert counters.get("runtime.dataplane.dict.promotions", 0) == 0
+        assert counters.get("runtime.dataplane.dict.bytes", 0) == 0

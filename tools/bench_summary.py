@@ -4,17 +4,20 @@
 Each runtime benchmark drops a machine-readable report next to its text
 table (docs/metrics.md): provenance (git sha, timestamp, scale) plus the
 run's headline numbers.  This tool folds every ``BENCH_*.json`` found
-under ``benchmarks/results/`` into a single table — one row per
-artefact — so a CI run (or a local sweep) shows the whole performance
-trajectory at a glance instead of N disconnected files.
+under ``benchmarks/results/`` *and* the repository root (where CI
+download steps and older runs drop artefacts) into a single table — one
+row per artefact — so a CI run (or a local sweep) shows the whole
+performance trajectory at a glance instead of N disconnected files.  A
+second table groups the same artefacts per commit (one row per PR,
+chronological) with each benchmark's tuples/s as a column.
 
 Stdlib only, so CI can run it before installing anything.
 
 Usage::
 
-    python tools/bench_summary.py                 # table to stdout
+    python tools/bench_summary.py                 # tables to stdout
     python tools/bench_summary.py --json out.json # plus combined JSON
-    python tools/bench_summary.py --results DIR   # non-default directory
+    python tools/bench_summary.py --results DIR   # extra directory
 
 Exits 0 when at least one artefact was found (or ``--allow-empty`` is
 passed), 1 otherwise.
@@ -92,6 +95,15 @@ def _headline(name: str, data: dict) -> tuple[str | None, str]:
         rows = data.get("rows") or []
         matched = sum(1 for row in rows if row.get("throughput_match"))
         return None, f"{matched}/{len(rows)} plans match brute-force throughput"
+    if name == "BENCH_strings":
+        codec = data.get("codec", {})
+        return (
+            _fmt_rate(data.get("dict", {}).get("tuples_per_s")),
+            f"dict wire {_fmt_speedup(codec.get('bytes_ratio'))} smaller/tuple, "
+            f"e2e bytes {_fmt_speedup(data.get('bytes_ratio'))} smaller, "
+            f"counter stage "
+            f"{_fmt_speedup(data.get('counter_stage', {}).get('stage_ratio'))}",
+        )
     # Generic fallback: surface whatever common keys exist.
     parts = []
     if isinstance(data.get("speedup"), (int, float)):
@@ -103,9 +115,26 @@ def _headline(name: str, data: dict) -> tuple[str | None, str]:
     return _fmt_rate(throughput) if throughput else None, "; ".join(parts) or "-"
 
 
+def discover(results_dir: Path) -> list[Path]:
+    """Union of ``BENCH_*.json`` under ``results_dir`` and the repo root.
+
+    CI artefact-download steps (and pre-PR-10 local runs) drop reports in
+    the repository root rather than ``benchmarks/results/``; both spots
+    count.  When the same file name appears in both, the results
+    directory wins (it is where live benchmark runs write).
+    """
+    seen: dict[str, Path] = {}
+    for directory in (results_dir, REPO_ROOT):
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.glob("BENCH_*.json")):
+            seen.setdefault(path.name, path)
+    return [seen[name] for name in sorted(seen)]
+
+
 def load_rows(results_dir: Path) -> list[dict]:
     rows = []
-    for path in sorted(results_dir.glob("BENCH_*.json")):
+    for path in discover(results_dir):
         try:
             report = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
@@ -154,6 +183,53 @@ def format_table(rows: list[dict]) -> str:
     return "\n".join(lines)
 
 
+def format_trajectory(rows: list[dict]) -> str:
+    """Per-PR tuples/s table: one row per commit, one column per artefact.
+
+    Rows are ordered by each commit's earliest artefact timestamp, so a
+    directory accumulating reports across PRs reads as a chronological
+    throughput trajectory.
+    """
+    artefacts = sorted(
+        {row["artefact"] for row in rows if row["tuples_per_s"]}
+    )
+    if not artefacts:
+        return ""
+    by_sha: dict[str, dict] = {}
+    for row in rows:
+        entry = by_sha.setdefault(
+            row["git_sha"], {"first_seen": row["timestamp"], "cells": {}}
+        )
+        entry["first_seen"] = min(
+            entry["first_seen"], row["timestamp"]
+        ) or row["timestamp"]
+        if row["tuples_per_s"]:
+            entry["cells"][row["artefact"]] = row["tuples_per_s"]
+    headers = ["commit", "when (UTC)"] + [
+        name.removeprefix("BENCH_") + " t/s" for name in artefacts
+    ]
+    table = [
+        [sha, entry["first_seen"]]
+        + [entry["cells"].get(name, "-") for name in artefacts]
+        for sha, entry in sorted(
+            by_sha.items(), key=lambda item: item[1]["first_seen"]
+        )
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in table))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for r in table:
+        lines.append(
+            "  ".join(r[i].ljust(widths[i]) for i in range(len(r))).rstrip()
+        )
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -182,6 +258,9 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"Benchmark trajectory — {len(rows)} artefact(s) from {args.results}\n")
     print(format_table(rows))
+    trajectory = format_trajectory(rows)
+    if trajectory:
+        print(f"\nPer-PR tuples/s trajectory\n\n{trajectory}")
     if args.json is not None:
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(
